@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the thesis and
+prints it (run with ``-s`` to see the artifacts inline); timing is
+recorded by pytest-benchmark.  Heavy experiments run a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark clock and
+    print the resulting artifact."""
+
+    def runner(fn, *args, **kwargs):
+        artifact = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(artifact.render())
+        return artifact
+
+    return runner

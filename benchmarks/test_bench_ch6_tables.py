@@ -1,0 +1,35 @@
+"""Benches regenerating the round-trip action tables (6.4-6.21)."""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+
+@pytest.mark.parametrize("experiment_id", [
+    "table-6.5", "table-6.7", "table-6.8", "table-6.10",
+    "table-6.12", "table-6.13", "table-6.15t", "table-6.17",
+    "table-6.18", "table-6.20", "table-6.22", "table-6.23",
+])
+def test_bench_transition_tables(run_once, experiment_id):
+    table = run_once(get_experiment(experiment_id).run)
+    assert len(table.rows) >= 5
+    # exactly one throughput-bearing transition per table
+    resources = [row[3] for row in table.rows if row[3]]
+    assert len(resources) >= 1
+
+
+@pytest.mark.parametrize("experiment_id", [
+    "table-6.4", "table-6.6", "table-6.9", "table-6.11",
+    "table-6.14", "table-6.16", "table-6.19", "table-6.21",
+])
+def test_bench_action_tables(run_once, experiment_id):
+    table = run_once(get_experiment(experiment_id).run)
+    # exactly one workload-parameter (compute) row per table
+    compute_rows = [row for row in table.rows
+                    if row[4] == "Workload Parameter"]
+    assert len(compute_rows) == 1
+    # contention >= best on every timed row
+    for row in table.rows:
+        if row[4] == "Workload Parameter":
+            continue
+        assert row[7] >= row[6] - 1e-9

@@ -1,0 +1,39 @@
+"""Benches for the chapter 7 extension and the ablation studies."""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_extension_host_scaling(run_once):
+    figure = run_once(get_experiment("extension-7.1").run)
+    arch2 = figure.get_series("arch II")
+    bound = figure.get_series("arch II MP bound")
+    # adding hosts helps, then the single MP caps the curve
+    assert arch2.y[1] > arch2.y[0]
+    assert arch2.y[-1] <= bound.y[0] + 1e-9
+    assert arch2.y[-1] > 0.9 * arch2.y[1]
+
+
+def test_bench_ablation_bus_speed(run_once):
+    table = run_once(get_experiment("ablation-bus-speed").run)
+    times = [row[3] for row in table.rows]
+    assert times == sorted(times)
+    # 16x bus slowdown costs well under 10% of the round trip
+    assert times[-1] < 1.1 * times[0]
+
+
+def test_bench_ablation_mp_speed(run_once):
+    table = run_once(get_experiment("ablation-mp-speed").run)
+    by_ratio = {row[0]: row[1] for row in table.rows}
+    assert by_ratio[0.25] < by_ratio[1.0] < by_ratio[4.0]
+    # saturation past 2x
+    assert by_ratio[4.0] == pytest.approx(by_ratio[2.0], rel=0.1)
+
+
+def test_bench_ablation_dedication(run_once):
+    table = run_once(get_experiment("ablation-dedication").run)
+    for row in table.rows:
+        _compute, dedicated, symmetric, crossover = row
+        assert symmetric > dedicated      # the honest quantitative call
+        assert crossover == "inf" or crossover > 500.0

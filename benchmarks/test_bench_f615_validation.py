@@ -1,0 +1,23 @@
+"""Bench regenerating Figure 6.15 (model validation).
+
+The GTPN model of architecture II (non-local) is validated against
+the discrete-event kernel simulator playing the role of the 925
+implementation.  The thesis's agreement bands: within ~10% at high
+offered load, within ~25% at low offered load.
+"""
+
+from repro.experiments.figures import figure_6_15
+
+
+def test_bench_figure_6_15(run_once):
+    figure = run_once(figure_6_15,
+                      conversations=(1, 2, 4),
+                      loads=(0.9, 0.5),
+                      measure_us=1_500_000.0)
+    for n in (1, 2, 4):
+        model = figure.get_series(f"model n={n}")
+        experiment = figure.get_series(f"experiment n={n}")
+        for load, m, e in zip(model.x, model.y, experiment.y):
+            deviation = abs(m - e) / e
+            limit = 0.15 if load >= 0.7 else 0.30
+            assert deviation <= limit, (n, load, m, e)

@@ -1,0 +1,28 @@
+"""Benches regenerating Figure 6.17 (maximum communication load)."""
+
+import pytest
+
+from repro.experiments.figures import figure_6_17a, figure_6_17b
+
+
+def test_bench_figure_6_17a_local(run_once):
+    figure = run_once(figure_6_17a)
+    arch1 = figure.get_series("arch I")
+    arch2 = figure.get_series("arch II")
+    arch3 = figure.get_series("arch III")
+    # arch I flat; arch II crosses above after 1 conversation;
+    # arch III clearly best (section 6.9.1)
+    assert arch1.y[0] == pytest.approx(arch1.y[-1], rel=1e-6)
+    assert arch2.y[0] < arch1.y[0] < arch2.y[-1]
+    assert min(a3 - a2 for a2, a3 in zip(arch2.y, arch3.y)) > 0
+
+
+def test_bench_figure_6_17b_nonlocal(run_once):
+    figure = run_once(figure_6_17b)
+    arch1 = figure.get_series("arch I")
+    arch2 = figure.get_series("arch II")
+    arch3 = figure.get_series("arch III")
+    # saturation less pronounced than local: arch I gains with
+    # conversations here (load spread across two nodes)
+    assert arch1.y[-1] > arch1.y[0]
+    assert arch3.y[-1] > arch2.y[-1] > 0

@@ -1,0 +1,26 @@
+"""Bench regenerating Figure 6.18 (realistic workload, local)."""
+
+from repro.experiments.figures import figure_6_18
+
+
+def test_bench_figure_6_18(run_once):
+    figure = run_once(figure_6_18,
+                      conversations=(1, 2, 4),
+                      loads=(0.9, 0.7, 0.5, 0.3))
+    # the coprocessor win region: at moderate offered loads with
+    # several conversations architecture II clearly beats I, and the
+    # gain shrinks as the load becomes compute-bound (section 6.9.2)
+    arch1 = figure.get_series("arch I n=4")
+    arch2 = figure.get_series("arch II n=4")
+    arch3 = figure.get_series("arch III n=4")
+    gains = [y2 / y1 for y1, y2 in zip(arch1.y, arch2.y)]
+    by_load = dict(zip(arch1.x, gains))
+    assert by_load[0.7] > 1.3
+    assert by_load[0.3] < by_load[0.7]
+    # arch III wider win region than II
+    for y2, y3 in zip(arch2.y, arch3.y):
+        assert y3 >= y2 - 1e-9
+    # single conversation: II loses slightly to I (host/MP overhead)
+    arch1_single = figure.get_series("arch I n=1")
+    arch2_single = figure.get_series("arch II n=1")
+    assert arch2_single.y[0] < arch1_single.y[0]

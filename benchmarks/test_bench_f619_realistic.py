@@ -1,0 +1,22 @@
+"""Bench regenerating Figure 6.19 (realistic workload, non-local)."""
+
+from repro.experiments.figures import figure_6_19
+
+
+def test_bench_figure_6_19(run_once):
+    figure = run_once(figure_6_19,
+                      conversations=(1, 4),
+                      loads=(0.9, 0.7, 0.5))
+    arch1 = figure.get_series("arch I n=4")
+    arch2 = figure.get_series("arch II n=4")
+    arch3 = figure.get_series("arch III n=4")
+    # section 6.9.2: at four conversations architecture II improves
+    # ~20% over I in the 0.7-0.9 offered-load range...
+    by_load = {x: y2 / y1 for x, y1, y2 in zip(arch1.x, arch1.y,
+                                               arch2.y)}
+    assert by_load[0.9] > 1.05
+    assert by_load[0.7] > 1.05
+    # ... and architecture III shows a marked improvement over both
+    for y1, y2, y3 in zip(arch1.y, arch2.y, arch3.y):
+        assert y3 > y2 > 0
+        assert y3 > 1.15 * y1

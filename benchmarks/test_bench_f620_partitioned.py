@@ -1,0 +1,41 @@
+"""Benches regenerating Figures 6.20-6.23 (architecture III vs IV).
+
+Section 6.9.3's finding: partitioning the smart bus/memory buys
+nothing significant because shared-memory access is not the
+bottleneck.
+"""
+
+import pytest
+
+from repro.experiments.figures import (figure_6_20, figure_6_21,
+                                       figure_6_22, figure_6_23)
+
+
+def _assert_iv_close_to_iii(figure, rel=0.06):
+    pairs = 0
+    for series in figure.series:
+        if series.label.startswith("arch III"):
+            partner = figure.get_series(
+                series.label.replace("arch III", "arch IV"))
+            for y3, y4 in zip(series.y, partner.y):
+                assert y4 == pytest.approx(y3, rel=rel)
+            pairs += 1
+    assert pairs > 0
+
+
+def test_bench_figure_6_20_local_max(run_once):
+    _assert_iv_close_to_iii(run_once(figure_6_20))
+
+
+def test_bench_figure_6_21_nonlocal_max(run_once):
+    _assert_iv_close_to_iii(run_once(figure_6_21))
+
+
+def test_bench_figure_6_22_local_realistic(run_once):
+    _assert_iv_close_to_iii(run_once(
+        figure_6_22, conversations=(1, 4), loads=(0.9, 0.5)))
+
+
+def test_bench_figure_6_23_nonlocal_realistic(run_once):
+    _assert_iv_close_to_iii(run_once(
+        figure_6_23, conversations=(1, 4), loads=(0.9, 0.5)))

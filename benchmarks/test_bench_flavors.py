@@ -1,0 +1,33 @@
+"""Benches for the IPC-flavor comparison and faithful validation."""
+
+import pytest
+
+from repro.experiments.figures import figure_6_15_faithful
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_flavor_round_trips(run_once):
+    table = run_once(get_experiment("flavors-3.2").run)
+    measured = {row[0]: row[2] for row in table.rows}
+    # the chapter 3 ordering: Charlotte >> services/sockets >> Jasmin
+    assert measured["Charlotte links"] > measured["925 services"]
+    assert measured["Charlotte links"] > measured["Unix sockets"]
+    assert measured["Jasmin paths"] < measured["Unix sockets"]
+    # Charlotte lands close to its published 20 ms round trip
+    assert measured["Charlotte links"] == pytest.approx(20.0, rel=0.1)
+    # Unix sockets land on the Table 3.4 round trip
+    assert measured["Unix sockets"] == pytest.approx(4.57, rel=0.1)
+
+
+def test_bench_figure_6_15_faithful(run_once):
+    """Two hosts per node, the thesis's own validation configuration."""
+    figure = run_once(figure_6_15_faithful,
+                      conversations=(1, 2), loads=(0.9, 0.5),
+                      measure_us=1_000_000.0)
+    for n in (1, 2):
+        model = figure.get_series(f"model n={n}")
+        experiment = figure.get_series(f"experiment n={n}")
+        for load, m, e in zip(model.x, model.y, experiment.y):
+            deviation = abs(m - e) / e
+            limit = 0.15 if load >= 0.7 else 0.30
+            assert deviation <= limit, (n, load, m, e)

@@ -1,0 +1,37 @@
+"""Benches for the GTPN engine itself, incl. Figure 6.7."""
+
+import pytest
+
+from repro.experiments.figures import figure_6_7
+from repro.gtpn import analyze, simulate
+from repro.models import Architecture, build_local_net
+
+
+def test_bench_figure_6_7_delay_approximation(run_once):
+    figure = run_once(figure_6_7)
+    const = figure.get_series("constant")
+    geo = figure.get_series("geometric")
+    for a, b in zip(const.y, geo.y):
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_bench_exact_analysis_arch2_local(benchmark):
+    """Exact solve of the arch II local net at three conversations."""
+    net = build_local_net(Architecture.II, 3, 1000.0)
+    result = benchmark.pedantic(analyze, args=(net,), rounds=1,
+                                iterations=1)
+    assert result.throughput() > 0
+
+
+def test_bench_monte_carlo_simulation(benchmark):
+    """100k-tick Monte Carlo run of the arch I local net.
+
+    With a ~5000-tick cycle the window holds only ~20 completions, so
+    the tolerance is dominated by sampling noise (~2 sigma).
+    """
+    net = build_local_net(Architecture.I, 2, 0.0)
+    result = benchmark.pedantic(
+        simulate, kwargs=dict(net=net, ticks=100_000, warmup=5_000,
+                              seed=11),
+        rounds=1, iterations=1)
+    assert result.throughput() == pytest.approx(1 / 4970.0, rel=0.45)

@@ -1,0 +1,12 @@
+"""Bench regenerating Table 6.1 (processing-time comparison)."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_table_6_1(run_once):
+    table = run_once(get_experiment("table-6.1").run)
+    by_op = {row[0]: row for row in table.rows}
+    # smart bus queue ops: 9 us processing vs 60 us in software
+    assert by_op["Enqueue"][3] < by_op["Enqueue"][1]
+    # block ops: one four-edge + twenty two-edge = 11 memory cycles
+    assert by_op["Block Read (40 Bytes)"][4] == 11

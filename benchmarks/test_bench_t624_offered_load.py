@@ -1,0 +1,33 @@
+"""Benches regenerating the offered-load tables (6.24, 6.25).
+
+These solve all four architecture models at one conversation and zero
+compute to obtain C, then tabulate C / (C + S); the asserts compare
+against the thesis's published values.
+"""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.models import Architecture
+from repro.models.params import (PAPER_OFFERED_LOADS_LOCAL,
+                                 PAPER_OFFERED_LOADS_NONLOCAL)
+
+_ORDER = (Architecture.I, Architecture.II, Architecture.III,
+          Architecture.IV)
+
+
+def _check(table, paper):
+    for i, row in enumerate(table.rows):
+        for j, arch in enumerate(_ORDER):
+            assert row[1 + j] == pytest.approx(
+                paper[arch][i], abs=0.005), (i, arch)
+
+
+def test_bench_table_6_24_local(run_once):
+    table = run_once(get_experiment("table-6.24").run)
+    _check(table, PAPER_OFFERED_LOADS_LOCAL)
+
+
+def test_bench_table_6_25_nonlocal(run_once):
+    table = run_once(get_experiment("table-6.25").run)
+    _check(table, PAPER_OFFERED_LOADS_NONLOCAL)

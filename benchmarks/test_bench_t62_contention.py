@@ -1,0 +1,13 @@
+"""Bench regenerating Table 6.2 (contention completion times)."""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.models.params import ARCH1_CLIENT_CONTENTION_RESULTS
+
+
+def test_bench_table_6_2(run_once):
+    table = run_once(get_experiment("table-6.2").run)
+    computed = {row[1]: row[5] for row in table.rows}
+    for name, expected in ARCH1_CLIENT_CONTENTION_RESULTS.items():
+        assert computed[name] == pytest.approx(expected, rel=0.01), name

@@ -1,0 +1,62 @@
+"""Compare the four node architectures on the thesis workload.
+
+Solves the GTPN models of architectures I-IV for local conversations
+across a range of offered loads (a compact Figure 6.18 / Table 6.24),
+then cross-checks one operating point against the discrete-event
+kernel simulator.
+
+Run:  python examples/architecture_comparison.py   (about a minute)
+"""
+
+from repro.kernel import run_conversation_experiment
+from repro.models import (Architecture, Mode, communication_time,
+                          offered_load, solve,
+                          server_time_for_offered_load)
+
+CONVERSATIONS = 3
+LOADS = (0.9, 0.7, 0.5, 0.3)
+
+
+def model_comparison() -> None:
+    print(f"message throughput (msgs/ms), local conversations, "
+          f"n={CONVERSATIONS}")
+    print(f"{'offered load':>12} " + " ".join(
+        f"{arch.name:>8}" for arch in Architecture))
+    for load in LOADS:
+        server_time = server_time_for_offered_load(
+            Architecture.I, Mode.LOCAL, load)
+        row = [solve(arch, Mode.LOCAL, CONVERSATIONS,
+                     server_time).throughput_per_ms
+               for arch in Architecture]
+        print(f"{load:>12.2f} " + " ".join(f"{v:>8.4f}" for v in row))
+    print("\nunloaded round-trip communication time C (us):")
+    for arch in Architecture:
+        c = communication_time(arch, Mode.LOCAL)
+        o = offered_load(arch, Mode.LOCAL, 5700.0)
+        print(f"  arch {arch.name:>3}: C = {c:6.0f}  "
+              f"(offered load at S=5.7ms: {o:.3f})")
+
+
+def simulator_cross_check() -> None:
+    print("\ncross-check against the kernel simulator "
+          "(arch II, load 0.7):")
+    server_time = server_time_for_offered_load(
+        Architecture.I, Mode.LOCAL, 0.7)
+    model = solve(Architecture.II, Mode.LOCAL, CONVERSATIONS,
+                  server_time)
+    measured = run_conversation_experiment(
+        Architecture.II, Mode.LOCAL, CONVERSATIONS, server_time,
+        measure_us=2_000_000)
+    deviation = 100 * (measured.throughput - model.throughput) \
+        / model.throughput
+    print(f"  GTPN model : {model.throughput_per_ms:.4f} msgs/ms")
+    print(f"  simulator  : {measured.throughput_per_ms:.4f} msgs/ms "
+          f"({deviation:+.1f}%)")
+    host = measured.utilization["node0"]["host"]
+    mp = measured.utilization["node0"]["mp"]
+    print(f"  simulator utilization: host {host:.2f}, MP {mp:.2f}")
+
+
+if __name__ == "__main__":
+    model_comparison()
+    simulator_cross_check()

@@ -1,0 +1,86 @@
+"""A little distributed system: editor, file server, page server.
+
+The thesis's opening picture (Figure 1.1): workstations on a LAN, no
+shared memory, system services provided by trusted server tasks on
+whichever node has the resource.  This example assembles it on the
+kernel simulator — a workstation node runs the editor; a server node
+runs the file and page servers — and traces where the time goes.
+
+Run:  python examples/distributed_services.py
+"""
+
+from repro.apps import FileClient, FileServer, PagedMemory, PageServer
+from repro.kernel import DistributedSystem, record_node
+from repro.models.params import Architecture, Mode
+
+
+def main() -> None:
+    system = DistributedSystem(Architecture.II, wire_latency_us=100.0)
+    server_node = system.add_node("server-room",
+                                  default_mode=Mode.NONLOCAL)
+    workstation = system.add_node("workstation",
+                                  default_mode=Mode.NONLOCAL)
+    trace = record_node(workstation)
+
+    files = FileServer(server_node)
+    files.start()
+    pager = PageServer(server_node, pages=32)
+    pager.start()
+
+    editor_task = workstation.create_task("editor")
+    files_client = FileClient(workstation, editor_task)
+    memory = PagedMemory(workstation, editor_task, pages=32,
+                         cache_capacity=4)
+    log = []
+
+    def step(text):
+        log.append(f"[{system.now / 1000:8.2f} ms] {text}")
+
+    # the editor's session: open a document, write a page through the
+    # bulk path, page some working memory, read the document back
+    def session():
+        step("editor opens 'thesis.tex'")
+        files_client.open("thesis.tex", after_open)
+
+    def after_open(reply):
+        step(f"got handle {reply.handle}")
+        buffer = files_client.page_buffer(for_write=True)
+        files_client.write(reply.handle, 0, b"\\chapter{IPC}" * 100,
+                           lambda r: after_write(reply.handle, r),
+                           buffer=buffer)
+
+    def after_write(handle, reply):
+        step(f"wrote {reply.bytes_moved} bytes via memory reference")
+        memory.write(0, b"scratch state",
+                     on_done=lambda: after_scratch(handle))
+
+    def after_scratch(handle):
+        step(f"paged working set (faults: {memory.misses})")
+        files_client.read(handle, 0, 13, after_read)
+
+    def after_read(reply):
+        step(f"read back: {reply.data!r}")
+        memory.flush(lambda: step("dirty pages flushed to the page "
+                                  "server"))
+
+    session()
+    system.sim.run()
+
+    print("\n".join(log))
+    print()
+    print(f"packets on the wire       : {system.wire.packet_count}")
+    print(f"file server requests      : {files.requests_served}")
+    print(f"page server fetch/store   : {pager.fetches}/{pager.stores}")
+    print(f"editor page cache         : {memory.hits} hits, "
+          f"{memory.misses} misses")
+    breakdown = trace.activity_breakdown()
+    total = sum(breakdown.values())
+    print("\nworkstation time by kernel activity:")
+    for label, time_us in sorted(breakdown.items(),
+                                 key=lambda kv: -kv[1])[:6]:
+        print(f"  {label:<24} {time_us:8.1f} us "
+              f"({100 * time_us / total:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

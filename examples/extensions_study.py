@@ -1,0 +1,78 @@
+"""Beyond the published evaluation: chapter 7 questions, quantified.
+
+Three studies the thesis discusses but never measures:
+
+1. **Multiprocessor nodes** (Figure 7.1) — how many hosts can one
+   message coprocessor carry?
+2. **Functional dedication vs symmetric multiprocessing**
+   (section 7.2) — dedicated MP against two interchangeable CPUs,
+   with an explicit locking-overhead knob.
+3. **How fast does the smart bus really need to be?** — the thesis
+   assumes conservative handshake timing; the ablation shows the win
+   comes from eliminating software processing, not bus speed.
+
+Run:  python examples/extensions_study.py   (about a minute)
+"""
+
+from repro.models import (Architecture, compare_dedication,
+                          dedication_crossover_lock_overhead,
+                          derive_arch3_round_trip, host_scaling,
+                          mp_saturation_bound, mp_speed_sensitivity,
+                          round_trip_sum, smart_bus_sensitivity)
+from repro.models.params import Mode
+
+
+def multiprocessor_nodes() -> None:
+    print("1. hosts per message coprocessor "
+          "(arch II, 4 conversations, X=2.85ms)")
+    bound = mp_saturation_bound(Architecture.II)
+    for point in host_scaling(Architecture.II, [1, 2, 3, 4], 4, 2850.0):
+        bar = "#" * int(60 * point.throughput / bound)
+        print(f"   {point.hosts} host(s): "
+              f"{point.throughput * 1e3:.4f} msgs/ms {bar}")
+    print(f"   MP bandwidth ceiling: {bound * 1e3:.4f} msgs/ms")
+    print("   -> two hosts nearly saturate one coprocessor\n")
+
+
+def dedication_vs_symmetric() -> None:
+    print("2. functional dedication vs symmetric multiprocessing "
+          "(3 conversations)")
+    for compute in (0.0, 2850.0, 11400.0):
+        c = compare_dedication(3, compute)
+        crossover = dedication_crossover_lock_overhead(3, compute)
+        print(f"   X={compute / 1000:5.2f}ms: dedicated "
+              f"{c.dedicated_throughput * 1e3:.4f}, symmetric "
+              f"{c.symmetric_throughput * 1e3:.4f} msgs/ms; symmetric "
+              f"stays ahead until locking costs "
+              f"{crossover / 1000:.1f}ms per round trip")
+    print("   -> the throughput case goes to symmetric; dedication's "
+          "case is hardware cost,\n      organization, and avoiding "
+          "fine-grained locking (section 7.2)\n")
+
+
+def bus_speed() -> None:
+    print("3. smart-bus speed sensitivity (derived arch III round "
+          "trip, local)")
+    published = round_trip_sum(Architecture.III, Mode.LOCAL)
+    for point in smart_bus_sensitivity([0.25, 1.0, 4.0]):
+        print(f"   handshake {point.handshake_us:4.2f}us: queue op "
+              f"{point.queue_op_us:4.1f}us, 40-B copy "
+              f"{point.copy_us:4.1f}us, round trip "
+              f"{point.round_trip_us:6.1f}us")
+    check = derive_arch3_round_trip(1.0)
+    print(f"   published arch III tables sum to {published:.1f}us; "
+          f"derivation at 1us gives {check.round_trip_us:.1f}us")
+    print("   -> a 16x slower bus costs <10% round trip: the win is "
+          "killing the 74us software queue ops\n")
+
+    print("   coprocessor speed (arch II, 3 conversations, X=2.85ms):")
+    for point in mp_speed_sensitivity([0.5, 1.0, 2.0, 4.0], 3, 2850.0):
+        print(f"   MP at {point.speed_ratio:4.1f}x host speed: "
+              f"{point.throughput * 1e3:.4f} msgs/ms")
+    print("   -> past ~2x the host is the bottleneck")
+
+
+if __name__ == "__main__":
+    multiprocessor_nodes()
+    dedication_vs_symmetric()
+    bus_speed()

@@ -1,0 +1,106 @@
+"""Four IPC flavors, one null RPC each (section 3.2 in action).
+
+Runs the same request/reply dialogue over each of the semantic models
+the thesis profiled — Charlotte links, Jasmin paths, Unix sockets, and
+the 925's services — with each flavor charging its own system's
+measured chapter 3 costs.  The relative round-trip times echo the
+profiling tables: Charlotte's heavy link protocol is slowest by far,
+Jasmin's lean paths are fastest.
+
+Run:  python examples/ipc_flavors.py
+"""
+
+from repro.kernel import DistributedSystem
+from repro.models.params import Architecture
+from repro.semantics import CharlotteLinks, JasminPaths, UnixSockets
+
+
+def charlotte_rpc() -> float:
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    client = node.create_task("client")
+    server = node.create_task("server")
+    links = CharlotteLinks(node)
+    link = links.create_link(client, server)
+    done = []
+
+    links.receive(server, link,
+                  lambda req: links.send(server, link, f"re:{req}",
+                                         size_bytes=1000))
+    links.receive(client, link, lambda rep: done.append(system.now))
+    links.send(client, link, "request", size_bytes=1000)
+    system.sim.run()
+    return done[0]
+
+
+def jasmin_rpc() -> float:
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    client = node.create_task("client")
+    server = node.create_task("server")
+    paths = JasminPaths(node)
+    request_path = paths.create_path(server)
+    paths.give_send_end(server, request_path, client)
+    reply_path = paths.create_gift_path(client, server)
+    done = []
+
+    paths.rcvmsg(server, request_path,
+                 lambda msg, _p: paths.sendmsg(server, reply_path,
+                                               f"re:{msg}"))
+    paths.rcvmsg(client, reply_path,
+                 lambda msg, _p: done.append(system.now))
+    paths.sendmsg(client, request_path, "request")
+    system.sim.run()
+    return done[0]
+
+
+def socket_rpc() -> float:
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    client = node.create_task("client")
+    server = node.create_task("server")
+    sockets = UnixSockets(node)
+    a, b = sockets.socketpair(client, server)
+    done = []
+
+    sockets.read(server, b, 128,
+                 lambda req: sockets.write(server, b, b"re:" + req))
+    sockets.write(client, a, b"request..." * 12)    # ~120 bytes
+    sockets.read(client, a, 128, lambda rep: done.append(system.now))
+    system.sim.run()
+    return done[0]
+
+
+def service_925_rpc() -> float:
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    client = node.create_task("client")
+    server = node.create_task("server")
+    node.kernel.create_service(server, "svc")
+    node.kernel.offer(server, "svc")
+    done = []
+
+    node.kernel.receive(server, "svc",
+                        lambda m: node.kernel.reply(server, m))
+    node.kernel.send(client, "svc",
+                     on_reply=lambda _p: done.append(system.now))
+    system.sim.run()
+    return done[0]
+
+
+if __name__ == "__main__":
+    results = {
+        "Charlotte links (1000-B msg)": charlotte_rpc(),
+        "925 services (40-B msg)": service_925_rpc(),
+        "Unix sockets (~120-B msg)": socket_rpc(),
+        "Jasmin paths (32-B msg)": jasmin_rpc(),
+    }
+    print("null RPC round trip under each IPC flavor "
+          "(chapter 3 cost base):")
+    for name, time_us in sorted(results.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(time_us / 300)
+        print(f"  {name:<30} {time_us / 1000:7.2f} ms {bar}")
+    print("\nsame ordering as the thesis's profiling study: the "
+          "link protocol's complexity\ndominates Charlotte; Jasmin's "
+          "lean fixed-size paths are an order of magnitude\nfaster; "
+          "all of them pay far more than a procedure call.")

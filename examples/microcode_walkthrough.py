@@ -1,0 +1,108 @@
+"""Inside the smart shared memory: the Appendix A micro-machine.
+
+Walks the micro-coded controller through its paces:
+
+1. the control-store budget (the thesis claims the whole controller
+   fits in under 3000 bits of micro-code — count it);
+2. an enqueue executed micro-instruction by micro-instruction;
+3. a preempted block read resuming from the tag table;
+4. the command-validation fault of the main loop (A.5);
+5. the software-vs-smart-bus cost comparison the hardware justifies.
+
+Run:  python examples/microcode_walkthrough.py
+"""
+
+from repro.bus.versabus import ConventionalBus, smart_bus_advantage
+from repro.memory import (SharedMemory, build_layout, members,
+                          control_store_bits, control_store_words,
+                          CONTROL_STORE, MicrocodedController)
+from repro.memory.microprograms import (DATAPATH_COMPONENTS,
+                                        SEQUENCER_COMPONENTS,
+                                        datapath_component_count,
+                                        sequencer_component_count)
+
+
+def control_store_budget() -> None:
+    print("1. control store (section 5.5: 'under 3000 bits')")
+    for routine in CONTROL_STORE:
+        print(f"   {routine.name:<24} {routine.length:3d} words")
+    print(f"   total: {control_store_words()} words x 24 bits = "
+          f"{control_store_bits()} bits\n")
+
+
+def component_count() -> None:
+    print("2. Table A.1 component budget")
+    for row in DATAPATH_COMPONENTS:
+        print(f"   data path | {row.unit:<36} "
+              f"{row.active_components:5d}")
+    print(f"   data path total ~ {datapath_component_count()} "
+          "active components (thesis: ~6000)")
+    for row in SEQUENCER_COMPONENTS:
+        print(f"   sequencer | {row.unit:<36} "
+              f"{row.active_components:5d}")
+    print(f"   sequencer total ~ {sequencer_component_count()} "
+          "(thesis: ~1000)\n")
+
+
+def enqueue_in_microcode() -> None:
+    print("3. an enqueue, micro-cycle by micro-cycle")
+    layout = build_layout(n_tcbs=4, n_buffers=4)
+    controller = MicrocodedController(layout.memory)
+    tcb = controller.first_control_block(layout.tcb_free_list)
+    first_cycles = controller.engine.total_micro_cycles
+    controller.enqueue_control_block(tcb, layout.communication_list)
+    enqueue_cycles = controller.engine.total_micro_cycles - first_cycles
+    print(f"   FIRST took {first_cycles} micro-cycles; "
+          f"ENQUEUE took {enqueue_cycles}")
+    print(f"   communication list now: "
+          f"{members(layout.memory, layout.communication_list)}\n")
+
+
+def restartable_block_read() -> None:
+    print("4. block read resuming from the tag table (section 5.2)")
+    memory = SharedMemory(128)
+    memory.write_block(10, list(range(100, 110)))
+    controller = MicrocodedController(memory)
+    tag = controller.block_transfer("read", 10, 10)
+    chunk1 = controller.block_read_data(tag, 4)
+    print(f"   grant 1: words {chunk1}   <- higher-priority request "
+          "preempts here")
+    chunk2 = controller.block_read_data(tag, 6)
+    print(f"   grant 2: words {chunk2}   <- cursor restored, no "
+          "data lost\n")
+
+
+def command_fault() -> None:
+    print("5. the main loop rejects unassigned command codes (A.5)")
+    controller = MicrocodedController(SharedMemory(64))
+    for code in (4, 6, 9):
+        print(f"   CM={code:04b} -> dispatched")
+        controller.dispatch(code)
+    try:
+        controller.dispatch(7)
+    except Exception as error:
+        print(f"   CM=0111 -> FAULT: {error}\n")
+
+
+def why_bother() -> None:
+    print("6. what the hardware buys (Table 6.1)")
+    memory = SharedMemory(128)
+    memory.write(1, 0)
+    bus = ConventionalBus(memory, lock_address=2)
+    memory.write_block(40, list(range(20)))
+    software = bus.block_read("host", 40, 20)
+    comparison = smart_bus_advantage(words=20)
+    print(f"   software loop : {software.total_us:.0f} us "
+          f"({software.processing_us:.0f} processing + "
+          f"{software.memory_cycles} cycles)")
+    print(f"   smart bus     : {comparison['smart_us']:.0f} us "
+          f"-> {comparison['speedup']:.0f}x for one 40-byte message")
+
+
+if __name__ == "__main__":
+    control_store_budget()
+    component_count()
+    enqueue_in_microcode()
+    restartable_block_read()
+    command_fault()
+    why_bother()

@@ -1,0 +1,9 @@
+"""Setup shim for editable installs on environments without `wheel`.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""repro — Hardware Support for Interprocess Communication.
+
+A production-quality reproduction of Ramachandran's 1986 thesis /
+ISCA 1987 work: a message coprocessor and smart-bus architecture for
+message-based operating systems, evaluated with Generalized Timed
+Petri Net (GTPN) models and a discrete-event kernel simulator.
+
+Subpackages:
+    gtpn        GTPN modeling and exact/Monte-Carlo analysis
+    bus         smart bus protocol, transactions, Taub arbitration
+    memory      smart shared memory and queue primitives
+    kernel      message-based OS discrete-event simulator
+    models      GTPN models of architectures I-IV (chapter 6)
+    profiling   synthetic kernel profiling study (chapter 3)
+    experiments every table and figure of the evaluation
+"""
+
+__version__ = "1.0.0"

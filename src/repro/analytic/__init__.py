@@ -1,0 +1,23 @@
+"""Closed queueing-network analysis of the architectures (exact MVA).
+
+An independent cross-check of the GTPN models: each conversation is a
+customer cycling through Host / MP / DMA stations with demands from
+the chapter 6 tables.
+"""
+
+from repro.analytic.architectures import (conversation_stations,
+                                          mva_bottleneck,
+                                          solve_architecture_mva)
+from repro.analytic.mva import (MvaSolution, Station, StationKind,
+                                asymptotic_bounds, solve_mva)
+
+__all__ = [
+    "MvaSolution",
+    "Station",
+    "StationKind",
+    "asymptotic_bounds",
+    "conversation_stations",
+    "mva_bottleneck",
+    "solve_architecture_mva",
+    "solve_mva",
+]

@@ -1,0 +1,79 @@
+"""Queueing-network views of the four node architectures.
+
+Maps each architecture/mode to the stations a conversation visits,
+with per-round-trip service demands summed from the chapter 6 action
+tables.  The resulting closed network solved by exact MVA provides an
+independent cross-check of the GTPN models.
+"""
+
+from __future__ import annotations
+
+from repro.analytic.mva import (MvaSolution, Station, StationKind,
+                                solve_mva)
+from repro.errors import ModelError
+from repro.models.params import Architecture, Mode, action_table
+
+
+def conversation_stations(architecture: Architecture, mode: Mode,
+                          compute_time: float = 0.0) -> list[Station]:
+    """Stations and demands of one conversation's cycle.
+
+    Demands are the "contention" activity times summed per executing
+    processor; the server compute time joins the Host demand (the
+    server busy-loop runs on the host).  For non-local conversations
+    the client node's and server node's processors are distinct
+    stations, and the DMA engines appear as their own stations.
+    """
+    if compute_time < 0:
+        raise ModelError("compute time must be non-negative")
+    demands: dict[str, float] = {}
+    for row in action_table(architecture, mode):
+        if row.is_compute:
+            continue
+        station = _station_of(architecture, row.processor, row.number,
+                              mode)
+        demands[station] = demands.get(station, 0.0) + row.contention
+    host_key = "host" if mode is Mode.LOCAL else "server.host"
+    demands[host_key] = demands.get(host_key, 0.0) + compute_time
+    return [Station(name=name, demand=demand)
+            for name, demand in sorted(demands.items())]
+
+
+#: Action numbers executing on the *client* node of a non-local
+#: conversation.  Architecture I numbers its actions differently
+#: (Table 6.6 vs Tables 6.11/6.16/6.21).
+_CLIENT_SIDE_ACTIONS = {
+    Architecture.I: {"1", "2", "6", "7"},
+    Architecture.II: {"1", "2", "2a", "9", "9a", "10"},
+    Architecture.III: {"1", "2", "2a", "9", "9a", "10"},
+    Architecture.IV: {"1", "2", "2a", "9", "9a", "10"},
+}
+
+
+def _station_of(architecture: Architecture, processor: str,
+                number: str, mode: Mode) -> str:
+    prefix = ""
+    if mode is Mode.NONLOCAL:
+        client_side = number in _CLIENT_SIDE_ACTIONS[architecture]
+        prefix = "client." if client_side else "server."
+    name = {"Host": "host", "MP": "mp", "DMA": "dma"}[processor]
+    if name == "dma":
+        # each DMA action is one direction of one interface: its own
+        # engine (IoOut / IoIn per node)
+        return f"{prefix}dma.{number}"
+    return f"{prefix}{name}"
+
+
+def solve_architecture_mva(architecture: Architecture, mode: Mode,
+                           conversations: int,
+                           compute_time: float = 0.0) -> MvaSolution:
+    """Exact MVA solution of one architecture's operating point."""
+    stations = conversation_stations(architecture, mode, compute_time)
+    return solve_mva(stations, conversations)
+
+
+def mva_bottleneck(architecture: Architecture, mode: Mode,
+                   compute_time: float = 0.0) -> str:
+    """The saturating station at large populations."""
+    stations = conversation_stations(architecture, mode, compute_time)
+    return max(stations, key=lambda s: s.demand).name

@@ -1,0 +1,121 @@
+"""Exact Mean Value Analysis for closed queueing networks.
+
+A third, independent solution path for the conversation workload
+(besides the GTPN analyzer and the kernel simulator): the node
+architectures map naturally onto closed product-form queueing networks
+— each conversation is a customer cycling through the Host, the
+message coprocessor, and the DMA engines, with per-round-trip service
+demands read off the chapter 6 action tables.
+
+Classic exact MVA (Reiser & Lavenberg) for a single customer class::
+
+    R_k(n) = D_k * (1 + Q_k(n-1))      queueing stations
+    R_k(n) = D_k                        delay (infinite-server) stations
+    X(n)   = n / (Z + sum_k R_k(n))
+    Q_k(n) = X(n) * R_k(n)
+
+The models agree with the GTPN solutions to within the distributional
+differences (MVA assumes exponential service, the GTPN uses geometric
+ticks) — tests pin the agreement band.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+class StationKind(enum.Enum):
+    QUEUEING = "queueing"      # FCFS single server
+    DELAY = "delay"            # infinite server (pure latency)
+
+
+@dataclass(frozen=True)
+class Station:
+    """One service center with its per-cycle demand (microseconds)."""
+
+    name: str
+    demand: float
+    kind: StationKind = StationKind.QUEUEING
+
+    def __post_init__(self):
+        if self.demand < 0:
+            raise ModelError(f"station {self.name}: negative demand")
+
+
+@dataclass
+class MvaSolution:
+    """Steady-state metrics at population *n*."""
+
+    population: int
+    throughput: float                     # cycles per microsecond
+    cycle_time: float                     # microseconds
+    residence_times: dict[str, float]
+    queue_lengths: dict[str, float]
+    utilizations: dict[str, float]
+
+    def bottleneck(self) -> str:
+        """The station with the highest utilization."""
+        return max(self.utilizations, key=self.utilizations.get)
+
+
+def solve_mva(stations: list[Station], population: int,
+              think_time: float = 0.0) -> MvaSolution:
+    """Exact MVA solution for *population* customers."""
+    if population < 1:
+        raise ModelError("population must be at least one")
+    if think_time < 0:
+        raise ModelError("think time must be non-negative")
+    names = [s.name for s in stations]
+    if len(set(names)) != len(names):
+        raise ModelError(f"duplicate station names: {names}")
+    if not stations:
+        raise ModelError("need at least one station")
+
+    queue = {s.name: 0.0 for s in stations}
+    throughput = 0.0
+    residence: dict[str, float] = {}
+    for n in range(1, population + 1):
+        residence = {}
+        for s in stations:
+            if s.kind is StationKind.DELAY:
+                residence[s.name] = s.demand
+            else:
+                residence[s.name] = s.demand * (1.0 + queue[s.name])
+        total = sum(residence.values())
+        throughput = n / (think_time + total)
+        queue = {name: throughput * r for name, r in residence.items()}
+
+    utilizations = {
+        s.name: (throughput * s.demand
+                 if s.kind is StationKind.QUEUEING else 0.0)
+        for s in stations}
+    return MvaSolution(
+        population=population, throughput=throughput,
+        cycle_time=think_time + sum(residence.values()),
+        residence_times=residence, queue_lengths=queue,
+        utilizations=utilizations)
+
+
+def asymptotic_bounds(stations: list[Station], population: int,
+                      think_time: float = 0.0) -> tuple[float, float]:
+    """(lower, upper) throughput bounds for *population* customers.
+
+    Upper: min(1/D_max, N/(Z + sum D)).  Lower: N/(Z + N * sum D)
+    (every visit queued behind everyone).  Exact MVA always lies
+    between them.
+    """
+    if population < 1:
+        raise ModelError("population must be at least one")
+    total = sum(s.demand for s in stations)
+    d_max = max((s.demand for s in stations
+                 if s.kind is StationKind.QUEUEING), default=0.0)
+    if total <= 0:
+        raise ModelError("network with zero total demand")
+    upper = population / (think_time + total)
+    if d_max > 0:
+        upper = min(upper, 1.0 / d_max)
+    lower = population / (think_time + population * total)
+    return lower, upper

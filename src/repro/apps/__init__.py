@@ -1,0 +1,25 @@
+"""Applications built on the message-based OS simulator.
+
+The thesis's setting has system services provided by trusted server
+tasks reached over IPC (file server, page server...); this package
+provides them as real applications of the kernel API, used by the
+integration tests and examples.
+"""
+
+from repro.apps.fileserver import (FileClient, FileOp, FileReply,
+                                   FileRequest, FileServer, FileStatus,
+                                   PAGE_BYTES)
+from repro.apps.pageserver import PageFault, PageServer, PagedMemory
+
+__all__ = [
+    "FileClient",
+    "FileOp",
+    "FileReply",
+    "FileRequest",
+    "FileServer",
+    "FileStatus",
+    "PAGE_BYTES",
+    "PageFault",
+    "PageServer",
+    "PagedMemory",
+]

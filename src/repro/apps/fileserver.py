@@ -1,0 +1,243 @@
+"""A file server built on the message-based OS (the thesis's setting).
+
+The motivating system of chapters 1 and 4: system services like the
+*file server* are trusted server tasks reached by message passing, and
+bulk data moves through memory references, not messages (Figure 4.2's
+editor fetching a page).  This module implements that service as a
+real application of the kernel API:
+
+* the protocol — OPEN / CLOSE / READ / WRITE / LIST requests as
+  40-byte messages; page-sized data travels via ``memory_move`` on an
+  enclosed memory reference;
+* the server — one task looping receive/serve/reply, keeping an
+  in-memory file store with open-handle bookkeeping;
+* the client library — callback-style calls mirroring the blocking
+  remote-invocation send.
+
+Works unchanged for local and cross-node access, which is precisely
+the transparency argument of the thesis (the same primitives serve
+both, so both need hardware support).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.messages import AccessRight, MemoryReference
+from repro.kernel.node import Node
+from repro.kernel.tasks import Task
+
+#: A page, as the 925's editor scenario moves them.
+PAGE_BYTES = 4096
+
+
+class FileOp(enum.Enum):
+    OPEN = "open"
+    CLOSE = "close"
+    READ = "read"
+    WRITE = "write"
+    LIST = "list"
+
+
+class FileStatus(enum.Enum):
+    OK = "ok"
+    NOT_FOUND = "not found"
+    BAD_HANDLE = "bad handle"
+    BAD_OFFSET = "bad offset"
+
+
+@dataclass
+class FileRequest:
+    """The 40-byte request payload."""
+
+    op: FileOp
+    name: str | None = None
+    handle: int | None = None
+    offset: int = 0
+    size: int = 0
+    data: bytes | None = None      # carried via memory reference
+
+
+@dataclass
+class FileReply:
+    status: FileStatus
+    handle: int | None = None
+    data: bytes | None = None
+    names: list[str] | None = None
+    bytes_moved: int = 0
+
+
+@dataclass
+class _OpenFile:
+    name: str
+    task: str
+
+
+class FileServer:
+    """The trusted file-server task."""
+
+    def __init__(self, node: Node, service_name: str = "file-service"):
+        self.node = node
+        self.service_name = service_name
+        self.task = node.create_task(f"{service_name}-server")
+        node.kernel.create_service(self.task, service_name)
+        node.kernel.offer(self.task, service_name)
+        self._files: dict[str, bytearray] = {}
+        self._handles: dict[int, _OpenFile] = {}
+        self._next_handle = itertools.count(1)
+        self.requests_served = 0
+
+    def start(self) -> None:
+        """Begin the receive/serve/reply loop."""
+        self.node.kernel.receive(self.task, self.service_name,
+                                 self._serve)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _serve(self, message) -> None:
+        request: FileRequest = message.payload
+        self.requests_served += 1
+        handler = {
+            FileOp.OPEN: self._open,
+            FileOp.CLOSE: self._close,
+            FileOp.READ: self._read,
+            FileOp.WRITE: self._write,
+            FileOp.LIST: self._list,
+        }[request.op]
+        handler(message, request)
+
+    def _reply(self, message, reply: FileReply) -> None:
+        self.node.kernel.reply(
+            self.task, message, payload=reply,
+            on_done=lambda: self.node.kernel.receive(
+                self.task, self.service_name, self._serve))
+
+    def _open(self, message, request: FileRequest) -> None:
+        name = request.name
+        if name is None:
+            raise KernelError("OPEN needs a file name")
+        self._files.setdefault(name, bytearray())
+        handle = next(self._next_handle)
+        self._handles[handle] = _OpenFile(name=name,
+                                          task=message.sender)
+        self._reply(message, FileReply(status=FileStatus.OK,
+                                       handle=handle))
+
+    def _close(self, message, request: FileRequest) -> None:
+        entry = self._handles.pop(request.handle, None)
+        status = FileStatus.OK if entry else FileStatus.BAD_HANDLE
+        self._reply(message, FileReply(status=status))
+
+    def _resolve(self, request: FileRequest) -> _OpenFile | None:
+        return self._handles.get(request.handle)
+
+    def _read(self, message, request: FileRequest) -> None:
+        entry = self._resolve(request)
+        if entry is None:
+            self._reply(message,
+                        FileReply(status=FileStatus.BAD_HANDLE))
+            return
+        content = self._files[entry.name]
+        if request.offset > len(content):
+            self._reply(message,
+                        FileReply(status=FileStatus.BAD_OFFSET))
+            return
+        data = bytes(content[request.offset:
+                             request.offset + request.size])
+        if message.memory_ref is not None and data:
+            # bulk path: move the page into the client's buffer
+            self.node.kernel.memory_move(
+                self.task, message.memory_ref, len(data), write=True,
+                on_done=lambda: self._reply(
+                    message, FileReply(status=FileStatus.OK, data=data,
+                                       bytes_moved=len(data))))
+        else:
+            self._reply(message, FileReply(status=FileStatus.OK,
+                                           data=data))
+
+    def _write(self, message, request: FileRequest) -> None:
+        entry = self._resolve(request)
+        if entry is None:
+            self._reply(message,
+                        FileReply(status=FileStatus.BAD_HANDLE))
+            return
+        content = self._files[entry.name]
+        if request.offset > len(content):
+            self._reply(message,
+                        FileReply(status=FileStatus.BAD_OFFSET))
+            return
+        data = request.data or b""
+
+        def commit():
+            content[request.offset:request.offset + len(data)] = data
+            self._reply(message, FileReply(status=FileStatus.OK,
+                                           bytes_moved=len(data)))
+
+        if message.memory_ref is not None and data:
+            # bulk path: fetch the page from the client's buffer
+            self.node.kernel.memory_move(
+                self.task, message.memory_ref, len(data), write=False,
+                on_done=commit)
+        else:
+            commit()
+
+    def _list(self, message, _request: FileRequest) -> None:
+        self._reply(message, FileReply(status=FileStatus.OK,
+                                       names=sorted(self._files)))
+
+
+class FileClient:
+    """Client library wrapping the request protocol."""
+
+    def __init__(self, node: Node, task: Task,
+                 service_name: str = "file-service"):
+        self.node = node
+        self.task = task
+        self.service_name = service_name
+
+    def _call(self, request: FileRequest,
+              on_reply: Callable[[FileReply], None],
+              memory_ref: MemoryReference | None = None) -> None:
+        self.node.kernel.send(self.task, self.service_name,
+                              payload=request, memory_ref=memory_ref,
+                              on_reply=on_reply)
+
+    def open(self, name: str,
+             on_reply: Callable[[FileReply], None]) -> None:
+        self._call(FileRequest(op=FileOp.OPEN, name=name), on_reply)
+
+    def close(self, handle: int,
+              on_reply: Callable[[FileReply], None]) -> None:
+        self._call(FileRequest(op=FileOp.CLOSE, handle=handle),
+                   on_reply)
+
+    def read(self, handle: int, offset: int, size: int,
+             on_reply: Callable[[FileReply], None],
+             buffer: MemoryReference | None = None) -> None:
+        """Read; pass *buffer* (WRITE rights) for the bulk page path."""
+        self._call(FileRequest(op=FileOp.READ, handle=handle,
+                               offset=offset, size=size),
+                   on_reply, memory_ref=buffer)
+
+    def write(self, handle: int, offset: int, data: bytes,
+              on_reply: Callable[[FileReply], None],
+              buffer: MemoryReference | None = None) -> None:
+        """Write; pass *buffer* (READ rights) for the bulk page path."""
+        self._call(FileRequest(op=FileOp.WRITE, handle=handle,
+                               offset=offset, data=data),
+                   on_reply, memory_ref=buffer)
+
+    def list_files(self, on_reply: Callable[[FileReply], None]) -> None:
+        self._call(FileRequest(op=FileOp.LIST), on_reply)
+
+    def page_buffer(self, size: int = PAGE_BYTES,
+                    for_write: bool = False) -> MemoryReference:
+        """A memory reference over this task's page buffer."""
+        rights = AccessRight.READ if for_write else AccessRight.WRITE
+        return MemoryReference(owner=self.task.name, address=0x8000,
+                               size=size, rights=rights)

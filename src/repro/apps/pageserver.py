@@ -1,0 +1,213 @@
+"""A page server: demand paging over IPC (the 925's other service).
+
+Chapter 4 names the *page server* alongside the file server as a
+trusted system task.  This module provides one: a server owning a
+backing store of fixed-size pages, and a client-side ``PagedMemory``
+that faults pages in over IPC on first touch and writes dirty pages
+back — a miniature external pager in the Mach/Accent tradition the
+message-based-OS literature grew into.
+
+Every fault is one blocking remote-invocation round trip, so a
+page-fault-heavy workload is exactly the communication-bound regime
+(offered load near one) where the thesis's message coprocessor pays
+off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.node import Node
+from repro.kernel.tasks import Task
+
+#: Page size in bytes (a 925 page).
+PAGE_SIZE = 1024
+
+
+class PageOp(enum.Enum):
+    FETCH = "fetch"
+    STORE = "store"
+
+
+class PageFault(KernelError):
+    """Raised for accesses outside the paged segment."""
+
+
+@dataclass
+class _PageRequest:
+    op: PageOp
+    page_number: int
+    data: bytes | None = None
+
+
+class PageServer:
+    """Server task owning the backing store."""
+
+    def __init__(self, node: Node, pages: int = 64,
+                 service_name: str = "page-service"):
+        if pages < 1:
+            raise KernelError("need at least one page")
+        self.node = node
+        self.service_name = service_name
+        self.pages = pages
+        self.task = node.create_task(f"{service_name}-server")
+        node.kernel.create_service(self.task, service_name)
+        node.kernel.offer(self.task, service_name)
+        self._store: dict[int, bytes] = {}
+        self.fetches = 0
+        self.stores = 0
+
+    def start(self) -> None:
+        self.node.kernel.receive(self.task, self.service_name,
+                                 self._serve)
+
+    def _serve(self, message) -> None:
+        request: _PageRequest = message.payload
+        if not 0 <= request.page_number < self.pages:
+            raise KernelError(
+                f"page {request.page_number} outside the segment "
+                f"(0..{self.pages - 1})")
+        if request.op is PageOp.FETCH:
+            self.fetches += 1
+            data = self._store.get(request.page_number,
+                                   bytes(PAGE_SIZE))
+            payload = data
+        else:
+            self.stores += 1
+            self._store[request.page_number] = bytes(request.data)
+            payload = None
+        self.node.kernel.reply(
+            self.task, message, payload=payload,
+            on_done=lambda: self.node.kernel.receive(
+                self.task, self.service_name, self._serve))
+
+
+@dataclass
+class _CachedPage:
+    data: bytearray
+    dirty: bool = False
+
+
+class PagedMemory:
+    """Client-side demand-paged view of the server's segment.
+
+    Reads and writes are asynchronous (callback style) because a miss
+    costs a full IPC round trip; hits complete without touching the
+    kernel.  ``flush`` writes every dirty page back.
+    """
+
+    def __init__(self, node: Node, task: Task, pages: int,
+                 service_name: str = "page-service",
+                 cache_capacity: int = 8):
+        if cache_capacity < 1:
+            raise KernelError("cache needs at least one frame")
+        self.node = node
+        self.task = task
+        self.service_name = service_name
+        self.pages = pages
+        self.capacity = cache_capacity
+        self._cache: dict[int, _CachedPage] = {}
+        self._lru: list[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int,
+             on_data: Callable[[bytes], None]) -> None:
+        page, offset = self._locate(address, size)
+        self._with_page(page, lambda cached: on_data(
+            bytes(cached.data[offset:offset + size])))
+
+    def write(self, address: int, data: bytes,
+              on_done: Callable[[], None] | None = None) -> None:
+        page, offset = self._locate(address, len(data))
+
+        def apply(cached: _CachedPage) -> None:
+            cached.data[offset:offset + len(data)] = data
+            cached.dirty = True
+            if on_done is not None:
+                on_done()
+
+        self._with_page(page, apply)
+
+    def flush(self, on_done: Callable[[], None]) -> None:
+        """Write every dirty cached page back to the server."""
+        dirty = [(number, page) for number, page in self._cache.items()
+                 if page.dirty]
+        remaining = {"count": len(dirty)}
+        if not dirty:
+            on_done()
+            return
+
+        def one_done(_reply, page=None):
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                on_done()
+
+        for number, page in dirty:
+            page.dirty = False
+            self.node.kernel.send(
+                self.task, self.service_name,
+                payload=_PageRequest(op=PageOp.STORE,
+                                     page_number=number,
+                                     data=bytes(page.data)),
+                on_reply=one_done)
+
+    # ------------------------------------------------------------------
+    # paging machinery
+    # ------------------------------------------------------------------
+    def _locate(self, address: int, size: int) -> tuple[int, int]:
+        if address < 0 or size < 0 or \
+                address + size > self.pages * PAGE_SIZE:
+            raise PageFault(
+                f"access [{address}, {address + size}) outside the "
+                f"{self.pages}-page segment")
+        page, offset = divmod(address, PAGE_SIZE)
+        if offset + size > PAGE_SIZE:
+            raise PageFault(
+                "access spans a page boundary; split it")
+        return page, offset
+
+    def _with_page(self, number: int,
+                   action: Callable[[_CachedPage], None]) -> None:
+        cached = self._cache.get(number)
+        if cached is not None:
+            self.hits += 1
+            self._touch(number)
+            action(cached)
+            return
+        self.misses += 1
+
+        def arrived(data: bytes) -> None:
+            page = _CachedPage(data=bytearray(data))
+            self._install(number, page)
+            action(page)
+
+        self.node.kernel.send(
+            self.task, self.service_name,
+            payload=_PageRequest(op=PageOp.FETCH, page_number=number),
+            on_reply=arrived)
+
+    def _install(self, number: int, page: _CachedPage) -> None:
+        if len(self._cache) >= self.capacity:
+            victim = self._lru.pop(0)
+            evicted = self._cache.pop(victim)
+            if evicted.dirty:
+                # write-back eviction
+                self.node.kernel.send(
+                    self.task, self.service_name,
+                    payload=_PageRequest(op=PageOp.STORE,
+                                         page_number=victim,
+                                         data=bytes(evicted.data)),
+                    on_reply=lambda _reply: None)
+        self._cache[number] = page
+        self._lru.append(number)
+
+    def _touch(self, number: int) -> None:
+        self._lru.remove(number)
+        self._lru.append(number)

@@ -1,0 +1,46 @@
+"""Smart bus: protocol, transactions, arbitration, and fabric simulator.
+
+Implements chapter 5's bus proposal: multiplexed block transfer,
+atomic queue-manipulation transactions, and Taub-style distributed
+arbitration, with the edge-accurate timing used to derive the
+architecture III/IV processing times of Table 6.1.
+"""
+
+from repro.bus.arbitration import Arbiter, ArbitrationRound, arbitrate
+from repro.bus.bus import SmartBusFabric
+from repro.bus.commands import (HANDSHAKE_EDGES, STREAM_EDGES_PER_WORD,
+                                WORDS_PER_GRANT, BusCommand, decode,
+                                handshake_edges)
+from repro.bus.monitor import BusMonitor, UnitStats
+from repro.bus.signals import SIGNALS, ProtocolLine, SignalSpec, signal, \
+    total_lines
+from repro.bus.transactions import (DEFAULT_EDGE_TIME_US, BusOperation,
+                                    OpKind, TraceEvent, block_total_edges,
+                                    simple_edges, streaming_segments)
+
+__all__ = [
+    "Arbiter",
+    "ArbitrationRound",
+    "BusCommand",
+    "BusMonitor",
+    "BusOperation",
+    "DEFAULT_EDGE_TIME_US",
+    "HANDSHAKE_EDGES",
+    "OpKind",
+    "ProtocolLine",
+    "SIGNALS",
+    "STREAM_EDGES_PER_WORD",
+    "SignalSpec",
+    "SmartBusFabric",
+    "TraceEvent",
+    "UnitStats",
+    "WORDS_PER_GRANT",
+    "arbitrate",
+    "block_total_edges",
+    "decode",
+    "handshake_edges",
+    "signal",
+    "simple_edges",
+    "streaming_segments",
+    "total_lines",
+]

@@ -1,0 +1,125 @@
+"""Taub's distributed arbitration (section 5.4, Figures 5.17-5.18).
+
+Every unit owns a unique three-bit bus-request number ``br``.  To
+contend, a unit drives the wired-OR lines BR0-2 according to the
+recurrence (br0 is the most significant bit)::
+
+    OK_0 = 1
+    OK_i = (not BR_{i-1} or br_{i-1}) and OK_{i-1}      (i != 0)
+    BR_i = OK_i and br_i
+
+Because the lines are wired-OR, each unit sees the superposition of
+every contender's drive; the combination settles to the binary value
+of the highest contender, which wins the next information cycle.  The
+simulation below iterates the combinational network to its fixed point
+the same way the open-collector lines settle electrically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BusError
+
+#: Width of the bus-request number (BR0-2 lines, Table 5.1).
+BR_WIDTH = 3
+
+#: Iteration bound: the network provably settles within width+1 rounds,
+#: the margin guards modelling mistakes.
+_MAX_SETTLE_ROUNDS = 16
+
+
+def _bits(number: int) -> tuple[int, ...]:
+    """br0..br2 of *number*, most significant bit first."""
+    return tuple((number >> (BR_WIDTH - 1 - i)) & 1 for i in range(BR_WIDTH))
+
+
+def _drive(br: tuple[int, ...], bus: tuple[int, ...]) -> tuple[int, ...]:
+    """Bits this contender drives, given the current bus lines.
+
+    Direct transcription of Taub's recurrence / Figure 5.17.
+    """
+    ok = 1
+    out = []
+    for i in range(BR_WIDTH):
+        if i > 0:
+            ok = ok & ((1 - bus[i - 1]) | br[i - 1])
+        out.append(ok & br[i])
+    return tuple(out)
+
+
+@dataclass
+class ArbitrationRound:
+    """Outcome of one arbitration cycle."""
+
+    contenders: tuple[int, ...]
+    winner: int
+    bus_value: int
+    settle_rounds: int
+
+
+def arbitrate(contenders: list[int]) -> ArbitrationRound:
+    """Run one arbitration cycle among *contenders* (br numbers).
+
+    Returns the winning number; raises for invalid or duplicate
+    numbers or an empty contest.
+    """
+    if not contenders:
+        raise BusError("arbitration with no contenders")
+    if len(set(contenders)) != len(contenders):
+        raise BusError(f"duplicate bus-request numbers: {contenders}")
+    for number in contenders:
+        if not 0 <= number < (1 << BR_WIDTH):
+            raise BusError(
+                f"bus-request number {number} does not fit in "
+                f"{BR_WIDTH} bits")
+
+    bit_vectors = [_bits(number) for number in contenders]
+    bus = (0,) * BR_WIDTH
+    for rounds in range(1, _MAX_SETTLE_ROUNDS + 1):
+        driven = [_drive(br, bus) for br in bit_vectors]
+        new_bus = tuple(
+            max(d[i] for d in driven) for i in range(BR_WIDTH))
+        if new_bus == bus:
+            break
+        bus = new_bus
+    else:
+        raise BusError("arbitration lines failed to settle")
+
+    bus_value = 0
+    for bit in bus:
+        bus_value = (bus_value << 1) | bit
+    if bus_value not in contenders:
+        raise BusError(
+            f"settled bus value {bus_value} matches no contender "
+            f"{contenders}")
+    return ArbitrationRound(contenders=tuple(contenders), winner=bus_value,
+                            bus_value=bus_value, settle_rounds=rounds)
+
+
+class Arbiter:
+    """Stateful arbiter applying the race-free rules of section 5.4.
+
+    Rule 3: the current master continues (keeps BBSY asserted) when it
+    wins the next cycle as well.  Rule 4: when nobody requests, the
+    current master stays responsible for starting the next cycle.
+    """
+
+    def __init__(self):
+        self.current_master: int | None = None
+        self.history: list[ArbitrationRound] = []
+
+    def next_master(self, requesters: list[int]) -> int | None:
+        """Arbitrate among *requesters*; None when nobody requests."""
+        if not requesters:
+            return None
+        outcome = arbitrate(requesters)
+        self.history.append(outcome)
+        self.current_master = outcome.winner
+        return outcome.winner
+
+    def master_retained(self) -> bool:
+        """True when the last two cycles were won by the same unit."""
+        if len(self.history) < 2:
+            return False
+        return self.history[-1].winner == self.history[-2].winner

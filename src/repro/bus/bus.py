@@ -1,0 +1,210 @@
+"""The smart-bus fabric: units, tenures, preemption, and timing.
+
+Couples the protocol of chapter 5 with the smart memory controller:
+units issue :class:`BusOperation` requests; the fabric arbitrates with
+Taub's algorithm every information cycle, executes one tenure segment
+per grant, and converts IS/IK edges to microseconds.
+
+Two design points from the thesis are modelled explicitly:
+
+* **No bus locking.**  Streaming block data is granted two transfers
+  at a time; between grants any higher-priority request wins the bus,
+  and the interrupted transfer resumes later from the controller's tag
+  table ("the shared memory caches information regarding block
+  transfer requests ... so that it can restart a lower-priority
+  request after servicing a higher-priority one", section 5.2).
+* **Memory as the data master.**  `block read data` is mastered by the
+  shared memory, but the memory contends with the *requester's*
+  priority, so a stream on behalf of a low-priority unit does not
+  starve high-priority units (section 2.6.6: the memory module
+  prioritizes requests and services them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bus.arbitration import Arbiter
+from repro.bus.transactions import (DEFAULT_EDGE_TIME_US, BusOperation,
+                                    OpKind, TraceEvent, simple_edges,
+                                    streaming_segments)
+from repro.errors import BusError
+from repro.memory.controller import Direction, SmartMemoryController
+
+
+@dataclass
+class _OpState:
+    """Fabric-internal progress record of one operation."""
+
+    op: BusOperation
+    #: remaining segments: list of ("request", None) / ("stream", words)
+    #: / ("simple", None)
+    segments: list[tuple[str, int | None]]
+    tag: int | None = None
+    started_streaming: bool = False
+
+    @property
+    def done(self) -> bool:
+        return not self.segments
+
+
+class SmartBusFabric:
+    """Schedules bus operations over a shared smart memory."""
+
+    def __init__(self, controller: SmartMemoryController,
+                 edge_time_us: float = DEFAULT_EDGE_TIME_US):
+        self.controller = controller
+        self.edge_time_us = edge_time_us
+        self._priorities: dict[str, int] = {}
+        self._queues: dict[str, list[_OpState]] = {}
+        self._arbiter = Arbiter()
+        self.trace: list[TraceEvent] = []
+        self.completed: list[BusOperation] = []
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def attach(self, name: str, priority: int) -> None:
+        """Register a bus unit with its unique 3-bit request number."""
+        if name in self._priorities:
+            raise BusError(f"unit {name!r} already attached")
+        if priority in self._priorities.values():
+            raise BusError(
+                f"priority {priority} already taken "
+                f"({self._priorities})")
+        self._priorities[name] = priority
+        self._queues[name] = []
+
+    def schedule(self, op: BusOperation) -> BusOperation:
+        """Queue *op* behind the unit's earlier operations."""
+        if op.unit not in self._priorities:
+            raise BusError(f"unknown unit {op.unit!r}")
+        op.validate()
+        self._queues[op.unit].append(_OpState(op=op,
+                                              segments=self._plan(op)))
+        return op
+
+    def _plan(self, op: BusOperation) -> list[tuple[str, int | None]]:
+        if op.kind in (OpKind.BLOCK_READ, OpKind.BLOCK_WRITE):
+            words = op.count if op.kind is OpKind.BLOCK_READ \
+                else len(op.data)
+            return [("request", None)] + \
+                [("stream", n) for n in streaming_segments(words)]
+        return [("simple", None)]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def run(self) -> list[BusOperation]:
+        """Execute all scheduled operations; returns them completed."""
+        last_master: str | None = None
+        while True:
+            ready = self._ready_heads()
+            if not ready:
+                future = self._next_issue_time()
+                if future is None:
+                    break
+                self._now = max(self._now, future)
+                continue
+            by_priority = {self._priorities[name]: name for name in ready}
+            winner_priority = self._arbiter.next_master(
+                list(by_priority))
+            winner = by_priority[winner_priority]
+            # preemption bookkeeping: an in-progress stream that was
+            # ready but lost the bus to someone else got preempted
+            for name in ready:
+                state = self._queues[name][0]
+                if (name != winner and name == last_master
+                        and state.started_streaming and not state.done):
+                    state.op.preemptions += 1
+            self._execute_segment(winner)
+            last_master = winner
+        return self.completed
+
+    def _ready_heads(self) -> list[str]:
+        return [name for name, queue in self._queues.items()
+                if queue and queue[0].op.issue_time <= self._now]
+
+    def _next_issue_time(self) -> float | None:
+        times = [queue[0].op.issue_time
+                 for queue in self._queues.values() if queue]
+        return min(times) if times else None
+
+    def _execute_segment(self, unit: str) -> None:
+        state = self._queues[unit][0]
+        op = state.op
+        if op.start_time is None:
+            op.start_time = self._now
+        phase, words = state.segments.pop(0)
+        if phase == "simple":
+            edges = simple_edges(op.kind)
+            op.result = self._perform_simple(op)
+            action = op.kind.value
+            detail = {}
+        elif phase == "request":
+            edges = 4
+            direction = Direction.READ if op.kind is OpKind.BLOCK_READ \
+                else Direction.WRITE
+            count = op.count if op.kind is OpKind.BLOCK_READ \
+                else len(op.data)
+            state.tag = self.controller.block_transfer(
+                op.unit, direction, op.address, count)
+            if op.kind is OpKind.BLOCK_READ:
+                op.result = []
+            action = "block_transfer"
+            detail = {"tag": state.tag, "count": count}
+        else:   # stream
+            edges = 2 * words
+            if op.kind is OpKind.BLOCK_READ:
+                op.result.extend(
+                    self.controller.block_read_data(state.tag, words))
+            else:
+                sent = self.controller.outstanding(state.tag).transferred
+                self.controller.block_write_data(
+                    state.tag, op.data[sent:sent + words])
+            state.started_streaming = True
+            action = f"stream:{op.kind.value}"
+            detail = {"tag": state.tag, "words": words}
+        self.trace.append(TraceEvent(time=self._now, master=unit,
+                                     action=action, edges=edges,
+                                     detail=detail))
+        self._now += edges * self.edge_time_us
+        if state.done:
+            op.complete_time = self._now
+            self._queues[unit].pop(0)
+            self.completed.append(op)
+
+    def _perform_simple(self, op: BusOperation):
+        controller = self.controller
+        if op.kind is OpKind.ENQUEUE:
+            controller.enqueue_control_block(op.element, op.list_addr)
+            return None
+        if op.kind is OpKind.DEQUEUE:
+            return controller.dequeue_control_block(op.element,
+                                                    op.list_addr)
+        if op.kind is OpKind.FIRST:
+            return controller.first_control_block(op.list_addr)
+        if op.kind is OpKind.READ:
+            return controller.read_word(op.address)
+        if op.kind is OpKind.WRITE:
+            controller.write_word(op.address, op.value)
+            return None
+        raise BusError(f"unexpected simple op {op.kind}")
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def busy_time_us(self) -> float:
+        return sum(event.edges for event in self.trace) * self.edge_time_us
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the bus carried a tenure."""
+        if self._now == 0:
+            return 0.0
+        return self.busy_time_us / self._now

@@ -1,0 +1,67 @@
+"""Smart-bus command encoding (Table 5.2).
+
+The four command lines CM0-3 select the transaction type.  The
+encodings below are exactly the thesis's Table 5.2; `write two bytes`
+and `write byte` share the WRITE semantics at different granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import BusError
+
+
+class BusCommand(enum.IntEnum):
+    """Command-line encodings of Table 5.2 (value = CM0-3)."""
+
+    SIMPLE_READ = 0b0000
+    BLOCK_TRANSFER = 0b0001
+    BLOCK_READ_DATA = 0b0010
+    BLOCK_WRITE_DATA = 0b0011
+    ENQUEUE_CONTROL_BLOCK = 0b0100
+    DEQUEUE_CONTROL_BLOCK = 0b0101
+    FIRST_CONTROL_BLOCK = 0b0110
+    WRITE_TWO_BYTES = 0b1000
+    WRITE_BYTE = 0b1001
+
+
+#: Handshake length in IS/IK edges for the non-streaming transactions
+#: (chapter 5 timing diagrams).  Streaming data transactions cost two
+#: edges per word after the request; see `transactions.py`.
+HANDSHAKE_EDGES: dict[BusCommand, int] = {
+    BusCommand.SIMPLE_READ: 8,              # Figure 5.14 (like First)
+    BusCommand.BLOCK_TRANSFER: 4,           # Figure 5.4
+    BusCommand.ENQUEUE_CONTROL_BLOCK: 4,    # Figure 5.10
+    BusCommand.DEQUEUE_CONTROL_BLOCK: 4,    # Figure 5.10
+    BusCommand.FIRST_CONTROL_BLOCK: 8,      # Figure 5.12
+    BusCommand.WRITE_TWO_BYTES: 4,          # Figure 5.16
+    BusCommand.WRITE_BYTE: 4,               # Figure 5.16
+}
+
+#: Streaming transactions transfer one word per two IS/IK edges
+#: (Figures 5.6 and 5.8, "streaming mode").
+STREAM_EDGES_PER_WORD = 2
+
+#: The arbitration protocol grants the bus for two transfers at a time
+#: (section 5.3.1: the strobe/acknowledge lines return to the released
+#: state only after an even number of transfers).
+WORDS_PER_GRANT = 2
+
+
+def decode(value: int) -> BusCommand:
+    """Decode a CM0-3 value; raises BusError for unassigned codes."""
+    try:
+        return BusCommand(value)
+    except ValueError:
+        raise BusError(f"unassigned command code {value:#06b}") from None
+
+
+def handshake_edges(command: BusCommand) -> int:
+    """IS/IK edge count of a non-streaming transaction."""
+    try:
+        return HANDSHAKE_EDGES[command]
+    except KeyError:
+        raise BusError(
+            f"{command.name} is a streaming transaction; its edge count "
+            "depends on the word count") from None

@@ -1,0 +1,209 @@
+"""Executable handshake sequences (the timing diagrams of chapter 5).
+
+Each function walks the asynchronous IS/IK handshake of one smart-bus
+transaction exactly as narrated in section 5.3, driving
+:class:`ProtocolLine` instances and recording every signal event.  The
+traces give the figures 5.3-5.16 in executable form; the IS/IK edge
+counts they produce are the authoritative source for the transaction
+costs used everywhere else (cross-checked against
+:mod:`repro.bus.commands` by tests).
+
+Protocol invariants honoured (and asserted by tests):
+
+* all protocol lines return to the released state at the end of every
+  transaction;
+* streaming-mode grants end after an even number of transfers so the
+  strobe lines are back to released (section 5.3.1);
+* BBSY brackets the whole information cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bus.signals import ProtocolLine
+from repro.errors import BusError
+
+
+@dataclass
+class HandshakeEvent:
+    """One signal transition with its narrative annotation."""
+
+    actor: str        # "processor" | "memory"
+    signal: str       # IS / IK / BBSY
+    action: str       # assert / release / toggle
+    note: str = ""
+
+
+@dataclass
+class HandshakeTrace:
+    """A completed transaction's signal history."""
+
+    name: str
+    events: list[HandshakeEvent] = field(default_factory=list)
+    is_line: ProtocolLine = field(default_factory=lambda:
+                                  ProtocolLine("IS"))
+    ik_line: ProtocolLine = field(default_factory=lambda:
+                                  ProtocolLine("IK"))
+    bbsy_line: ProtocolLine = field(default_factory=lambda:
+                                    ProtocolLine("BBSY"))
+
+    @property
+    def information_edges(self) -> int:
+        """IS + IK transitions — the chapter 5 cost measure."""
+        return self.is_line.edges + self.ik_line.edges
+
+    def lines_released(self) -> bool:
+        return not (self.is_line.asserted or self.ik_line.asserted
+                    or self.bbsy_line.asserted)
+
+    # -- internal event helpers ------------------------------------------
+    def _event(self, actor: str, line: ProtocolLine, action: str,
+               note: str) -> None:
+        if action == "assert":
+            line.assert_()
+        elif action == "release":
+            line.release()
+        elif action == "toggle":
+            line.toggle()
+        else:
+            raise BusError(f"unknown action {action!r}")
+        self.events.append(HandshakeEvent(actor=actor, signal=line.name,
+                                          action=action, note=note))
+
+    def seize(self, note: str = "establish mastership") -> None:
+        self._event("master", self.bbsy_line, "assert", note)
+
+    def release_bus(self, note: str = "relinquish the bus") -> None:
+        self._event("master", self.bbsy_line, "release", note)
+
+    def strobe(self, actor: str, action: str, note: str) -> None:
+        self._event(actor, self.is_line, action, note)
+
+    def acknowledge(self, actor: str, action: str, note: str) -> None:
+        self._event(actor, self.ik_line, action, note)
+
+
+def block_transfer_handshake() -> HandshakeTrace:
+    """Figures 5.3/5.4: address -> tag, count -> ack (four edges)."""
+    trace = HandshakeTrace("block transfer")
+    trace.seize()
+    trace.strobe("processor", "assert", "address on A/D")
+    trace.acknowledge("memory", "assert", "tag on TG")
+    trace.strobe("processor", "release", "count on A/D")
+    trace.acknowledge("memory", "release", "count latched")
+    trace.release_bus()
+    return trace
+
+
+def _streaming_handshake(name: str, driver: str, receiver: str,
+                         words: int) -> HandshakeTrace:
+    """Figures 5.5-5.8: tagged data words, two edges per word."""
+    if words <= 0:
+        raise BusError("streaming needs a positive word count")
+    trace = HandshakeTrace(name)
+    trace.seize()
+    # the driver signals valid data by an edge on its line, the other
+    # party confirms by an edge on the opposite line; the pair of
+    # lines returns to released after an even number of transfers
+    for word in range(words):
+        if driver == "memory":
+            trace.acknowledge("memory", "toggle",
+                              f"word {word} + tag on bus")
+            trace.strobe("processor", "toggle", f"word {word} latched")
+        else:
+            trace.strobe("processor", "toggle",
+                         f"word {word} + tag on bus")
+            trace.acknowledge("memory", "toggle",
+                              f"word {word} stored")
+    if words % 2:
+        # odd-length block: both parties know the length and recover
+        # gracefully by one extra transition pair (section 5.3.1)
+        if driver == "memory":
+            trace.acknowledge("memory", "toggle",
+                              "return IK to released")
+            trace.strobe("processor", "toggle",
+                         "return IS to released")
+        else:
+            trace.strobe("processor", "toggle",
+                         "return IS to released")
+            trace.acknowledge("memory", "toggle",
+                              "return IK to released")
+    trace.release_bus()
+    assert receiver  # both parties named for the trace reader
+    return trace
+
+
+def block_read_data_handshake(words: int) -> HandshakeTrace:
+    """Figures 5.5/5.6: memory streams tagged words to the processor."""
+    return _streaming_handshake("block read data", "memory",
+                                "processor", words)
+
+
+def block_write_data_handshake(words: int) -> HandshakeTrace:
+    """Figures 5.7/5.8: the processor streams tagged words to memory."""
+    return _streaming_handshake("block write data", "processor",
+                                "memory", words)
+
+
+def enqueue_handshake() -> HandshakeTrace:
+    """Figures 5.9/5.10: list address then element address (4 edges)."""
+    trace = HandshakeTrace("enqueue control block")
+    trace.seize()
+    trace.strobe("processor", "assert", "list address on A/D")
+    trace.acknowledge("memory", "assert", "list address latched")
+    trace.strobe("processor", "release", "element address on A/D")
+    trace.acknowledge("memory", "release", "element address latched")
+    trace.release_bus()
+    return trace
+
+
+def dequeue_handshake() -> HandshakeTrace:
+    """Same exchange as enqueue (section 5.3.2)."""
+    trace = enqueue_handshake()
+    trace.name = "dequeue control block"
+    return trace
+
+
+def first_handshake() -> HandshakeTrace:
+    """Figures 5.11/5.12: eight-edge request/response exchange."""
+    trace = HandshakeTrace("first control block")
+    trace.seize()
+    trace.strobe("processor", "assert", "list address on A/D")
+    trace.acknowledge("memory", "assert", "list address latched")
+    trace.strobe("processor", "release", "address removed")
+    trace.acknowledge("memory", "release", "dequeue in progress")
+    trace.acknowledge("memory", "assert", "first-element address on A/D")
+    trace.strobe("processor", "assert", "element address latched")
+    trace.acknowledge("memory", "release", "address removed")
+    trace.strobe("processor", "release", "transaction complete")
+    trace.release_bus()
+    return trace
+
+
+def read_handshake() -> HandshakeTrace:
+    """Figures 5.13/5.14: like first — address out, data back."""
+    trace = first_handshake()
+    trace.name = "read"
+    return trace
+
+
+def write_handshake() -> HandshakeTrace:
+    """Figures 5.15/5.16: like enqueue — address then data (4 edges)."""
+    trace = HandshakeTrace("write")
+    trace.seize()
+    trace.strobe("processor", "assert", "address on A/D")
+    trace.acknowledge("memory", "assert", "address latched")
+    trace.strobe("processor", "release", "data on A/D")
+    trace.acknowledge("memory", "release", "data stored")
+    trace.release_bus()
+    return trace
+
+
+def render_timing(trace: HandshakeTrace) -> str:
+    """A text rendering of the trace (one line per transition)."""
+    lines = [f"-- {trace.name} ({trace.information_edges} IS/IK edges)"]
+    for i, event in enumerate(trace.events):
+        lines.append(f"{i:3d}  {event.actor:>9}  {event.signal:<4} "
+                     f"{event.action:<7} {event.note}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Smart-bus signal definitions (Table 5.1).
+
+The physical bus carries sixteen multiplexed address/data lines, a
+four-bit tag bus, a four-bit command bus, the asynchronous handshake
+pair IS/IK, the bus-busy line, and the arbitration lines.  Protocol
+lines are modelled logically: *assert* is the one-to-zero transition,
+*release* the zero-to-one transition, and the duration of a bus cycle
+is quantified by counting transitions ("edges") on IS and IK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BusError
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One row of Table 5.1."""
+
+    name: str
+    lines: int
+    description: str
+
+
+#: Table 5.1 — Smart Bus Signals.
+SIGNALS: tuple[SignalSpec, ...] = (
+    SignalSpec("A/D", 16, "Multiplexed address/data"),
+    SignalSpec("TG", 4, "Tag"),
+    SignalSpec("CM", 4, "Command"),
+    SignalSpec("IS", 1, "Information strobe"),
+    SignalSpec("IK", 1, "Information acknowledge"),
+    SignalSpec("BBSY", 1, "Bus busy"),
+    SignalSpec("BR", 3, "Bus request"),
+    SignalSpec("AR", 1, "Arbitration start"),
+    SignalSpec("ANC", 1, "Arbitration not complete"),
+    SignalSpec("CLR", 1, "System Reset"),
+)
+
+
+def signal(name: str) -> SignalSpec:
+    """Look up a signal by its Table 5.1 name."""
+    for spec in SIGNALS:
+        if spec.name == name:
+            return spec
+    raise BusError(f"unknown smart-bus signal {name!r}")
+
+
+def total_lines() -> int:
+    """Total conductor count of the smart bus."""
+    return sum(spec.lines for spec in SIGNALS)
+
+
+class ProtocolLine:
+    """A single open-collector protocol line with edge counting.
+
+    Normally *released* (logic one); assert/release transitions are
+    counted so tests can check the edge budget of each transaction
+    against the timing diagrams of chapter 5.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.asserted = False
+        self.edges = 0
+
+    def assert_(self) -> None:
+        if self.asserted:
+            raise BusError(f"{self.name}: assert while already asserted")
+        self.asserted = True
+        self.edges += 1
+
+    def release(self) -> None:
+        if not self.asserted:
+            raise BusError(f"{self.name}: release while already released")
+        self.asserted = False
+        self.edges += 1
+
+    def toggle(self) -> None:
+        """One transition in streaming mode (either direction)."""
+        self.asserted = not self.asserted
+        self.edges += 1

@@ -1,0 +1,128 @@
+"""Command-line interface: list and run reproduction experiments.
+
+Usage::
+
+    python -m repro list [--heavy]
+    python -m repro run table-6.24 figure-6.17a
+    python -m repro run --all [--heavy]
+    python -m repro solve --arch II --mode local -n 4 -x 2850
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import ReproError
+from repro.experiments import (REGISTRY, all_experiment_ids,
+                               run_experiment)
+from repro.models import Architecture, Mode, solve
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for experiment in REGISTRY.values():
+        if experiment.heavy and not args.heavy:
+            continue
+        flag = " (heavy)" if experiment.heavy else ""
+        print(f"{experiment.experiment_id:<16} {experiment.kind:<7} "
+              f"{experiment.title}{flag}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = list(args.ids)
+    if args.all:
+        ids = all_experiment_ids(include_heavy=args.heavy)
+    if not ids:
+        print("nothing to run; name experiments or pass --all",
+              file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        started = time.perf_counter()
+        artifact = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - started
+        print(artifact.render())
+        print(f"[{experiment_id} in {elapsed:.1f}s]")
+        if args.save:
+            from repro.experiments.io import save_artifact
+            paths = save_artifact(artifact, args.save)
+            print("saved: " + ", ".join(str(p) for p in paths))
+        print()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    architecture = Architecture[args.arch]
+    mode = Mode.LOCAL if args.mode == "local" else Mode.NONLOCAL
+    result = solve(architecture, mode, args.conversations,
+                   args.compute)
+    print(f"architecture {architecture.name} "
+          f"({architecture.value}), {mode.value}")
+    print(f"  conversations    : {result.conversations}")
+    print(f"  server compute X : {result.compute_time:.1f} us")
+    print(f"  throughput       : {result.throughput_per_ms:.4f} "
+          "msgs/ms")
+    print(f"  round-trip time  : {result.round_trip_time:.1f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hardware Support for Interprocess Communication "
+                    "— reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.add_argument("--heavy", action="store_true",
+                        help="include multi-minute experiments")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments by id")
+    p_run.add_argument("ids", nargs="*",
+                       help="experiment ids (e.g. table-6.24)")
+    p_run.add_argument("--all", action="store_true",
+                       help="run every registered experiment")
+    p_run.add_argument("--heavy", action="store_true",
+                       help="with --all, include heavy experiments")
+    p_run.add_argument("--save", metavar="DIR", default=None,
+                       help="also write each artifact as JSON+CSV "
+                            "under DIR")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_solve = sub.add_parser(
+        "solve", help="solve one architecture model operating point")
+    p_solve.add_argument("--arch", choices=[a.name for a in
+                                            Architecture],
+                         default="II")
+    p_solve.add_argument("--mode", choices=["local", "nonlocal"],
+                         default="local")
+    p_solve.add_argument("-n", "--conversations", type=int, default=1)
+    p_solve.add_argument("-x", "--compute", type=float, default=0.0,
+                         help="server compute time per request (us)")
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    p_score = sub.add_parser(
+        "scoreboard",
+        help="evaluate every paper claim against the library")
+    p_score.set_defaults(fn=_cmd_scoreboard)
+    return parser
+
+
+def _cmd_scoreboard(_args: argparse.Namespace) -> int:
+    from repro.experiments.scoreboard import run_scoreboard
+    table = run_scoreboard()
+    print(table.render())
+    failing = [row for row in table.rows if row[3] == "FAIL"]
+    return 1 if failing else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises errors derived from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """A GTPN model is structurally invalid (bad arcs, negative delay...)."""
+
+
+class AnalysisError(ReproError):
+    """The analyzer could not solve a model (state explosion, divergence)."""
+
+
+class BusError(ReproError):
+    """Smart-bus protocol violation (bad command, tag mismatch...)."""
+
+
+class MemoryError_(ReproError):
+    """Smart shared-memory controller error (see thesis section A.5)."""
+
+
+class KernelError(ReproError):
+    """Message-kernel simulator misuse (bad task state, unknown service)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (negative compute time...)."""
+
+
+class ConvergenceError(AnalysisError):
+    """The iterative client/server fixed point failed to converge."""

@@ -1,0 +1,22 @@
+"""Every table and figure of the evaluation, as runnable experiments.
+
+``run_experiment("table-6.24")`` or ``run_experiment("figure-6.17a")``
+recomputes the artifact from the library's own machinery and returns a
+renderable :class:`Table`/:class:`Figure`.
+"""
+
+from repro.experiments.registry import (REGISTRY, Experiment,
+                                        all_experiment_ids,
+                                        get_experiment, run_experiment)
+from repro.experiments.reporting import Figure, Series, Table
+
+__all__ = [
+    "Experiment",
+    "Figure",
+    "REGISTRY",
+    "Series",
+    "Table",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

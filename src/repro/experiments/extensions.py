@@ -1,0 +1,210 @@
+"""Extension and ablation experiments (chapter 7 + DESIGN.md knobs).
+
+These go beyond the published evaluation: the Figure 7.1
+multiprocessor-node scaling study, the functional-dedication
+comparison of section 7.2 made quantitative, and sensitivity sweeps
+over the smart-bus and coprocessor speeds the thesis fixes by
+assumption.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import Figure, Series, Table
+from repro.models import Architecture
+from repro.models.ablations import (mp_speed_sensitivity,
+                                    smart_bus_sensitivity)
+from repro.models.extension import (compare_dedication,
+                                    dedication_crossover_lock_overhead,
+                                    host_scaling, mp_saturation_bound)
+from repro.models.params import Mode, round_trip_sum
+
+
+def extension_host_scaling(hosts=(1, 2, 3, 4),
+                           conversations: int = 4,
+                           compute_time: float = 2850.0) -> Figure:
+    """Throughput of a multiprocessor node as hosts are added.
+
+    One message coprocessor serves all hosts (Figure 7.1); its finite
+    bandwidth caps the curve.
+    """
+    series = []
+    for arch in (Architecture.II, Architecture.III):
+        points = host_scaling(arch, list(hosts), conversations,
+                              compute_time)
+        series.append(Series(
+            f"arch {arch.name}",
+            [float(p.hosts) for p in points],
+            [p.throughput * 1e3 for p in points]))
+        bound = mp_saturation_bound(arch)
+        series.append(Series(
+            f"arch {arch.name} MP bound",
+            [float(h) for h in hosts],
+            [bound * 1e3] * len(hosts)))
+    return Figure(
+        experiment_id="extension-7.1",
+        title="Multiprocessor Node: Hosts per Message Coprocessor",
+        x_label="hosts", y_label="throughput (msgs/ms)",
+        series=series,
+        notes=[f"{conversations} conversations, X = "
+               f"{compute_time:.0f} us"])
+
+
+def ablation_bus_speed() -> Table:
+    """Derived architecture III round trip vs smart-bus speed."""
+    rows = []
+    for point in smart_bus_sensitivity([0.25, 0.5, 1.0, 2.0, 4.0]):
+        rows.append([point.handshake_us, round(point.queue_op_us, 1),
+                     round(point.copy_us, 1),
+                     round(point.round_trip_us, 1)])
+    published = round_trip_sum(Architecture.III, Mode.LOCAL)
+    return Table(
+        experiment_id="ablation-bus-speed",
+        title="Smart-bus speed sensitivity (derived arch III round "
+              "trip, local)",
+        headers=["Four-edge handshake (us)", "Queue op (us)",
+                 "40-B copy (us)", "Round trip (us)"],
+        rows=rows,
+        notes=[f"published architecture III table sums to "
+               f"{published:.1f} us (derivation at 1.0 us lands within "
+               "5%)",
+               "the win comes from eliminating software processing "
+               "(74 us -> ~10 us per queue op), not from raw bus "
+               "speed"])
+
+
+def ablation_mp_speed(conversations: int = 3,
+                      compute_time: float = 2850.0) -> Table:
+    """Architecture II throughput vs relative MP speed."""
+    rows = []
+    for point in mp_speed_sensitivity([0.25, 0.5, 1.0, 2.0, 4.0],
+                                      conversations, compute_time):
+        rows.append([point.speed_ratio,
+                     round(point.throughput * 1e3, 4)])
+    return Table(
+        experiment_id="ablation-mp-speed",
+        title="Coprocessor speed sensitivity (arch II, local)",
+        headers=["MP/host speed ratio", "Throughput (msgs/ms)"],
+        rows=rows,
+        notes=[f"{conversations} conversations, X = "
+               f"{compute_time:.0f} us",
+               "past ~2x the host speed the host becomes the "
+               "bottleneck"])
+
+
+def flavor_round_trips() -> Table:
+    """Null-RPC round trip under each section 3.2 IPC flavor.
+
+    Each semantic model charges its own system's measured chapter 3
+    activity costs; the resulting ordering matches the profiling
+    study (Charlotte slowest by an order of magnitude, Jasmin
+    fastest).
+    """
+    from repro.kernel import DistributedSystem
+    from repro.semantics import (CharlotteLinks, JasminPaths,
+                                 UnixSockets)
+
+    def charlotte():
+        system = DistributedSystem(Architecture.I)
+        node = system.add_node("n0")
+        client = node.create_task("client")
+        server = node.create_task("server")
+        links = CharlotteLinks(node)
+        link = links.create_link(client, server)
+        done = []
+        links.receive(server, link,
+                      lambda req: links.send(server, link, "re",
+                                             size_bytes=1000))
+        links.receive(client, link,
+                      lambda rep: done.append(system.now))
+        links.send(client, link, "req", size_bytes=1000)
+        system.sim.run()
+        return done[0]
+
+    def jasmin():
+        system = DistributedSystem(Architecture.I)
+        node = system.add_node("n0")
+        client = node.create_task("client")
+        server = node.create_task("server")
+        paths = JasminPaths(node)
+        request = paths.create_path(server)
+        paths.give_send_end(server, request, client)
+        reply = paths.create_gift_path(client, server)
+        done = []
+        paths.rcvmsg(server, request,
+                     lambda m, _p: paths.sendmsg(server, reply, "re"))
+        paths.rcvmsg(client, reply,
+                     lambda m, _p: done.append(system.now))
+        paths.sendmsg(client, request, "req")
+        system.sim.run()
+        return done[0]
+
+    def sockets():
+        system = DistributedSystem(Architecture.I)
+        node = system.add_node("n0")
+        client = node.create_task("client")
+        server = node.create_task("server")
+        layer = UnixSockets(node)
+        a, b = layer.socketpair(client, server)
+        done = []
+        layer.read(server, b, 128,
+                   lambda req: layer.write(server, b, b"r" * 128))
+        layer.write(client, a, b"q" * 128)
+        layer.read(client, a, 128, lambda rep: done.append(system.now))
+        system.sim.run()
+        return done[0]
+
+    def services_925():
+        system = DistributedSystem(Architecture.I)
+        node = system.add_node("n0")
+        client = node.create_task("client")
+        server = node.create_task("server")
+        node.kernel.create_service(server, "svc")
+        node.kernel.offer(server, "svc")
+        done = []
+        node.kernel.receive(server, "svc",
+                            lambda m: node.kernel.reply(server, m))
+        node.kernel.send(client, "svc",
+                         on_reply=lambda _p: done.append(system.now))
+        system.sim.run()
+        return done[0]
+
+    rows = [
+        ["Charlotte links", 1000, round(charlotte() / 1000, 3), 20.0],
+        ["925 services", 40, round(services_925() / 1000, 3), 5.6],
+        ["Unix sockets", 128, round(sockets() / 1000, 3), 4.57],
+        ["Jasmin paths", 32, round(jasmin() / 1000, 3), 0.72],
+    ]
+    return Table(
+        experiment_id="flavors-3.2",
+        title="Null RPC round trip per IPC flavor (section 3.2)",
+        headers=["Flavor", "Message bytes", "Measured (ms)",
+                 "Thesis round trip (ms)"],
+        rows=rows,
+        notes=["measured on the semantic models charging each "
+               "system's chapter 3 activity costs; orderings match "
+               "the profiling study"])
+
+
+def ablation_dedication(conversations: int = 3) -> Table:
+    """Functional dedication (arch II) vs symmetric two-processor."""
+    rows = []
+    for compute in (0.0, 2850.0, 11400.0):
+        comparison = compare_dedication(conversations, compute)
+        crossover = dedication_crossover_lock_overhead(conversations,
+                                                       compute)
+        rows.append([compute,
+                     round(comparison.dedicated_throughput * 1e3, 4),
+                     round(comparison.symmetric_throughput * 1e3, 4),
+                     "inf" if crossover == float("inf")
+                     else round(crossover, 0)])
+    return Table(
+        experiment_id="ablation-dedication",
+        title="Functional dedication vs symmetric multiprocessing "
+              "(section 7.2)",
+        headers=["Compute X (us)", "Dedicated (msgs/ms)",
+                 "Symmetric (msgs/ms)", "Crossover lock overhead (us)"],
+        rows=rows,
+        notes=["with the published constants the symmetric design wins "
+               "raw throughput; dedication's case is hardware cost and "
+               "locking complexity — the last column shows how much "
+               "per-round-trip locking overhead would flip the result"])

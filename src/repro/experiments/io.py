@@ -1,0 +1,116 @@
+"""Persistence of reproduced artifacts: JSON and CSV export.
+
+Downstream users archive or post-process the tables and figures;
+these writers keep the artifact structure (ids, titles, notes) intact
+and round-trip through :func:`load_artifact`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.reporting import Figure, Series, Table
+
+Artifact = Table | Figure
+
+
+def artifact_to_dict(artifact: Artifact) -> dict:
+    """A JSON-ready representation of a table or figure."""
+    if isinstance(artifact, Table):
+        return {
+            "kind": "table",
+            "experiment_id": artifact.experiment_id,
+            "title": artifact.title,
+            "headers": list(artifact.headers),
+            "rows": [list(row) for row in artifact.rows],
+            "notes": list(artifact.notes),
+        }
+    if isinstance(artifact, Figure):
+        return {
+            "kind": "figure",
+            "experiment_id": artifact.experiment_id,
+            "title": artifact.title,
+            "x_label": artifact.x_label,
+            "y_label": artifact.y_label,
+            "series": [{"label": s.label, "x": list(s.x),
+                        "y": list(s.y)} for s in artifact.series],
+            "notes": list(artifact.notes),
+        }
+    raise ReproError(f"not an artifact: {artifact!r}")
+
+
+def artifact_from_dict(payload: dict) -> Artifact:
+    """Inverse of :func:`artifact_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "table":
+        return Table(experiment_id=payload["experiment_id"],
+                     title=payload["title"],
+                     headers=list(payload["headers"]),
+                     rows=[list(row) for row in payload["rows"]],
+                     notes=list(payload.get("notes", [])))
+    if kind == "figure":
+        return Figure(experiment_id=payload["experiment_id"],
+                      title=payload["title"],
+                      x_label=payload["x_label"],
+                      y_label=payload["y_label"],
+                      series=[Series(label=s["label"], x=list(s["x"]),
+                                     y=list(s["y"]))
+                              for s in payload["series"]],
+                      notes=list(payload.get("notes", [])))
+    raise ReproError(f"unknown artifact kind {kind!r}")
+
+
+def to_json(artifact: Artifact, indent: int = 2) -> str:
+    return json.dumps(artifact_to_dict(artifact), indent=indent)
+
+
+def to_csv(artifact: Artifact) -> str:
+    """CSV rendering: table rows, or one figure row per x value."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if isinstance(artifact, Table):
+        writer.writerow(artifact.headers)
+        writer.writerows(artifact.rows)
+    elif isinstance(artifact, Figure):
+        writer.writerow([artifact.x_label]
+                        + [s.label for s in artifact.series])
+        xs = sorted({x for s in artifact.series for x in s.x})
+        for x in xs:
+            row: list[object] = [x]
+            for s in artifact.series:
+                row.append(s.y[s.x.index(x)] if x in s.x else "")
+            writer.writerow(row)
+    else:
+        raise ReproError(f"not an artifact: {artifact!r}")
+    return buffer.getvalue()
+
+
+def save_artifact(artifact: Artifact, directory: str | Path,
+                  formats: tuple[str, ...] = ("json", "csv"),
+                  ) -> list[Path]:
+    """Write the artifact under *directory*; returns written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = artifact.experiment_id or "artifact"
+    written = []
+    for fmt in formats:
+        if fmt == "json":
+            path = directory / f"{stem}.json"
+            path.write_text(to_json(artifact))
+        elif fmt == "csv":
+            path = directory / f"{stem}.csv"
+            path.write_text(to_csv(artifact))
+        else:
+            raise ReproError(f"unknown format {fmt!r}")
+        written.append(path)
+    return written
+
+
+def load_artifact(path: str | Path) -> Artifact:
+    """Load a JSON artifact written by :func:`save_artifact`."""
+    payload = json.loads(Path(path).read_text())
+    return artifact_from_dict(payload)

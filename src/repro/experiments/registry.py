@@ -1,0 +1,134 @@
+"""Registry mapping every evaluation table and figure to its runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Union
+
+from repro.errors import ReproError
+from repro.experiments import extensions, figures, tables
+from repro.experiments.reporting import Figure, Table
+from repro.models import Mode
+
+Artifact = Union[Table, Figure]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the evaluation."""
+
+    experiment_id: str
+    title: str
+    kind: str                    # "table" | "figure"
+    runner: Callable[[], Artifact]
+    heavy: bool = False          # multi-minute full-grid runners
+
+    def run(self) -> Artifact:
+        artifact = self.runner()
+        if artifact.experiment_id and \
+                artifact.experiment_id != self.experiment_id:
+            raise ReproError(
+                f"runner for {self.experiment_id} returned "
+                f"{artifact.experiment_id}")
+        return artifact
+
+
+def _experiments() -> list[Experiment]:
+    entries: list[Experiment] = []
+
+    def table(experiment_id, title, runner, heavy=False):
+        entries.append(Experiment(experiment_id, title, "table", runner,
+                                  heavy))
+
+    def figure(experiment_id, title, runner, heavy=False):
+        entries.append(Experiment(experiment_id, title, "figure",
+                                  runner, heavy))
+
+    for tid in ("table-3.1", "table-3.2", "table-3.3", "table-3.4",
+                "table-3.5"):
+        table(tid, f"Kernel profiling breakdown ({tid})",
+              partial(tables.profiling_table, tid))
+    table("table-3.6", "Unix service times", tables.table_3_6)
+    table("table-3.7", "Unix read/write times", tables.table_3_7)
+    table("table-5.1", "Smart bus signals", tables.table_5_1)
+    table("table-5.2", "Smart bus commands", tables.table_5_2)
+    table("table-6.1", "Processing-time comparison", tables.table_6_1)
+    table("table-6.2", "Client contention completion times",
+          tables.table_6_2)
+    for tid in ("table-6.4", "table-6.6", "table-6.9", "table-6.11",
+                "table-6.14", "table-6.16", "table-6.19", "table-6.21"):
+        table(tid, f"Round-trip action breakdown ({tid})",
+              partial(tables.action_breakdown_table, tid))
+    for tid in ("table-6.5", "table-6.7", "table-6.8", "table-6.10",
+                "table-6.12", "table-6.13", "table-6.15t",
+                "table-6.17", "table-6.18", "table-6.20",
+                "table-6.22", "table-6.23"):
+        table(tid, f"GTPN transition attributes ({tid})",
+              partial(tables.transition_attribute_table, tid))
+    table("table-6.24", "Offered loads (local)",
+          partial(tables.offered_loads_table, Mode.LOCAL))
+    table("table-6.25", "Offered loads (non-local)",
+          partial(tables.offered_loads_table, Mode.NONLOCAL),
+          heavy=True)
+
+    figure("figure-6.7", "Geometric approximation of constant delays",
+           figures.figure_6_7)
+    figure("figure-6.15", "Model validation (DES vs GTPN)",
+           figures.figure_6_15, heavy=True)
+    figure("figure-6.15-faithful",
+           "Model validation, two hosts per node",
+           figures.figure_6_15_faithful, heavy=True)
+    figure("figure-6.17a", "Max communication load (local)",
+           figures.figure_6_17a)
+    figure("figure-6.17b", "Max communication load (non-local)",
+           figures.figure_6_17b, heavy=True)
+    figure("figure-6.18", "Realistic workload (local)",
+           figures.figure_6_18, heavy=True)
+    figure("figure-6.19", "Realistic workload (non-local)",
+           figures.figure_6_19, heavy=True)
+    figure("figure-6.20", "Arch III vs IV max load (local)",
+           figures.figure_6_20)
+    figure("figure-6.21", "Arch III vs IV max load (non-local)",
+           figures.figure_6_21, heavy=True)
+    figure("figure-6.22", "Arch III vs IV realistic (local)",
+           figures.figure_6_22, heavy=True)
+    figure("figure-6.23", "Arch III vs IV realistic (non-local)",
+           figures.figure_6_23, heavy=True)
+
+    # beyond the published evaluation: chapter 7 + ablations
+    figure("extension-7.1", "Multiprocessor node host scaling",
+           extensions.extension_host_scaling, heavy=True)
+    table("ablation-bus-speed", "Smart-bus speed sensitivity",
+          extensions.ablation_bus_speed)
+    table("ablation-mp-speed", "Coprocessor speed sensitivity",
+          extensions.ablation_mp_speed, heavy=True)
+    table("ablation-dedication",
+          "Dedication vs symmetric multiprocessing",
+          extensions.ablation_dedication, heavy=True)
+    table("flavors-3.2", "Null RPC per IPC flavor (section 3.2)",
+          extensions.flavor_round_trips)
+    return entries
+
+
+REGISTRY: dict[str, Experiment] = {
+    e.experiment_id: e for e in _experiments()}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(REGISTRY)}") from None
+
+
+def run_experiment(experiment_id: str) -> Artifact:
+    """Run one experiment by id (e.g. ``"table-6.24"``)."""
+    return get_experiment(experiment_id).run()
+
+
+def all_experiment_ids(include_heavy: bool = True) -> list[str]:
+    return [e.experiment_id for e in REGISTRY.values()
+            if include_heavy or not e.heavy]

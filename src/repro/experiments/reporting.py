@@ -1,0 +1,90 @@
+"""Plain-text rendering of reproduced tables and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class Table:
+    """A reproduced table: header row plus data rows."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        cells = [self.headers] + [[_fmt(v) for v in row]
+                                  for row in self.rows]
+        widths = [max(len(row[i]) for row in cells)
+                  for i in range(len(self.headers))]
+        lines = [f"{self.experiment_id} — {self.title}"]
+        lines.append("  ".join(h.ljust(w)
+                               for h, w in zip(cells[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ReproError(
+                f"series {self.label!r}: x/y length mismatch")
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: named series over a common x axis."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, width: int = 60) -> str:
+        """Tabular rendering (x column + one column per series)."""
+        lines = [f"{self.experiment_id} — {self.title}"]
+        headers = [self.x_label] + [s.label for s in self.series]
+        xs = sorted({x for s in self.series for x in s.x})
+        rows = []
+        for x in xs:
+            row: list[object] = [x]
+            for s in self.series:
+                row.append(s.y[s.x.index(x)] if x in s.x else "")
+            rows.append(row)
+        table = Table(experiment_id="", title=self.y_label,
+                      headers=headers, rows=rows)
+        lines.append(table.render())
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def get_series(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ReproError(
+            f"{self.experiment_id}: no series {label!r} "
+            f"(have {[s.label for s in self.series]})")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,137 @@
+"""The reproduction scoreboard: paper claims checked by machine.
+
+Every quantitative claim EXPERIMENTS.md reports is encoded here as an
+expectation (paper value, tolerance) and evaluated against the
+library's own computation, producing a pass/fail table —
+``python -m repro scoreboard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.reporting import Table
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One checkable claim."""
+
+    name: str
+    paper_value: float
+    tolerance: float            # relative, unless absolute=True
+    measure: Callable[[], float]
+    absolute: bool = False
+    source: str = ""
+
+    def evaluate(self) -> "ScoreRow":
+        measured = self.measure()
+        if self.absolute:
+            ok = abs(measured - self.paper_value) <= self.tolerance
+        else:
+            ok = abs(measured - self.paper_value) <= \
+                self.tolerance * abs(self.paper_value)
+        return ScoreRow(name=self.name, paper=self.paper_value,
+                        measured=measured, ok=ok, source=self.source)
+
+
+@dataclass(frozen=True)
+class ScoreRow:
+    name: str
+    paper: float
+    measured: float
+    ok: bool
+    source: str
+
+
+def _expectations() -> list[Expectation]:
+    from repro.bus.versabus import smart_bus_advantage
+    from repro.memory import control_store_bits
+    from repro.models import (Architecture, Mode, arch1_client_contention,
+                              communication_time)
+    from repro.models.ablations import derive_arch3_round_trip
+    from repro.models.params import round_trip_sum
+    from repro.profiling import (CHARLOTTE, CHARLOTTE_NONLOCAL, JASMIN,
+                                 P925, offered_load_range)
+
+    checks: list[Expectation] = []
+
+    def add(name, paper, tolerance, measure, absolute=False, source=""):
+        checks.append(Expectation(name=name, paper_value=paper,
+                                  tolerance=tolerance, measure=measure,
+                                  absolute=absolute, source=source))
+
+    # single-conversation communication times C (us)
+    c_local = {Architecture.I: 4970.0, Architecture.II: 5433.0,
+               Architecture.III: 3712.0, Architecture.IV: 3684.0}
+    c_nonlocal = {Architecture.I: 6555.0, Architecture.II: 6930.0,
+                  Architecture.III: 5130.0, Architecture.IV: 5022.0}
+    for arch, value in c_local.items():
+        add(f"C local, arch {arch.name}", value, 0.03,
+            lambda a=arch: communication_time(a, Mode.LOCAL),
+            source="Table 6.24 (implied)")
+    for arch, value in c_nonlocal.items():
+        add(f"C non-local, arch {arch.name}", value, 0.03,
+            lambda a=arch: communication_time(a, Mode.NONLOCAL),
+            source="Table 6.25 (implied)")
+
+    # contention completion times (Table 6.2)
+    for activity, value in (("SendProc", 1314.9), ("NetIntr", 982.0),
+                            ("DMAout", 235.2), ("DMAin", 235.2)):
+        add(f"contention: {activity}", value, 0.01,
+            lambda a=activity: arch1_client_contention()[a],
+            source="Table 6.2")
+
+    # profiling fixed overheads (section 3.4, us)
+    add("Charlotte fixed overhead", 19_400.0, 1e-6,
+        lambda: CHARLOTTE.fixed_overhead_us, source="section 3.4")
+    add("Jasmin fixed overhead", 612.0, 1e-6,
+        lambda: JASMIN.fixed_overhead_us, source="section 3.4")
+    add("925 fixed overhead", 4_760.0, 1e-6,
+        lambda: P925.fixed_overhead_us, source="section 3.4")
+
+    # copy-dominance crossover (bytes)
+    add("Charlotte non-local copy crossover", 6_000.0, 0.05,
+        lambda: CHARLOTTE_NONLOCAL.crossover_bytes,
+        source="section 3.4")
+
+    # Unix offered-load range (section 6.10)
+    add("Unix local offered-load high end", 0.96, 0.01,
+        lambda: offered_load_range(4.57)[1], source="section 6.10")
+    add("Unix local offered-load low end", 0.43, 0.02,
+        lambda: offered_load_range(4.57)[0], source="section 6.10")
+
+    # hardware budgets: the thesis claims "under 3000 bits"
+    add("control store under 3000 bits", 1.0, 0.0,
+        lambda: float(control_store_bits() < 3000),
+        absolute=True, source="section 5.5")
+
+    # smart-bus derivation and advantage (Table 6.1, section 4.9)
+    add("derived arch III round trip (local)",
+        round_trip_sum(Architecture.III, Mode.LOCAL), 0.05,
+        lambda: derive_arch3_round_trip(1.0, Mode.LOCAL).round_trip_us,
+        source="derivation vs Table 6.14")
+    add("40-byte block: smart-bus speedup", 10.0, 0.01,
+        lambda: smart_bus_advantage(20)["speedup"],
+        source="Table 6.1")
+
+    return checks
+
+
+def run_scoreboard() -> Table:
+    """Evaluate every expectation; returns the scoreboard table."""
+    rows = []
+    passed = 0
+    for expectation in _expectations():
+        score = expectation.evaluate()
+        passed += score.ok
+        rows.append([score.name, round(score.paper, 3),
+                     round(score.measured, 3),
+                     "PASS" if score.ok else "FAIL", score.source])
+    table = Table(
+        experiment_id="scoreboard",
+        title=f"Reproduction scoreboard ({passed}/{len(rows)} passing)",
+        headers=["Claim", "Paper", "Measured", "Status", "Source"],
+        rows=rows)
+    return table

@@ -1,0 +1,109 @@
+"""Stationary solution of the embedded Markov chain of a GTPN.
+
+Solves pi P = pi, sum(pi) = 1 over the reachable state space.  The
+architecture models of chapter 6 produce irreducible chains (every
+conversation cycles forever), but the solver also copes with transient
+initial states by falling back to power iteration when the direct
+linear solve is ill-conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import AnalysisError
+from repro.gtpn.reachability import ReachabilityGraph
+
+
+def transition_matrix(graph: ReachabilityGraph) -> sp.csr_matrix:
+    """The one-tick probability matrix P as a sparse CSR matrix."""
+    n = graph.state_count
+    data, rows, cols = [], [], []
+    for i, row in enumerate(graph.probabilities):
+        for j, p in row.items():
+            rows.append(i)
+            cols.append(j)
+            data.append(p)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def stationary_distribution(graph: ReachabilityGraph,
+                            method: str = "auto",
+                            tol: float = 1e-12,
+                            max_iterations: int = 2_000_000,
+                            ) -> np.ndarray:
+    """Stationary distribution pi of the embedded chain.
+
+    ``method`` is one of ``"auto"`` (direct solve with power-iteration
+    fallback), ``"linear"`` or ``"power"``.
+    """
+    matrix = transition_matrix(graph)
+    if method not in ("auto", "linear", "power"):
+        raise AnalysisError(f"unknown stationary method {method!r}")
+    if method in ("auto", "linear"):
+        try:
+            pi = _solve_linear(matrix)
+            if pi is not None:
+                return pi
+        except Exception:
+            if method == "linear":
+                raise
+        if method == "linear":
+            raise AnalysisError("direct stationary solve failed")
+    return _solve_power(matrix, graph, tol, max_iterations)
+
+
+def _solve_linear(matrix: sp.csr_matrix) -> np.ndarray | None:
+    """Direct solve of (P^T - I) pi = 0 with a normalization row."""
+    n = matrix.shape[0]
+    a = (matrix.T - sp.identity(n, format="csr")).tolil()
+    # replace the last balance equation (redundant) with sum(pi) = 1
+    a[n - 1, :] = np.ones(n)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    pi = spla.spsolve(a.tocsr(), b)
+    if not np.all(np.isfinite(pi)):
+        return None
+    pi = np.where(np.abs(pi) < 1e-14, 0.0, pi)
+    if np.any(pi < -1e-9):
+        return None
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0 or not np.isfinite(total):
+        return None
+    pi = pi / total
+    # verify the fixed point (catches singular systems solved garbage)
+    residual = np.abs(pi @ matrix - pi).max()
+    if residual > 1e-8:
+        return None
+    return pi
+
+
+def _solve_power(matrix: sp.csr_matrix, graph: ReachabilityGraph,
+                 tol: float, max_iterations: int) -> np.ndarray:
+    """Power iteration from the initial distribution.
+
+    Periodic chains are damped by averaging successive iterates
+    (equivalent to the lazy chain (P + I) / 2, which has the same
+    stationary distribution).
+    """
+    n = matrix.shape[0]
+    pi = np.zeros(n)
+    for i, p in graph.initial.items():
+        pi[i] = p
+    for _ in range(max_iterations):
+        nxt = 0.5 * (pi @ matrix) + 0.5 * pi
+        delta = np.abs(nxt - pi).max()
+        pi = nxt
+        if delta < tol:
+            break
+    else:
+        raise AnalysisError(
+            f"power iteration did not converge in {max_iterations} "
+            "iterations")
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise AnalysisError("power iteration produced a degenerate result")
+    return pi / total

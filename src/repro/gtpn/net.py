@@ -1,0 +1,321 @@
+"""Generalized Timed Petri Net (GTPN) structure.
+
+The GTPN formalism follows Holliday & Vernon, the modeling tool used in
+chapter 6 of the thesis.  A net is a multigraph of *places* and
+*transitions*; each transition carries an attribute vector of
+
+``(delay, frequency, resource)``
+
+where *delay* is a deterministic, non-negative integer firing duration,
+*frequency* governs the probabilistic resolution of conflicts between
+transitions that share input places, and *resource* names an output
+measure that is "in use" while the transition is firing.
+
+Both delay and frequency may be state-dependent: instead of a constant
+they may be callables receiving a :class:`Context` (a read view of the
+current marking and the set of currently-firing transitions).  This
+mirrors the paper's frequency expressions such as::
+
+    (NetIntr = 0) & !T6 & !T7  ->  1/853.2, 0
+
+which in this library is written::
+
+    lambda ctx: 1 / 853.2 if ctx.tokens("NetIntr") == 0
+                and not ctx.firing("T6") and not ctx.firing("T7") else 0.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence, Union
+
+from repro.errors import ModelError
+
+#: A delay attribute: a constant number of ticks or a state-dependent rule.
+DelaySpec = Union[int, Callable[["Context"], int]]
+
+#: A frequency attribute: a constant weight or a state-dependent rule.
+FrequencySpec = Union[float, int, Callable[["Context"], float]]
+
+
+class Context:
+    """Read-only view of a net state handed to state-dependent attributes.
+
+    ``tokens(place)`` returns the current marking of a place and
+    ``firing(transition)`` reports whether a transition is currently in
+    flight (has started firing and not yet deposited its outputs).
+    """
+
+    __slots__ = ("_net", "_marking", "_inflight")
+
+    def __init__(self, net: "Net", marking: Sequence[int],
+                 inflight_counts: Sequence[int]):
+        self._net = net
+        self._marking = marking
+        self._inflight = inflight_counts
+
+    def tokens(self, place: Union[str, "Place"]) -> int:
+        """Number of tokens currently in *place*."""
+        index = place.index if isinstance(place, Place) else \
+            self._net.place_index(place)
+        return self._marking[index]
+
+    def firing(self, transition: Union[str, "Transition"]) -> bool:
+        """True if *transition* is currently firing (in flight)."""
+        index = transition.index if isinstance(transition, Transition) else \
+            self._net.transition_index(transition)
+        return self._inflight[index] > 0
+
+    def firing_count(self, transition: Union[str, "Transition"]) -> int:
+        """Number of concurrent in-flight firings of *transition*."""
+        index = transition.index if isinstance(transition, Transition) else \
+            self._net.transition_index(transition)
+        return self._inflight[index]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A GTPN place (drawn as a circle in the thesis figures)."""
+
+    name: str
+    index: int
+    initial_tokens: int = 0
+
+    def __repr__(self) -> str:
+        return f"Place({self.name!r}, tokens={self.initial_tokens})"
+
+
+@dataclass
+class Transition:
+    """A GTPN transition with its attribute vector.
+
+    ``inputs`` and ``outputs`` map place index -> arc multiplicity.
+    """
+
+    name: str
+    index: int
+    delay: DelaySpec
+    frequency: FrequencySpec
+    resource: str | None
+    inputs: dict[int, int] = field(default_factory=dict)
+    outputs: dict[int, int] = field(default_factory=dict)
+    #: additional output-measure names this transition contributes to
+    #: (a transition may count toward several resources, e.g. both the
+    #: throughput measure and an occupancy measure for Little's law).
+    extra_resources: tuple[str, ...] = ()
+    #: human-readable rendering of the frequency attribute, in the
+    #: thesis's notation (e.g. "1/544.7" or "(NetIntr = 0) & !T6 & !T7
+    #: -> 1/853.2, 0"); used when reproducing the transition tables.
+    frequency_label: str = ""
+
+    @property
+    def all_resources(self) -> tuple[str, ...]:
+        if self.resource is None:
+            return self.extra_resources
+        return (self.resource, *self.extra_resources)
+
+    @property
+    def immediate(self) -> bool:
+        """True when the delay is the constant zero (fires in zero time)."""
+        return self.delay == 0
+
+    def eval_delay(self, ctx: Context) -> int:
+        value = self.delay(ctx) if callable(self.delay) else self.delay
+        if not isinstance(value, int) or value < 0:
+            raise ModelError(
+                f"transition {self.name}: delay must be a non-negative "
+                f"integer, got {value!r}")
+        return value
+
+    def eval_frequency(self, ctx: Context) -> float:
+        value = self.frequency(ctx) if callable(self.frequency) \
+            else self.frequency
+        value = float(value)
+        if value < 0:
+            raise ModelError(
+                f"transition {self.name}: frequency must be >= 0, "
+                f"got {value!r}")
+        return value
+
+    def enabled(self, marking: Sequence[int]) -> bool:
+        """True when every input place holds enough tokens."""
+        return all(marking[p] >= need for p, need in self.inputs.items())
+
+    def __repr__(self) -> str:
+        return f"Transition({self.name!r})"
+
+
+class Net:
+    """A GTPN under construction and its derived structure.
+
+    Build nets with :meth:`place` and :meth:`transition`; the derived
+    conflict classes (used by the firing semantics, see
+    :mod:`repro.gtpn.reachability`) are computed lazily and cached.
+    """
+
+    def __init__(self, name: str = "gtpn"):
+        self.name = name
+        self.places: list[Place] = []
+        self.transitions: list[Transition] = []
+        self._place_by_name: dict[str, Place] = {}
+        self._transition_by_name: dict[str, Transition] = {}
+        self._conflict_classes: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def place(self, name: str, tokens: int = 0) -> Place:
+        """Add a place holding *tokens* initially."""
+        if name in self._place_by_name:
+            raise ModelError(f"duplicate place name {name!r}")
+        if tokens < 0:
+            raise ModelError(f"place {name!r}: negative initial tokens")
+        p = Place(name=name, index=len(self.places), initial_tokens=tokens)
+        self.places.append(p)
+        self._place_by_name[name] = p
+        self._conflict_classes = None
+        return p
+
+    def transition(self, name: str, *,
+                   delay: DelaySpec,
+                   frequency: FrequencySpec = 1.0,
+                   resource: str | None = None,
+                   extra_resources: Iterable[str] = (),
+                   inputs: Iterable[Place] | Mapping[Place, int] = (),
+                   outputs: Iterable[Place] | Mapping[Place, int] = (),
+                   frequency_label: str = "",
+                   ) -> Transition:
+        """Add a transition.
+
+        ``inputs``/``outputs`` accept either an iterable of places
+        (repeat a place for arc multiplicity > 1, matching the
+        multigraph definition in the thesis) or an explicit
+        place -> multiplicity mapping.
+        """
+        if name in self._transition_by_name:
+            raise ModelError(f"duplicate transition name {name!r}")
+        if not frequency_label and not callable(frequency):
+            frequency_label = f"{float(frequency):g}"
+        t = Transition(name=name, index=len(self.transitions),
+                       delay=delay, frequency=frequency, resource=resource,
+                       inputs=self._arc_dict(inputs, name),
+                       outputs=self._arc_dict(outputs, name),
+                       extra_resources=tuple(extra_resources),
+                       frequency_label=frequency_label)
+        if not callable(delay) and (not isinstance(delay, int) or delay < 0):
+            raise ModelError(
+                f"transition {name!r}: delay must be a non-negative integer")
+        self.transitions.append(t)
+        self._transition_by_name[name] = t
+        self._conflict_classes = None
+        return t
+
+    def _arc_dict(self, spec, tname: str) -> dict[int, int]:
+        arcs: dict[int, int] = {}
+        if isinstance(spec, Mapping):
+            items = [(p, n) for p, n in spec.items()]
+        else:
+            items = [(p, 1) for p in spec]
+        for p, n in items:
+            if not isinstance(p, Place):
+                raise ModelError(
+                    f"transition {tname!r}: arc endpoint {p!r} is not a "
+                    "Place")
+            if n <= 0:
+                raise ModelError(
+                    f"transition {tname!r}: arc multiplicity must be >= 1")
+            arcs[p.index] = arcs.get(p.index, 0) + n
+        return arcs
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def place_index(self, name: str) -> int:
+        try:
+            return self._place_by_name[name].index
+        except KeyError:
+            raise ModelError(f"unknown place {name!r}") from None
+
+    def transition_index(self, name: str) -> int:
+        try:
+            return self._transition_by_name[name].index
+        except KeyError:
+            raise ModelError(f"unknown transition {name!r}") from None
+
+    def get_place(self, name: str) -> Place:
+        return self.places[self.place_index(name)]
+
+    def has_place(self, name: str) -> bool:
+        return name in self._place_by_name
+
+    def has_transition(self, name: str) -> bool:
+        return name in self._transition_by_name
+
+    def get_transition(self, name: str) -> Transition:
+        return self.transitions[self.transition_index(name)]
+
+    @property
+    def initial_marking(self) -> tuple[int, ...]:
+        return tuple(p.initial_tokens for p in self.places)
+
+    @property
+    def resources(self) -> list[str]:
+        """Distinct resource names, in first-use order."""
+        seen: dict[str, None] = {}
+        for t in self.transitions:
+            for name in t.all_resources:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # conflict classes
+    # ------------------------------------------------------------------
+    def conflict_classes(self) -> list[list[int]]:
+        """Partition transition indices by transitive input-place sharing.
+
+        Two transitions conflict when they share an input place; the
+        transitive closure of that relation partitions the transitions
+        into classes.  The firing semantics resolves the choice of which
+        transition starts firing *within* a class by normalized
+        frequencies; distinct classes proceed independently.  This is
+        the documented subset of GTPN semantics used throughout the
+        architecture models (see DESIGN.md).
+        """
+        if self._conflict_classes is None:
+            parent = list(range(len(self.transitions)))
+
+            def find(x: int) -> int:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            def union(a: int, b: int) -> None:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[rb] = ra
+
+            by_place: dict[int, list[int]] = {}
+            for t in self.transitions:
+                for p in t.inputs:
+                    by_place.setdefault(p, []).append(t.index)
+            for members in by_place.values():
+                for other in members[1:]:
+                    union(members[0], other)
+            classes: dict[int, list[int]] = {}
+            for t in self.transitions:
+                classes.setdefault(find(t.index), []).append(t.index)
+            self._conflict_classes = sorted(classes.values())
+        return self._conflict_classes
+
+    def validate(self) -> None:
+        """Raise :class:`ModelError` for structurally broken nets."""
+        for t in self.transitions:
+            if not t.inputs:
+                raise ModelError(
+                    f"transition {t.name!r} has no input places; it would "
+                    "fire unboundedly")
+
+    def __repr__(self) -> str:
+        return (f"Net({self.name!r}, places={len(self.places)}, "
+                f"transitions={len(self.transitions)})")

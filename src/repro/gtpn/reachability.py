@@ -1,0 +1,128 @@
+"""Reachability graph construction for GTPN analysis.
+
+Builds the discrete-time Markov chain embedded at tick boundaries: one
+state per reachable post-decision snapshot, with transition
+probabilities from the exhaustive branch enumeration of
+:class:`repro.gtpn.state.TickEngine`.
+
+The analyzer in the thesis "takes a description of the petri net,
+builds the reachable states for the net, solves the embedded Markov
+process, and gives exact estimates for resource usage" (section 6.5);
+this module implements the first of those steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gtpn.net import Net
+from repro.gtpn.state import ExhaustiveResolver, State, TickEngine
+
+#: Default cap on explored states; architecture models stay well below.
+DEFAULT_MAX_STATES = 200_000
+
+
+@dataclass
+class ReachabilityGraph:
+    """The embedded chain of a GTPN.
+
+    Attributes:
+        states: reachable post-decision states, index-aligned with the
+            rows/columns of ``probabilities``.
+        probabilities: sparse row dict: ``probabilities[i][j]`` is the
+            one-tick probability of moving from state i to state j.
+        initial: probability distribution over states at time zero.
+        expected_starts: ``expected_starts[i]`` is a vector (length =
+            number of transitions) of the expected number of firings of
+            each transition started during a tick spent in state i.
+        inflight_counts: ``inflight_counts[i]`` is a vector of the
+            number of concurrent in-flight firings of each transition
+            while the net sits in state i.
+    """
+
+    net: Net
+    states: list[State]
+    probabilities: list[dict[int, float]]
+    initial: dict[int, float]
+    expected_starts: list[np.ndarray]
+    inflight_counts: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+
+def build_reachability_graph(net: Net,
+                             max_states: int = DEFAULT_MAX_STATES,
+                             ) -> ReachabilityGraph:
+    """Explore every reachable state of *net* by breadth-first search."""
+    engine = TickEngine(net)
+    resolver = ExhaustiveResolver()
+    n_transitions = len(net.transitions)
+
+    index: dict[State, int] = {}
+    states: list[State] = []
+    rows: list[dict[int, float]] = []
+    starts: list[np.ndarray] = []
+
+    def intern(state: State) -> int:
+        found = index.get(state)
+        if found is None:
+            found = len(states)
+            index[state] = found
+            states.append(state)
+            rows.append({})
+            starts.append(np.zeros(n_transitions))
+            if len(states) > max_states:
+                raise AnalysisError(
+                    f"net {net.name!r}: more than {max_states} reachable "
+                    "states; increase max_states or simplify the model")
+        return found
+
+    initial: dict[int, float] = {}
+    frontier: list[int] = []
+    for branch in engine.initial_branches(resolver):
+        i = intern(branch.state)
+        initial[i] = initial.get(i, 0.0) + branch.probability
+        if i not in frontier:
+            frontier.append(i)
+
+    explored = 0
+    while explored < len(states):
+        i = explored
+        explored += 1
+        row = rows[i]
+        start_vec = starts[i]
+        for branch in engine.tick(states[i], resolver):
+            j = intern(branch.state)
+            row[j] = row.get(j, 0.0) + branch.probability
+            start_vec += branch.probability * np.asarray(
+                branch.starts, dtype=float)
+
+    inflight = []
+    for state in states:
+        vec = np.zeros(n_transitions)
+        for t_idx, _remaining in state.inflight:
+            vec[t_idx] += 1.0
+        inflight.append(vec)
+
+    _check_stochastic(net, rows)
+    return ReachabilityGraph(net=net, states=states, probabilities=rows,
+                             initial=initial, expected_starts=starts,
+                             inflight_counts=inflight)
+
+
+def _check_stochastic(net: Net, rows: list[dict[int, float]]) -> None:
+    for i, row in enumerate(rows):
+        if not row:
+            raise AnalysisError(
+                f"net {net.name!r}: state {i} is absorbing with no "
+                "successors; the embedded chain is not well formed")
+        total = sum(row.values())
+        if abs(total - 1.0) > 1e-9:
+            raise AnalysisError(
+                f"net {net.name!r}: outgoing probabilities of state {i} "
+                f"sum to {total!r}, expected 1.0")

@@ -1,0 +1,160 @@
+"""Monte Carlo simulation of a GTPN.
+
+Runs the same tick semantics as the exact analyzer but samples one
+branch per tick.  Used to cross-validate the analyzer on small nets and
+to handle models whose state space is too large for exact solution.
+
+:func:`simulate_with_confidence` adds the standard batch-means output
+analysis: the measurement horizon splits into batches whose means give
+a Student-t confidence interval for the throughput.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.gtpn.net import Net
+from repro.gtpn.state import SamplingResolver, TickEngine
+
+#: two-sided Student-t 97.5% quantiles for df = 1..30 (95% CIs).
+_T_975 = (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+          2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+          2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+          2.060, 2.056, 2.052, 2.048, 2.045, 2.042)
+
+
+@dataclass
+class SimulationResult:
+    """Time-averaged measurements over the simulated horizon."""
+
+    net: Net
+    ticks: int
+    warmup: int
+    _inflight_time: dict[int, float] = field(default_factory=dict)
+    _starts: dict[int, int] = field(default_factory=dict)
+    _place_time: dict[int, float] = field(default_factory=dict)
+
+    def resource_usage(self, resource: str) -> float:
+        """Mean concurrent usage of *resource* over the measured ticks."""
+        usage = 0.0
+        for t in self.net.transitions:
+            if resource in t.all_resources:
+                usage += self._inflight_time.get(t.index, 0.0)
+                if t.immediate:
+                    usage += self._starts.get(t.index, 0)
+        return usage / self.ticks
+
+    def firing_rate(self, transition: str) -> float:
+        index = self.net.transition_index(transition)
+        return self._starts.get(index, 0) / self.ticks
+
+    def mean_tokens(self, place: str) -> float:
+        index = self.net.place_index(place)
+        return self._place_time.get(index, 0.0) / self.ticks
+
+    def throughput(self, resource: str = "lambda") -> float:
+        return self.resource_usage(resource)
+
+
+@dataclass
+class ConfidenceResult:
+    """Batch-means estimate of a resource's usage."""
+
+    resource: str
+    mean: float
+    half_width: float          # 95% confidence half-width
+    batch_means: list[float]
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return self.mean - self.half_width, self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        low, high = self.interval
+        return low <= value <= high
+
+
+def simulate_with_confidence(net: Net, *, resource: str = "lambda",
+                             batches: int = 10, batch_ticks: int = 20_000,
+                             warmup: int = 5_000,
+                             seed: int | None = None) -> ConfidenceResult:
+    """Batch-means 95% confidence interval for a resource usage.
+
+    Runs ``batches`` consecutive batches of ``batch_ticks`` after the
+    warmup; each batch's time-average usage is one observation.
+    """
+    if batches < 2:
+        raise AnalysisError("need at least two batches")
+    if not 1 <= batches - 1 <= len(_T_975):
+        raise AnalysisError(f"at most {len(_T_975) + 1} batches")
+    engine = TickEngine(net)
+    resolver = SamplingResolver(random.Random(seed))
+    branches = engine.initial_branches(resolver)
+    state = branches[0].state
+
+    interesting = {t.index for t in net.transitions
+                   if resource in t.all_resources}
+    if not interesting:
+        raise AnalysisError(f"no transition carries resource "
+                            f"{resource!r}")
+    immediates = {t.index for t in net.transitions
+                  if resource in t.all_resources and t.immediate}
+
+    def advance(ticks_to_run: int, measure: bool) -> float:
+        nonlocal state
+        usage = 0.0
+        for _ in range(ticks_to_run):
+            if measure:
+                for t_idx, _remaining in state.inflight:
+                    if t_idx in interesting:
+                        usage += 1.0
+            branch = engine.tick(state, resolver)[0]
+            if measure:
+                for t_idx in immediates:
+                    usage += branch.starts[t_idx]
+            state = branch.state
+        return usage / ticks_to_run if measure else 0.0
+
+    advance(warmup, measure=False)
+    batch_means = [advance(batch_ticks, measure=True)
+                   for _ in range(batches)]
+    mean = sum(batch_means) / batches
+    variance = sum((b - mean) ** 2 for b in batch_means) / (batches - 1)
+    half_width = _T_975[batches - 2] * math.sqrt(variance / batches)
+    return ConfidenceResult(resource=resource, mean=mean,
+                            half_width=half_width,
+                            batch_means=batch_means)
+
+
+def simulate(net: Net, *, ticks: int, warmup: int = 0,
+             seed: int | None = None) -> SimulationResult:
+    """Simulate *net* for ``warmup + ticks`` ticks; measure the tail."""
+    if ticks <= 0:
+        raise AnalysisError("ticks must be positive")
+    engine = TickEngine(net)
+    resolver = SamplingResolver(random.Random(seed))
+    result = SimulationResult(net=net, ticks=ticks, warmup=warmup)
+
+    branches = engine.initial_branches(resolver)
+    state = branches[0].state
+    for now in range(warmup + ticks):
+        measured = now >= warmup
+        if measured:
+            for t_idx, _remaining in state.inflight:
+                result._inflight_time[t_idx] = \
+                    result._inflight_time.get(t_idx, 0.0) + 1.0
+            for p_idx, count in enumerate(state.marking):
+                if count:
+                    result._place_time[p_idx] = \
+                        result._place_time.get(p_idx, 0.0) + count
+        branch = engine.tick(state, resolver)[0]
+        if measured:
+            for t_idx, count in enumerate(branch.starts):
+                if count:
+                    result._starts[t_idx] = \
+                        result._starts.get(t_idx, 0) + count
+        state = branch.state
+    return result

@@ -1,0 +1,276 @@
+"""GTPN execution semantics: states, ticks, and probabilistic branching.
+
+A *state* is a post-decision snapshot of the net taken just after new
+firings have been chosen for a tick:
+
+* ``marking`` — tokens remaining in each place (inputs of in-flight
+  firings already removed),
+* ``inflight`` — a multiset of ``(transition, remaining_ticks)`` pairs
+  for firings in progress.
+
+One tick proceeds in two phases (DESIGN.md, "Firing semantics"):
+
+1. **advance** — every in-flight firing counts down one tick; firings
+   reaching zero deposit their output tokens.
+2. **settle rounds** — repeatedly, every conflict class with enabled
+   transitions (of positive frequency) selects one, with probability
+   proportional to its frequency.  A selected *immediate* (delay-0)
+   transition fires instantly, depositing its outputs within the same
+   tick; a selected *timed* transition starts firing and goes in
+   flight.  Rounds repeat until no class can select.
+
+   Immediate and timed transitions resolve their conflicts *together*
+   by frequency — the thesis's nets rely on this, e.g. the completion
+   choice of the contention model (Table 6.3) pits a delay-0
+   "continue" against a delay-1 "complete" with frequencies
+   ``1 - 1/b`` and ``1/b``.  Repeating selection until exhaustion
+   gives infinite-server behaviour when no resource place serializes a
+   class (several clients independently waiting out a surrogate server
+   delay) and processor sharing when one does (the single Host token
+   of the architecture models).
+
+The same engine drives both the exact analyzer (exploring every branch
+with its probability) and the Monte Carlo simulator (sampling one
+branch), via the :class:`Resolver` strategy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import AnalysisError
+from repro.gtpn.net import Context, Net
+
+#: Safety cap on settle rounds within a single tick (guards unbounded
+#: zero-time loops and runaway models).
+MAX_IMMEDIATE_ROUNDS = 1000
+
+
+@dataclass(frozen=True)
+class State:
+    """Canonical post-decision net state."""
+
+    marking: tuple[int, ...]
+    #: sorted tuple of (transition_index, remaining_ticks) with repeats
+    #: for multiplicity.
+    inflight: tuple[tuple[int, int], ...]
+
+    def inflight_counts(self, n_transitions: int) -> list[int]:
+        counts = [0] * n_transitions
+        for t_idx, _remaining in self.inflight:
+            counts[t_idx] += 1
+        return counts
+
+
+class Resolver:
+    """Strategy deciding how probabilistic choices branch.
+
+    ``choose`` receives weighted options and returns the branches to
+    follow, each with the probability mass assigned to it.
+    """
+
+    def choose(self, options: Sequence[tuple[float, object]],
+               ) -> list[tuple[float, object]]:
+        raise NotImplementedError
+
+
+class ExhaustiveResolver(Resolver):
+    """Follow every branch with its exact probability (analyzer)."""
+
+    def choose(self, options):
+        return list(options)
+
+
+class SamplingResolver(Resolver):
+    """Sample a single branch (Monte Carlo simulator)."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def choose(self, options):
+        weights = [p for p, _payload in options]
+        payload = self._rng.choices(
+            [payload for _p, payload in options], weights=weights)[0]
+        return [(1.0, payload)]
+
+
+@dataclass
+class Branch:
+    """One outcome of executing a tick: a successor with probability.
+
+    ``starts`` counts, per transition index, how many firings started
+    during the tick (used to compute firing rates of immediate
+    transitions, whose activity never shows up in ``inflight``).
+    """
+
+    probability: float
+    state: State
+    starts: tuple[int, ...]
+
+
+class TickEngine:
+    """Executes GTPN ticks over a fixed net."""
+
+    def __init__(self, net: Net):
+        net.validate()
+        self.net = net
+        self._classes = net.conflict_classes()
+        # hot-path precomputation: arc lists, static delays/frequencies
+        self._in_arcs = [tuple(t.inputs.items()) for t in net.transitions]
+        self._out_arcs = [tuple(t.outputs.items())
+                          for t in net.transitions]
+        self._static_freq = [
+            None if callable(t.frequency) else float(t.frequency)
+            for t in net.transitions]
+        self._static_delay = [
+            None if callable(t.delay) else int(t.delay)
+            for t in net.transitions]
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def initial_branches(self, resolver: Resolver) -> list[Branch]:
+        """Settle the initial marking into post-decision states."""
+        marking = list(self.net.initial_marking)
+        return self._settle(marking, [], resolver)
+
+    def tick(self, state: State, resolver: Resolver) -> list[Branch]:
+        """Execute one tick from *state*, returning successor branches."""
+        marking = list(state.marking)
+        inflight: list[list[int]] = []
+        for t_idx, remaining in state.inflight:
+            if remaining <= 1:
+                # firing completes: deposit outputs
+                for p, n in self.net.transitions[t_idx].outputs.items():
+                    marking[p] += n
+            else:
+                inflight.append([t_idx, remaining - 1])
+        return self._settle(marking, inflight, resolver)
+
+    # ------------------------------------------------------------------
+    # phases 2 + 3
+    # ------------------------------------------------------------------
+    def _settle(self, marking: list[int], inflight: list[list[int]],
+                resolver: Resolver) -> list[Branch]:
+        n_t = len(self.net.transitions)
+        work: list[tuple[float, list[int], list[list[int]], list[int]]]
+        work = [(1.0, marking, inflight, [0] * n_t)]
+        work = self._run_settle_rounds(work, resolver)
+        branches: dict[tuple, Branch] = {}
+        for prob, mk, fl, starts in work:
+            state = State(marking=tuple(mk),
+                          inflight=tuple(sorted(map(tuple, fl))))
+            key = (state.marking, state.inflight, tuple(starts))
+            if key in branches:
+                branches[key].probability += prob
+            else:
+                branches[key] = Branch(probability=prob, state=state,
+                                       starts=tuple(starts))
+        return list(branches.values())
+
+    def _context(self, marking: Sequence[int],
+                 inflight: Sequence[Sequence[int]]) -> Context:
+        counts = [0] * len(self.net.transitions)
+        for t_idx, _remaining in inflight:
+            counts[t_idx] += 1
+        return Context(self.net, marking, counts)
+
+    def _run_settle_rounds(self, work, resolver: Resolver):
+        done = []
+        rounds = 0
+        while work:
+            rounds += 1
+            if rounds > MAX_IMMEDIATE_ROUNDS:
+                raise AnalysisError(
+                    f"net {self.net.name!r}: settle rounds did not reach "
+                    f"quiescence in {MAX_IMMEDIATE_ROUNDS} rounds "
+                    "(unbounded zero-time loop?)")
+            next_work = []
+            for prob, mk, fl, starts in work:
+                selections = self._select_per_class(mk, fl)
+                if not selections:
+                    done.append((prob, mk, fl, starts))
+                    continue
+                for branch_prob, chosen in _cartesian(selections, resolver):
+                    new_mk = list(mk)
+                    new_fl = [list(entry) for entry in fl]
+                    new_starts = list(starts)
+                    ctx = None
+                    for t_idx in chosen:
+                        for p, n in self._in_arcs[t_idx]:
+                            new_mk[p] -= n
+                        delay = self._static_delay[t_idx]
+                        if delay is None:
+                            if ctx is None:
+                                ctx = self._context(new_mk, new_fl)
+                            delay = self.net.transitions[t_idx] \
+                                .eval_delay(ctx)
+                        if delay == 0:
+                            # immediate: outputs deposit within the tick
+                            for p, n in self._out_arcs[t_idx]:
+                                new_mk[p] += n
+                        else:
+                            new_fl.append([t_idx, delay])
+                        new_starts[t_idx] += 1
+                    next_work.append(
+                        (prob * branch_prob, new_mk, new_fl, new_starts))
+            work = next_work
+        return done
+
+    def _select_per_class(self, marking, inflight):
+        """For each conflict class, the weighted enabled choices.
+
+        Returns a list with one entry per class that has at least one
+        enabled transition of positive frequency; each entry is a list
+        of ``(probability, transition_index)`` choices summing to one.
+        Immediate and timed members of a class compete by frequency.
+        """
+        ctx = None
+        selections = []
+        in_arcs = self._in_arcs
+        static_freq = self._static_freq
+        for cls in self._classes:
+            weighted = None
+            for t_idx in cls:
+                enabled = True
+                for p, n in in_arcs[t_idx]:
+                    if marking[p] < n:
+                        enabled = False
+                        break
+                if not enabled:
+                    continue
+                freq = static_freq[t_idx]
+                if freq is None:
+                    if ctx is None:
+                        ctx = self._context(marking, inflight)
+                    freq = self.net.transitions[t_idx] \
+                        .eval_frequency(ctx)
+                if freq > 0:
+                    if weighted is None:
+                        weighted = []
+                    weighted.append((freq, t_idx))
+            if weighted:
+                total = sum(f for f, _ in weighted)
+                selections.append(
+                    [(f / total, t_idx) for f, t_idx in weighted])
+        return selections
+
+
+def _cartesian(selections, resolver: Resolver,
+               ) -> Iterator[tuple[float, list[int]]]:
+    """Cross-product of per-class choices, pruned through *resolver*.
+
+    Only one transition per class is selected per round; the engine's
+    outer loop re-runs selection until no class has enabled
+    transitions, which yields multi-firing (infinite-server) behaviour
+    where tokens allow it.
+    """
+    combos: list[tuple[float, list[int]]] = [(1.0, [])]
+    for options in selections:
+        chosen = resolver.choose(options)
+        combos = [(p * cp, picks + [t_idx])
+                  for p, picks in combos
+                  for cp, t_idx in chosen]
+    return iter(combos)

@@ -1,0 +1,67 @@
+"""Discrete-event simulator of a 925-like message-based OS (chapter 4).
+
+Tasks bound to nodes communicate through services with blocking
+remote-invocation send / receive / reply; the IPC kernel runs on the
+host (architecture I) or a dedicated message coprocessor
+(architectures II-IV), charged with the measured activity times of
+chapter 6.  :func:`run_conversation_experiment` reproduces the
+client/server benchmark used for the Figure 6.15 validation.
+"""
+
+from repro.kernel.ipc import IPCKernel, KernelStats
+from repro.kernel.messages import (AccessRight, MemoryReference, Message,
+                                   MessageKind, MESSAGE_BYTES)
+from repro.kernel.metrics import ConversationMeter, RoundTripSample
+from repro.kernel.network import PacketRecord, Wire
+from repro.kernel.node import Node
+from repro.kernel.processors import (Processor, ProcessorSet,
+                                     ProcessorStats, WorkItem)
+from repro.kernel.services import PendingReceive, Service
+from repro.kernel.sim import Simulator
+from repro.kernel.system import DistributedSystem
+from repro.kernel.tasks import Task, TaskState, TaskStats
+from repro.kernel.timings import CostModel, cost_model
+from repro.kernel.tracing import (ExecutionTrace, TraceEvent,
+                                  TraceRecorder, record_node)
+from repro.kernel.workload import (ClientProgram, ServerProgram,
+                                   WorkloadResult, SERVICE_NAME,
+                                   build_conversation_system,
+                                   run_conversation_experiment)
+
+__all__ = [
+    "AccessRight",
+    "ClientProgram",
+    "ConversationMeter",
+    "CostModel",
+    "DistributedSystem",
+    "ExecutionTrace",
+    "IPCKernel",
+    "KernelStats",
+    "MESSAGE_BYTES",
+    "MemoryReference",
+    "Message",
+    "MessageKind",
+    "Node",
+    "PacketRecord",
+    "PendingReceive",
+    "Processor",
+    "ProcessorSet",
+    "ProcessorStats",
+    "RoundTripSample",
+    "SERVICE_NAME",
+    "ServerProgram",
+    "Service",
+    "Simulator",
+    "Task",
+    "TraceEvent",
+    "TraceRecorder",
+    "TaskState",
+    "TaskStats",
+    "Wire",
+    "WorkItem",
+    "WorkloadResult",
+    "build_conversation_system",
+    "cost_model",
+    "record_node",
+    "run_conversation_experiment",
+]

@@ -1,0 +1,210 @@
+"""925 events, non-blocking send completion, and device interrupts.
+
+Section 4.2.1: "An 'event' in 925 is the occurrence of one of the
+following: message arrival at a service, a completion notice to an
+outstanding non-blocking send request (that is expecting a response),
+or a device interrupt.  A task can wait for a 'group' of events.  The
+task is restarted when any one of the events in the group is
+satisfied."
+
+Section 4.2.2: device interrupts are mapped into the client-server
+paradigm — a driver task installs a *handler* for its device and
+offers a private *interrupt service*; the kernel invokes the handler
+at interrupt time (in the task's context, at interrupt priority), and
+the handler's only permitted system call is **activate**, which sends
+a message to the interrupt service for the non-time-critical work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import KernelError
+from repro.kernel.messages import Message
+from repro.kernel.tasks import Task
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.kernel.node import Node
+
+_event_ids = itertools.count(1)
+
+#: Host cost of invoking a device interrupt handler (time-critical
+#: part, run at interrupt priority).
+HANDLER_COST_US = 100.0
+
+#: Host cost of the activate system call (the only one allowed in a
+#: handler).
+ACTIVATE_COST_US = 60.0
+
+
+@dataclass
+class Event:
+    """A one-shot 925 event."""
+
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+    kind: str = "generic"
+    fired: bool = False
+    value: object = None
+
+    def fire(self, value: object = None) -> None:
+        if self.fired:
+            raise KernelError(f"event {self.event_id} already fired")
+        self.fired = True
+        self.value = value
+
+
+@dataclass
+class _EventGroupWait:
+    task: Task
+    events: list[Event]
+    on_event: Callable[[Event], None]
+    satisfied: bool = False
+
+
+@dataclass
+class _DeviceRegistration:
+    device: str
+    task_name: str
+    handler: Callable[["InterruptContext"], None]
+    service_name: str
+    interrupts: int = 0
+
+
+class InterruptContext:
+    """Handed to a device handler; exposes only ``activate``."""
+
+    def __init__(self, manager: "EventManager",
+                 registration: _DeviceRegistration, data: object):
+        self._manager = manager
+        self._registration = registration
+        self.device = registration.device
+        self.data = data
+        self._activated = False
+
+    def activate(self, payload: object = None) -> None:
+        """Queue the non-time-critical work on the interrupt service.
+
+        The only system call permitted inside a handler
+        (section 4.2.2).
+        """
+        if self._activated:
+            raise KernelError(
+                f"{self.device}: handler already activated")
+        self._activated = True
+        self._manager._activate(self._registration, payload)
+
+
+class EventManager:
+    """Per-node event and interrupt machinery."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self._waits: list[_EventGroupWait] = []
+        self._devices: dict[str, _DeviceRegistration] = {}
+
+    # ------------------------------------------------------------------
+    # event groups (section 4.2.1)
+    # ------------------------------------------------------------------
+    def wait_any(self, task: Task, events: list[Event],
+                 on_event: Callable[[Event], None]) -> None:
+        """Restart *task* when any event of the group fires.
+
+        If one already fired, the wait completes immediately with it.
+        """
+        if not events:
+            raise KernelError("cannot wait on an empty event group")
+        wait = _EventGroupWait(task=task, events=list(events),
+                               on_event=on_event)
+        for event in events:
+            if event.fired:
+                wait.satisfied = True
+                self.node.sim.after(0.0, lambda e=event: on_event(e))
+                return
+        self._waits.append(wait)
+
+    def fire(self, event: Event, value: object = None) -> None:
+        """Fire an event, waking every group that contains it."""
+        event.fire(value)
+        for wait in list(self._waits):
+            if wait.satisfied or event not in wait.events:
+                continue
+            wait.satisfied = True
+            self._waits.remove(wait)
+            self.node.sim.after(0.0, lambda w=wait, e=event:
+                                w.on_event(e))
+
+    def send_completion_event(self, message: Message) -> Event:
+        """An event firing when *message*'s reply arrives.
+
+        Implements the 925's non-blocking send: ``send`` with
+        ``expects_reply`` and an ``on_reply`` that fires the event;
+        the client later does a ``wait`` (section 4.2.1).
+        """
+        event = Event(kind="send-completion")
+        # the kernel routes the reply through this event
+        pending = self.node.kernel._pending_replies.get(message.msg_id)
+        if pending is None:
+            raise KernelError(
+                f"message {message.msg_id} has no outstanding reply")
+        previous = pending.on_reply
+
+        def complete(payload):
+            if previous is not None:
+                previous(payload)
+            self.fire(event, payload)
+
+        pending.on_reply = complete
+        return event
+
+    # ------------------------------------------------------------------
+    # device interrupts (sections 4.2.2 / 4.7)
+    # ------------------------------------------------------------------
+    def install_handler(self, task: Task, device: str,
+                        handler: Callable[[InterruptContext], None],
+                        ) -> str:
+        """Register *task* as the driver for *device*.
+
+        Creates and offers the private interrupt service; returns its
+        name.
+        """
+        if device in self._devices:
+            raise KernelError(
+                f"device {device!r} already has a driver")
+        service_name = f"interrupt:{device}"
+        self.node.kernel.create_service(task, service_name)
+        self.node.kernel.offer(task, service_name)
+        self._devices[device] = _DeviceRegistration(
+            device=device, task_name=task.name, handler=handler,
+            service_name=service_name)
+        return service_name
+
+    def raise_interrupt(self, device: str, data: object = None) -> None:
+        """A device interrupts: run its handler at interrupt priority."""
+        registration = self._devices.get(device)
+        if registration is None:
+            raise KernelError(f"no driver installed for {device!r}")
+        registration.interrupts += 1
+        context = InterruptContext(self, registration, data)
+        self.node.processors.host.submit(
+            HANDLER_COST_US,
+            lambda: registration.handler(context),
+            label=f"interrupt handler ({device})", urgent=True)
+
+    def _activate(self, registration: _DeviceRegistration,
+                  payload: object) -> None:
+        """The activate system call: message to the interrupt service."""
+        self.node.processors.host.submit(
+            ACTIVATE_COST_US,
+            lambda: self.node.kernel.activate(
+                registration.service_name,
+                sender=f"{registration.device}-handler",
+                payload=payload),
+            label=f"activate ({registration.device})", urgent=True)
+
+    def interrupt_count(self, device: str) -> int:
+        registration = self._devices.get(device)
+        if registration is None:
+            raise KernelError(f"no driver installed for {device!r}")
+        return registration.interrupts

@@ -1,0 +1,79 @@
+"""Measurement instruments for kernel-simulator experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+
+@dataclass
+class RoundTripSample:
+    """One completed conversation round trip."""
+
+    client: str
+    started_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class ConversationMeter:
+    """Collects round-trip completions; reports windowed statistics."""
+
+    samples: list[RoundTripSample] = field(default_factory=list)
+
+    def record(self, client: str, started_at: float,
+               completed_at: float) -> None:
+        if completed_at < started_at:
+            raise KernelError("completion before start")
+        self.samples.append(RoundTripSample(
+            client=client, started_at=started_at,
+            completed_at=completed_at))
+
+    def window(self, start: float, end: float) -> list[RoundTripSample]:
+        """Samples completing within [start, end)."""
+        return [s for s in self.samples
+                if start <= s.completed_at < end]
+
+    def throughput(self, start: float, end: float) -> float:
+        """Completed round trips per microsecond over the window."""
+        if end <= start:
+            raise KernelError("empty measurement window")
+        return len(self.window(start, end)) / (end - start)
+
+    def mean_round_trip(self, start: float, end: float) -> float:
+        window = self.window(start, end)
+        if not window:
+            raise KernelError("no samples in the measurement window")
+        return sum(s.latency for s in window) / len(window)
+
+    def latency_percentile(self, start: float, end: float,
+                           percentile: float) -> float:
+        """Round-trip latency percentile over the window (0..100)."""
+        if not 0 <= percentile <= 100:
+            raise KernelError("percentile must be in [0, 100]")
+        window = sorted(s.latency for s in self.window(start, end))
+        if not window:
+            raise KernelError("no samples in the measurement window")
+        rank = percentile / 100.0 * (len(window) - 1)
+        low = int(rank)
+        high = min(low + 1, len(window) - 1)
+        fraction = rank - low
+        return window[low] * (1 - fraction) + window[high] * fraction
+
+    def per_client_counts(self, start: float, end: float,
+                          ) -> dict[str, int]:
+        """Completed round trips per client over the window
+        (fairness check)."""
+        counts: dict[str, int] = {}
+        for sample in self.window(start, end):
+            counts[sample.client] = counts.get(sample.client, 0) + 1
+        return counts
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)

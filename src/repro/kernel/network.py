@@ -1,0 +1,52 @@
+"""The inter-node network (a reliable token ring, section 4.6).
+
+Message coprocessors exchange packets that mirror the IPC calls: one
+round trip is exactly two packets (send message, reply message), with
+no low-level acknowledgements; the network is assumed reliable and not
+a bottleneck (section 6.6.4), so the wire adds only a constant latency
+— the DMA engines at each end are where queueing happens and they are
+modelled as processors in :mod:`repro.kernel.processors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.sim import Simulator
+
+
+@dataclass
+class PacketRecord:
+    """One packet that crossed the wire (for tests/inspection)."""
+
+    source: str
+    destination: str
+    kind: str
+    sent_at: float
+
+
+@dataclass
+class Wire:
+    """Constant-latency reliable interconnect."""
+
+    sim: Simulator
+    latency_us: float = 0.0
+    packets: list[PacketRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.latency_us < 0:
+            raise KernelError("negative wire latency")
+
+    def transmit(self, source: str, destination: str, kind: str,
+                 deliver: Callable[[], None]) -> None:
+        """Carry a packet; invoke *deliver* at the destination."""
+        self.packets.append(PacketRecord(
+            source=source, destination=destination, kind=kind,
+            sent_at=self.sim.now))
+        self.sim.after(self.latency_us, deliver)
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)

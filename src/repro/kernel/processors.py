@@ -1,0 +1,141 @@
+"""Processor models: non-preemptive FCFS servers with interrupt priority.
+
+Each node contains a *host* executing tasks (and, in architecture I,
+the whole IPC kernel), optionally a *message coprocessor* executing the
+IPC kernel, and DMA engines moving packets (Figures 4.3-4.5).
+
+Work items queue FCFS; items marked *urgent* (network-interrupt
+processing) enter a higher-priority queue that drains first, matching
+the thesis's "network interrupts are serviced ... on a priority basis".
+Service is non-preemptive: an in-progress item always completes, which
+is also how the GTPN models treat interrupt inhibition (new activities
+cannot start while interrupt processing is pending).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.sim import Simulator
+
+
+@dataclass
+class WorkItem:
+    """One unit of processor work."""
+
+    duration: float
+    action: Callable[[], None] | None = None
+    label: str = ""
+    urgent: bool = False
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class ProcessorStats:
+    """Utilization accounting."""
+
+    busy_time: float = 0.0
+    items_completed: int = 0
+    urgent_items: int = 0
+    queue_wait_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class Processor:
+    """An FCFS work queue with a priority lane for interrupts.
+
+    ``servers`` > 1 models a pool of identical processors fed from one
+    queue — the multiple hosts of a shared-memory multiprocessor node
+    (chapter 7, Figure 7.1; the 925 implementation itself had two
+    hosts per node).
+    """
+
+    def __init__(self, sim: Simulator, name: str, servers: int = 1):
+        if servers < 1:
+            raise KernelError(f"{name}: need at least one server")
+        self.sim = sim
+        self.name = name
+        self.servers = servers
+        self._normal: deque[WorkItem] = deque()
+        self._urgent: deque[WorkItem] = deque()
+        self._active = 0
+        self.stats = ProcessorStats()
+
+    @property
+    def busy(self) -> bool:
+        return self._active > 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._normal) + len(self._urgent)
+
+    def submit(self, duration: float,
+               action: Callable[[], None] | None = None,
+               label: str = "", urgent: bool = False) -> None:
+        """Queue *duration* microseconds of work; run *action* after.
+
+        Zero-duration work with an action runs through the queue like
+        any other item (ordering is preserved); zero-duration work is
+        executed without occupying the processor.
+        """
+        if duration < 0:
+            raise KernelError(f"{self.name}: negative work {duration}")
+        item = WorkItem(duration=duration, action=action, label=label,
+                        urgent=urgent, enqueued_at=self.sim.now)
+        if urgent:
+            self._urgent.append(item)
+        else:
+            self._normal.append(item)
+        self._start_next()
+
+    def _start_next(self) -> None:
+        while self._active < self.servers:
+            queue = self._urgent or self._normal
+            if not queue:
+                return
+            item = queue.popleft()
+            self._active += 1
+            self.stats.queue_wait_time += self.sim.now - item.enqueued_at
+            self.sim.after(item.duration,
+                           lambda item=item: self._complete(item))
+
+    def _complete(self, item: WorkItem) -> None:
+        self._active -= 1
+        self.stats.busy_time += item.duration
+        self.stats.items_completed += 1
+        if item.urgent:
+            self.stats.urgent_items += 1
+        if item.action is not None:
+            item.action()
+        self._start_next()
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean fraction of the server pool busy over *elapsed* us."""
+        if elapsed <= 0:
+            return 0.0
+        return self.stats.busy_time / (elapsed * self.servers)
+
+
+@dataclass
+class ProcessorSet:
+    """The processors of one node; ``ipc`` aliases host or MP.
+
+    ``net_out``/``net_in`` model the DMA engines of the network
+    interface as single servers (one packet at a time each way).
+    """
+
+    host: Processor
+    mp: Processor | None
+    net_out: Processor
+    net_in: Processor
+    everything: list[Processor] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> Processor:
+        """Where IPC kernel code executes (Figure 4.3 vs Figure 6.1)."""
+        return self.mp if self.mp is not None else self.host

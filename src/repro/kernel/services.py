@@ -1,0 +1,78 @@
+"""Services: queueing points for messages (section 4.2.1).
+
+A *service* is the 925 addressing abstraction: clients send to a
+service; servers advertise their intent to receive on it with
+``offer`` and then post (blocking) receives.  "A message arriving on a
+service is delivered to the first server (ordered by time) that is
+waiting to receive a message on that service."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.messages import Message
+
+
+@dataclass
+class PendingReceive:
+    """A server blocked in receive, with its continuation."""
+
+    task_name: str
+    deliver: Callable[[Message], None]
+    posted_at: float = 0.0
+
+
+@dataclass
+class Service:
+    """A named queueing point owned by a node."""
+
+    name: str
+    node_name: str
+    creator: str
+    offers: set[str] = field(default_factory=set)
+    messages: deque[Message] = field(default_factory=deque)
+    waiting: deque[PendingReceive] = field(default_factory=deque)
+    destroyed: bool = False
+    delivered: int = 0
+
+    def offer(self, task_name: str) -> None:
+        """Advertise a server's intent to receive on this service."""
+        self._check_alive()
+        self.offers.add(task_name)
+
+    def check_offer(self, task_name: str) -> None:
+        if task_name not in self.offers:
+            raise KernelError(
+                f"task {task_name} has not offered service {self.name}")
+
+    def push_message(self, message: Message) -> None:
+        self._check_alive()
+        self.messages.append(message)
+
+    def push_receive(self, receive: PendingReceive) -> None:
+        self._check_alive()
+        self.check_offer(receive.task_name)
+        self.waiting.append(receive)
+
+    def match(self) -> tuple[Message, PendingReceive] | None:
+        """Pop the oldest message/receiver pair, if both exist."""
+        if self.messages and self.waiting:
+            self.delivered += 1
+            return self.messages.popleft(), self.waiting.popleft()
+        return None
+
+    def has_messages(self) -> bool:
+        """The non-blocking `inquire` poll (section 4.2.1)."""
+        return bool(self.messages)
+
+    def destroy(self) -> None:
+        self._check_alive()
+        self.destroyed = True
+
+    def _check_alive(self) -> None:
+        if self.destroyed:
+            raise KernelError(f"service {self.name} was destroyed")

@@ -1,0 +1,64 @@
+"""Discrete-event simulation core for the kernel simulator."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import KernelError
+
+
+class Simulator:
+    """A minimal event-calendar simulator (times in microseconds)."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    def at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule *action* at absolute simulation time *time*."""
+        if time < self.now:
+            raise KernelError(
+                f"cannot schedule in the past ({time} < {self.now})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, action))
+
+    def after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule *action* after *delay* microseconds."""
+        if delay < 0:
+            raise KernelError(f"negative delay {delay}")
+        self.at(self.now + delay, action)
+
+    def run_until(self, time: float, max_events: int = 50_000_000) -> None:
+        """Process events in time order up to and including *time*."""
+        processed = 0
+        while self._queue and self._queue[0][0] <= time:
+            event_time, _seq, action = heapq.heappop(self._queue)
+            self.now = event_time
+            action()
+            processed += 1
+            if processed > max_events:
+                raise KernelError(
+                    f"more than {max_events} events before t={time}; "
+                    "runaway simulation?")
+        self.events_processed += processed
+        self.now = max(self.now, time)
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Process every scheduled event (the calendar must drain)."""
+        processed = 0
+        while self._queue:
+            event_time, _seq, action = heapq.heappop(self._queue)
+            self.now = event_time
+            action()
+            processed += 1
+            if processed > max_events:
+                raise KernelError(
+                    f"more than {max_events} events; runaway simulation?")
+        self.events_processed += processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

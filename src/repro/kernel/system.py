@@ -1,0 +1,79 @@
+"""The distributed system: nodes, wire, and the global service registry.
+
+Figure 1.1's model: computing nodes on a LAN, no shared memory between
+nodes, message exchange the only inter-node mechanism.  Service names
+are system-wide (the 925 lets any task install a service in its
+addressing domain); the registry maps each to its owning node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernel.network import Wire
+from repro.kernel.node import Node
+from repro.kernel.services import Service
+from repro.kernel.sim import Simulator
+from repro.models.params import Architecture, Mode
+
+
+class DistributedSystem:
+    """A simulated distributed system of uniform-architecture nodes."""
+
+    def __init__(self, architecture: Architecture,
+                 wire_latency_us: float = 0.0):
+        self.architecture = architecture
+        self.sim = Simulator()
+        self.wire = Wire(self.sim, wire_latency_us)
+        self.nodes: dict[str, Node] = {}
+        self._services: dict[str, Service] = {}
+
+    def add_node(self, name: str, default_mode: Mode = Mode.LOCAL,
+                 hosts: int = 1) -> Node:
+        if name in self.nodes:
+            raise KernelError(f"duplicate node name {name!r}")
+        node = Node(self, name, self.architecture, default_mode,
+                    hosts=hosts)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KernelError(f"unknown node {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # service registry
+    # ------------------------------------------------------------------
+    def register_service(self, service: Service) -> None:
+        if service.name in self._services:
+            raise KernelError(
+                f"duplicate service name {service.name!r}")
+        self._services[service.name] = service
+
+    def lookup_service(self, name: str) -> tuple[Node, Service]:
+        service = self._services.get(name)
+        if service is None or service.destroyed:
+            raise KernelError(f"no such service {name!r}")
+        return self.node(service.node_name), service
+
+    @property
+    def services(self) -> dict[str, Service]:
+        return dict(self._services)
+
+    def all_task_names(self) -> set[str]:
+        names: set[str] = set()
+        for node in self.nodes.values():
+            names.update(node.tasks)
+        return names
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_for(self, duration_us: float) -> None:
+        """Advance the simulation by *duration_us* microseconds."""
+        self.sim.run_until(self.sim.now + duration_us)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

@@ -1,0 +1,104 @@
+"""Per-architecture activity cost models for the kernel simulator.
+
+The costs come straight from the action tables of chapter 6 (the
+"Contention" column, i.e. completion times including shared-memory
+interference), so the simulator and the GTPN models are driven by the
+same measured constants — the validation of Figure 6.15 then compares
+their *queueing and scheduling* behaviour, not their inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import KernelError
+from repro.models.params import Architecture, Mode, action_table
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Microseconds of processing per message-passing activity.
+
+    Zero means the architecture has no such step (e.g. architecture I
+    has no separate "process send": validation, buffering and queueing
+    are folded into the syscall cost).
+    """
+
+    architecture: Architecture
+    mode: Mode
+    ipc_on_mp: bool
+    syscall_send: float = 0.0
+    process_send: float = 0.0
+    dma_out_request: float = 0.0
+    syscall_receive: float = 0.0
+    process_receive: float = 0.0
+    dma_in_request: float = 0.0
+    match: float = 0.0
+    restart_server_pre: float = 0.0
+    syscall_reply: float = 0.0
+    process_reply: float = 0.0
+    dma_out_reply: float = 0.0
+    restart_server_post: float = 0.0
+    dma_in_reply: float = 0.0
+    cleanup_client: float = 0.0
+    restart_client: float = 0.0
+
+    def total(self) -> float:
+        """Sum of all activity costs (one round trip, zero compute)."""
+        skip = {"architecture", "mode", "ipc_on_mp"}
+        return sum(getattr(self, f.name) for f in fields(self)
+                   if f.name not in skip)
+
+
+#: action-number -> CostModel field, per (architecture kind, mode).
+_FIELD_MAPS: dict[tuple[bool, Mode], dict[str, str]] = {
+    # architecture I (no coprocessor)
+    (False, Mode.LOCAL): {
+        "1": "syscall_send", "2": "syscall_receive", "3": "match",
+        "5": "syscall_reply", "6": "restart_server_post",
+        "7": "restart_client",
+    },
+    (False, Mode.NONLOCAL): {
+        "1": "syscall_send", "2": "dma_out_request",
+        "3": "syscall_receive", "4": "dma_in_request", "4a": "match",
+        "4c": "syscall_reply", "5": "dma_out_reply", "6": "dma_in_reply",
+        "7": "cleanup_client",
+    },
+    # architectures II-IV (message coprocessor)
+    (True, Mode.LOCAL): {
+        "1": "syscall_send", "2": "process_send", "3": "syscall_receive",
+        "4": "process_receive", "5": "match", "6": "restart_server_pre",
+        "6b": "syscall_reply", "7": "process_reply",
+        "8": "restart_server_post", "9": "restart_client",
+    },
+    (True, Mode.NONLOCAL): {
+        "1": "syscall_send", "2": "process_send", "2a": "dma_out_request",
+        "3": "syscall_receive", "4": "process_receive",
+        "5": "dma_in_request", "5a": "match", "6": "restart_server_pre",
+        "6b": "syscall_reply", "7": "process_reply",
+        "7a": "dma_out_reply", "8": "restart_server_post",
+        "9": "dma_in_reply", "9a": "cleanup_client",
+        "10": "restart_client",
+    },
+}
+
+
+def cost_model(architecture: Architecture, mode: Mode) -> CostModel:
+    """Build the cost model of one architecture/mode from its table."""
+    ipc_on_mp = architecture is not Architecture.I
+    field_map = _FIELD_MAPS[(ipc_on_mp, mode)]
+    values: dict[str, float] = {}
+    for row in action_table(architecture, mode):
+        if row.is_compute:
+            continue
+        target = field_map.get(row.number)
+        if target is None:
+            raise KernelError(
+                f"{architecture}/{mode}: unmapped action {row.number} "
+                f"({row.description})")
+        if target in values:
+            raise KernelError(
+                f"{architecture}/{mode}: duplicate mapping for {target}")
+        values[target] = row.contention
+    return CostModel(architecture=architecture, mode=mode,
+                     ipc_on_mp=ipc_on_mp, **values)

@@ -1,0 +1,48 @@
+"""Smart shared memory: layout, queue primitives, and controller.
+
+Implements chapter 5's shared-memory design: the system data
+structures (task control blocks and kernel buffers linked into
+circular free lists), the three atomic queue-manipulation primitives,
+and the micro-coded controller with its tag table of restartable
+block-transfer requests.
+"""
+
+from repro.memory.controller import (BlockRequest, Direction,
+                                     MicrocodeCosts, SmartMemoryController)
+from repro.memory.layout import (NEXT_OFFSET, NULL, BlockPool, MemoryLayout,
+                                 SharedMemory, build_layout)
+from repro.memory.locking import LockedQueueOps, SpinLock
+from repro.memory.microcode import MicroEngine, MicroRoutine, Op, assemble
+from repro.memory.microprograms import (CONTROL_STORE,
+                                        MicrocodedController,
+                                        control_store_bits,
+                                        control_store_words)
+from repro.memory.queues import dequeue, enqueue, first, length, members
+
+__all__ = [
+    "BlockPool",
+    "BlockRequest",
+    "CONTROL_STORE",
+    "Direction",
+    "LockedQueueOps",
+    "MemoryLayout",
+    "MicroEngine",
+    "MicroRoutine",
+    "MicrocodeCosts",
+    "MicrocodedController",
+    "NEXT_OFFSET",
+    "NULL",
+    "Op",
+    "SharedMemory",
+    "SmartMemoryController",
+    "SpinLock",
+    "assemble",
+    "build_layout",
+    "control_store_bits",
+    "control_store_words",
+    "dequeue",
+    "enqueue",
+    "first",
+    "length",
+    "members",
+]

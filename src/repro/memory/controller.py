@@ -1,0 +1,235 @@
+"""Smart shared-memory controller (section 5.5 and Appendix A).
+
+The controller is the "intelligence" behind the smart bus: a
+micro-coded engine that executes the high-level bus transactions
+against the shared memory:
+
+* **block requests** — `block transfer` registers an (address, count)
+  pair in an internal *tag table* and returns a tag; the subsequent
+  `block read data` / `block write data` streaming is served in chunks,
+  so a preempted lower-priority transfer is *restarted where it left
+  off* after a higher-priority request completes (section 5.2: the
+  memory "caches information regarding block transfer requests ... so
+  that it can restart a lower-priority request after servicing a
+  higher-priority one").
+* **queue manipulation** — atomic enqueue / first / dequeue on the
+  singly-linked circular lists of section 5.1.
+* **simple read/write** — byte/word access.
+
+Error handling follows section A.5: requests come only from trusted
+kernel code, so errors indicate kernel bugs; the controller detects
+and reports them rather than attempting recovery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+from repro.memory import queues
+from repro.memory.layout import NULL, SharedMemory
+
+
+class Direction(enum.Enum):
+    """Direction of a block transfer, as specified on the command bus."""
+
+    READ = "read"      # memory -> processor (block read data follows)
+    WRITE = "write"    # processor -> memory (block write data follows)
+
+
+@dataclass
+class BlockRequest:
+    """One row of the controller's internal tag table."""
+
+    tag: int
+    requester: str
+    direction: Direction
+    address: int
+    count: int
+    transferred: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.count - self.transferred
+
+    @property
+    def complete(self) -> bool:
+        return self.transferred >= self.count
+
+
+@dataclass
+class MicrocodeCosts:
+    """Micro-cycle cost of each micro-routine (Appendix A.4).
+
+    Derived from the handshake lengths of chapter 5/6: a four-edge
+    handshake costs one memory cycle, each streamed word costs half a
+    cycle, and the eight-edge `first` handshake costs two (Table 6.1).
+    Costs are expressed in memory cycles (1 microsecond each in the
+    thesis's Versabus implementation).
+    """
+
+    enqueue: float = 1.0
+    dequeue: float = 1.0
+    first: float = 2.0
+    block_request: float = 1.0
+    word_streamed: float = 0.5
+    simple_read: float = 2.0
+    simple_write: float = 1.0
+
+
+class SmartMemoryController:
+    """Executes smart-bus transactions against a shared memory."""
+
+    def __init__(self, memory: SharedMemory, n_tags: int = 16,
+                 costs: MicrocodeCosts | None = None):
+        if n_tags < 1 or n_tags > 16:
+            # the tag bus is four bits wide (Table 5.1)
+            raise MemoryError_("tag table size must be 1..16")
+        self.memory = memory
+        self.costs = costs or MicrocodeCosts()
+        self._table: dict[int, BlockRequest] = {}
+        self._free_tags = list(range(n_tags))
+        self.busy_cycles = 0.0
+        self.operations: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # block requests (section 5.3.1)
+    # ------------------------------------------------------------------
+    def block_transfer(self, requester: str, direction: Direction,
+                       address: int, count: int) -> int:
+        """Register a block transfer request; returns the tag.
+
+        Error conditions (A.5.1): zero/negative count, block falling
+        outside the memory, more than one outstanding request per unit,
+        and tag exhaustion.
+        """
+        if count <= 0:
+            raise MemoryError_(
+                f"{requester}: block transfer with non-positive count "
+                f"{count}")
+        if not (0 < address and address + count <= self.memory.size):
+            raise MemoryError_(
+                f"{requester}: block [{address}, {address + count}) "
+                "outside shared memory")
+        for request in self._table.values():
+            if request.requester == requester:
+                raise MemoryError_(
+                    f"{requester}: already has outstanding tag "
+                    f"{request.tag}; each unit may have exactly one "
+                    "outstanding block request")
+        if not self._free_tags:
+            raise MemoryError_("tag table exhausted")
+        tag = self._free_tags.pop(0)
+        self._table[tag] = BlockRequest(tag=tag, requester=requester,
+                                        direction=direction,
+                                        address=address, count=count)
+        self._charge("block_transfer", self.costs.block_request)
+        return tag
+
+    def block_read_data(self, tag: int, max_words: int) -> list[int]:
+        """Stream up to *max_words* of a READ request; advances progress.
+
+        The bus grants two transfers at a time, so callers normally
+        pass an even ``max_words``; the controller itself accepts any
+        positive chunk (the last chunk of an odd-length block is odd).
+        """
+        request = self._lookup(tag, Direction.READ)
+        words = min(max_words, request.remaining)
+        if words <= 0:
+            raise MemoryError_(f"tag {tag}: no data remaining")
+        data = self.memory.read_block(
+            request.address + request.transferred, words)
+        request.transferred += words
+        self._charge("block_read_data", words * self.costs.word_streamed)
+        self._retire(request)
+        return data
+
+    def block_write_data(self, tag: int, words: list[int]) -> None:
+        """Accept streamed words of a WRITE request; advances progress."""
+        request = self._lookup(tag, Direction.WRITE)
+        if len(words) > request.remaining:
+            raise MemoryError_(
+                f"tag {tag}: {len(words)} words offered but only "
+                f"{request.remaining} remaining")
+        self.memory.write_block(
+            request.address + request.transferred, list(words))
+        request.transferred += len(words)
+        self._charge("block_write_data",
+                     len(words) * self.costs.word_streamed)
+        self._retire(request)
+
+    def outstanding(self, tag: int) -> BlockRequest:
+        """Inspect the tag-table row (testing/diagnostics)."""
+        if tag not in self._table:
+            raise MemoryError_(f"tag {tag}: not outstanding")
+        return self._table[tag]
+
+    @property
+    def outstanding_tags(self) -> list[int]:
+        return sorted(self._table)
+
+    # ------------------------------------------------------------------
+    # queue manipulation (section 5.3.2)
+    # ------------------------------------------------------------------
+    def enqueue_control_block(self, element: int, list_addr: int) -> None:
+        """Atomic tail enqueue (four-edge handshake)."""
+        self._check_block_address(element)
+        queues.enqueue(self.memory, element, list_addr)
+        self._charge("enqueue", self.costs.enqueue)
+
+    def first_control_block(self, list_addr: int) -> int:
+        """Atomic head dequeue; returns NULL for an empty list."""
+        result = queues.first(self.memory, list_addr)
+        self._charge("first", self.costs.first)
+        return result
+
+    def dequeue_control_block(self, element: int, list_addr: int) -> bool:
+        """Atomic removal of an arbitrary element (no-op when absent)."""
+        self._check_block_address(element)
+        removed = queues.dequeue(self.memory, element, list_addr)
+        self._charge("dequeue", self.costs.dequeue)
+        return removed
+
+    # ------------------------------------------------------------------
+    # simple read / write (section 5.3.3)
+    # ------------------------------------------------------------------
+    def read_word(self, address: int) -> int:
+        value = self.memory.read(address)
+        self._charge("read", self.costs.simple_read)
+        return value
+
+    def write_word(self, address: int, value: int) -> None:
+        self.memory.write(address, value)
+        self._charge("write", self.costs.simple_write)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _lookup(self, tag: int, expected: Direction) -> BlockRequest:
+        if tag not in self._table:
+            raise MemoryError_(
+                f"tag {tag}: no such outstanding block request (A.5.1)")
+        request = self._table[tag]
+        if request.direction is not expected:
+            raise MemoryError_(
+                f"tag {tag}: direction mismatch; request is "
+                f"{request.direction.value}")
+        return request
+
+    def _retire(self, request: BlockRequest) -> None:
+        if request.complete:
+            del self._table[request.tag]
+            self._free_tags.append(request.tag)
+
+    def _check_block_address(self, element: int) -> None:
+        if element == NULL:
+            raise MemoryError_(
+                "queue element address NULL is reserved (A.5.2)")
+        if not 0 < element < self.memory.size:
+            raise MemoryError_(
+                f"queue element address {element} outside shared memory")
+
+    def _charge(self, operation: str, cycles: float) -> None:
+        self.busy_cycles += cycles
+        self.operations[operation] = self.operations.get(operation, 0) + 1

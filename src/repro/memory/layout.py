@@ -1,0 +1,180 @@
+"""Shared-memory model and system data-structure layout.
+
+The node architecture (Figure 1.2 / Figure 5.2) places two kinds of
+protected kernel data structures in the limited shared memory:
+
+* **task control blocks** (TCBs) — shared between the host and the
+  message coprocessor,
+* **kernel buffers** — shared between the message coprocessor and the
+  network interfaces.
+
+During startup the blocks of each kind are linked into singly-linked
+*circular* free lists whose tails are pointed to by well-known
+locations (section 5.1).  Two further well-known locations point to the
+tails of the *computation list* and *communication list* of TCBs.
+
+Addresses are 16-bit word addresses (the thesis design has sixteen
+multiplexed address/data lines); the value 0 serves as the
+distinguished NULL, so the word at address 0 is reserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_
+
+#: Distinguished "empty list" value used by the queue primitives.
+NULL = 0
+
+#: Offset of the `next` pointer within every control block.
+NEXT_OFFSET = 0
+
+
+class SharedMemory:
+    """A word-addressable shared memory with access accounting.
+
+    ``cycles`` counts every read and write; the architecture models
+    charge one Versabus memory cycle (1 microsecond at the thesis's
+    8 MHz implementation) per access, which is how the "time spent in
+    memory cycles" columns of Table 6.1 are derived.
+    """
+
+    def __init__(self, size_words: int):
+        if size_words <= 1:
+            raise MemoryError_("shared memory needs more than one word")
+        self._words = [0] * size_words
+        self.size = size_words
+        self.cycles = 0
+
+    def read(self, address: int) -> int:
+        self._check(address)
+        self.cycles += 1
+        return self._words[address]
+
+    def write(self, address: int, value: int) -> None:
+        self._check(address)
+        self.cycles += 1
+        self._words[address] = value
+
+    def _check(self, address: int) -> None:
+        if not 0 < address < self.size:
+            raise MemoryError_(
+                f"address {address} outside shared memory "
+                f"(1..{self.size - 1}; word 0 is reserved as NULL)")
+
+    def read_block(self, address: int, count: int) -> list[int]:
+        """Read *count* contiguous words (used by block transfers)."""
+        return [self.read(address + i) for i in range(count)]
+
+    def write_block(self, address: int, values: list[int]) -> None:
+        for i, value in enumerate(values):
+            self.write(address + i, value)
+
+
+@dataclass(frozen=True)
+class BlockPool:
+    """A region of equal-sized control blocks."""
+
+    name: str
+    base: int
+    block_size: int
+    count: int
+
+    def address_of(self, index: int) -> int:
+        if not 0 <= index < self.count:
+            raise MemoryError_(
+                f"{self.name}: block index {index} out of range "
+                f"(0..{self.count - 1})")
+        return self.base + index * self.block_size
+
+    def index_of(self, address: int) -> int:
+        offset = address - self.base
+        index, remainder = divmod(offset, self.block_size)
+        if remainder != 0 or not 0 <= index < self.count:
+            raise MemoryError_(
+                f"{self.name}: address {address} is not a block base")
+        return index
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.block_size * self.count
+
+
+#: Default sizes mirroring the 925 implementation (chapter 4): 40-byte
+#: messages (20 words) and small TCBs; the whole structure fits well
+#: under the 64 KB noted in section 5.5.
+DEFAULT_TCB_WORDS = 16
+DEFAULT_BUFFER_WORDS = 24
+
+
+@dataclass
+class MemoryLayout:
+    """Assembled shared-memory image with its well-known locations."""
+
+    memory: SharedMemory
+    tcbs: BlockPool
+    buffers: BlockPool
+    #: well-known word addresses holding list-tail pointers
+    tcb_free_list: int = 1
+    buffer_free_list: int = 2
+    computation_list: int = 3
+    communication_list: int = 4
+    service_lists: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def well_known(self) -> dict[str, int]:
+        names = {
+            "tcb_free_list": self.tcb_free_list,
+            "buffer_free_list": self.buffer_free_list,
+            "computation_list": self.computation_list,
+            "communication_list": self.communication_list,
+        }
+        names.update(self.service_lists)
+        return names
+
+
+def build_layout(n_tcbs: int = 32, n_buffers: int = 64,
+                 tcb_words: int = DEFAULT_TCB_WORDS,
+                 buffer_words: int = DEFAULT_BUFFER_WORDS,
+                 n_service_lists: int = 0) -> MemoryLayout:
+    """Initialize a shared memory image as the startup code would.
+
+    Links every TCB into the TCB free list and every kernel buffer into
+    the buffer free list (circular, tail-pointed), and clears the
+    computation and communication lists.
+    """
+    if n_tcbs <= 0 or n_buffers <= 0:
+        raise MemoryError_("need at least one TCB and one buffer")
+    header_words = 8 + n_service_lists
+    tcb_base = header_words
+    buffer_base = tcb_base + n_tcbs * tcb_words
+    size = buffer_base + n_buffers * buffer_words + 1
+    memory = SharedMemory(size)
+
+    layout = MemoryLayout(
+        memory=memory,
+        tcbs=BlockPool("tcb", tcb_base, tcb_words, n_tcbs),
+        buffers=BlockPool("buffer", buffer_base, buffer_words, n_buffers),
+    )
+    for i in range(n_service_lists):
+        layout.service_lists[f"service_list_{i}"] = 8 + i
+
+    _link_free_list(memory, layout.tcbs, layout.tcb_free_list)
+    _link_free_list(memory, layout.buffers, layout.buffer_free_list)
+    memory.write(layout.computation_list, NULL)
+    memory.write(layout.communication_list, NULL)
+    for addr in layout.service_lists.values():
+        memory.write(addr, NULL)
+    memory.cycles = 0   # startup cost is not charged to the workload
+    return layout
+
+
+def _link_free_list(memory: SharedMemory, pool: BlockPool,
+                    list_addr: int) -> None:
+    """Link all blocks of *pool* into a circular list tailed at the last."""
+    for i in range(pool.count):
+        here = pool.address_of(i)
+        succ = pool.address_of((i + 1) % pool.count)
+        memory.write(here + NEXT_OFFSET, succ)
+    memory.write(list_addr, pool.address_of(pool.count - 1))

@@ -1,0 +1,253 @@
+"""The micro-engine of the smart shared-memory controller (Appendix A).
+
+The thesis implements the controller as a micro-programmed machine: a
+data path (registers, ALU, memory interface, the block-request tag
+table) driven by a micro-sequencer reading a small control store
+(Figures A.1-A.4).  This module provides that machine:
+
+* a register file (MAR/MDR memory interface registers plus working
+  registers for the queue and block routines),
+* a compact micro-ISA (moves, immediate loads, add, compares/branches,
+  memory read/write, operand latches, result latch, tag-table access),
+* a sequencer executing one micro-instruction per micro-cycle with
+  cycle and memory-cycle accounting.
+
+The micro-programs themselves live in
+:mod:`repro.memory.microprograms`; correctness is established by
+equivalence tests against the direct implementations in
+:mod:`repro.memory.queues`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_
+from repro.memory.layout import SharedMemory
+
+#: Width of one micro-instruction word in bits (Figure A.3's format:
+#: 4-bit opcode, two 4-bit register selects, 12-bit address/immediate).
+MICRO_WORD_BITS = 24
+
+#: Registers of the data path (Figure A.2).
+REGISTERS = ("MAR", "MDR", "LIST", "TAIL", "FIRST", "ELEM", "PREV",
+             "CURR", "ADDR", "COUNT", "TAG", "TMP")
+
+#: Input operand latches loaded from the bus interface.
+OPERAND_PORTS = ("OP1", "OP2")
+
+#: Safety bound on micro-cycles per routine invocation.
+MAX_MICRO_CYCLES = 100_000
+
+
+class Op(enum.Enum):
+    """Micro-operation codes."""
+
+    MOV = "mov"          # MOV dst, src
+    MOVI = "movi"        # MOVI dst, imm
+    ADDI = "addi"        # ADDI dst, src, imm
+    READ = "read"        # MDR <- mem[MAR]
+    WRITE = "write"      # mem[MAR] <- MDR
+    IN = "in"            # IN dst, port        (operand latch)
+    OUT = "out"          # OUT src             (result latch)
+    BZ = "bz"            # BZ src, label       (branch if zero/NULL)
+    BNZ = "bnz"          # BNZ src, label
+    BEQ = "beq"          # BEQ a, b, label
+    BNE = "bne"          # BNE a, b, label
+    BGE = "bge"          # BGE a, b, label     (branch if a >= b)
+    JMP = "jmp"          # JMP label
+    TBL_SAVE = "tbl_save"    # tag table[TAG] <- (ADDR, COUNT)
+    TBL_LOAD = "tbl_load"    # (ADDR, COUNT) <- tag table[TAG]
+    FAULT = "fault"      # signal a non-programming error (A.5.3)
+    RET = "ret"          # end of micro-routine
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One control-store word (assembler view)."""
+
+    op: Op
+    a: str | int | None = None
+    b: str | int | None = None
+    c: str | int | None = None
+    label: str | None = None     # jump target name for branches
+
+
+@dataclass
+class MicroRoutine:
+    """A named, assembled micro-routine."""
+
+    name: str
+    instructions: list[MicroInstruction]
+    labels: dict[str, int]
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+
+def assemble(name: str,
+             listing: list[tuple | str]) -> MicroRoutine:
+    """Assemble a listing of instructions and ``"label:"`` strings."""
+    instructions: list[MicroInstruction] = []
+    labels: dict[str, int] = {}
+    for item in listing:
+        if isinstance(item, str):
+            label = item.rstrip(":")
+            if label in labels:
+                raise MemoryError_(
+                    f"{name}: duplicate micro-label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        op, *operands = item
+        fields = {"a": None, "b": None, "c": None, "label": None}
+        names = ["a", "b", "c"]
+        for value in operands:
+            if isinstance(value, str) and value.startswith("@"):
+                fields["label"] = value[1:]
+            else:
+                fields[names.pop(0)] = value
+        instructions.append(MicroInstruction(op=op, **fields))
+    routine = MicroRoutine(name=name, instructions=instructions,
+                           labels=labels)
+    _validate(routine)
+    return routine
+
+
+def _validate(routine: MicroRoutine) -> None:
+    for inst in routine.instructions:
+        if inst.op in (Op.BZ, Op.BNZ, Op.BEQ, Op.BNE, Op.BGE, Op.JMP):
+            if inst.label is None:
+                raise MemoryError_(
+                    f"{routine.name}: {inst.op.value} without target")
+            if inst.label not in routine.labels:
+                raise MemoryError_(
+                    f"{routine.name}: undefined micro-label "
+                    f"{inst.label!r}")
+    if not routine.instructions or \
+            routine.instructions[-1].op not in (Op.RET, Op.JMP,
+                                                Op.FAULT):
+        raise MemoryError_(
+            f"{routine.name}: control falls off the end")
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one micro-routine."""
+
+    routine: str
+    micro_cycles: int
+    memory_cycles: int
+    outputs: list[int] = field(default_factory=list)
+
+    @property
+    def result(self) -> int | None:
+        return self.outputs[0] if self.outputs else None
+
+
+@dataclass
+class TagEntry:
+    """One row of the data path's block-request table."""
+
+    address: int = 0
+    count: int = 0
+
+
+class MicroEngine:
+    """Sequencer + data path executing micro-routines."""
+
+    def __init__(self, memory: SharedMemory, n_tags: int = 16):
+        self.memory = memory
+        self.registers: dict[str, int] = {r: 0 for r in REGISTERS}
+        self.tag_table: list[TagEntry] = [TagEntry()
+                                          for _ in range(n_tags)]
+        self.total_micro_cycles = 0
+
+    def run(self, routine: MicroRoutine,
+            operands: dict[str, int] | None = None) -> ExecutionResult:
+        """Execute *routine* with bus operand latches *operands*."""
+        operands = dict(operands or {})
+        for port in operands:
+            if port not in OPERAND_PORTS:
+                raise MemoryError_(f"unknown operand port {port!r}")
+        pc = 0
+        cycles = 0
+        memory_cycles_before = self.memory.cycles
+        outputs: list[int] = []
+        regs = self.registers
+
+        while True:
+            if pc >= routine.length:
+                raise MemoryError_(
+                    f"{routine.name}: PC ran past the control store")
+            cycles += 1
+            if cycles > MAX_MICRO_CYCLES:
+                raise MemoryError_(
+                    f"{routine.name}: exceeded {MAX_MICRO_CYCLES} "
+                    "micro-cycles (looping micro-code?)")
+            inst = routine.instructions[pc]
+            pc += 1
+            op = inst.op
+            if op is Op.MOV:
+                regs[inst.a] = regs[inst.b]
+            elif op is Op.MOVI:
+                regs[inst.a] = int(inst.b)
+            elif op is Op.ADDI:
+                regs[inst.a] = regs[inst.b] + int(inst.c)
+            elif op is Op.READ:
+                regs["MDR"] = self.memory.read(regs["MAR"])
+            elif op is Op.WRITE:
+                self.memory.write(regs["MAR"], regs["MDR"])
+            elif op is Op.IN:
+                if inst.b not in operands:
+                    raise MemoryError_(
+                        f"{routine.name}: operand {inst.b!r} was not "
+                        "supplied on the bus")
+                regs[inst.a] = operands[inst.b]
+            elif op is Op.OUT:
+                outputs.append(regs[inst.a])
+            elif op is Op.BZ:
+                if regs[inst.a] == 0:
+                    pc = routine.labels[inst.label]
+            elif op is Op.BNZ:
+                if regs[inst.a] != 0:
+                    pc = routine.labels[inst.label]
+            elif op is Op.BEQ:
+                if regs[inst.a] == regs[inst.b]:
+                    pc = routine.labels[inst.label]
+            elif op is Op.BNE:
+                if regs[inst.a] != regs[inst.b]:
+                    pc = routine.labels[inst.label]
+            elif op is Op.BGE:
+                if regs[inst.a] >= regs[inst.b]:
+                    pc = routine.labels[inst.label]
+            elif op is Op.JMP:
+                pc = routine.labels[inst.label]
+            elif op is Op.TBL_SAVE:
+                entry = self._tag_entry(regs["TAG"])
+                entry.address = regs["ADDR"]
+                entry.count = regs["COUNT"]
+            elif op is Op.TBL_LOAD:
+                entry = self._tag_entry(regs["TAG"])
+                regs["ADDR"] = entry.address
+                regs["COUNT"] = entry.count
+            elif op is Op.FAULT:
+                raise MemoryError_(
+                    f"{routine.name}: micro-code fault "
+                    f"({inst.a or 'unspecified'})")
+            elif op is Op.RET:
+                break
+            else:   # pragma: no cover - enum is exhaustive
+                raise MemoryError_(f"unknown micro-op {op}")
+
+        self.total_micro_cycles += cycles
+        return ExecutionResult(
+            routine=routine.name, micro_cycles=cycles,
+            memory_cycles=self.memory.cycles - memory_cycles_before,
+            outputs=outputs)
+
+    def _tag_entry(self, tag: int) -> TagEntry:
+        if not 0 <= tag < len(self.tag_table):
+            raise MemoryError_(f"tag {tag} outside the tag table")
+        return self.tag_table[tag]

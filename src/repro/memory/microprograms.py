@@ -1,0 +1,339 @@
+"""The controller's micro-routines (Appendix A.4) and their budget.
+
+Each routine is a direct transcription of its flow chart:
+
+* **main** (A.4.1) — command validation/dispatch,
+* **block transfer** (A.4.2) — latch (address, count) into the tag
+  table,
+* **block read data** (A.4.3) / **block write data** (A.4.4) — stream
+  words against the tag-table cursor, faulting on overrun (A.5.1),
+* **enqueue / first / dequeue control block** (A.4.5-A.4.7) — the
+  atomic circular-list primitives,
+* **read / write** (A.4.8) — simple word access.
+
+Error handling follows section A.5: block-request errors are detected
+and faulted; queue-manipulation errors cannot arise because only
+trusted kernel code issues requests, so the queue routines carry no
+guard micro-instructions — which is also what keeps the control store
+under the 3000 bits claimed in section 5.5 (checked by a test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+from repro.memory.layout import SharedMemory
+from repro.memory.microcode import (MICRO_WORD_BITS, MicroEngine,
+                                    MicroRoutine, Op, assemble)
+
+# ----------------------------------------------------------------------
+# micro-routines
+# ----------------------------------------------------------------------
+
+MAIN = assemble("main", [
+    # validate the 4-bit command code: 7 and anything >= 10 are
+    # unassigned (Table 5.2); echo the accepted code
+    (Op.IN, "CURR", "OP1"),
+    (Op.MOVI, "TMP", 10),
+    (Op.BGE, "CURR", "TMP", "@bad"),
+    (Op.MOVI, "TMP", 7),
+    (Op.BEQ, "CURR", "TMP", "@bad"),
+    (Op.OUT, "CURR"),
+    (Op.RET,),
+    "bad:",
+    (Op.FAULT, "unassigned command code"),
+])
+
+ENQUEUE = assemble("enqueue_control_block", [
+    (Op.IN, "LIST", "OP1"),
+    (Op.IN, "ELEM", "OP2"),
+    (Op.MOV, "MAR", "LIST"),
+    (Op.READ,),                      # MDR = tail
+    (Op.MOV, "TAIL", "MDR"),
+    (Op.BZ, "TAIL", "@empty"),
+    (Op.MOV, "MAR", "TAIL"),
+    (Op.READ,),                      # MDR = first (tail->next)
+    (Op.MOV, "MAR", "ELEM"),
+    (Op.WRITE,),                     # elem->next = first
+    (Op.MOV, "MDR", "ELEM"),
+    (Op.MOV, "MAR", "TAIL"),
+    (Op.WRITE,),                     # tail->next = elem
+    (Op.JMP, "@update"),
+    "empty:",
+    (Op.MOV, "MDR", "ELEM"),
+    (Op.MOV, "MAR", "ELEM"),
+    (Op.WRITE,),                     # elem->next = elem (singleton)
+    "update:",
+    (Op.MOV, "MAR", "LIST"),
+    (Op.WRITE,),                     # list = elem (MDR still = elem)
+    (Op.RET,),
+])
+
+FIRST = assemble("first_control_block", [
+    (Op.IN, "LIST", "OP1"),
+    (Op.MOV, "MAR", "LIST"),
+    (Op.READ,),                      # MDR = tail
+    (Op.MOV, "TAIL", "MDR"),
+    (Op.BZ, "TAIL", "@empty"),
+    (Op.MOV, "MAR", "TAIL"),
+    (Op.READ,),                      # MDR = first
+    (Op.MOV, "FIRST", "MDR"),
+    (Op.BEQ, "TAIL", "FIRST", "@single"),
+    (Op.MOV, "MAR", "FIRST"),
+    (Op.READ,),                      # MDR = first->next
+    (Op.MOV, "MAR", "TAIL"),
+    (Op.WRITE,),                     # tail->next = first->next
+    (Op.JMP, "@out"),
+    "single:",
+    (Op.MOVI, "MDR", 0),
+    (Op.MOV, "MAR", "LIST"),
+    (Op.WRITE,),                     # list = NULL
+    (Op.JMP, "@out"),
+    "empty:",
+    (Op.MOVI, "FIRST", 0),
+    "out:",
+    (Op.OUT, "FIRST"),
+    (Op.RET,),
+])
+
+DEQUEUE = assemble("dequeue_control_block", [
+    (Op.IN, "LIST", "OP1"),
+    (Op.IN, "ELEM", "OP2"),
+    (Op.MOV, "MAR", "LIST"),
+    (Op.READ,),
+    (Op.MOV, "TAIL", "MDR"),
+    (Op.BZ, "TAIL", "@miss"),        # empty list: no-operation
+    (Op.MOV, "PREV", "TAIL"),
+    "loop:",
+    (Op.MOV, "MAR", "PREV"),
+    (Op.READ,),
+    (Op.MOV, "CURR", "MDR"),         # curr = prev->next
+    (Op.BEQ, "CURR", "ELEM", "@found"),
+    (Op.BEQ, "CURR", "TAIL", "@miss"),
+    (Op.MOV, "PREV", "CURR"),
+    (Op.JMP, "@loop"),
+    "found:",
+    (Op.BNE, "CURR", "PREV", "@unlink"),
+    (Op.MOVI, "MDR", 0),             # singleton: list = NULL
+    (Op.MOV, "MAR", "LIST"),
+    (Op.WRITE,),
+    (Op.JMP, "@hit"),
+    "unlink:",
+    (Op.MOV, "MAR", "ELEM"),
+    (Op.READ,),                      # MDR = elem->next
+    (Op.MOV, "MAR", "PREV"),
+    (Op.WRITE,),                     # prev->next = elem->next
+    (Op.BNE, "TAIL", "ELEM", "@hit"),
+    (Op.MOV, "MDR", "PREV"),
+    (Op.MOV, "MAR", "LIST"),
+    (Op.WRITE,),                     # dequeued the tail: list = prev
+    "hit:",
+    (Op.MOVI, "TMP", 1),
+    (Op.OUT, "TMP"),
+    (Op.RET,),
+    "miss:",
+    (Op.MOVI, "TMP", 0),
+    (Op.OUT, "TMP"),
+    (Op.RET,),
+])
+
+BLOCK_TRANSFER = assemble("block_transfer", [
+    # TAG is latched by the bus interface before dispatch
+    (Op.IN, "ADDR", "OP1"),
+    (Op.IN, "COUNT", "OP2"),
+    (Op.BZ, "COUNT", "@bad"),        # zero-length block (A.5.1)
+    (Op.TBL_SAVE,),
+    (Op.OUT, "TAG"),
+    (Op.RET,),
+    "bad:",
+    (Op.FAULT, "block transfer with zero count"),
+])
+
+BLOCK_READ_DATA = assemble("block_read_data", [
+    (Op.IN, "TAG", "OP1"),
+    (Op.IN, "TMP", "OP2"),           # words requested this grant
+    (Op.TBL_LOAD,),                  # ADDR, COUNT <- table[TAG]
+    "loop:",
+    (Op.BZ, "TMP", "@done"),
+    (Op.BZ, "COUNT", "@over"),
+    (Op.MOV, "MAR", "ADDR"),
+    (Op.READ,),
+    (Op.OUT, "MDR"),
+    (Op.ADDI, "ADDR", "ADDR", 1),
+    (Op.ADDI, "COUNT", "COUNT", -1),
+    (Op.ADDI, "TMP", "TMP", -1),
+    (Op.JMP, "@loop"),
+    "done:",
+    (Op.TBL_SAVE,),                  # restartable cursor (section 5.2)
+    (Op.RET,),
+    "over:",
+    (Op.FAULT, "read past the end of the block"),
+])
+
+BLOCK_WRITE_WORD = assemble("block_write_word", [
+    (Op.IN, "TAG", "OP1"),
+    (Op.IN, "MDR", "OP2"),           # the streamed word
+    (Op.TBL_LOAD,),
+    (Op.BZ, "COUNT", "@over"),
+    (Op.MOV, "MAR", "ADDR"),
+    (Op.WRITE,),
+    (Op.ADDI, "ADDR", "ADDR", 1),
+    (Op.ADDI, "COUNT", "COUNT", -1),
+    (Op.TBL_SAVE,),
+    (Op.RET,),
+    "over:",
+    (Op.FAULT, "write past the end of the block"),
+])
+
+READ = assemble("read", [
+    (Op.IN, "MAR", "OP1"),
+    (Op.READ,),
+    (Op.OUT, "MDR"),
+    (Op.RET,),
+])
+
+WRITE = assemble("write", [
+    (Op.IN, "MAR", "OP1"),
+    (Op.IN, "MDR", "OP2"),
+    (Op.WRITE,),
+    (Op.RET,),
+])
+
+CONTROL_STORE: tuple[MicroRoutine, ...] = (
+    MAIN, ENQUEUE, FIRST, DEQUEUE, BLOCK_TRANSFER, BLOCK_READ_DATA,
+    BLOCK_WRITE_WORD, READ, WRITE,
+)
+
+
+def control_store_words() -> int:
+    """Total micro-instructions across all routines."""
+    return sum(routine.length for routine in CONTROL_STORE)
+
+
+def control_store_bits() -> int:
+    """Control-store size; section 5.5 claims under 3000 bits."""
+    return control_store_words() * MICRO_WORD_BITS
+
+
+# ----------------------------------------------------------------------
+# Table A.1 — data-path component count (reconstruction)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ComponentRow:
+    unit: str
+    active_components: int
+
+
+#: Reconstructed breakdown of the single-chip data path; the thesis
+#: reports "roughly 6000 active components" (section 5.5 / Table A.1).
+DATAPATH_COMPONENTS: tuple[ComponentRow, ...] = (
+    ComponentRow("register file (12 x 16-bit)", 2300),
+    ComponentRow("ALU / incrementer", 900),
+    ComponentRow("tag table (16 x 32-bit)", 1800),
+    ComponentRow("memory interface (MAR/MDR, timing)", 500),
+    ComponentRow("bus interface (latches, tag compare)", 500),
+)
+
+#: The micro-sequencer fits in "roughly 1000 active components".
+SEQUENCER_COMPONENTS: tuple[ComponentRow, ...] = (
+    ComponentRow("micro-PC and branch mux", 350),
+    ComponentRow("control store addressing", 300),
+    ComponentRow("pipeline register / decode", 350),
+)
+
+
+def datapath_component_count() -> int:
+    return sum(row.active_components for row in DATAPATH_COMPONENTS)
+
+
+def sequencer_component_count() -> int:
+    return sum(row.active_components for row in SEQUENCER_COMPONENTS)
+
+
+# ----------------------------------------------------------------------
+# the micro-coded controller
+# ----------------------------------------------------------------------
+
+class MicrocodedController:
+    """The smart memory controller implemented *in micro-code*.
+
+    Functionally equivalent to
+    :class:`repro.memory.controller.SmartMemoryController` (the
+    behavioural model used by the bus fabric) but every operation
+    actually executes its Appendix A micro-routine on the
+    :class:`MicroEngine`; equivalence is established by property
+    tests.  Tag allocation is performed by the bus interface, which
+    latches the granted tag into the TAG register before dispatch.
+    """
+
+    def __init__(self, memory: SharedMemory, n_tags: int = 16):
+        self.engine = MicroEngine(memory, n_tags=n_tags)
+        self._free_tags = list(range(n_tags))
+        self._tag_direction: dict[int, str] = {}
+
+    # -- queue primitives ------------------------------------------------
+    def enqueue_control_block(self, element: int, list_addr: int) -> None:
+        self.engine.run(ENQUEUE, {"OP1": list_addr, "OP2": element})
+
+    def first_control_block(self, list_addr: int) -> int:
+        return self.engine.run(FIRST, {"OP1": list_addr}).result
+
+    def dequeue_control_block(self, element: int, list_addr: int) -> bool:
+        return bool(self.engine.run(
+            DEQUEUE, {"OP1": list_addr, "OP2": element}).result)
+
+    # -- block transfers ---------------------------------------------------
+    def block_transfer(self, direction: str, address: int,
+                       count: int) -> int:
+        if not self._free_tags:
+            raise MemoryError_("tag table exhausted")
+        tag = self._free_tags.pop(0)
+        self.engine.registers["TAG"] = tag
+        try:
+            self.engine.run(BLOCK_TRANSFER,
+                            {"OP1": address, "OP2": count})
+        except MemoryError_:
+            self._free_tags.insert(0, tag)
+            raise
+        self._tag_direction[tag] = direction
+        return tag
+
+    def block_read_data(self, tag: int, words: int) -> list[int]:
+        self._check_tag(tag, "read")
+        result = self.engine.run(BLOCK_READ_DATA,
+                                 {"OP1": tag, "OP2": words})
+        self._maybe_retire(tag)
+        return result.outputs
+
+    def block_write_data(self, tag: int, words: list[int]) -> None:
+        self._check_tag(tag, "write")
+        for word in words:
+            self.engine.run(BLOCK_WRITE_WORD, {"OP1": tag, "OP2": word})
+        self._maybe_retire(tag)
+
+    # -- simple access ----------------------------------------------------
+    def read_word(self, address: int) -> int:
+        return self.engine.run(READ, {"OP1": address}).result
+
+    def write_word(self, address: int, value: int) -> None:
+        self.engine.run(WRITE, {"OP1": address, "OP2": value})
+
+    def dispatch(self, command_code: int) -> int:
+        """Run the main-loop validation on a raw command code."""
+        return self.engine.run(MAIN, {"OP1": command_code}).result
+
+    # -- internals ----------------------------------------------------------
+    def _check_tag(self, tag: int, direction: str) -> None:
+        if tag not in self._tag_direction:
+            raise MemoryError_(f"tag {tag}: not outstanding")
+        if self._tag_direction[tag] != direction:
+            raise MemoryError_(f"tag {tag}: direction mismatch")
+
+    def _maybe_retire(self, tag: int) -> None:
+        self.engine.registers["TAG"] = tag
+        entry = self.engine.tag_table[tag]
+        if entry.count == 0:
+            del self._tag_direction[tag]
+            self._free_tags.append(tag)

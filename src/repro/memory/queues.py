@@ -1,0 +1,108 @@
+"""Atomic queue-manipulation primitives on singly-linked circular lists.
+
+These are direct transcriptions of the three primitives defined in
+section 5.1 of the thesis (Figure 5.1): a *list* is a memory location
+holding a pointer to the **tail** (last element) of a circular
+singly-linked list; the element after the tail is the head ("first").
+``NULL`` (0) is the distinguished empty-list value.
+
+The same code serves two masters:
+
+* the *software* implementation executed by a processor under
+  conventional locking (architecture II, Table 6.1 "get semaphore,
+  execute the queue manipulation algorithm, release semaphore"), and
+* the *smart shared memory* controller, which runs them atomically in
+  micro-code behind the smart bus (architectures III and IV).
+
+The only difference between the two is who pays for the memory cycles,
+which callers observe through :attr:`SharedMemory.cycles`.
+"""
+
+from __future__ import annotations
+
+from repro.memory.layout import NEXT_OFFSET, NULL, SharedMemory
+
+
+def enqueue(memory: SharedMemory, element: int, list_addr: int) -> None:
+    """Enqueue *element* at the tail of the list rooted at *list_addr*.
+
+    Pseudo-code of section 5.1 primitive (1): the element becomes the
+    new tail; an empty list becomes a singleton pointing at itself.
+    """
+    tail = memory.read(list_addr)
+    if tail != NULL:
+        first = memory.read(tail + NEXT_OFFSET)
+        memory.write(element + NEXT_OFFSET, first)
+        memory.write(tail + NEXT_OFFSET, element)
+    else:
+        memory.write(element + NEXT_OFFSET, element)
+    memory.write(list_addr, element)
+
+
+def first(memory: SharedMemory, list_addr: int) -> int:
+    """Dequeue and return the head element; NULL when the list is empty.
+
+    Pseudo-code of section 5.1 primitive (2): "list" is set to NULL
+    when the last element is removed, otherwise it keeps pointing at
+    the unchanged tail.
+    """
+    tail = memory.read(list_addr)
+    if tail == NULL:
+        return NULL
+    head = memory.read(tail + NEXT_OFFSET)
+    if tail == head:
+        memory.write(list_addr, NULL)
+    else:
+        second = memory.read(head + NEXT_OFFSET)
+        memory.write(tail + NEXT_OFFSET, second)
+    return head
+
+
+def dequeue(memory: SharedMemory, element: int, list_addr: int) -> bool:
+    """Remove *element* from anywhere in the list; no-op if absent.
+
+    Pseudo-code of section 5.1 primitive (3).  Returns True when the
+    element was found and removed (the thesis primitive is silent, but
+    the flag is free and useful for callers and tests).
+    """
+    tail = memory.read(list_addr)
+    if tail == NULL:
+        return False
+    prev = tail
+    current = memory.read(prev + NEXT_OFFSET)
+    while True:
+        if current == element:
+            if current == prev:
+                # singleton: the list empties
+                memory.write(list_addr, NULL)
+            else:
+                nxt = memory.read(element + NEXT_OFFSET)
+                memory.write(prev + NEXT_OFFSET, nxt)
+                if tail == element:
+                    memory.write(list_addr, prev)
+            return True
+        if current == tail:
+            return False
+        prev = current
+        current = memory.read(prev + NEXT_OFFSET)
+
+
+def members(memory: SharedMemory, list_addr: int) -> list[int]:
+    """All element addresses from head to tail (test/diagnostic helper)."""
+    tail = memory.read(list_addr)
+    if tail == NULL:
+        return []
+    out = []
+    current = memory.read(tail + NEXT_OFFSET)
+    while True:
+        out.append(current)
+        if current == tail:
+            return out
+        current = memory.read(current + NEXT_OFFSET)
+        if len(out) > memory.size:
+            raise RuntimeError("corrupted circular list")
+
+
+def length(memory: SharedMemory, list_addr: int) -> int:
+    """Number of elements in the list (diagnostic helper)."""
+    return len(members(memory, list_addr))

@@ -1,0 +1,137 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Two knobs the thesis fixes by assumption are swept here:
+
+* **Smart-bus speed** (section 6.4 assumes the four-edge handshake
+  equals one Versabus memory cycle, noting "a much higher speed is
+  achievable ... these conservative times give a more realistic
+  basis").  :func:`smart_bus_sensitivity` re-derives the architecture
+  III round trip for faster/slower handshakes using the chapter 4
+  accounting: one round trip contains sixteen atomic queueing
+  operations and four 40-byte copies, each replaced by a bus
+  primitive.
+* **Coprocessor speed** (the front-end modeling studies the thesis
+  cites ask how performance depends on the relative speeds of host
+  and front-end).  :func:`mp_speed_sensitivity` scales every MP-side
+  activity of architecture II and resolves the local model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ModelError
+from repro.gtpn import analyze
+from repro.models.local import _coprocessor_net
+from repro.models.params import (COPY_40_BYTES_US, INSTRUCTION_TIME_US,
+                                 LOCAL_PARAMS, QUEUE_OP_US, Architecture,
+                                 Mode, round_trip_sum)
+
+#: Chapter 4 measurement: one (non-local) round trip performs sixteen
+#: queueing operations and four 40-byte copy operations.
+QUEUE_OPS_PER_ROUND_TRIP = 16
+COPIES_PER_ROUND_TRIP = 4
+
+#: A 40-byte block is twenty 16-bit words.
+WORDS_PER_MESSAGE = 20
+
+
+@dataclass(frozen=True)
+class BusSpeedPoint:
+    """Derived architecture III cost at one bus speed."""
+
+    handshake_us: float        # four-edge handshake duration
+    queue_op_us: float         # smart-bus atomic queue operation
+    copy_us: float             # smart-bus 40-byte block move
+    round_trip_us: float       # derived arch III round-trip total
+
+
+def smart_bus_primitive_costs(handshake_us: float,
+                              ) -> tuple[float, float]:
+    """(queue op, 40-byte copy) cost under the smart bus.
+
+    Three instructions initiate any primitive (9 us on the 0.3 MIPS
+    68000); the memory-cycle component scales with the handshake: one
+    four-edge handshake per queue op, and a request handshake plus
+    twenty half-handshake word transfers per block copy (Table 6.1).
+    """
+    if handshake_us <= 0:
+        raise ModelError("handshake time must be positive")
+    initiate = 3 * INSTRUCTION_TIME_US
+    queue_op = initiate + handshake_us
+    copy = initiate + handshake_us \
+        + WORDS_PER_MESSAGE * (handshake_us / 2.0)
+    return queue_op, copy
+
+
+def derive_arch3_round_trip(handshake_us: float = 1.0,
+                            mode: Mode = Mode.LOCAL) -> BusSpeedPoint:
+    """Architecture III round trip derived from architecture II.
+
+    Replaces the software queue operations (74 us each) and software
+    copies (220 us per 40 bytes) of the architecture II round trip
+    with the bus primitives — the same derivation the thesis used to
+    obtain the architecture III tables ("times for architectures III
+    and IV were derived from architecture II after factoring in the
+    primitives of the smart bus").
+    """
+    queue_op, copy = smart_bus_primitive_costs(handshake_us)
+    base = round_trip_sum(Architecture.II, mode)
+    derived = base \
+        - QUEUE_OPS_PER_ROUND_TRIP * (QUEUE_OP_US - queue_op) \
+        - COPIES_PER_ROUND_TRIP * (COPY_40_BYTES_US - copy)
+    return BusSpeedPoint(handshake_us=handshake_us,
+                         queue_op_us=queue_op, copy_us=copy,
+                         round_trip_us=derived)
+
+
+def smart_bus_sensitivity(handshake_scales: list[float],
+                          mode: Mode = Mode.LOCAL,
+                          ) -> list[BusSpeedPoint]:
+    """Derived arch III round trips across bus-speed scalings.
+
+    A scale of 1.0 is the thesis's conservative assumption (handshake
+    = 1 us memory cycle); 0.5 is a bus twice as fast, etc.
+    """
+    return [derive_arch3_round_trip(scale * 1.0, mode)
+            for scale in handshake_scales]
+
+
+@dataclass(frozen=True)
+class MpSpeedPoint:
+    """Architecture II local throughput at one MP/host speed ratio."""
+
+    speed_ratio: float         # MP speed relative to the host
+    conversations: int
+    compute_time: float
+    throughput: float
+
+
+def mp_speed_sensitivity(speed_ratios: list[float], conversations: int,
+                         compute_time: float) -> list[MpSpeedPoint]:
+    """Throughput of architecture II as the MP gets slower/faster.
+
+    ``speed_ratio`` divides every MP-side activity time (process send
+    / process receive / match / process reply); 1.0 reproduces the
+    published model, 0.5 is an MP half the host's speed.
+    """
+    if conversations < 1:
+        raise ModelError("need at least one conversation")
+    points = []
+    base = LOCAL_PARAMS[Architecture.II]
+    for ratio in speed_ratios:
+        if ratio <= 0:
+            raise ModelError("speed ratio must be positive")
+        params = replace(
+            base,
+            process_send=base.process_send / ratio,
+            process_receive=base.process_receive / ratio,
+            match=base.match / ratio,
+            process_reply=base.process_reply / ratio)
+        net = _coprocessor_net(params, conversations, compute_time,
+                               hosts=1)
+        points.append(MpSpeedPoint(
+            speed_ratio=ratio, conversations=conversations,
+            compute_time=compute_time,
+            throughput=analyze(net).throughput()))
+    return points

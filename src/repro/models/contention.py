@@ -1,0 +1,102 @@
+"""Low-level shared-memory contention model (section 6.6.2, Fig. 6.8).
+
+Exact modeling of memory interference inside the big architecture nets
+would explode their state space, so the thesis computes, in a separate
+low-level GTPN, the *contention completion time* of each activity when
+all possible other activities overlap with it, and uses those inflated
+times in the high-level models.
+
+The per-activity subnet follows Figure 6.8 / Table 6.3.  An activity
+with best-case duration ``b`` of which ``s`` ticks are shared-memory
+accesses cycles through three decision points:
+
+* completion choice — each tick the activity finishes with
+  probability ``1/b`` (transition T1, carrying the rate resource) or
+  continues (immediate T0);
+* phase choice — a continuing tick is a memory access with
+  probability ``s/b`` (immediate T2) or pure processing (T3);
+* memory access — T4 needs the single Memory token for one tick;
+  when another activity holds it, the access stalls and the cycle
+  stretches.
+
+The contention completion time is the reciprocal of the steady-state
+completion rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.gtpn import Net, analyze
+from repro.models.params import (ARCH1_CLIENT_CONTENTION_ACTIVITIES,
+                                 ContentionActivity)
+
+
+def build_contention_net(activities: list[ContentionActivity]) -> Net:
+    """The Figure 6.8 net for a set of concurrently running activities."""
+    if not activities:
+        raise ModelError("need at least one activity")
+    names = [a.name for a in activities]
+    if len(set(names)) != len(names):
+        raise ModelError(f"duplicate activity names: {names}")
+    net = Net("contention-" + "+".join(names))
+    memory = net.place("Memory", tokens=1)
+
+    for activity in activities:
+        best = activity.best
+        share = activity.shared_access / best
+        if not 0 <= share < 1:
+            raise ModelError(
+                f"{activity.name}: shared access must be < total time")
+        p_done = 1.0 / best
+        p1 = net.place(f"{activity.name}.P1", tokens=1)
+        p2 = net.place(f"{activity.name}.P2")
+        p3 = net.place(f"{activity.name}.P3")
+        # completion choice (T1 carries the rate resource)
+        net.transition(f"{activity.name}.T0", delay=0,
+                       frequency=1.0 - p_done, inputs=[p1], outputs=[p2])
+        net.transition(f"{activity.name}.T1", delay=1, frequency=p_done,
+                       resource=f"rate.{activity.name}",
+                       inputs=[p1], outputs=[p1])
+        # phase choice
+        net.transition(f"{activity.name}.T2", delay=0, frequency=share,
+                       inputs=[p2], outputs=[p3])
+        net.transition(f"{activity.name}.T3", delay=1,
+                       frequency=1.0 - share, inputs=[p2], outputs=[p1])
+        # the memory access itself
+        net.transition(f"{activity.name}.T4", delay=1, frequency=1.0,
+                       inputs=[p3, memory], outputs=[p1, memory])
+    return net
+
+
+def contention_completion_times(activities: list[ContentionActivity],
+                                ) -> dict[str, float]:
+    """Contention completion time of each activity in the overlap set."""
+    result = analyze(build_contention_net(activities))
+    times: dict[str, float] = {}
+    for activity in activities:
+        rate = result.resource_usage(f"rate.{activity.name}")
+        if rate <= 0:
+            raise ModelError(f"{activity.name}: zero completion rate")
+        times[activity.name] = 1.0 / rate
+    return times
+
+
+def arch1_client_contention() -> dict[str, float]:
+    """Reproduce Table 6.2's "Contention" column.
+
+    SendProc and NetIntr both execute on the host and therefore never
+    overlap each other; each is modelled against the two DMA
+    activities, matching "the 'contention' completion time for each
+    activity (which results when all possible other activities
+    overlap)".
+    """
+    send, dma_out, dma_in, netintr = ARCH1_CLIENT_CONTENTION_ACTIVITIES
+    times: dict[str, float] = {}
+    times.update({k: v for k, v in contention_completion_times(
+        [send, dma_out, dma_in]).items() if k == send.name})
+    times.update({k: v for k, v in contention_completion_times(
+        [netintr, dma_out, dma_in]).items() if k == netintr.name})
+    dma_set = contention_completion_times([send, dma_out, dma_in])
+    times[dma_out.name] = dma_set[dma_out.name]
+    times[dma_in.name] = dma_set[dma_in.name]
+    return times

@@ -1,0 +1,194 @@
+"""Chapter 7 extensions: multiprocessor nodes and design ablations.
+
+The thesis's discussion chapter sketches two follow-on questions that
+the published evaluation does not quantify:
+
+* **Figure 7.1** — scaling a node to a shared-memory multiprocessor:
+  several hosts served by one message coprocessor.  How many hosts can
+  one MP carry before it saturates?
+* **Section 7.2** — functional dedication vs symmetric
+  multiprocessing: is a dedicated MP better than using both processors
+  interchangeably?  The thesis argues dedication wins on cost,
+  hardware organization, and because symmetric sharing needs locking
+  on the system data structures; this module makes the comparison
+  quantitative with an explicit per-round-trip locking overhead knob.
+
+Both studies reuse the chapter 6 models unchanged except for the host
+count / lock overhead, so they inherit the validated timing base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.gtpn import Net, activity_pair, analyze
+from repro.models.local import build_local_net
+from repro.models.params import (LOCAL_PARAMS, QUEUE_OP_US, Architecture)
+
+
+@dataclass(frozen=True)
+class HostScalingPoint:
+    """Throughput of a multiprocessor node with *hosts* hosts."""
+
+    hosts: int
+    conversations: int
+    compute_time: float
+    throughput: float
+
+
+def host_scaling(architecture: Architecture, hosts_list: list[int],
+                 conversations: int, compute_time: float,
+                 ) -> list[HostScalingPoint]:
+    """Throughput as hosts are added to one node (Figure 7.1 study).
+
+    The message coprocessor is *not* replicated: its finite bandwidth
+    caps the benefit of extra hosts, which is exactly the economics
+    the thesis's section 7.3 anticipates.
+    """
+    points = []
+    for hosts in hosts_list:
+        net = build_local_net(architecture, conversations, compute_time,
+                              hosts=hosts)
+        points.append(HostScalingPoint(
+            hosts=hosts, conversations=conversations,
+            compute_time=compute_time,
+            throughput=analyze(net).throughput()))
+    return points
+
+
+def mp_saturation_bound(architecture: Architecture,
+                        compute_time: float = 0.0) -> float:
+    """The MP-bandwidth throughput ceiling of a coprocessor node.
+
+    One round trip occupies the MP for process send + process receive
+    + match + process reply, regardless of how many hosts feed it.
+    """
+    params = LOCAL_PARAMS[architecture]
+    if params.process_send is None:
+        raise ModelError(
+            f"architecture {architecture.name} has no coprocessor")
+    mp_busy = (params.process_send + params.process_receive
+               + params.match + params.process_reply)
+    return 1.0 / mp_busy
+
+
+def build_symmetric_net(conversations: int, compute_time: float = 0.0,
+                        processors: int = 2,
+                        lock_overhead: float = 4 * QUEUE_OP_US) -> Net:
+    """A symmetric multiprocessor running the whole OS on every CPU.
+
+    Section 7.2's alternative to functional dedication: the
+    architecture I software runs unchanged on *processors* identical
+    CPUs, but because every CPU now manipulates the shared system data
+    structures, each round trip pays ``lock_overhead`` of extra
+    processing for locking (the thesis names this as the principal
+    software cost of the symmetric organization; the default charges
+    one atomic queue operation's processing time, 74 us, for each of
+    the four lock/unlock points of a round trip).
+    """
+    if conversations < 1:
+        raise ModelError("need at least one conversation")
+    if processors < 1:
+        raise ModelError("need at least one processor")
+    if lock_overhead < 0:
+        raise ModelError("lock overhead must be non-negative")
+    params = LOCAL_PARAMS[Architecture.I]
+    net = Net(f"symmetric-p{processors}-n{conversations}")
+    clients = net.place("Clients", tokens=conversations)
+    servers = net.place("Servers", tokens=conversations)
+    cpus = net.place("CPUs", tokens=processors)
+    sent = net.place("Sent")
+    posted = net.place("Posted")
+
+    # spread the locking overhead over the three host activities in
+    # proportion to their length
+    total = (params.client_step + params.server_step + params.match
+             + params.serve_base)
+    inflate = 1.0 + lock_overhead / total
+
+    activity_pair(net, "client", params.client_step * inflate,
+                  inputs=[clients], outputs=[sent], holds=[cpus])
+    activity_pair(net, "server", params.server_step * inflate,
+                  inputs=[servers], outputs=[posted], holds=[cpus])
+    rendezvous = (params.match + params.serve_base) * inflate \
+        + compute_time
+    activity_pair(net, "rendezvous", rendezvous,
+                  inputs=[sent, posted], outputs=[clients, servers],
+                  holds=[cpus], resource="lambda")
+    return net
+
+
+@dataclass(frozen=True)
+class DedicationComparison:
+    """Dedicated (arch II) vs symmetric two-processor node."""
+
+    conversations: int
+    compute_time: float
+    lock_overhead: float
+    dedicated_throughput: float
+    symmetric_throughput: float
+
+    @property
+    def dedication_wins(self) -> bool:
+        return self.dedicated_throughput >= self.symmetric_throughput
+
+
+def compare_dedication(conversations: int, compute_time: float,
+                       lock_overhead: float = 4 * QUEUE_OP_US,
+                       ) -> DedicationComparison:
+    """Quantify section 7.2's functional-dedication argument.
+
+    An honest note: on raw throughput the symmetric organization wins
+    with the published cost constants (two full processors beat a
+    host+MP pipeline that also pays partition overhead).  The thesis's
+    case for dedication rests on cost-effectiveness (the MP needs no
+    FPU/MMU/caches), hardware simplicity, and the software cost of
+    fine-grained locking — use
+    :func:`dedication_crossover_lock_overhead` to see how much locking
+    overhead the symmetric design must pay before dedication wins
+    outright.
+    """
+    dedicated = analyze(build_local_net(
+        Architecture.II, conversations, compute_time)).throughput()
+    symmetric = analyze(build_symmetric_net(
+        conversations, compute_time,
+        lock_overhead=lock_overhead)).throughput()
+    return DedicationComparison(
+        conversations=conversations, compute_time=compute_time,
+        lock_overhead=lock_overhead,
+        dedicated_throughput=dedicated,
+        symmetric_throughput=symmetric)
+
+
+def dedication_crossover_lock_overhead(conversations: int,
+                                       compute_time: float,
+                                       upper: float = 20_000.0,
+                                       tolerance: float = 50.0) -> float:
+    """Locking overhead at which symmetric drops to the dedicated level.
+
+    Bisects the per-round-trip lock overhead of the symmetric design
+    until its throughput falls below architecture II's.  Returns
+    ``inf`` if even *upper* microseconds of locking leave symmetric
+    ahead.
+    """
+    dedicated = analyze(build_local_net(
+        Architecture.II, conversations, compute_time)).throughput()
+
+    def symmetric_throughput(lock: float) -> float:
+        return analyze(build_symmetric_net(
+            conversations, compute_time,
+            lock_overhead=lock)).throughput()
+
+    low, high = 0.0, upper
+    if symmetric_throughput(high) > dedicated:
+        return float("inf")
+    if symmetric_throughput(low) <= dedicated:
+        return 0.0
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if symmetric_throughput(mid) > dedicated:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2

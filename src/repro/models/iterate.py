@@ -1,0 +1,156 @@
+"""Iterative solution of the split non-local models (section 6.6.3).
+
+The client and server nodes are modelled separately, coupled through
+two surrogate delays:
+
+* the client model embeds S_d, the mean server delay per conversation
+  (including queueing at the server node), and
+* the server model embeds C_d, the mean waiting time for client
+  requests.
+
+The combined system is solved by fixed-point iteration exactly as in
+the thesis:
+
+1. solve the client model with the current S_d -> throughput Lambda;
+2. Little's result: per-client cycle time T = Clients / Lambda, so the
+   client-side time is C_d' = T - S_d;
+3. the client's absence overlaps the server's receive processing S_c,
+   so the waiting time seen by the server is C_d = C_d' - S_c;
+4. solve the server model with C_d -> arrival rate lambda and mean
+   population N; Little again: S_d = N / lambda, plus the constant
+   request/reply DMA times (section 6.6.4);
+5. repeat until successive S_d values agree within tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConvergenceError
+from repro.gtpn import AnalysisResult, analyze
+from repro.models.nonlocal_client import build_nonlocal_client_net
+from repro.models.nonlocal_server import (NONLOCAL_SERVER_PARAMS,
+                                          build_nonlocal_server_net,
+                                          server_population)
+from repro.models.params import (NONLOCAL_CLIENT_PARAMS, Architecture)
+
+#: Relative S_d change below which the fixed point is converged.
+DEFAULT_TOLERANCE = 1e-3
+
+DEFAULT_MAX_ITERATIONS = 60
+
+#: Floor keeping surrogate delays valid activity means (>= 1 tick).
+_MIN_DELAY = 1.0
+
+
+@dataclass
+class IterationStep:
+    """Bookkeeping for one round of the fixed point."""
+
+    server_delay: float
+    throughput: float
+    client_cycle: float
+    client_delay: float
+    arrival_rate: float
+    population: float
+    new_server_delay: float
+
+
+@dataclass
+class NonlocalSolution:
+    """Converged solution of the split non-local model."""
+
+    architecture: Architecture
+    conversations: int
+    compute_time: float
+    throughput: float            # round trips per microsecond (Lambda)
+    server_delay: float          # S_d
+    client_delay: float          # C_d
+    iterations: int
+    client_result: AnalysisResult
+    server_result: AnalysisResult
+    history: list[IterationStep] = field(default_factory=list)
+
+    @property
+    def round_trip_time(self) -> float:
+        """Mean conversation cycle time per client (T = N / Lambda)."""
+        return self.conversations / self.throughput
+
+
+def initial_server_delay(architecture: Architecture,
+                         compute_time: float) -> float:
+    """Thesis starting point: server-side communication + compute time."""
+    params = NONLOCAL_SERVER_PARAMS[architecture]
+    return (params.dma_in + params.match + params.serve_base
+            + compute_time + (params.process_reply or 0.0)
+            + params.dma_out)
+
+
+def solve_nonlocal(architecture: Architecture, conversations: int,
+                   compute_time: float = 0.0, *,
+                   tolerance: float = DEFAULT_TOLERANCE,
+                   max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                   damping: float = 0.5,
+                   hosts: int = 1) -> NonlocalSolution:
+    """Fixed-point solution of the non-local conversation model.
+
+    ``damping`` blends successive S_d estimates (new = d*new +
+    (1-d)*old), which stabilizes the alternating client/server solve
+    for heavily loaded models without changing the fixed point.
+    ``hosts`` sets the host count per node (the published curves use
+    one; the thesis's own validation model used two).
+    """
+    client_params = NONLOCAL_CLIENT_PARAMS[architecture]
+    server_params = NONLOCAL_SERVER_PARAMS[architecture]
+    s_c = server_params.receive_path
+    dma_constant = server_params.dma_in + server_params.dma_out
+
+    server_delay = initial_server_delay(architecture, compute_time)
+    history: list[IterationStep] = []
+    client_result = server_result = None
+
+    for iteration in range(1, max_iterations + 1):
+        client_net = build_nonlocal_client_net(
+            architecture, conversations, max(server_delay, _MIN_DELAY),
+            hosts=hosts)
+        client_result = analyze(client_net)
+        throughput = client_result.throughput("lambda")
+        if throughput <= 0:
+            raise ConvergenceError(
+                f"{architecture}: client model produced zero throughput")
+        cycle = conversations / throughput
+        client_delay = max(cycle - server_delay - s_c, _MIN_DELAY)
+
+        server_net = build_nonlocal_server_net(
+            architecture, conversations, client_delay, compute_time,
+            hosts=hosts)
+        server_result = analyze(server_net)
+        arrival_rate = server_result.resource_usage("lambda_in")
+        if arrival_rate <= 0:
+            raise ConvergenceError(
+                f"{architecture}: server model produced zero arrivals")
+        population = server_population(server_result)
+        new_server_delay = population / arrival_rate + dma_constant
+
+        history.append(IterationStep(
+            server_delay=server_delay, throughput=throughput,
+            client_cycle=cycle, client_delay=client_delay,
+            arrival_rate=arrival_rate, population=population,
+            new_server_delay=new_server_delay))
+
+        if abs(new_server_delay - server_delay) <= \
+                tolerance * max(server_delay, 1.0):
+            return NonlocalSolution(
+                architecture=architecture, conversations=conversations,
+                compute_time=compute_time, throughput=throughput,
+                server_delay=new_server_delay, client_delay=client_delay,
+                iterations=iteration, client_result=client_result,
+                server_result=server_result, history=history)
+        server_delay = (damping * new_server_delay
+                        + (1.0 - damping) * server_delay)
+
+    raise ConvergenceError(
+        f"{architecture}, {conversations} conversations, "
+        f"X={compute_time}: S_d did not converge in {max_iterations} "
+        f"iterations (last {history[-1].new_server_delay:.1f} vs "
+        f"{history[-1].server_delay:.1f})")

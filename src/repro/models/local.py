@@ -1,0 +1,111 @@
+"""GTPN models of local conversations (Figures 6.9 and 6.12).
+
+Architecture I (Figure 6.9, Table 6.5): everything executes on the
+single host.  Client and server steps and the combined
+match + compute + reply activity all hold the Host token, so they share
+the processor.
+
+Architectures II-IV (Figure 6.12 with the parameters of Tables 6.10 /
+6.15 / 6.20): the syscall halves hold the Host, the kernel-processing
+halves hold the MP; the two processors pipeline within and across
+conversations.
+
+Workload (section 6.3): ``conversations`` client/server pairs;
+``compute_time`` is the mean server computation X per conversation.
+The throughput resource ``lambda`` counts completed round trips per
+microsecond.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.gtpn import Net, activity_pair
+from repro.models.params import (LOCAL_PARAMS, Architecture,
+                                 LocalModelParams)
+
+
+def build_local_net(architecture: Architecture, conversations: int,
+                    compute_time: float = 0.0, hosts: int = 1) -> Net:
+    """The local-conversation net for one architecture.
+
+    ``compute_time`` is X in the thesis's frequency expressions
+    (microseconds of server computation per conversation).  ``hosts``
+    extends the node to a shared-memory multiprocessor with several
+    hosts served by the single message coprocessor (chapter 7,
+    Figure 7.1); the thesis's published results use one host.
+    """
+    if conversations < 1:
+        raise ModelError("need at least one conversation")
+    if compute_time < 0:
+        raise ModelError("compute time must be non-negative")
+    if hosts < 1:
+        raise ModelError("need at least one host")
+    params = LOCAL_PARAMS[architecture]
+    if architecture is Architecture.I:
+        return _uniprocessor_net(params, conversations, compute_time,
+                                 hosts)
+    return _coprocessor_net(params, conversations, compute_time, hosts)
+
+
+def _uniprocessor_net(params: LocalModelParams, conversations: int,
+                      compute_time: float, hosts: int) -> Net:
+    net = Net(f"arch1-local-n{conversations}-h{hosts}")
+    clients = net.place("Clients", tokens=conversations)
+    servers = net.place("Servers", tokens=conversations)
+    host = net.place("Host", tokens=hosts)
+    sent = net.place("Sent")
+    posted = net.place("Posted")
+
+    # T0/T1 — syscall send + restart client (actions 1, 7)
+    activity_pair(net, "client", params.client_step,
+                  inputs=[clients], outputs=[sent], holds=[host])
+    # T2/T3 — syscall receive + restart server (actions 2, 6)
+    activity_pair(net, "server", params.server_step,
+                  inputs=[servers], outputs=[posted], holds=[host])
+    # T4/T5 — match + compute + reply (actions 3, 4, 5)
+    rendezvous = params.match + compute_time + params.serve_base
+    activity_pair(net, "rendezvous", rendezvous,
+                  inputs=[sent, posted], outputs=[clients, servers],
+                  holds=[host], resource="lambda")
+    return net
+
+
+def _coprocessor_net(params: LocalModelParams, conversations: int,
+                     compute_time: float, hosts: int) -> Net:
+    net = Net(f"arch{params.architecture.name}-local-"
+              f"n{conversations}-h{hosts}")
+    clients = net.place("Clients", tokens=conversations)
+    servers = net.place("Servers", tokens=conversations)
+    host = net.place("Host", tokens=hosts)
+    mp = net.place("MP", tokens=1)
+    send_req = net.place("SendReq")
+    msg_queued = net.place("MsgQueued")
+    rcv_req = net.place("RcvReq")
+    rcv_posted = net.place("RcvPosted")
+    server_ready = net.place("ServerReady")
+    reply_req = net.place("ReplyReq")
+
+    # T0/T1 — syscall send + restart client (Host)
+    activity_pair(net, "send", params.client_step,
+                  inputs=[clients], outputs=[send_req], holds=[host])
+    # T4/T5 — process send (MP)
+    activity_pair(net, "process_send", params.process_send,
+                  inputs=[send_req], outputs=[msg_queued], holds=[mp])
+    # T2/T3 — syscall receive + restart server (Host)
+    activity_pair(net, "receive", params.server_step,
+                  inputs=[servers], outputs=[rcv_req], holds=[host])
+    # T6/T7 — process receive (MP)
+    activity_pair(net, "process_receive", params.process_receive,
+                  inputs=[rcv_req], outputs=[rcv_posted], holds=[mp])
+    # T8/T9 — match client with server (MP)
+    activity_pair(net, "match", params.match,
+                  inputs=[msg_queued, rcv_posted],
+                  outputs=[server_ready], holds=[mp])
+    # T10/T11 — restart server + compute + syscall reply (Host)
+    activity_pair(net, "serve", params.serve_base + compute_time,
+                  inputs=[server_ready], outputs=[reply_req], holds=[host])
+    # T12/T13 — process reply (MP); completes the rendezvous
+    activity_pair(net, "process_reply", params.process_reply,
+                  inputs=[reply_req], outputs=[clients, servers],
+                  holds=[mp], resource="lambda")
+    return net

@@ -1,0 +1,508 @@
+"""Timing constants of the chapter 6 evaluation (Tables 6.1-6.23).
+
+Every number in this module is transcribed from the thesis.  Two views
+are provided:
+
+* the **action tables** — per-architecture breakdowns of the
+  processing steps of one round-trip conversation (Tables 6.4, 6.6,
+  6.9, 6.11, 6.14, 6.16, 6.19, 6.21), used to regenerate those tables
+  and to drive the discrete-event kernel simulator, and
+* the **model parameters** — the activity means of the GTPN transition
+  tables (Tables 6.5, 6.7-6.8, 6.10, 6.12-6.13, 6.15, 6.17-6.18, 6.20,
+  6.22-6.23), used to build the architecture nets.
+
+All times are microseconds.  The thesis rounds inconsistently in a few
+places (e.g. 544.7 vs 426.8 + 118.0); where the transition tables and
+the action tables disagree by a fraction of a microsecond we use the
+transition-table value, since that is what drove the published curves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+class Architecture(enum.Enum):
+    """The four node architectures compared in chapter 6."""
+
+    I = "uniprocessor"
+    II = "message coprocessor"
+    III = "smart bus"
+    IV = "partitioned smart bus"
+
+
+class Mode(enum.Enum):
+    """Conversation locality."""
+
+    LOCAL = "local"
+    NONLOCAL = "nonlocal"
+
+
+@dataclass(frozen=True)
+class ActionRow:
+    """One row of an architecture's round-trip breakdown table."""
+
+    processor: str          # Host / MP / DMA
+    initiator: str          # Client / Server / Network interrupt / ""
+    number: str             # action number in the thesis table
+    description: str
+    processing: float | None        # None marks the workload parameter
+    shared_access: float | None
+    best: float | None
+    contention: float | None
+
+    @property
+    def is_compute(self) -> bool:
+        return self.processing is None
+
+
+def _row(processor, initiator, number, description, processing=None,
+         shared=None, best=None, contention=None):
+    return ActionRow(processor, initiator, number, description,
+                     processing, shared, best, contention)
+
+
+_COMPUTE = _row("Host", "Server", "-", "Compute")
+
+# ----------------------------------------------------------------------
+# Table 6.4 — Architecture I: Local Conversation
+# ----------------------------------------------------------------------
+ARCH1_LOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 1040, 150, 1190, 1190),
+    _row("Host", "Server", "2", "Syscall Receive", 650, 120, 770, 770),
+    _row("Host", "", "3", "Match client with server", 1240, 140, 1380,
+         1380),
+    _COMPUTE,
+    _row("Host", "Server", "5", "Syscall Reply", 1020, 210, 1230, 1230),
+    _row("Host", "", "6", "Restart Server", 140, 60, 200, 200),
+    _row("Host", "", "7", "Restart Client", 140, 60, 200, 200),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.6 — Architecture I: Non-local Conversation
+# ----------------------------------------------------------------------
+ARCH1_NONLOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 1140, 150, 1290, 1314.9),
+    _row("DMA", "Client", "2", "DMA out", 200, 30, 230, 235.2),
+    _row("Host", "Server", "3", "Syscall Receive", 650, 120, 770, 790.7),
+    _row("DMA", "Network interrupt", "4", "DMA in", 200, 30, 230, 235.2),
+    _row("Host", "Network interrupt", "4a", "Match client with server",
+         1790, 210, 2000, 2034.6),
+    _COMPUTE,
+    _row("Host", "Server", "4c", "Syscall Reply", 1060, 220, 1280, 1318.5),
+    _row("DMA", "Server", "5", "DMA out", 200, 30, 230, 235.2),
+    _row("DMA", "Network interrupt", "6", "DMA in", 200, 30, 230, 235.2),
+    _row("Host", "Network interrupt", "7", "Cleanup and Restart Client",
+         830, 130, 960, 982),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.9 — Architecture II: Local Conversation
+# ----------------------------------------------------------------------
+ARCH2_LOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 320, 78, 398, 404.9),
+    _row("MP", "Client", "2", "Process Send", 900, 104, 1004, 1030.2),
+    _row("Host", "Server", "3", "Syscall Receive", 320, 78, 398, 404.9),
+    _row("MP", "Server", "4", "Process Receive", 510, 74, 584, 603),
+    _row("MP", "", "5", "Match client with server", 1160, 84, 1244,
+         1264.4),
+    _row("Host", "Server", "6", "Restart Server", 60, 50, 110, 115.4),
+    _COMPUTE,
+    _row("Host", "Server", "6b", "Syscall Reply", 320, 78, 398, 404.9),
+    _row("MP", "Server", "7", "Process Reply", 1060, 182, 1242, 1289.8),
+    _row("Host", "", "8", "Restart Server", 60, 50, 110, 115.4),
+    _row("Host", "", "9", "Restart Client", 60, 50, 110, 115.4),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.11 — Architecture II: Non-local Conversation
+# ----------------------------------------------------------------------
+ARCH2_NONLOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 320, 78, 398, 426.8),
+    _row("MP", "Client", "2", "Process Send", 1000, 104, 1104, 1145.2),
+    _row("DMA", "Client", "2a", "DMA out", 200, 30, 230, 240.9),
+    _row("Host", "Server", "3", "Syscall Receive", 320, 78, 398, 421.9),
+    _row("MP", "Server", "4", "Process Receive", 510, 74, 584, 628.2),
+    _row("DMA", "Network interrupt", "5", "DMA in", 200, 30, 230, 247.8),
+    _row("MP", "Network interrupt", "5a", "Match client with server",
+         1650, 104, 1754, 1812.5),
+    _row("Host", "Server", "6", "Restart Server", 60, 50, 110, 128.6),
+    _COMPUTE,
+    _row("Host", "Server", "6b", "Syscall Reply", 320, 78, 398, 421.9),
+    _row("MP", "Server", "7", "Process Reply", 920, 128, 1048, 1124),
+    _row("DMA", "Server", "7a", "DMA out", 200, 30, 230, 247.8),
+    _row("Host", "", "8", "Restart Server", 60, 50, 110, 128.6),
+    _row("DMA", "Network interrupt", "9", "DMA in", 200, 30, 230, 240.9),
+    _row("MP", "Network interrupt", "9a", "Cleanup client", 750, 74, 824,
+         853.2),
+    _row("Host", "", "10", "Restart Client", 60, 50, 110, 118.0),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.14 — Architecture III: Local Conversation
+# ----------------------------------------------------------------------
+ARCH3_LOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 220, 52, 272, 278),
+    _row("MP", "Client", "2", "Process Send", 612, 71, 683, 700.9),
+    _row("Host", "Server", "3", "Syscall Receive", 220, 52, 272, 278),
+    _row("MP", "Server", "4", "Process Receive", 451, 61, 512, 527.6),
+    _row("MP", "", "5", "Match client with server", 922, 61, 983, 997.7),
+    _row("Host", "Server", "6", "Restart Server", 60, 50, 110, 117.2),
+    _COMPUTE,
+    _row("Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 278),
+    _row("MP", "Server", "7", "Process Reply", 475, 113, 588, 619),
+    _row("Host", "", "8", "Restart Server", 60, 50, 110, 117.2),
+    _row("Host", "", "9", "Restart Client", 60, 50, 110, 117.2),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.16 — Architecture III: Non-local Conversation
+# ----------------------------------------------------------------------
+ARCH3_NONLOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 220, 52, 272, 284.5),
+    _row("MP", "Client", "2", "Process Send", 712, 71, 783, 805),
+    _row("DMA", "Client", "2a", "DMA out", 200, 15, 215, 219.4),
+    _row("Host", "Server", "3", "Syscall Receive", 220, 52, 272, 281.8),
+    _row("MP", "Server", "4", "Process Receive", 451, 61, 512, 540),
+    _row("DMA", "Network interrupt", "5", "DMA in", 200, 15, 215, 222.1),
+    _row("MP", "Network interrupt", "5a", "Match client with server",
+         1362, 71, 1433, 1461),
+    _row("Host", "Server", "6", "Restart Server", 60, 50, 110, 121.5),
+    _COMPUTE,
+    _row("Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 281.8),
+    _row("MP", "Server", "7", "Process Reply", 573, 82, 655, 690),
+    _row("DMA", "Server", "7a", "DMA out", 200, 15, 215, 222.1),
+    _row("Host", "", "8", "Restart Server", 60, 50, 110, 121.5),
+    _row("DMA", "Network interrupt", "9", "DMA in", 200, 15, 215, 219.4),
+    # the thesis table leaves the contention cell blank; the transition
+    # table (6.17, T6/T7 = 1/514) supplies the value used in the model
+    _row("MP", "Network interrupt", "9a", "Cleanup client", 462, 41, 503,
+         514),
+    _row("Host", "", "10", "Restart Client", 60, 50, 110, 115.1),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.19 — Architecture IV: Local Conversation
+# (shared access split into kernel-buffer and TCB partitions)
+# ----------------------------------------------------------------------
+ARCH4_LOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 220, 52, 272, 273.7),
+    _row("MP", "Client", "2", "Process Send", 612, 71, 683, 687.9),
+    _row("Host", "Server", "3", "Syscall Receive", 220, 52, 272, 273.7),
+    _row("MP", "Server", "4", "Process Receive", 451, 61, 512, 516.9),
+    _row("MP", "", "5", "Match client with server", 922, 61, 983, 983.2),
+    _row("Host", "Server", "6", "Restart Server", 60, 50, 110, 112),
+    _COMPUTE,
+    _row("Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 273.7),
+    _row("MP", "Server", "7", "Process Reply", 475, 113, 588, 595.9),
+    _row("Host", "", "8", "Restart Server", 60, 50, 110, 112),
+    _row("Host", "", "9", "Restart Client", 60, 50, 110, 112),
+)
+
+# ----------------------------------------------------------------------
+# Table 6.21 — Architecture IV: Non-local Conversation
+# ----------------------------------------------------------------------
+ARCH4_NONLOCAL_ACTIONS = (
+    _row("Host", "Client", "1", "Syscall Send", 220, 52, 272, 273.2),
+    _row("MP", "Client", "2", "Process Send", 712, 71, 783, 789.8),
+    _row("DMA", "Client", "2a", "DMA out", 200, 15, 215, 216.3),
+    _row("Host", "Server", "3", "Syscall Receive", 220, 52, 272, 273.5),
+    _row("MP", "Server", "4", "Process Receive", 451, 61, 512, 520.2),
+    _row("DMA", "Network interrupt", "5", "DMA in", 200, 15, 215, 216.3),
+    _row("MP", "Network interrupt", "5a", "Match client with server",
+         1362, 71, 1433, 1443),
+    _row("Host", "Server", "6", "Restart Server", 60, 50, 110, 111.8),
+    _COMPUTE,
+    _row("Host", "Server", "6b", "Syscall Reply", 220, 52, 272, 273.5),
+    _row("MP", "Server", "7", "Process Reply", 573, 82, 655, 666.6),
+    _row("DMA", "Server", "7a", "DMA out", 200, 15, 215, 216.3),
+    _row("Host", "", "8", "Restart Server", 60, 50, 110, 111.8),
+    _row("DMA", "Network interrupt", "9", "DMA in", 200, 15, 215, 216.3),
+    _row("MP", "Network interrupt", "9a", "Cleanup client", 462, 41, 503,
+         506.4),
+    _row("Host", "", "10", "Restart Client", 60, 50, 110, 110.5),
+)
+
+ACTION_TABLES: dict[tuple[Architecture, Mode], tuple[ActionRow, ...]] = {
+    (Architecture.I, Mode.LOCAL): ARCH1_LOCAL_ACTIONS,
+    (Architecture.I, Mode.NONLOCAL): ARCH1_NONLOCAL_ACTIONS,
+    (Architecture.II, Mode.LOCAL): ARCH2_LOCAL_ACTIONS,
+    (Architecture.II, Mode.NONLOCAL): ARCH2_NONLOCAL_ACTIONS,
+    (Architecture.III, Mode.LOCAL): ARCH3_LOCAL_ACTIONS,
+    (Architecture.III, Mode.NONLOCAL): ARCH3_NONLOCAL_ACTIONS,
+    (Architecture.IV, Mode.LOCAL): ARCH4_LOCAL_ACTIONS,
+    (Architecture.IV, Mode.NONLOCAL): ARCH4_NONLOCAL_ACTIONS,
+}
+
+
+def action_table(architecture: Architecture, mode: Mode,
+                 ) -> tuple[ActionRow, ...]:
+    """The round-trip breakdown of one architecture/mode."""
+    try:
+        return ACTION_TABLES[(architecture, mode)]
+    except KeyError:
+        raise ModelError(
+            f"no action table for {architecture}/{mode}") from None
+
+
+# ----------------------------------------------------------------------
+# GTPN model parameters (activity means from the transition tables)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LocalModelParams:
+    """Activity means of the local-conversation nets.
+
+    Architecture I uses only ``client_step``, ``server_step`` and
+    ``rendezvous`` (everything executes on the host, Table 6.5); the
+    coprocessor architectures use the full pipeline (Tables 6.10,
+    6.15, 6.20).
+    """
+
+    architecture: Architecture
+    client_step: float          # syscall send + restart client (Host)
+    server_step: float          # syscall receive + restart server (Host)
+    process_send: float | None  # MP
+    process_receive: float | None
+    match: float                # MP (arch I: host, incl. reply)
+    serve_base: float           # restart server + syscall reply (Host)
+    process_reply: float | None
+
+
+@dataclass(frozen=True)
+class NonlocalClientParams:
+    """Activity means of the split client-node nets (Tables 6.7/6.12/
+    6.17/6.22)."""
+
+    architecture: Architecture
+    send_step: float            # syscall send + restart client (Host)
+    process_send: float | None  # MP (None for architecture I)
+    dma_out: float
+    dma_in: float
+    cleanup: float              # network-interrupt client cleanup
+
+
+@dataclass(frozen=True)
+class NonlocalServerParams:
+    """Activity means of the split server-node nets (Tables 6.8/6.13/
+    6.18/6.23)."""
+
+    architecture: Architecture
+    receive_step: float             # syscall receive + restart (Host)
+    process_receive: float | None   # MP (None: folded into receive_step)
+    match: float                    # network-interrupt match processing
+    serve_base: float               # restart + syscall reply (Host)
+    process_reply: float | None
+    dma_in: float                   # constant added outside the model
+    dma_out: float                  # constant added outside the model
+
+    @property
+    def receive_path(self) -> float:
+        """S_c: mean time the server spends executing receive."""
+        return self.receive_step + (self.process_receive or 0.0)
+
+
+LOCAL_PARAMS: dict[Architecture, LocalModelParams] = {
+    Architecture.I: LocalModelParams(
+        # Table 6.5: T0 1/1390, T2 1/970, T4 1/(1380 + X + 1230)
+        Architecture.I, client_step=1390.0, server_step=970.0,
+        process_send=None, process_receive=None,
+        match=1380.0, serve_base=1230.0, process_reply=None),
+    Architecture.II: LocalModelParams(
+        # Table 6.10
+        Architecture.II, client_step=519.9, server_step=519.9,
+        process_send=1030.2, process_receive=603.0,
+        match=1264.4, serve_base=520.3, process_reply=1289.8),
+    Architecture.III: LocalModelParams(
+        # Table 6.15
+        Architecture.III, client_step=394.6, server_step=394.6,
+        process_send=700.9, process_receive=527.6,
+        match=997.7, serve_base=395.2, process_reply=619.0),
+    Architecture.IV: LocalModelParams(
+        # Table 6.20
+        Architecture.IV, client_step=385.6, server_step=385.6,
+        process_send=687.9, process_receive=516.9,
+        match=983.2, serve_base=385.7, process_reply=595.9),
+}
+
+NONLOCAL_CLIENT_PARAMS: dict[Architecture, NonlocalClientParams] = {
+    Architecture.I: NonlocalClientParams(
+        # Table 6.7: T1 1/1314.9, T4 1/982, T6 1/235.2, T11 1/235.2
+        Architecture.I, send_step=1314.9, process_send=None,
+        dma_out=235.2, dma_in=235.2, cleanup=982.0),
+    Architecture.II: NonlocalClientParams(
+        # Table 6.12
+        Architecture.II, send_step=544.7, process_send=1145.2,
+        dma_out=240.9, dma_in=240.9, cleanup=853.2),
+    Architecture.III: NonlocalClientParams(
+        # Table 6.17
+        Architecture.III, send_step=399.6, process_send=805.0,
+        dma_out=219.4, dma_in=219.4, cleanup=514.0),
+    Architecture.IV: NonlocalClientParams(
+        # Table 6.22
+        Architecture.IV, send_step=383.7, process_send=789.8,
+        dma_out=216.3, dma_in=216.3, cleanup=506.4),
+}
+
+NONLOCAL_SERVER_PARAMS: dict[Architecture, NonlocalServerParams] = {
+    Architecture.I: NonlocalServerParams(
+        # Table 6.8: T1 1/790.7, T8 1/2034.6, T11 1/(1318.5 + X)
+        Architecture.I, receive_step=790.7, process_receive=None,
+        match=2034.6, serve_base=1318.5, process_reply=None,
+        dma_in=235.2, dma_out=235.2),
+    Architecture.II: NonlocalServerParams(
+        # Table 6.13: T13 1/549, T0 1/628.2, T7 1/1812.5,
+        # T9 1/(550.5 + X), T11 1/1124
+        Architecture.II, receive_step=549.0, process_receive=628.2,
+        match=1812.5, serve_base=550.5, process_reply=1124.0,
+        dma_in=247.8, dma_out=247.8),
+    Architecture.III: NonlocalServerParams(
+        # Table 6.18
+        Architecture.III, receive_step=402.1, process_receive=540.0,
+        match=1461.0, serve_base=403.3, process_reply=690.0,
+        dma_in=222.1, dma_out=222.1),
+    Architecture.IV: NonlocalServerParams(
+        # Table 6.23
+        Architecture.IV, receive_step=385.2, process_receive=520.2,
+        match=1443.0, serve_base=385.3, process_reply=666.6,
+        dma_in=216.3, dma_out=216.3),
+}
+
+
+# ----------------------------------------------------------------------
+# Table 6.1 — Comparison of Processing Times (arch II vs arch III)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProcessingTimeRow:
+    """One row of Table 6.1."""
+
+    operation: str
+    arch2_processing: float
+    arch2_memory: float
+    arch3_processing: float
+    arch3_memory: float
+    handshake: str
+
+
+PROCESSING_TIME_TABLE = (
+    ProcessingTimeRow("Enqueue", 60, 14, 9, 1, "Four-edge"),
+    ProcessingTimeRow("Dequeue", 60, 14, 9, 1, "Four-edge"),
+    ProcessingTimeRow("First", 60, 14, 9, 2, "Eight-edge"),
+    ProcessingTimeRow("Block Read (40 Bytes)", 180, 20, 9, 11,
+                      "One four-edge followed by twenty two-edge"),
+    ProcessingTimeRow("Block Write (40 Bytes)", 180, 20, 9, 11,
+                      "One four-edge followed by twenty two-edge"),
+)
+
+
+# ----------------------------------------------------------------------
+# Tables 6.2 / 6.3 — low-level contention model (architecture I client)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ContentionActivity:
+    """One activity of the shared-memory contention model (Fig. 6.8)."""
+
+    processor: str
+    name: str
+    processing: float
+    shared_access: float
+
+    @property
+    def best(self) -> float:
+        return self.processing + self.shared_access
+
+
+ARCH1_CLIENT_CONTENTION_ACTIVITIES = (
+    ContentionActivity("Host", "SendProc", 1140, 150),
+    ContentionActivity("DMA", "DMAout", 200, 30),
+    ContentionActivity("DMA", "DMAin", 200, 30),
+    ContentionActivity("Host", "NetIntr", 830, 130),
+)
+
+#: Paper-reported "contention" completion times for Table 6.2.
+ARCH1_CLIENT_CONTENTION_RESULTS = {
+    "SendProc": 1314.9,
+    "DMAout": 235.2,
+    "DMAin": 235.2,
+    "NetIntr": 982.0,
+}
+
+
+# ----------------------------------------------------------------------
+# General constants of section 6.4
+# ----------------------------------------------------------------------
+
+#: Motorola 68000 at 8 MHz: ~0.3 MIPS, 3 microseconds per instruction.
+INSTRUCTION_TIME_US = 3.0
+
+#: Versabus memory cycle.
+MEMORY_CYCLE_US = 1.0
+
+#: Smart-bus handshakes (assumed equal to / half a memory cycle).
+FOUR_EDGE_HANDSHAKE_US = 1.0
+TWO_EDGE_HANDSHAKE_US = 0.5
+
+#: Chapter 4 measurement: copying 40 bytes takes 220 us of processing,
+#: an atomic queueing operation 74 us on the 68000 implementation.
+COPY_40_BYTES_US = 220.0
+QUEUE_OP_US = 74.0
+
+#: Server computation times of the offered-load tables (Tables
+#: 6.24/6.25), milliseconds.
+OFFERED_LOAD_SERVER_TIMES_MS = (
+    0.0, 0.57, 1.14, 1.71, 2.85, 5.7, 11.4, 17.1, 22.8, 28.5, 34.2,
+    39.9, 45.6,
+)
+
+#: Paper-reported offered loads (Table 6.24, local) for validation.
+PAPER_OFFERED_LOADS_LOCAL = {
+    Architecture.I: (1.0, 0.897, 0.813, 0.744, 0.635, 0.466, 0.304,
+                     0.225, 0.179, 0.148, 0.127, 0.111, 0.098),
+    Architecture.II: (1.0, 0.905, 0.827, 0.761, 0.656, 0.488, 0.323,
+                      0.241, 0.193, 0.160, 0.137, 0.120, 0.107),
+    Architecture.III: (1.0, 0.867, 0.769, 0.689, 0.571, 0.399, 0.249,
+                       0.181, 0.142, 0.117, 0.100, 0.087, 0.077),
+    Architecture.IV: (1.0, 0.866, 0.764, 0.684, 0.565, 0.393, 0.245,
+                      0.178, 0.139, 0.115, 0.097, 0.084, 0.075),
+}
+
+#: Paper-reported offered loads (Table 6.25, non-local) for validation.
+PAPER_OFFERED_LOADS_NONLOCAL = {
+    Architecture.I: (1.0, 0.920, 0.852, 0.793, 0.697, 0.536, 0.366,
+                     0.278, 0.224, 0.187, 0.161, 0.141, 0.126),
+    Architecture.II: (1.0, 0.924, 0.859, 0.802, 0.709, 0.549, 0.379,
+                      0.289, 0.233, 0.196, 0.169, 0.148, 0.132),
+    Architecture.III: (1.0, 0.900, 0.818, 0.750, 0.643, 0.474, 0.311,
+                       0.231, 0.184, 0.153, 0.130, 0.114, 0.101),
+    Architecture.IV: (1.0, 0.898, 0.815, 0.747, 0.639, 0.469, 0.306,
+                      0.227, 0.181, 0.150, 0.128, 0.112, 0.099),
+}
+
+
+def round_trip_sum(architecture: Architecture, mode: Mode,
+                   column: str = "contention") -> float:
+    """Sum of the non-compute action times of a round trip.
+
+    For architecture I this equals the model's communication time C
+    (everything serializes on the host); for the coprocessor
+    architectures the model's C is smaller because host, MP and DMA
+    pipeline within a round trip.
+    """
+    if column not in ("processing", "shared_access", "best", "contention"):
+        raise ModelError(f"unknown action-table column {column!r}")
+    total = 0.0
+    for row in action_table(architecture, mode):
+        if row.is_compute:
+            continue
+        value = getattr(row, column)
+        if value is None:
+            raise ModelError(
+                f"{architecture}/{mode}: row {row.number} lacks "
+                f"column {column}")
+        total += value
+    return total

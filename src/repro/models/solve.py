@@ -1,0 +1,127 @@
+"""High-level solution API: throughput and offered load per architecture.
+
+This is the public face of the chapter 6 evaluation: one call returns
+the message throughput of any architecture, conversation count, and
+server computation time, for local or non-local conversations —
+exactly the quantity plotted in Figures 6.17-6.23.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ModelError
+from repro.gtpn import analyze
+from repro.models.iterate import NonlocalSolution, solve_nonlocal
+from repro.models.local import build_local_net
+from repro.models.params import (OFFERED_LOAD_SERVER_TIMES_MS,
+                                 Architecture, Mode)
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Solved operating point of one architecture."""
+
+    architecture: Architecture
+    mode: Mode
+    conversations: int
+    compute_time: float       # X, microseconds
+    throughput: float         # round trips per microsecond (Lambda)
+
+    @property
+    def throughput_per_ms(self) -> float:
+        return self.throughput * 1e3
+
+    @property
+    def round_trip_time(self) -> float:
+        """Mean cycle time per conversation (Little's result)."""
+        return self.conversations / self.throughput
+
+
+def solve(architecture: Architecture, mode: Mode, conversations: int,
+          compute_time: float = 0.0) -> ThroughputResult:
+    """Solve one architecture model at one workload point."""
+    if conversations < 1:
+        raise ModelError("need at least one conversation")
+    if compute_time < 0:
+        raise ModelError("compute time must be non-negative")
+    throughput = _solve_cached(architecture, mode, conversations,
+                               float(compute_time))
+    return ThroughputResult(architecture=architecture, mode=mode,
+                            conversations=conversations,
+                            compute_time=compute_time,
+                            throughput=throughput)
+
+
+@lru_cache(maxsize=4096)
+def _solve_cached(architecture: Architecture, mode: Mode,
+                  conversations: int, compute_time: float) -> float:
+    if mode is Mode.LOCAL:
+        net = build_local_net(architecture, conversations, compute_time)
+        return analyze(net).throughput()
+    solution: NonlocalSolution = solve_nonlocal(
+        architecture, conversations, compute_time)
+    return solution.throughput
+
+
+def communication_time(architecture: Architecture, mode: Mode) -> float:
+    """C: round-trip communication time of one unloaded conversation.
+
+    Defined as the reciprocal of the single-conversation throughput at
+    zero compute time; for architecture I (everything serialized on
+    the host) this equals the sum of the round-trip activity times,
+    while the coprocessor architectures pipeline and come in below the
+    sum (section 6.9.2).
+    """
+    return 1.0 / solve(architecture, mode, 1, 0.0).throughput
+
+
+def offered_load(architecture: Architecture, mode: Mode,
+                 server_time_us: float) -> float:
+    """Offered load C / (C + S) of a conversation (section 6.3)."""
+    if server_time_us < 0:
+        raise ModelError("server time must be non-negative")
+    c = communication_time(architecture, mode)
+    return c / (c + server_time_us)
+
+
+def offered_load_table(mode: Mode) -> dict[Architecture, list[float]]:
+    """Regenerate Table 6.24 (local) / Table 6.25 (non-local).
+
+    Rows are the thesis's server times (0 to 45.6 ms); columns the four
+    architectures.
+    """
+    return {
+        arch: [offered_load(arch, mode, ms * 1000.0)
+               for ms in OFFERED_LOAD_SERVER_TIMES_MS]
+        for arch in Architecture
+    }
+
+
+def server_time_for_offered_load(architecture: Architecture, mode: Mode,
+                                 load: float) -> float:
+    """Invert the offered-load definition: S = C (1 - o) / o."""
+    if not 0 < load <= 1:
+        raise ModelError("offered load must be in (0, 1]")
+    c = communication_time(architecture, mode)
+    return c * (1.0 - load) / load
+
+
+def throughput_vs_offered_load(architecture: Architecture, mode: Mode,
+                               conversations: int,
+                               loads: list[float], *,
+                               reference: Architecture = Architecture.I,
+                               ) -> list[ThroughputResult]:
+    """One curve of Figures 6.18/6.19/6.22/6.23.
+
+    The thesis plots every architecture against the offered load
+    *computed for architecture I* so that equal server times line up
+    across architectures; ``reference`` selects that normalization.
+    """
+    results = []
+    for load in loads:
+        server_time = server_time_for_offered_load(reference, mode, load)
+        results.append(solve(architecture, mode, conversations,
+                             server_time))
+    return results

@@ -1,0 +1,58 @@
+"""Chapter 3 profiling study: instruments, systems, and observations.
+
+Synthetic instrumented kernels replay the measured activity
+breakdowns of Charlotte, Jasmin, 925 and Unix through the thesis's
+profiling technique (hardware-timer probes with wraparound and
+overhead correction), regenerating Tables 3.1-3.7 and the structural
+observations that motivate the message coprocessor.
+"""
+
+from repro.profiling.breakdown import (BreakdownRow, ProfileTable,
+                                       copy_percent, profile_table,
+                                       scheduling_and_control_percent)
+from repro.profiling.crossover import (CHARLOTTE_NONLOCAL, OverheadModel,
+                                       overhead_model)
+from repro.profiling.instruments import (HardwareTimer, KernelProfiler,
+                                         ProcedureEntry)
+from repro.profiling.services import (UNIX_READ_WRITE_MS,
+                                      UNIX_SERVICE_TIMES_MS, LinearFit,
+                                      computation_comparable_to_communication,
+                                      fit_read_write, offered_load_range,
+                                      read_time_ms, service_time_ms,
+                                      write_time_ms)
+from repro.profiling.systems import (ALL_SYSTEMS, CHARLOTTE, JASMIN, P925,
+                                     UNIX_LOCAL, UNIX_NONLOCAL, Activity,
+                                     SystemSpec, get_system, kernel_run)
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "Activity",
+    "BreakdownRow",
+    "CHARLOTTE",
+    "CHARLOTTE_NONLOCAL",
+    "HardwareTimer",
+    "JASMIN",
+    "KernelProfiler",
+    "LinearFit",
+    "OverheadModel",
+    "P925",
+    "ProcedureEntry",
+    "ProfileTable",
+    "SystemSpec",
+    "UNIX_LOCAL",
+    "UNIX_NONLOCAL",
+    "UNIX_READ_WRITE_MS",
+    "UNIX_SERVICE_TIMES_MS",
+    "computation_comparable_to_communication",
+    "copy_percent",
+    "fit_read_write",
+    "get_system",
+    "kernel_run",
+    "offered_load_range",
+    "overhead_model",
+    "profile_table",
+    "read_time_ms",
+    "scheduling_and_control_percent",
+    "service_time_ms",
+    "write_time_ms",
+]

@@ -1,0 +1,80 @@
+"""Round-trip breakdown tables (Tables 3.1-3.5) and the chapter 3
+observations derived from them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.profiling.systems import SystemSpec, kernel_run
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One row of a profiling table."""
+
+    activity: str
+    time_ms: float
+    percent: float
+
+
+@dataclass(frozen=True)
+class ProfileTable:
+    """A reproduced Table 3.x."""
+
+    system: str
+    processor: str
+    mips: float
+    round_trip_ms: float
+    copy_time_ms: float
+    message_bytes: int
+    rows: tuple[BreakdownRow, ...]
+
+    def row(self, activity: str) -> BreakdownRow:
+        for row in self.rows:
+            if row.activity == activity:
+                return row
+        raise ReproError(f"{self.system}: no activity {activity!r}")
+
+
+def profile_table(spec: SystemSpec, messages: int = 100) -> ProfileTable:
+    """Run the instrumented kernel and build its breakdown table."""
+    profiler = kernel_run(spec, messages=messages)
+    rows = []
+    total = 0.0
+    for activity in spec.activities:
+        mean = profiler.mean_time_us(activity.name)
+        total += mean
+    for activity in spec.activities:
+        mean = profiler.mean_time_us(activity.name)
+        rows.append(BreakdownRow(
+            activity=activity.name,
+            time_ms=mean / 1000.0,
+            percent=100.0 * mean / total))
+    return ProfileTable(
+        system=spec.name, processor=spec.processor, mips=spec.mips,
+        round_trip_ms=total / 1000.0,
+        copy_time_ms=spec.copy_time_us / 1000.0,
+        message_bytes=spec.message_bytes, rows=tuple(rows))
+
+
+def copy_percent(spec: SystemSpec) -> float:
+    """Fraction of the round trip spent copying."""
+    return 100.0 * spec.copy_time_us / spec.round_trip_us
+
+
+def scheduling_and_control_percent(spec: SystemSpec) -> float:
+    """Share of scheduling + checking/control-block style activities.
+
+    Section 3.7: "a large percentage of the round-trip time can be
+    attributed to short-term scheduling and control block manipulation
+    functions".
+    """
+    keywords = ("schedul", "control block", "checking", "path", "link",
+                "protocol processing", "validity", "socket")
+    share = 0.0
+    for activity in spec.activities:
+        lowered = activity.name.lower()
+        if any(keyword in lowered for keyword in keywords):
+            share += activity.time_us
+    return 100.0 * share / spec.round_trip_us

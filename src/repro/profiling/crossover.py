@@ -1,0 +1,64 @@
+"""Fixed-vs-copy overhead analysis (section 3.6).
+
+The round trip decomposes into a *fixed* processing overhead
+independent of the message size and a *variable* copy overhead
+proportional to it.  Two chapter 3 observations are reproduced here:
+
+* for messages under ~100 bytes the copy time is below 20 % of the
+  round trip, while above ~1000 bytes it begins to dominate, and
+* the copy time overtakes the fixed overhead (50 % of the round trip)
+  at a system-dependent crossover size — about 6000 bytes for
+  non-local Charlotte messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.profiling.systems import SystemSpec
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """round_trip(size) = fixed + per_byte * size."""
+
+    system: str
+    fixed_us: float
+    per_byte_us: float
+
+    def round_trip_us(self, message_bytes: int) -> float:
+        if message_bytes < 0:
+            raise ReproError("negative message size")
+        return self.fixed_us + self.per_byte_us * message_bytes
+
+    def copy_fraction(self, message_bytes: int) -> float:
+        total = self.round_trip_us(message_bytes)
+        return self.per_byte_us * message_bytes / total
+
+    @property
+    def crossover_bytes(self) -> float:
+        """Message size at which copying reaches half the round trip."""
+        if self.per_byte_us <= 0:
+            raise ReproError(
+                f"{self.system}: no size-dependent overhead")
+        return self.fixed_us / self.per_byte_us
+
+
+def overhead_model(spec: SystemSpec) -> OverheadModel:
+    """Fit the two-term model from a system's measured breakdown."""
+    if spec.message_bytes <= 0:
+        raise ReproError(f"{spec.name}: unknown message size")
+    per_byte = spec.copy_time_us / spec.message_bytes
+    return OverheadModel(system=spec.name,
+                         fixed_us=spec.fixed_overhead_us,
+                         per_byte_us=per_byte)
+
+
+#: Charlotte non-local measurements (section 3.4): 31.7 ms round trip
+#: for a 1000-byte message of which 4.4 ms is copy time; the thesis
+#: notes copy time starts to dominate at ~6000 bytes.
+CHARLOTTE_NONLOCAL = OverheadModel(
+    system="Charlotte (non-local)",
+    fixed_us=31_700.0 - 4_400.0,
+    per_byte_us=4_400.0 / 1000.0)

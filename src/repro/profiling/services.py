@@ -1,0 +1,113 @@
+"""Unix system-service computation times (Tables 3.6-3.7, section 3.5).
+
+These "computation" times are what servers in a message-based
+operating system would take to satisfy the equivalent requests; the
+key observation is that they are *comparable* to the communication
+times, which motivates the even host/MP split of the software
+partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Table 3.6 — Unix Servers (milliseconds).
+UNIX_SERVICE_TIMES_MS: dict[str, float] = {
+    "Open File": 4.35,
+    "Close File": 0.36,
+    "Make Directory": 18.71,
+    "Remove Directory": 14.28,
+    "Timer Service (Sleep)": 3.453,
+    "GetTimeofDay": 0.200,
+}
+
+#: Table 3.7 — Unix Read/Write service times per block size (ms).
+UNIX_READ_WRITE_MS: dict[int, tuple[float, float]] = {
+    128: (1.0092, 1.5464),
+    256: (1.0867, 1.7633),
+    512: (1.2329, 2.0982),
+    1024: (1.5999, 2.7095),
+    2048: (1.7647, 3.8082),
+    3072: (2.739, 5.7908),
+    4096: (3.2442, 6.1082),
+}
+
+
+def service_time_ms(service: str) -> float:
+    try:
+        return UNIX_SERVICE_TIMES_MS[service]
+    except KeyError:
+        raise ReproError(f"unknown Unix service {service!r}") from None
+
+
+def read_time_ms(block_size: int) -> float:
+    return _rw(block_size)[0]
+
+
+def write_time_ms(block_size: int) -> float:
+    return _rw(block_size)[1]
+
+
+def _rw(block_size: int) -> tuple[float, float]:
+    try:
+        return UNIX_READ_WRITE_MS[block_size]
+    except KeyError:
+        raise ReproError(
+            f"block size {block_size} not measured "
+            f"(have {sorted(UNIX_READ_WRITE_MS)})") from None
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """base + slope * bytes model of a block-size-dependent service."""
+
+    base_ms: float
+    slope_ms_per_byte: float
+
+    def predict_ms(self, block_size: int) -> float:
+        return self.base_ms + self.slope_ms_per_byte * block_size
+
+
+def fit_read_write() -> tuple[LinearFit, LinearFit]:
+    """Least-squares fits of Table 3.7 (read, write)."""
+    sizes = np.array(sorted(UNIX_READ_WRITE_MS), dtype=float)
+    reads = np.array([UNIX_READ_WRITE_MS[int(s)][0] for s in sizes])
+    writes = np.array([UNIX_READ_WRITE_MS[int(s)][1] for s in sizes])
+    fits = []
+    for values in (reads, writes):
+        slope, base = np.polyfit(sizes, values, 1)
+        fits.append(LinearFit(base_ms=float(base),
+                              slope_ms_per_byte=float(slope)))
+    return fits[0], fits[1]
+
+
+def computation_comparable_to_communication(
+        communication_ms: float = 4.57) -> bool:
+    """Section 3.5's observation for the motivating argument.
+
+    "On an average, the 'computation' times for these services are
+    comparable to the 'communication' time" — the service-time range
+    brackets the local round-trip time of Unix (Table 3.4).
+    """
+    times = list(UNIX_SERVICE_TIMES_MS.values())
+    return min(times) < communication_ms < max(times)
+
+
+def offered_load_range(communication_ms: float) -> tuple[float, float]:
+    """Offered loads spanned by the typical Unix services.
+
+    Section 6.10 quotes 0.96..0.43 for local communication (C = 4.57
+    ms) over service times 0.2..6.1 ms.
+    """
+    if communication_ms <= 0:
+        raise ReproError("communication time must be positive")
+    # thesis range: GetTimeofDay (0.2 ms) to 4096-byte write (6.1 ms)
+    low_service = UNIX_SERVICE_TIMES_MS["GetTimeofDay"]
+    high_service = write_time_ms(4096)
+    high = communication_ms / (communication_ms + low_service)
+    low = communication_ms / (communication_ms + high_service)
+    return low, high

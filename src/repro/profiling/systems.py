@@ -1,0 +1,146 @@
+"""Synthetic instrumented kernels of the four profiled systems.
+
+Chapter 3 profiles Charlotte, Jasmin, 925 and Unix 4.2bsd with a null
+remote procedure call: "The sender executes a 'send; wait for reply'
+loop, while the receiver executes a 'receive; reply' loop."  The
+specifications below carry each system's measured activity breakdown
+(Tables 3.1-3.5); :func:`kernel_run` replays the round-trip loop
+through the profiling instruments and recovers the tables, exercising
+the same measurement pipeline the thesis used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.profiling.instruments import HardwareTimer, KernelProfiler
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One message-passing activity with its per-round-trip time."""
+
+    name: str
+    time_us: float
+    is_copy: bool = False
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A profiled operating system (one row set of Tables 3.1-3.5)."""
+
+    name: str
+    processor: str
+    mips: float
+    message_bytes: int
+    local: bool
+    round_trip_us: float
+    activities: tuple[Activity, ...]
+
+    @property
+    def copy_time_us(self) -> float:
+        return sum(a.time_us for a in self.activities if a.is_copy)
+
+    @property
+    def fixed_overhead_us(self) -> float:
+        """Processing overhead independent of the message size."""
+        return self.round_trip_us - self.copy_time_us
+
+    def activity_percent(self, name: str) -> float:
+        for activity in self.activities:
+            if activity.name == name:
+                return 100.0 * activity.time_us / self.round_trip_us
+        raise ReproError(f"{self.name}: unknown activity {name!r}")
+
+
+CHARLOTTE = SystemSpec(
+    name="Charlotte", processor="VAX 11/750", mips=0.5,
+    message_bytes=1000, local=True, round_trip_us=20_000.0,
+    activities=(
+        Activity("Kernel-Process Switching Time", 2_000.0),
+        Activity("Copy Time", 600.0, is_copy=True),
+        Activity("Entering and Exiting Kernel", 2_800.0),
+        Activity("Protocol Processing for Sender and Receiver",
+                 10_000.0),
+        Activity("Link Translation and Request Selection", 4_600.0),
+    ))
+
+JASMIN = SystemSpec(
+    name="Jasmin", processor="Motorola 68000", mips=0.3,
+    message_bytes=32, local=True, round_trip_us=720.0,
+    activities=(
+        Activity("Actions Leading to Short-Term Scheduling Decisions",
+                 288.0),
+        Activity("Copy Time", 108.0, is_copy=True),
+        Activity("Buffer Management", 72.0),
+        Activity("Path Management", 144.0),
+        Activity("Miscellaneous", 108.0),
+    ))
+
+P925 = SystemSpec(
+    name="925", processor="Motorola 68000", mips=0.3,
+    message_bytes=40, local=True, round_trip_us=5_600.0,
+    activities=(
+        Activity("Short-Term Scheduling", 1_960.0),
+        Activity("Copy Time", 840.0, is_copy=True),
+        Activity("Entering and Exiting Kernel", 560.0),
+        Activity("Checking, Addressing, and Control Block Manipulation",
+                 2_240.0),
+    ))
+
+UNIX_LOCAL = SystemSpec(
+    name="Unix (local)", processor="Microvax II", mips=0.8,
+    message_bytes=128, local=True, round_trip_us=4_570.0,
+    activities=(
+        Activity("Validity Checking and Control Block Manipulation",
+                 2_440.0),
+        Activity("Copy Time", 880.0, is_copy=True),
+        Activity("Short-Term Scheduling", 780.0),
+        Activity("Buffer Management", 460.0),
+    ))
+
+UNIX_NONLOCAL = SystemSpec(
+    name="Unix (non-local)", processor="Microvax II", mips=0.8,
+    message_bytes=128, local=False, round_trip_us=6_800.0,
+    activities=(
+        Activity("Socket Routines", 1_020.0),
+        Activity("Copy Time", 500.0, is_copy=True),
+        Activity("Checksum Calculation", 600.0),
+        Activity("Short-Term Scheduling", 400.0),
+        Activity("Buffer Management", 300.0),
+        Activity("TCP processing", 1_300.0),
+        Activity("IP processing", 1_600.0),
+        Activity("Interrupt Processing", 1_100.0),
+    ))
+
+ALL_SYSTEMS = (CHARLOTTE, JASMIN, P925, UNIX_LOCAL, UNIX_NONLOCAL)
+
+
+def get_system(name: str) -> SystemSpec:
+    for spec in ALL_SYSTEMS:
+        if spec.name.lower() == name.lower():
+            return spec
+    raise ReproError(f"unknown profiled system {name!r}")
+
+
+def kernel_run(spec: SystemSpec, messages: int = 100,
+               probe_overhead_ticks: int = 2) -> KernelProfiler:
+    """Replay the null-RPC benchmark through the profiler.
+
+    Each round trip executes every activity of the system once; the
+    profiler observes them with probe overhead and wraparound exactly
+    like the thesis instrumentation, and its corrected report recovers
+    the activity table.
+    """
+    if messages < 1:
+        raise ReproError("need at least one message")
+    timer = HardwareTimer(width_bits=16, tick_us=1.0)
+    profiler = KernelProfiler(timer=timer,
+                              probe_overhead_ticks=probe_overhead_ticks)
+    profiler.clear()
+    for _ in range(messages):
+        # producer: send; wait for reply / consumer: receive; reply
+        for activity in spec.activities:
+            profiler.profile(activity.name, activity.time_us)
+    return profiler

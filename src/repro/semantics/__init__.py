@@ -1,0 +1,34 @@
+"""The IPC semantic flavors surveyed in section 3.2.
+
+The thesis profiles four systems whose IPC primitives differ in
+connection style, buffering, and process control:
+
+* :class:`CharlotteLinks` — two-way links with equal rights at both
+  ends, unbuffered rendezvous, asynchronous completion;
+* :class:`JasminPaths` — unidirectional paths with giftable send ends,
+  kernel-buffered fixed-size messages, group receive;
+* :class:`UnixSockets` — bound/connected byte streams with kernel
+  buffering and a non-blocking option;
+* the 925's services live in :mod:`repro.kernel` itself (the primary
+  substrate).
+
+Each flavor runs on the kernel simulator's nodes and charges the host
+with its system's measured chapter 3 activity times, so the semantic
+differences the thesis describes (e.g. link-protocol complexity vs
+socket simplicity) are backed by the same numbers as the profiling
+tables.
+"""
+
+from repro.semantics.links import CharlotteLinks, Link
+from repro.semantics.paths import JasminPaths, Path
+from repro.semantics.sockets import Socket, UnixSockets, WouldBlock
+
+__all__ = [
+    "CharlotteLinks",
+    "JasminPaths",
+    "Link",
+    "Path",
+    "Socket",
+    "UnixSockets",
+    "WouldBlock",
+]

@@ -1,0 +1,238 @@
+"""Charlotte's link semantics (section 3.2).
+
+Charlotte processes communicate over two-way *links*.  The defining
+characteristics reproduced here:
+
+* the processes at the two ends have **equal rights** — either may
+  use, transfer (``move``) or ``destroy`` the link unilaterally;
+* messages are **not buffered** (reliable datagrams of arbitrary
+  size): a send completes only when it meets a receive on the other
+  end;
+* posting a send/receive is synchronous while **completion is
+  asynchronous** — the poster may ``poll`` the completion status or
+  wait (provide a callback);
+* a receive may name **one link or all links** the process holds as
+  the source of the next message (section 3.2.5).
+
+Operations charge the host with Charlotte's measured activity times
+(Table 3.1), tying the semantic model to the chapter 3 profile: each
+matched exchange pays the link-translation cost on posting and the
+protocol-processing plus copy cost on delivery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.node import Node
+from repro.kernel.tasks import Task
+from repro.profiling.systems import CHARLOTTE
+
+_link_ids = itertools.count(1)
+
+#: Per-operation host costs from the Charlotte profile (Table 3.1),
+#: halved where the table's figure covers both round-trip directions.
+POST_COST_US = 4_600.0 / 2          # link translation + selection
+MATCH_COST_US = 10_000.0 / 2        # protocol processing, one way
+COPY_COST_PER_KB_US = 600.0         # copy time for 1000 bytes
+
+
+@dataclass
+class _PendingOp:
+    task: Task
+    data: object = None
+    size_bytes: int = 0
+    on_complete: Callable | None = None
+    completed: bool = False
+
+
+@dataclass
+class Link:
+    """A Charlotte link: a two-way channel between two processes."""
+
+    link_id: int
+    ends: dict[str, str]            # "A"/"B" -> task name
+    destroyed: bool = False
+    #: pending operations per direction, keyed by the *receiving* end
+    pending_sends: dict[str, list[_PendingOp]] = field(
+        default_factory=lambda: {"A": [], "B": []})
+    pending_receives: dict[str, list[_PendingOp]] = field(
+        default_factory=lambda: {"A": [], "B": []})
+
+    def end_of(self, task_name: str) -> str:
+        for end, owner in self.ends.items():
+            if owner == task_name:
+                return end
+        raise KernelError(
+            f"task {task_name} holds no end of link {self.link_id}")
+
+    def other(self, end: str) -> str:
+        return "B" if end == "A" else "A"
+
+
+class CharlotteLinks:
+    """The link layer bound to one node."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.links: dict[int, Link] = {}
+        self.matches = 0
+
+    # ------------------------------------------------------------------
+    # link lifecycle
+    # ------------------------------------------------------------------
+    def create_link(self, task_a: Task, task_b: Task) -> Link:
+        """Create a link between two processes (ends A and B)."""
+        if task_a.name == task_b.name:
+            raise KernelError("a link needs two distinct processes")
+        link = Link(link_id=next(_link_ids),
+                    ends={"A": task_a.name, "B": task_b.name})
+        self.links[link.link_id] = link
+        return link
+
+    def move(self, task: Task, link: Link, new_owner: Task) -> None:
+        """Transfer *task*'s end of the link to *new_owner*.
+
+        Either end may do this unilaterally (equal rights) — this is
+        part of what makes Charlotte's validity checking "very
+        complex" (section 3.2.1).
+        """
+        self._check_alive(link)
+        end = link.end_of(task.name)
+        link.ends[end] = new_owner.name
+
+    def destroy(self, task: Task, link: Link) -> None:
+        """Destroy the link; either end may do so unilaterally.
+
+        Pending operations complete with a None delivery (cancelled).
+        """
+        self._check_alive(link)
+        link.end_of(task.name)      # validates ownership
+        link.destroyed = True
+        for side in ("A", "B"):
+            for op in link.pending_sends[side] + \
+                    link.pending_receives[side]:
+                if not op.completed and op.on_complete is not None:
+                    op.completed = True
+                    op.on_complete(None)
+            link.pending_sends[side].clear()
+            link.pending_receives[side].clear()
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, task: Task, link: Link, data: object,
+             size_bytes: int = 0,
+             on_complete: Callable[[object], None] | None = None,
+             ) -> _PendingOp:
+        """Post a send on *task*'s end; completes when matched."""
+        self._check_alive(link)
+        end = link.end_of(task.name)
+        op = _PendingOp(task=task, data=data, size_bytes=size_bytes,
+                        on_complete=on_complete)
+        receiver_end = link.other(end)
+        link.pending_sends[receiver_end].append(op)
+        self.node.processors.host.submit(
+            POST_COST_US,
+            lambda: self._try_match(link, receiver_end),
+            label="link post send")
+        return op
+
+    def receive(self, task: Task, link: Link,
+                on_message: Callable[[object], None]) -> _PendingOp:
+        """Post a receive on *task*'s end of one specific link."""
+        self._check_alive(link)
+        end = link.end_of(task.name)
+        op = _PendingOp(task=task, on_complete=on_message)
+        link.pending_receives[end].append(op)
+        self.node.processors.host.submit(
+            POST_COST_US, lambda: self._try_match(link, end),
+            label="link post receive")
+        return op
+
+    def receive_any(self, task: Task,
+                    on_message: Callable[[object], None],
+                    ) -> list[_PendingOp]:
+        """Post a receive on *all* links the process holds.
+
+        The first arriving message completes the whole group (the
+        Charlotte "all links" source specification); the other posts
+        are withdrawn.
+        """
+        group: list[_PendingOp] = []
+        done = {"fired": False}
+
+        def once(data, _group=group):
+            if not done["fired"] and data is not None:
+                done["fired"] = True
+                for other in group:
+                    other.completed = True
+                on_message(data)
+
+        posted = False
+        for link in self.links.values():
+            if link.destroyed:
+                continue
+            try:
+                end = link.end_of(task.name)
+            except KernelError:
+                continue
+            posted = True
+            op = _PendingOp(task=task, on_complete=once)
+            link.pending_receives[end].append(op)
+            group.append(op)
+            self.node.processors.host.submit(
+                POST_COST_US,
+                lambda link=link, end=end: self._try_match(link, end),
+                label="link post receive-any")
+        if not posted:
+            raise KernelError(
+                f"task {task.name} holds no links to receive on")
+        return group
+
+    def poll(self, op: _PendingOp) -> bool:
+        """Completion status of a posted operation (section 3.2.4)."""
+        return op.completed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _try_match(self, link: Link, end: str) -> None:
+        """Match the oldest live send/receive pair addressed to *end*."""
+        if link.destroyed:
+            return
+        sends = [op for op in link.pending_sends[end]
+                 if not op.completed]
+        receives = [op for op in link.pending_receives[end]
+                    if not op.completed]
+        if not sends or not receives:
+            return
+        send, receive = sends[0], receives[0]
+        link.pending_sends[end].remove(send)
+        link.pending_receives[end].remove(receive)
+        self.matches += 1
+        copy_cost = COPY_COST_PER_KB_US * send.size_bytes / 1000.0
+        self.node.processors.host.submit(
+            MATCH_COST_US + copy_cost,
+            lambda: self._deliver(link, end, send, receive),
+            label="link protocol processing")
+
+    def _deliver(self, link: Link, end: str, send: _PendingOp,
+                 receive: _PendingOp) -> None:
+        send.completed = True
+        receive.completed = True
+        if receive.on_complete is not None:
+            receive.on_complete(send.data)
+        if send.on_complete is not None:
+            send.on_complete(send.data)
+        # a receive-any group member may have re-enabled matching
+        self._try_match(link, end)
+
+    def _check_alive(self, link: Link) -> None:
+        if link.destroyed:
+            raise KernelError(f"link {link.link_id} was destroyed")
+        if link.link_id not in self.links:
+            raise KernelError(f"unknown link {link.link_id}")

@@ -1,0 +1,227 @@
+"""Jasmin's path semantics (section 3.2).
+
+Jasmin processes communicate over unidirectional *paths*:
+
+* the creator holds the **receive end** and gets every message sent
+  along the path;
+* the **send end** can be given away as a *gift* — in particular, a
+  gift path enclosed in a message "may be used by the recipient only
+  once to send the reply" (one-shot reply connections, section 3.2.1);
+* ``sendmsg`` carries fixed-size messages **buffered by the kernel**;
+  it blocks the sender only when kernel buffers run short
+  (section 3.2.3), resuming when one frees up;
+* ``rcvmsg`` blocks when the path is empty and may name a **group of
+  paths** as the source of the next message (section 3.2.5 — Jasmin
+  has no polling);
+* ``iomove`` moves arbitrary-sized blocks under the kernel's access
+  check.
+
+Operations charge the host with Jasmin's measured activity times
+(Table 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.messages import AccessRight, MemoryReference
+from repro.kernel.node import Node
+from repro.kernel.tasks import Task
+
+_path_ids = itertools.count(1)
+
+#: Per-operation host costs from the Jasmin profile (Table 3.2),
+#: halved where the figure covers both directions of a round trip.
+PATH_MANAGEMENT_US = 144.0 / 2
+BUFFER_MANAGEMENT_US = 72.0 / 2
+SCHEDULING_US = 288.0 / 2
+COPY_US = 108.0 / 2                      # one 32-byte message copy
+IOMOVE_PER_KB_US = 108.0 / 2 / 0.032     # scaled from the 32-B figure
+
+
+@dataclass
+class Path:
+    """A unidirectional Jasmin path."""
+
+    path_id: int
+    creator: str                 # holds the receive end, forever
+    send_holder: str             # current holder of the send end
+    one_shot: bool = False       # gift reply path: single use
+    uses: int = 0
+    closed: bool = False
+    queue: deque = field(default_factory=deque)
+
+
+@dataclass
+class _BlockedSend:
+    task: Task
+    path: Path
+    payload: object
+    on_sent: Callable | None
+
+
+class JasminPaths:
+    """The path layer bound to one node.
+
+    ``kernel_buffers`` bounds the fixed-size message pool; senders
+    block (queue) when it is exhausted.
+    """
+
+    def __init__(self, node: Node, kernel_buffers: int = 16):
+        if kernel_buffers < 1:
+            raise KernelError("need at least one kernel buffer")
+        self.node = node
+        self.capacity = kernel_buffers
+        self.in_use = 0
+        self.paths: dict[int, Path] = {}
+        self._blocked_senders: deque[_BlockedSend] = deque()
+        #: group receives waiting for any of a set of paths
+        self._waiting_receivers: list[tuple[list[Path], Callable]] = []
+
+    # ------------------------------------------------------------------
+    # path lifecycle
+    # ------------------------------------------------------------------
+    def create_path(self, creator: Task) -> Path:
+        """Create a path; the creator holds the receive end and,
+        initially, the send end."""
+        path = Path(path_id=next(_path_ids), creator=creator.name,
+                    send_holder=creator.name)
+        self.paths[path.path_id] = path
+        return path
+
+    def give_send_end(self, giver: Task, path: Path,
+                      receiver: Task) -> None:
+        """Gift the send end to another process."""
+        self._check_open(path)
+        if path.send_holder != giver.name:
+            raise KernelError(
+                f"task {giver.name} does not hold the send end of "
+                f"path {path.path_id}")
+        path.send_holder = receiver.name
+
+    def create_gift_path(self, creator: Task, recipient: Task) -> Path:
+        """A one-shot reply path to enclose in a message.
+
+        The kernel pays the same setup cost as for persistent paths
+        (section 3.2.1's criticism of Jasmin's RPC simulation).
+        """
+        path = self.create_path(creator)
+        path.one_shot = True
+        path.send_holder = recipient.name
+        return path
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def sendmsg(self, task: Task, path: Path, payload: object,
+                on_sent: Callable[[], None] | None = None) -> None:
+        """Send a fixed-size message; blocks on buffer shortage."""
+        self._check_open(path)
+        if path.send_holder != task.name:
+            raise KernelError(
+                f"task {task.name} does not hold the send end of "
+                f"path {path.path_id}")
+        if path.one_shot and path.uses >= 1:
+            raise KernelError(
+                f"gift path {path.path_id} was already used for its "
+                "one reply")
+        path.uses += 1
+        if path.one_shot:
+            # the send end is spent; the path closes after delivery
+            path.send_holder = ""
+        if self.in_use >= self.capacity:
+            self._blocked_senders.append(
+                _BlockedSend(task=task, path=path, payload=payload,
+                             on_sent=on_sent))
+            return
+        self._accept_send(path, payload, on_sent)
+
+    def _accept_send(self, path: Path, payload: object,
+                     on_sent: Callable | None) -> None:
+        self.in_use += 1
+        cost = PATH_MANAGEMENT_US + BUFFER_MANAGEMENT_US + COPY_US
+        self.node.processors.host.submit(
+            cost, lambda: self._enqueue(path, payload, on_sent),
+            label="jasmin sendmsg")
+
+    def _enqueue(self, path: Path, payload: object,
+                 on_sent: Callable | None) -> None:
+        path.queue.append(payload)
+        if on_sent is not None:
+            on_sent()
+        self._wake_receivers()
+
+    def rcvmsg(self, task: Task, paths: list[Path] | Path,
+               on_message: Callable[[object, Path], None]) -> None:
+        """Blocking receive from one path or a group (section 3.2.5)."""
+        group = [paths] if isinstance(paths, Path) else list(paths)
+        if not group:
+            raise KernelError("empty path group")
+        for path in group:
+            if path.creator != task.name:
+                raise KernelError(
+                    f"task {task.name} does not hold the receive end "
+                    f"of path {path.path_id}")
+        self._waiting_receivers.append((group, on_message))
+        self._wake_receivers()
+
+    def iomove(self, task: Task, memory_ref: MemoryReference,
+               size_bytes: int, write: bool,
+               on_done: Callable[[], None] | None = None) -> None:
+        """Arbitrary-sized block move with access checking.
+
+        Blocks the caller until the kernel completes the movement
+        (section 3.2.3); the data is not buffered by the kernel.
+        """
+        memory_ref.check(
+            AccessRight.WRITE if write else AccessRight.READ,
+            size_bytes)
+        cost = PATH_MANAGEMENT_US + IOMOVE_PER_KB_US * size_bytes / 1000
+        self.node.processors.host.submit(cost, on_done,
+                                         label="jasmin iomove")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _wake_receivers(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for entry in list(self._waiting_receivers):
+                group, on_message = entry
+                ready = next((p for p in group if p.queue), None)
+                if ready is None:
+                    continue
+                self._waiting_receivers.remove(entry)
+                payload = ready.queue.popleft()
+                progressed = True
+                cost = SCHEDULING_US + COPY_US
+                self.node.processors.host.submit(
+                    cost,
+                    lambda payload=payload, ready=ready:
+                        self._deliver(payload, ready, on_message),
+                    label="jasmin rcvmsg")
+
+    def _deliver(self, payload: object, path: Path,
+                 on_message: Callable) -> None:
+        self.in_use -= 1
+        if path.one_shot and not path.queue and path.uses >= 1:
+            path.closed = True
+        on_message(payload, path)
+        self._release_blocked_sender()
+
+    def _release_blocked_sender(self) -> None:
+        if self._blocked_senders and self.in_use < self.capacity:
+            blocked = self._blocked_senders.popleft()
+            self._accept_send(blocked.path, blocked.payload,
+                              blocked.on_sent)
+
+    def _check_open(self, path: Path) -> None:
+        if path.closed:
+            raise KernelError(f"path {path.path_id} is closed")
+        if path.path_id not in self.paths:
+            raise KernelError(f"unknown path {path.path_id}")

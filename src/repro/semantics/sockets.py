@@ -1,0 +1,237 @@
+"""Unix 4.2bsd socket semantics (section 3.2).
+
+Sockets are "two-way communication channels between any two processes
+... the logical extension to the idea of pipes":
+
+* connection-oriented: a server ``bind``s a name and ``accept``s;
+  a client ``connect``s, yielding a connected pair;
+* messages are **arbitrary-sized byte streams buffered by the
+  kernel** — writes append to the peer's receive buffer, reads drain
+  whatever is available (stream, not datagram, semantics);
+* once bound, sockets are static and validity checking is cheap
+  compared to Charlotte links (section 3.2.1);
+* primitives block when resources are unavailable, but a per-socket
+  **non-blocking option** can be set (section 3.2.3).
+
+Operations charge the host with the Unix profile's measured activity
+times (Table 3.4): socket-routine, buffer-management and copy costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.kernel.node import Node
+from repro.kernel.tasks import Task
+
+_socket_ids = itertools.count(1)
+
+#: Host costs from the Unix local profile (Table 3.4), halved where
+#: the table figure covers a full round trip of two transfers.
+SOCKET_ROUTINE_US = 2_440.0 / 4      # validity check per operation
+BUFFER_MANAGEMENT_US = 460.0 / 2
+COPY_PER_KB_US = 880.0 / 2 / 0.128   # from the 128-byte figure
+
+#: Default kernel buffer per socket direction (bytes).
+DEFAULT_BUFFER_BYTES = 4096
+
+
+@dataclass
+class Socket:
+    """One endpoint of a connected pair."""
+
+    socket_id: int
+    owner: str
+    peer: "Socket | None" = None
+    receive_buffer: deque = field(default_factory=deque)
+    buffered_bytes: int = 0
+    buffer_limit: int = DEFAULT_BUFFER_BYTES
+    nonblocking: bool = False
+    closed: bool = False
+
+
+@dataclass
+class _Listener:
+    name: str
+    owner: str
+    backlog: deque = field(default_factory=deque)
+    accepts: deque = field(default_factory=deque)
+
+
+class WouldBlock(KernelError):
+    """A non-blocking operation could not proceed (EWOULDBLOCK)."""
+
+
+class UnixSockets:
+    """The socket layer bound to one node."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self._listeners: dict[str, _Listener] = {}
+        self._blocked_writes: list[tuple] = []
+        self._blocked_reads: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # connection establishment
+    # ------------------------------------------------------------------
+    def bind(self, task: Task, name: str) -> _Listener:
+        """Bind a listening name (static once bound)."""
+        if name in self._listeners:
+            raise KernelError(f"address {name!r} already bound")
+        listener = _Listener(name=name, owner=task.name)
+        self._listeners[name] = listener
+        return listener
+
+    def connect(self, task: Task, name: str,
+                on_connected: Callable[[Socket], None]) -> None:
+        """Connect to a bound name; completes when accepted."""
+        listener = self._listeners.get(name)
+        if listener is None:
+            raise KernelError(f"no listener at {name!r}")
+        client = Socket(socket_id=next(_socket_ids), owner=task.name)
+        listener.backlog.append((client, on_connected))
+        self._progress_accepts(listener)
+
+    def accept(self, task: Task, listener: _Listener,
+               on_accepted: Callable[[Socket], None]) -> None:
+        """Accept the next pending connection."""
+        if listener.owner != task.name:
+            raise KernelError(
+                f"task {task.name} does not own listener "
+                f"{listener.name!r}")
+        listener.accepts.append(on_accepted)
+        self._progress_accepts(listener)
+
+    def socketpair(self, task_a: Task, task_b: Task,
+                   ) -> tuple[Socket, Socket]:
+        """Directly create a connected pair (the pipe-like shortcut)."""
+        a = Socket(socket_id=next(_socket_ids), owner=task_a.name)
+        b = Socket(socket_id=next(_socket_ids), owner=task_b.name)
+        a.peer, b.peer = b, a
+        return a, b
+
+    def _progress_accepts(self, listener: _Listener) -> None:
+        while listener.backlog and listener.accepts:
+            (client, on_connected) = listener.backlog.popleft()
+            on_accepted = listener.accepts.popleft()
+            server = Socket(socket_id=next(_socket_ids),
+                            owner=listener.owner)
+            client.peer, server.peer = server, client
+            cost = SOCKET_ROUTINE_US
+            self.node.processors.host.submit(
+                cost,
+                lambda s=server, c=client: (on_accepted(s),
+                                            on_connected(c)),
+                label="socket accept")
+
+    # ------------------------------------------------------------------
+    # data transfer
+    # ------------------------------------------------------------------
+    def set_nonblocking(self, sock: Socket, value: bool = True) -> None:
+        """Socket option: never block (section 3.2.3)."""
+        sock.nonblocking = value
+
+    def write(self, task: Task, sock: Socket, data: bytes,
+              on_done: Callable[[], None] | None = None) -> None:
+        """Append *data* to the peer's kernel receive buffer.
+
+        Blocks (queues) while the peer's buffer lacks room; raises
+        :class:`WouldBlock` instead when the socket is non-blocking.
+        """
+        self._check_connected(task, sock)
+        peer = sock.peer
+        if peer.buffered_bytes + len(data) > peer.buffer_limit:
+            if sock.nonblocking:
+                raise WouldBlock(
+                    f"socket {sock.socket_id}: peer buffer full")
+            self._blocked_writes.append((task, sock, data, on_done))
+            return
+        cost = SOCKET_ROUTINE_US + BUFFER_MANAGEMENT_US \
+            + COPY_PER_KB_US * len(data) / 1000.0
+        peer.buffered_bytes += len(data)
+        self.node.processors.host.submit(
+            cost, lambda: self._deliver(peer, data, on_done),
+            label="socket write")
+
+    def read(self, task: Task, sock: Socket, max_bytes: int,
+             on_data: Callable[[bytes], None]) -> None:
+        """Read up to *max_bytes* from the socket's receive buffer.
+
+        Stream semantics: returns whatever is available, possibly
+        merging several writes or splitting one.  Blocks while empty;
+        raises :class:`WouldBlock` when non-blocking and empty.
+        """
+        if sock.owner != task.name:
+            raise KernelError(
+                f"task {task.name} does not own socket "
+                f"{sock.socket_id}")
+        if max_bytes <= 0:
+            raise KernelError("read needs a positive byte count")
+        if not sock.receive_buffer:
+            if sock.nonblocking:
+                raise WouldBlock(
+                    f"socket {sock.socket_id}: nothing to read")
+            self._blocked_reads.append((task, sock, max_bytes, on_data))
+            return
+        data = self._drain(sock, max_bytes)
+        cost = SOCKET_ROUTINE_US \
+            + COPY_PER_KB_US * len(data) / 1000.0
+        self.node.processors.host.submit(
+            cost, lambda: self._complete_read(sock, data, on_data),
+            label="socket read")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver(self, peer: Socket, data: bytes,
+                 on_done: Callable | None) -> None:
+        peer.receive_buffer.append(bytes(data))
+        if on_done is not None:
+            on_done()
+        self._wake_blocked_reads()
+
+    def _drain(self, sock: Socket, max_bytes: int) -> bytes:
+        out = bytearray()
+        while sock.receive_buffer and len(out) < max_bytes:
+            chunk = sock.receive_buffer[0]
+            take = min(len(chunk), max_bytes - len(out))
+            out += chunk[:take]
+            if take == len(chunk):
+                sock.receive_buffer.popleft()
+            else:
+                sock.receive_buffer[0] = chunk[take:]
+        sock.buffered_bytes -= len(out)
+        return bytes(out)
+
+    def _complete_read(self, sock: Socket, data: bytes,
+                       on_data: Callable) -> None:
+        on_data(data)
+        self._wake_blocked_writes()
+
+    def _wake_blocked_reads(self) -> None:
+        for entry in list(self._blocked_reads):
+            task, sock, max_bytes, on_data = entry
+            if sock.receive_buffer:
+                self._blocked_reads.remove(entry)
+                self.read(task, sock, max_bytes, on_data)
+
+    def _wake_blocked_writes(self) -> None:
+        for entry in list(self._blocked_writes):
+            task, sock, data, on_done = entry
+            peer = sock.peer
+            if peer.buffered_bytes + len(data) <= peer.buffer_limit:
+                self._blocked_writes.remove(entry)
+                self.write(task, sock, data, on_done)
+
+    def _check_connected(self, task: Task, sock: Socket) -> None:
+        if sock.closed or sock.peer is None:
+            raise KernelError(
+                f"socket {sock.socket_id} is not connected")
+        if sock.owner != task.name:
+            raise KernelError(
+                f"task {task.name} does not own socket "
+                f"{sock.socket_id}")

@@ -1,0 +1,178 @@
+"""Tests for the exact MVA solver and architecture mappings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import (Station, StationKind, asymptotic_bounds,
+                            conversation_stations, mva_bottleneck,
+                            solve_architecture_mva, solve_mva)
+from repro.errors import ModelError
+from repro.models import Architecture, Mode, round_trip_sum, solve
+
+
+class TestMvaCore:
+    def test_single_station_flat_throughput(self):
+        """All demand at one station: X(n) = 1/D for every n."""
+        stations = [Station("cpu", 100.0)]
+        for n in (1, 2, 5):
+            solution = solve_mva(stations, n)
+            assert solution.throughput == pytest.approx(0.01)
+
+    def test_single_customer_no_queueing(self):
+        stations = [Station("a", 30.0), Station("b", 70.0)]
+        solution = solve_mva(stations, 1)
+        assert solution.throughput == pytest.approx(1 / 100.0)
+        assert solution.cycle_time == pytest.approx(100.0)
+
+    def test_two_balanced_stations_known_value(self):
+        # D=D at both stations, N=2: R_k = D(1+Q_k(1)); by symmetry
+        # Q_k(1)=0.5 -> R_k = 1.5D -> X = 2/(3D)
+        stations = [Station("a", 10.0), Station("b", 10.0)]
+        solution = solve_mva(stations, 2)
+        assert solution.throughput == pytest.approx(2 / 30.0)
+
+    def test_delay_station_adds_no_queueing(self):
+        queueing = [Station("cpu", 50.0), Station("net", 50.0)]
+        with_delay = [Station("cpu", 50.0),
+                      Station("net", 50.0,
+                              kind=StationKind.DELAY)]
+        for n in (2, 4):
+            q = solve_mva(queueing, n).throughput
+            d = solve_mva(with_delay, n).throughput
+            assert d >= q
+
+    def test_think_time_lowers_throughput(self):
+        stations = [Station("cpu", 100.0)]
+        fast = solve_mva(stations, 2, think_time=0.0)
+        slow = solve_mva(stations, 2, think_time=500.0)
+        assert slow.throughput < fast.throughput
+
+    def test_utilization_law(self):
+        stations = [Station("a", 40.0), Station("b", 90.0)]
+        solution = solve_mva(stations, 3)
+        for station in stations:
+            assert solution.utilizations[station.name] == \
+                pytest.approx(solution.throughput * station.demand)
+        assert solution.bottleneck() == "b"
+
+    def test_littles_law_holds(self):
+        stations = [Station("a", 25.0), Station("b", 60.0)]
+        solution = solve_mva(stations, 4)
+        for name, queue in solution.queue_lengths.items():
+            assert queue == pytest.approx(
+                solution.throughput * solution.residence_times[name])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            solve_mva([], 1)
+        with pytest.raises(ModelError):
+            solve_mva([Station("a", 1.0)], 0)
+        with pytest.raises(ModelError):
+            solve_mva([Station("a", 1.0)], 1, think_time=-1.0)
+        with pytest.raises(ModelError):
+            solve_mva([Station("a", 1.0), Station("a", 2.0)], 1)
+        with pytest.raises(ModelError):
+            Station("bad", -1.0)
+
+
+class TestBounds:
+    def test_bounds_sandwich_exact_mva(self):
+        stations = [Station("a", 30.0), Station("b", 80.0),
+                    Station("c", 15.0)]
+        for n in (1, 2, 4, 8):
+            lower, upper = asymptotic_bounds(stations, n)
+            exact = solve_mva(stations, n).throughput
+            assert lower - 1e-12 <= exact <= upper + 1e-12
+
+    def test_saturation_bound_is_bottleneck_rate(self):
+        stations = [Station("a", 30.0), Station("b", 80.0)]
+        _lower, upper = asymptotic_bounds(stations, 100)
+        assert upper == pytest.approx(1 / 80.0)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.floats(1.0, 500.0), min_size=1, max_size=5),
+       st.integers(1, 8))
+def test_property_mva_within_bounds(demands, population):
+    stations = [Station(f"s{i}", d) for i, d in enumerate(demands)]
+    lower, upper = asymptotic_bounds(stations, population)
+    exact = solve_mva(stations, population).throughput
+    assert lower - 1e-9 <= exact <= upper + 1e-9
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(1.0, 500.0), min_size=1, max_size=4),
+       st.integers(1, 6))
+def test_property_throughput_monotone_in_population(demands, population):
+    stations = [Station(f"s{i}", d) for i, d in enumerate(demands)]
+    previous = 0.0
+    for n in range(1, population + 1):
+        current = solve_mva(stations, n).throughput
+        assert current >= previous - 1e-12
+        previous = current
+
+
+class TestArchitectureMapping:
+    def test_demands_sum_to_round_trip(self):
+        """Total demand equals the action-table sum (+ compute)."""
+        for arch in Architecture:
+            for mode in Mode:
+                stations = conversation_stations(arch, mode, 500.0)
+                total = sum(s.demand for s in stations)
+                assert total == pytest.approx(
+                    round_trip_sum(arch, mode) + 500.0), (arch, mode)
+
+    def test_arch1_local_is_single_host_station(self):
+        stations = conversation_stations(Architecture.I, Mode.LOCAL)
+        assert [s.name for s in stations] == ["host"]
+
+    def test_arch2_local_splits_host_and_mp(self):
+        stations = {s.name: s.demand for s in conversation_stations(
+            Architecture.II, Mode.LOCAL)}
+        assert set(stations) == {"host", "mp"}
+        assert stations["mp"] == pytest.approx(
+            1030.2 + 603 + 1264.4 + 1289.8)
+
+    def test_nonlocal_has_client_and_server_sides(self):
+        names = {s.name for s in conversation_stations(
+            Architecture.II, Mode.NONLOCAL)}
+        assert "client.host" in names
+        assert "server.host" in names
+        assert "client.mp" in names
+        assert "server.mp" in names
+
+    def test_bottleneck_shifts_with_compute(self):
+        """Zero compute: the MP saturates; heavy compute: the host."""
+        assert mva_bottleneck(Architecture.II, Mode.LOCAL, 0.0) == "mp"
+        assert mva_bottleneck(Architecture.II, Mode.LOCAL,
+                              20_000.0) == "host"
+
+
+class TestCrossValidation:
+    """MVA vs GTPN: agreement bands (MVA is uniformly conservative
+    because of its exponential-service assumption)."""
+
+    @pytest.mark.parametrize("arch", [Architecture.I, Architecture.II,
+                                      Architecture.III])
+    def test_local_agreement(self, arch):
+        for n, x in ((1, 0.0), (3, 2850.0)):
+            mva = solve_architecture_mva(arch, Mode.LOCAL, n, x)
+            gtpn = solve(arch, Mode.LOCAL, n, x)
+            assert mva.throughput == pytest.approx(
+                gtpn.throughput, rel=0.08), (arch, n, x)
+            assert mva.throughput <= gtpn.throughput * 1.001
+
+    def test_nonlocal_agreement_band(self):
+        mva = solve_architecture_mva(Architecture.II, Mode.NONLOCAL,
+                                     4, 2850.0)
+        gtpn = solve(Architecture.II, Mode.NONLOCAL, 4, 2850.0)
+        assert mva.throughput == pytest.approx(gtpn.throughput,
+                                               rel=0.18)
+
+    def test_arch1_local_exact_match(self):
+        """Single-station MVA is exact: X = 1/D, the GTPN's value."""
+        mva = solve_architecture_mva(Architecture.I, Mode.LOCAL, 2)
+        gtpn = solve(Architecture.I, Mode.LOCAL, 2)
+        assert mva.throughput == pytest.approx(gtpn.throughput,
+                                               rel=1e-6)

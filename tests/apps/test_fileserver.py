@@ -1,0 +1,168 @@
+"""Integration tests for the file server application."""
+
+import pytest
+
+from repro.apps import (FileClient, FileReply, FileServer, FileStatus)
+from repro.kernel import DistributedSystem
+from repro.models.params import Architecture, Mode
+
+
+def make_setup(remote=False):
+    system = DistributedSystem(Architecture.II)
+    if remote:
+        server_node = system.add_node("server-node",
+                                      default_mode=Mode.NONLOCAL)
+        client_node = system.add_node("client-node",
+                                      default_mode=Mode.NONLOCAL)
+    else:
+        server_node = client_node = system.add_node("node0")
+    server = FileServer(server_node)
+    server.start()
+    task = client_node.create_task("editor")
+    client = FileClient(client_node, task)
+    return system, server, client
+
+
+def run_calls(system, steps):
+    """Drive a list of callback-chained steps to completion."""
+    results: list[FileReply] = []
+
+    def next_step(index):
+        def on_reply(reply):
+            results.append(reply)
+            if index + 1 < len(steps):
+                steps[index + 1](on_reply_factory(index + 1))
+        return on_reply
+
+    def on_reply_factory(index):
+        return next_step(index)
+
+    steps[0](next_step(0))
+    system.sim.run()
+    return results
+
+
+def test_open_returns_handle():
+    system, _server, client = make_setup()
+    replies = run_calls(system, [
+        lambda cb: client.open("report.txt", cb),
+    ])
+    assert replies[0].status is FileStatus.OK
+    assert replies[0].handle == 1
+
+
+def test_write_then_read_roundtrip():
+    system, _server, client = make_setup()
+    state = {}
+
+    def do_open(cb):
+        client.open("doc", cb)
+
+    def do_write(cb):
+        state["handle"] = state["replies"][0].handle
+        client.write(state["handle"], 0, b"hello pages", cb)
+
+    def do_read(cb):
+        client.read(state["handle"], 0, 11, cb)
+
+    replies = []
+    state["replies"] = replies
+
+    def chain(fns):
+        def advance(i):
+            def cb(reply):
+                replies.append(reply)
+                if i + 1 < len(fns):
+                    fns[i + 1](advance(i + 1))
+            return cb
+        fns[0](advance(0))
+
+    chain([do_open, do_write, do_read])
+    system.sim.run()
+    assert [r.status for r in replies] == [FileStatus.OK] * 3
+    assert replies[2].data == b"hello pages"
+
+
+def test_bulk_page_write_moves_bytes_via_memory_reference():
+    system, server, client = make_setup()
+    replies = []
+
+    def after_open(reply):
+        replies.append(reply)
+        buffer = client.page_buffer(size=4096, for_write=True)
+        client.write(reply.handle, 0, b"x" * 4096,
+                     lambda r: replies.append(r), buffer=buffer)
+
+    client.open("big", after_open)
+    system.sim.run()
+    assert replies[1].status is FileStatus.OK
+    assert replies[1].bytes_moved == 4096
+    # the kernel's bulk path carried the page
+    assert server.node.kernel.stats.bytes_moved == 4096
+
+
+def test_bad_handle_reported():
+    system, _server, client = make_setup()
+    replies = run_calls(system, [
+        lambda cb: client.read(999, 0, 10, cb),
+    ])
+    assert replies[0].status is FileStatus.BAD_HANDLE
+
+
+def test_bad_offset_reported():
+    system, _server, client = make_setup()
+    replies = []
+
+    def after_open(reply):
+        replies.append(reply)
+        client.read(reply.handle, 5_000, 10,
+                    lambda r: replies.append(r))
+
+    client.open("empty", after_open)
+    system.sim.run()
+    assert replies[1].status is FileStatus.BAD_OFFSET
+
+
+def test_close_invalidates_handle():
+    system, _server, client = make_setup()
+    replies = []
+
+    def after_open(reply):
+        replies.append(reply)
+        client.close(reply.handle, lambda r: (
+            replies.append(r),
+            client.read(reply.handle, 0, 1,
+                        lambda rr: replies.append(rr))))
+
+    client.open("f", after_open)
+    system.sim.run()
+    assert replies[1].status is FileStatus.OK
+    assert replies[2].status is FileStatus.BAD_HANDLE
+
+
+def test_list_files():
+    system, _server, client = make_setup()
+    replies = []
+    client.open("b.txt", lambda r1: client.open(
+        "a.txt", lambda r2: client.list_files(
+            lambda r3: replies.append(r3))))
+    system.sim.run()
+    assert replies[0].names == ["a.txt", "b.txt"]
+
+
+def test_remote_access_transparent():
+    """The same client code works across nodes (the thesis's
+    transparency argument)."""
+    system, server, client = make_setup(remote=True)
+    replies = []
+    client.open("remote-doc", lambda r: replies.append(r))
+    system.sim.run()
+    assert replies[0].status is FileStatus.OK
+    assert system.wire.packet_count == 2       # send + reply
+
+
+def test_server_counts_requests():
+    system, server, client = make_setup()
+    client.open("f", lambda r: client.list_files(lambda rr: None))
+    system.sim.run()
+    assert server.requests_served == 2

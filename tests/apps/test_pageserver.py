@@ -1,0 +1,122 @@
+"""Integration tests for the page server / demand paging."""
+
+import pytest
+
+from repro.apps import PageFault, PageServer, PagedMemory
+from repro.apps.pageserver import PAGE_SIZE
+from repro.errors import KernelError
+from repro.kernel import DistributedSystem
+from repro.models.params import Architecture, Mode
+
+
+def make_setup(remote=False, cache_capacity=4, pages=16):
+    system = DistributedSystem(Architecture.II)
+    if remote:
+        server_node = system.add_node("backing-store",
+                                      default_mode=Mode.NONLOCAL)
+        client_node = system.add_node("workstation",
+                                      default_mode=Mode.NONLOCAL)
+    else:
+        server_node = client_node = system.add_node("node0")
+    server = PageServer(server_node, pages=pages)
+    server.start()
+    task = client_node.create_task("app")
+    memory = PagedMemory(client_node, task, pages=pages,
+                         cache_capacity=cache_capacity)
+    return system, server, memory
+
+
+def test_read_faults_in_a_zero_page():
+    system, server, memory = make_setup()
+    got = []
+    memory.read(100, 8, got.append)
+    system.sim.run()
+    assert got == [bytes(8)]
+    assert memory.misses == 1
+    assert server.fetches == 1
+
+
+def test_write_then_read_hits_cache():
+    system, server, memory = make_setup()
+    got = []
+    memory.write(10, b"abc")
+    system.sim.run()
+    memory.read(10, 3, got.append)
+    system.sim.run()
+    assert got == [b"abc"]
+    assert memory.misses == 1      # one fault for the shared page
+    assert memory.hits == 1
+
+
+def test_flush_persists_dirty_pages():
+    system, server, memory = make_setup()
+    memory.write(0, b"persist me")
+    done = []
+    system.sim.run()
+    memory.flush(lambda: done.append(True))
+    system.sim.run()
+    assert done == [True]
+    assert server.stores == 1
+    # a fresh client sees the stored bytes
+    task2 = server.node.create_task("app2")
+    memory2 = PagedMemory(server.node, task2, pages=16)
+    got = []
+    memory2.read(0, 10, got.append)
+    system.sim.run()
+    assert got == [b"persist me"]
+
+
+def test_lru_eviction_writes_back_dirty_victim():
+    system, server, memory = make_setup(cache_capacity=2)
+    memory.write(0 * PAGE_SIZE, b"zero")
+    system.sim.run()
+    memory.write(1 * PAGE_SIZE, b"one")
+    system.sim.run()
+    # touching a third page evicts page 0 (LRU), which is dirty
+    memory.read(2 * PAGE_SIZE, 4, lambda d: None)
+    system.sim.run()
+    assert server.stores == 1
+    assert len(memory._cache) == 2
+
+
+def test_cross_page_access_rejected():
+    _system, _server, memory = make_setup()
+    with pytest.raises(PageFault):
+        memory.read(PAGE_SIZE - 2, 8, lambda d: None)
+
+
+def test_out_of_segment_access_rejected():
+    _system, _server, memory = make_setup(pages=2)
+    with pytest.raises(PageFault):
+        memory.write(5 * PAGE_SIZE, b"far away")
+
+
+def test_remote_paging_works():
+    system, server, memory = make_setup(remote=True)
+    got = []
+    memory.write(50, b"over the wire")
+    system.sim.run()
+    memory.flush(lambda: got.append("flushed"))
+    system.sim.run()
+    assert got == ["flushed"]
+    assert system.wire.packet_count >= 4   # fetch + store round trips
+
+
+def test_fault_rate_measured():
+    system, _server, memory = make_setup(cache_capacity=2)
+    for page in (0, 1, 0, 1, 2, 0):
+        memory.read(page * PAGE_SIZE, 1, lambda d: None)
+        system.sim.run()
+    assert memory.hits + memory.misses == 6
+    assert memory.misses >= 4     # capacity 2 forces refaults
+
+
+def test_bad_configuration_rejected():
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    with pytest.raises(KernelError):
+        PageServer(node, pages=0)
+    server = PageServer(node, pages=4)
+    task = node.create_task("app")
+    with pytest.raises(KernelError):
+        PagedMemory(node, task, pages=4, cache_capacity=0)

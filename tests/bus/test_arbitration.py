@@ -1,0 +1,78 @@
+"""Tests for Taub's distributed arbitration, including the hypothesis
+property that the settled bus value is always the highest contender."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus import Arbiter, arbitrate
+from repro.errors import BusError
+
+
+def test_single_contender_wins():
+    assert arbitrate([3]).winner == 3
+
+
+def test_highest_number_wins():
+    assert arbitrate([2, 5, 1]).winner == 5
+
+
+def test_zero_can_win_alone():
+    assert arbitrate([0]).winner == 0
+
+
+def test_all_eight_contenders():
+    assert arbitrate(list(range(8))).winner == 7
+
+
+def test_empty_contest_rejected():
+    with pytest.raises(BusError):
+        arbitrate([])
+
+
+def test_duplicate_numbers_rejected():
+    with pytest.raises(BusError):
+        arbitrate([3, 3])
+
+
+def test_out_of_range_number_rejected():
+    with pytest.raises(BusError):
+        arbitrate([8])
+    with pytest.raises(BusError):
+        arbitrate([-1])
+
+
+def test_bus_value_equals_winner():
+    outcome = arbitrate([1, 6, 4])
+    assert outcome.bus_value == outcome.winner == 6
+
+
+def test_settles_in_bounded_rounds():
+    outcome = arbitrate(list(range(8)))
+    assert outcome.settle_rounds <= 16
+
+
+@given(st.sets(st.integers(0, 7), min_size=1))
+def test_property_winner_is_max(contenders):
+    """Wired-OR competition always resolves to the highest number."""
+    assert arbitrate(sorted(contenders)).winner == max(contenders)
+
+
+class TestArbiter:
+    def test_no_requesters_returns_none(self):
+        arbiter = Arbiter()
+        assert arbiter.next_master([]) is None
+
+    def test_tracks_current_master(self):
+        arbiter = Arbiter()
+        assert arbiter.next_master([2, 4]) == 4
+        assert arbiter.current_master == 4
+
+    def test_master_retained_detection(self):
+        arbiter = Arbiter()
+        arbiter.next_master([2, 4])
+        assert not arbiter.master_retained()
+        arbiter.next_master([4])
+        assert arbiter.master_retained()
+        arbiter.next_master([2])
+        assert not arbiter.master_retained()

@@ -1,0 +1,186 @@
+"""Integration tests of the smart-bus fabric with the memory controller."""
+
+import pytest
+
+from repro.bus import (BusMonitor, BusOperation, OpKind, SmartBusFabric)
+from repro.errors import BusError
+from repro.memory import (SharedMemory, SmartMemoryController, build_layout,
+                          members)
+
+
+def make_fabric(size=512, edge_time_us=0.25):
+    memory = SharedMemory(size)
+    controller = SmartMemoryController(memory)
+    fabric = SmartBusFabric(controller, edge_time_us=edge_time_us)
+    fabric.attach("host", 2)
+    fabric.attach("mp", 4)
+    fabric.attach("net", 6)
+    return fabric, memory
+
+
+class TestBasicOperations:
+    def test_write_then_read(self):
+        fabric, _memory = make_fabric()
+        fabric.schedule(BusOperation(unit="host", kind=OpKind.WRITE,
+                                     address=9, value=77))
+        read = fabric.schedule(BusOperation(unit="host", kind=OpKind.READ,
+                                            address=9, issue_time=1.0))
+        fabric.run()
+        assert read.result == 77
+
+    def test_write_latency_one_memory_cycle(self):
+        # four-edge handshake at 0.25 us/edge = 1 us
+        fabric, _memory = make_fabric()
+        op = fabric.schedule(BusOperation(unit="host", kind=OpKind.WRITE,
+                                          address=9, value=1))
+        fabric.run()
+        assert op.latency == pytest.approx(1.0)
+
+    def test_read_latency_two_memory_cycles(self):
+        fabric, _memory = make_fabric()
+        op = fabric.schedule(BusOperation(unit="host", kind=OpKind.READ,
+                                          address=9))
+        fabric.run()
+        assert op.latency == pytest.approx(2.0)
+
+    def test_block_read_roundtrip(self):
+        fabric, memory = make_fabric()
+        memory.write_block(40, list(range(10)))
+        op = fabric.schedule(BusOperation(unit="host",
+                                          kind=OpKind.BLOCK_READ,
+                                          address=40, count=10))
+        fabric.run()
+        assert op.result == list(range(10))
+        # 4 request edges + 20 stream edges = 24 edges = 6 us
+        assert op.latency == pytest.approx(6.0)
+
+    def test_block_write_roundtrip(self):
+        fabric, memory = make_fabric()
+        op = fabric.schedule(BusOperation(unit="host",
+                                          kind=OpKind.BLOCK_WRITE,
+                                          address=60,
+                                          data=[5, 4, 3, 2, 1]))
+        fabric.run()
+        assert memory.read_block(60, 5) == [5, 4, 3, 2, 1]
+        # 4 + 10 edges = 14 edges = 3.5 us
+        assert op.latency == pytest.approx(3.5)
+
+    def test_queue_ops_through_bus(self):
+        layout = build_layout(n_tcbs=4, n_buffers=4)
+        controller = SmartMemoryController(layout.memory)
+        fabric = SmartBusFabric(controller)
+        fabric.attach("mp", 4)
+        got = fabric.schedule(BusOperation(
+            unit="mp", kind=OpKind.FIRST, list_addr=layout.tcb_free_list))
+        fabric.run()
+        assert got.result == layout.tcbs.address_of(0)
+        enq = fabric.schedule(BusOperation(
+            unit="mp", kind=OpKind.ENQUEUE, element=got.result,
+            list_addr=layout.communication_list))
+        fabric.run()
+        assert enq.result is None
+        assert members(layout.memory,
+                       layout.communication_list) == [got.result]
+
+
+class TestArbitrationAndPreemption:
+    def test_higher_priority_goes_first_when_simultaneous(self):
+        fabric, _memory = make_fabric()
+        low = fabric.schedule(BusOperation(unit="host", kind=OpKind.WRITE,
+                                           address=9, value=1))
+        high = fabric.schedule(BusOperation(unit="net", kind=OpKind.WRITE,
+                                            address=10, value=2))
+        fabric.run()
+        assert high.complete_time < low.complete_time
+
+    def test_stream_preempted_at_grant_boundary(self):
+        fabric, memory = make_fabric()
+        memory.write_block(40, list(range(20)))
+        read = fabric.schedule(BusOperation(
+            unit="host", kind=OpKind.BLOCK_READ, address=40, count=20))
+        # net interrupt-style request lands mid-stream
+        enq_time = 3.0
+        net_op = fabric.schedule(BusOperation(
+            unit="net", kind=OpKind.WRITE, address=9, value=1,
+            issue_time=enq_time))
+        fabric.run()
+        assert read.result == list(range(20))       # no data lost
+        assert read.preemptions >= 1
+        # the net op completed long before the 20-word stream would
+        # have finished if the bus were locked
+        assert net_op.complete_time <= enq_time + 2.0
+
+    def test_no_preemption_without_contention(self):
+        fabric, memory = make_fabric()
+        memory.write_block(40, list(range(20)))
+        read = fabric.schedule(BusOperation(
+            unit="host", kind=OpKind.BLOCK_READ, address=40, count=20))
+        fabric.run()
+        assert read.preemptions == 0
+
+    def test_interleaved_streams_both_complete(self):
+        fabric, memory = make_fabric()
+        memory.write_block(40, list(range(8)))
+        memory.write_block(80, list(range(100, 108)))
+        a = fabric.schedule(BusOperation(
+            unit="host", kind=OpKind.BLOCK_READ, address=40, count=8))
+        b = fabric.schedule(BusOperation(
+            unit="mp", kind=OpKind.BLOCK_READ, address=80, count=8))
+        fabric.run()
+        assert a.result == list(range(8))
+        assert b.result == list(range(100, 108))
+
+    def test_fifo_order_within_unit(self):
+        fabric, _memory = make_fabric()
+        first_op = fabric.schedule(BusOperation(
+            unit="host", kind=OpKind.WRITE, address=9, value=1))
+        second_op = fabric.schedule(BusOperation(
+            unit="host", kind=OpKind.WRITE, address=10, value=2))
+        fabric.run()
+        assert first_op.complete_time < second_op.complete_time
+
+
+class TestFabricGuards:
+    def test_duplicate_unit_rejected(self):
+        fabric, _memory = make_fabric()
+        with pytest.raises(BusError):
+            fabric.attach("host", 1)
+
+    def test_duplicate_priority_rejected(self):
+        fabric, _memory = make_fabric()
+        with pytest.raises(BusError):
+            fabric.attach("other", 2)
+
+    def test_unknown_unit_rejected(self):
+        fabric, _memory = make_fabric()
+        with pytest.raises(BusError):
+            fabric.schedule(BusOperation(unit="ghost", kind=OpKind.READ,
+                                         address=9))
+
+    def test_idle_bus_jumps_to_next_issue_time(self):
+        fabric, _memory = make_fabric()
+        op = fabric.schedule(BusOperation(unit="host", kind=OpKind.WRITE,
+                                          address=9, value=1,
+                                          issue_time=100.0))
+        fabric.run()
+        assert op.start_time == pytest.approx(100.0)
+
+
+class TestMonitor:
+    def test_monitor_aggregates(self):
+        fabric, memory = make_fabric()
+        memory.write_block(40, list(range(4)))
+        fabric.schedule(BusOperation(unit="host", kind=OpKind.BLOCK_READ,
+                                     address=40, count=4))
+        fabric.schedule(BusOperation(unit="net", kind=OpKind.WRITE,
+                                     address=9, value=1))
+        fabric.run()
+        monitor = BusMonitor(fabric)
+        stats = monitor.unit_stats()
+        assert stats["net"].tenures == 1
+        assert stats["net"].edges == 4
+        assert monitor.total_edges() == sum(
+            e.edges for e in fabric.trace)
+        assert "block_transfer" in monitor.action_counts()
+        assert monitor.mean_latency_us() > 0
+        assert "smart bus:" in monitor.report()

@@ -1,0 +1,102 @@
+"""Tests for the executable timing diagrams (Figures 5.3-5.16)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus import (BusCommand, handshake_edges, simple_edges)
+from repro.bus.handshakes import (block_read_data_handshake,
+                                  block_transfer_handshake,
+                                  block_write_data_handshake,
+                                  dequeue_handshake, enqueue_handshake,
+                                  first_handshake, read_handshake,
+                                  render_timing, write_handshake)
+from repro.bus.transactions import OpKind
+from repro.errors import BusError
+
+
+class TestEdgeBudgets:
+    """The traces' IS/IK edge counts match the command table."""
+
+    def test_block_transfer_four_edges(self):
+        assert block_transfer_handshake().information_edges == \
+            handshake_edges(BusCommand.BLOCK_TRANSFER)
+
+    def test_enqueue_four_edges(self):
+        assert enqueue_handshake().information_edges == \
+            simple_edges(OpKind.ENQUEUE)
+
+    def test_dequeue_same_as_enqueue(self):
+        assert dequeue_handshake().information_edges == \
+            enqueue_handshake().information_edges
+
+    def test_first_eight_edges(self):
+        assert first_handshake().information_edges == \
+            simple_edges(OpKind.FIRST)
+
+    def test_read_eight_write_four(self):
+        assert read_handshake().information_edges == 8
+        assert write_handshake().information_edges == 4
+
+    def test_streaming_two_edges_per_word_even(self):
+        assert block_read_data_handshake(6).information_edges == 12
+        assert block_write_data_handshake(4).information_edges == 8
+
+
+class TestProtocolInvariants:
+    def test_all_lines_released_after_every_transaction(self):
+        traces = [
+            block_transfer_handshake(),
+            block_read_data_handshake(4),
+            block_read_data_handshake(5),
+            block_write_data_handshake(3),
+            enqueue_handshake(), dequeue_handshake(),
+            first_handshake(), read_handshake(), write_handshake(),
+        ]
+        for trace in traces:
+            assert trace.lines_released(), trace.name
+
+    def test_bbsy_brackets_information_cycle(self):
+        trace = enqueue_handshake()
+        assert trace.events[0].signal == "BBSY"
+        assert trace.events[0].action == "assert"
+        assert trace.events[-1].signal == "BBSY"
+        assert trace.events[-1].action == "release"
+
+    def test_odd_stream_pays_recovery_edges(self):
+        # an odd block needs one extra transition pair to return the
+        # strobe lines to released (section 5.3.1)
+        assert block_read_data_handshake(4).information_edges == 8
+        assert block_read_data_handshake(5).information_edges == \
+            2 * 5 + 2
+
+    def test_memory_drives_read_stream_processor_drives_write(self):
+        read_trace = block_read_data_handshake(2)
+        data_events = [e for e in read_trace.events
+                       if e.signal == "IK" and "word" in e.note]
+        assert all(e.actor == "memory" for e in data_events)
+        write_trace = block_write_data_handshake(2)
+        data_events = [e for e in write_trace.events
+                       if e.signal == "IS" and "word" in e.note]
+        assert all(e.actor == "processor" for e in data_events)
+
+    def test_zero_word_stream_rejected(self):
+        with pytest.raises(BusError):
+            block_read_data_handshake(0)
+
+
+@given(st.integers(1, 40))
+def test_property_streaming_edges(words):
+    """Stream cost = 2*words, +2 recovery edges when odd."""
+    expected = 2 * words + (2 if words % 2 else 0)
+    assert block_read_data_handshake(words).information_edges == \
+        expected
+    assert block_write_data_handshake(words).information_edges == \
+        expected
+
+
+def test_render_timing_is_readable():
+    text = render_timing(first_handshake())
+    assert "first control block" in text
+    assert "8 IS/IK edges" in text
+    assert "list address on A/D" in text

@@ -1,0 +1,144 @@
+"""Tests for bus signals, commands, and transaction edge budgets."""
+
+import pytest
+
+from repro.bus import (BusCommand, ProtocolLine, STREAM_EDGES_PER_WORD,
+                       WORDS_PER_GRANT, block_total_edges, decode,
+                       handshake_edges, signal, simple_edges,
+                       streaming_segments, total_lines)
+from repro.bus.transactions import BusOperation, OpKind
+from repro.errors import BusError
+
+
+class TestSignals:
+    def test_table_5_1_line_counts(self):
+        assert signal("A/D").lines == 16
+        assert signal("TG").lines == 4
+        assert signal("CM").lines == 4
+        assert signal("BR").lines == 3
+        for single in ("IS", "IK", "BBSY", "AR", "ANC", "CLR"):
+            assert signal(single).lines == 1
+
+    def test_total_conductors(self):
+        # 16 + 4 + 4 + 1 + 1 + 1 + 3 + 1 + 1 + 1
+        assert total_lines() == 33
+
+    def test_unknown_signal(self):
+        with pytest.raises(BusError):
+            signal("XYZ")
+
+    def test_protocol_line_edge_counting(self):
+        line = ProtocolLine("IS")
+        line.assert_()
+        line.release()
+        assert line.edges == 2
+        with pytest.raises(BusError):
+            line.release()
+
+    def test_double_assert_rejected(self):
+        line = ProtocolLine("IK")
+        line.assert_()
+        with pytest.raises(BusError):
+            line.assert_()
+
+    def test_toggle_counts_edges(self):
+        line = ProtocolLine("IS")
+        for _ in range(5):
+            line.toggle()
+        assert line.edges == 5
+
+
+class TestCommands:
+    def test_table_5_2_encodings(self):
+        assert BusCommand.SIMPLE_READ == 0b0000
+        assert BusCommand.BLOCK_TRANSFER == 0b0001
+        assert BusCommand.BLOCK_READ_DATA == 0b0010
+        assert BusCommand.BLOCK_WRITE_DATA == 0b0011
+        assert BusCommand.ENQUEUE_CONTROL_BLOCK == 0b0100
+        assert BusCommand.DEQUEUE_CONTROL_BLOCK == 0b0101
+        assert BusCommand.FIRST_CONTROL_BLOCK == 0b0110
+        assert BusCommand.WRITE_TWO_BYTES == 0b1000
+        assert BusCommand.WRITE_BYTE == 0b1001
+
+    def test_decode_roundtrip(self):
+        for command in BusCommand:
+            assert decode(int(command)) is command
+
+    def test_decode_unassigned_code(self):
+        with pytest.raises(BusError):
+            decode(0b0111)
+
+    def test_handshake_edges(self):
+        assert handshake_edges(BusCommand.BLOCK_TRANSFER) == 4
+        assert handshake_edges(BusCommand.ENQUEUE_CONTROL_BLOCK) == 4
+        assert handshake_edges(BusCommand.DEQUEUE_CONTROL_BLOCK) == 4
+        assert handshake_edges(BusCommand.FIRST_CONTROL_BLOCK) == 8
+        assert handshake_edges(BusCommand.SIMPLE_READ) == 8
+
+    def test_streaming_commands_have_no_fixed_edges(self):
+        with pytest.raises(BusError):
+            handshake_edges(BusCommand.BLOCK_READ_DATA)
+
+
+class TestTransactionPlanning:
+    def test_simple_edges(self):
+        assert simple_edges(OpKind.ENQUEUE) == 4
+        assert simple_edges(OpKind.DEQUEUE) == 4
+        assert simple_edges(OpKind.FIRST) == 8
+        assert simple_edges(OpKind.READ) == 8
+        assert simple_edges(OpKind.WRITE) == 4
+
+    def test_block_ops_are_not_simple(self):
+        with pytest.raises(BusError):
+            simple_edges(OpKind.BLOCK_READ)
+
+    def test_block_total_edges(self):
+        # request (4) + 2 per word
+        assert block_total_edges(20) == 44
+        assert block_total_edges(1) == 6
+
+    def test_streaming_segments_even(self):
+        assert streaming_segments(6) == [2, 2, 2]
+
+    def test_streaming_segments_odd_tail(self):
+        assert streaming_segments(7) == [2, 2, 2, 1]
+        assert streaming_segments(1) == [1]
+
+    def test_streaming_segments_positive_only(self):
+        with pytest.raises(BusError):
+            streaming_segments(0)
+
+    def test_words_per_grant_matches_released_state_rule(self):
+        # strobe lines return to released state after an even number
+        # of transfers, hence two words per grant
+        assert WORDS_PER_GRANT == 2
+        assert STREAM_EDGES_PER_WORD == 2
+
+
+class TestOperationValidation:
+    def test_enqueue_requires_list_and_element(self):
+        with pytest.raises(BusError):
+            BusOperation(unit="u", kind=OpKind.ENQUEUE).validate()
+
+    def test_read_requires_address(self):
+        with pytest.raises(BusError):
+            BusOperation(unit="u", kind=OpKind.READ).validate()
+
+    def test_write_requires_value(self):
+        with pytest.raises(BusError):
+            BusOperation(unit="u", kind=OpKind.WRITE, address=3).validate()
+
+    def test_block_read_requires_count(self):
+        with pytest.raises(BusError):
+            BusOperation(unit="u", kind=OpKind.BLOCK_READ,
+                         address=3).validate()
+
+    def test_block_write_requires_data(self):
+        with pytest.raises(BusError):
+            BusOperation(unit="u", kind=OpKind.BLOCK_WRITE,
+                         address=3).validate()
+
+    def test_latency_before_completion_rejected(self):
+        op = BusOperation(unit="u", kind=OpKind.READ, address=3)
+        with pytest.raises(BusError):
+            _ = op.latency

@@ -1,0 +1,118 @@
+"""Tests for the conventional-bus baseline."""
+
+import pytest
+
+from repro.bus.versabus import (ConventionalBus, RecordingMemory,
+                                smart_bus_advantage)
+from repro.errors import BusError
+from repro.memory import SharedMemory, members
+
+
+def make_bus():
+    memory = SharedMemory(128)
+    memory.write(1, 0)              # list tail
+    bus = ConventionalBus(memory, lock_address=2)
+    blocks = [8 + i * 4 for i in range(8)]
+    return bus, memory, 1, blocks
+
+
+class TestRecordingMemory:
+    def test_records_reads_and_writes(self):
+        memory = SharedMemory(32)
+        recorder = RecordingMemory(memory)
+        recorder.write(5, 9)
+        assert recorder.read(5) == 9
+        assert recorder.accesses == [("write", 5), ("read", 5)]
+
+
+class TestSingleTransfers:
+    def test_read_write_roundtrip(self):
+        bus, _memory, _lst, _blocks = make_bus()
+        bus.write_word("host", 9, 42)
+        op = bus.read_word("host", 9)
+        assert op.result == 42
+        assert op.memory_cycles == 1
+        # 3 instructions at 3 us + 1 memory cycle
+        assert op.total_us == pytest.approx(10.0)
+
+
+class TestSoftwareBlockTransfers:
+    def test_table_6_1_block_cost_reproduced(self):
+        """40 bytes = 20 words: 180 us processing + 20 cycles."""
+        bus, memory, _lst, _blocks = make_bus()
+        memory.write_block(40, list(range(20)))
+        op = bus.block_read("host", 40, 20)
+        assert op.result == list(range(20))
+        assert op.processing_us == pytest.approx(180.0)
+        assert op.memory_cycles == 20
+        assert op.total_us == pytest.approx(200.0)
+
+    def test_block_write(self):
+        bus, memory, _lst, _blocks = make_bus()
+        bus.block_write("mp", 60, [7, 8, 9])
+        assert memory.read_block(60, 3) == [7, 8, 9]
+
+    def test_empty_block_rejected(self):
+        bus, _memory, _lst, _blocks = make_bus()
+        with pytest.raises(BusError):
+            bus.block_read("host", 40, 0)
+        with pytest.raises(BusError):
+            bus.block_write("host", 40, [])
+
+
+class TestLockedQueueOps:
+    def test_semantics_preserved(self):
+        bus, memory, lst, blocks = make_bus()
+        for block in blocks[:3]:
+            bus.enqueue("mp", block, lst)
+        assert members(memory, lst) == blocks[:3]
+        assert bus.first("mp", lst).result == blocks[0]
+        assert bus.dequeue("mp", blocks[2], lst).result is True
+
+    def test_cost_near_measured_74us(self):
+        """Chapter 4: an atomic queueing operation took 74 us of
+        processing on the 68000 implementation; the software path
+        model lands in that neighbourhood."""
+        bus, _memory, lst, blocks = make_bus()
+        op = bus.enqueue("mp", blocks[0], lst)
+        assert 55.0 <= op.total_us <= 95.0
+
+    def test_lock_cycles_counted(self):
+        bus, _memory, lst, blocks = make_bus()
+        op = bus.enqueue("mp", blocks[0], lst)
+        # data accesses + RMW pair + unlock
+        assert op.memory_cycles >= 6
+        assert op.lock_spins == 0
+
+    def test_queue_ops_need_lock_word(self):
+        memory = SharedMemory(64)
+        memory.write(1, 0)
+        bus = ConventionalBus(memory)       # no lock address
+        with pytest.raises(BusError):
+            bus.enqueue("mp", 8, 1)
+
+
+class TestSmartBusAdvantage:
+    def test_block_move_speedup(self):
+        """Table 6.1's headline: 200 us software vs 15 us smart bus
+        for a 40-byte move (one four-edge + twenty two-edge)."""
+        comparison = smart_bus_advantage(words=20)
+        assert comparison["conventional_us"] == pytest.approx(200.0)
+        assert comparison["smart_us"] == pytest.approx(9.0 + 11.0)
+        assert comparison["speedup"] == pytest.approx(10.0)
+
+    def test_speedup_grows_with_block_size(self):
+        small = smart_bus_advantage(words=4)["speedup"]
+        large = smart_bus_advantage(words=100)["speedup"]
+        assert large > small
+
+
+class TestStats:
+    def test_accounting_accumulates(self):
+        bus, memory, lst, blocks = make_bus()
+        memory.write_block(40, [0] * 4)
+        bus.block_read("host", 40, 4)
+        bus.enqueue("mp", blocks[0], lst)
+        assert bus.stats.operations == 2
+        assert bus.stats.memory_cycles > 4
+        assert len(bus.history) == 2

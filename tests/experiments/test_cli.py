@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_shows_light_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table-3.1" in out
+    assert "table-6.24" in out
+    assert "figure-6.18" not in out        # heavy, hidden by default
+
+
+def test_list_heavy_includes_figures(capsys):
+    assert main(["list", "--heavy"]) == 0
+    out = capsys.readouterr().out
+    assert "figure-6.18" in out
+    assert "(heavy)" in out
+
+
+def test_run_single_table(capsys):
+    assert main(["run", "table-5.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Smart Bus Commands" in out
+    assert "[table-5.2 in" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "table-99.1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_without_ids(capsys):
+    assert main(["run"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_solve_prints_operating_point(capsys):
+    assert main(["solve", "--arch", "I", "--mode", "local",
+                 "-n", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "architecture I" in out
+    assert "throughput" in out
+    # architecture I local, zero compute: 4970 us round trip
+    assert "4970" in out
+
+
+def test_run_with_save_writes_artifacts(tmp_path, capsys):
+    assert main(["run", "table-5.1", "--save", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "saved:" in out
+    assert (tmp_path / "table-5.1.json").exists()
+    assert (tmp_path / "table-5.1.csv").exists()
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

@@ -1,0 +1,45 @@
+"""Tests for the reproduction scoreboard."""
+
+import pytest
+
+from repro.experiments.scoreboard import (Expectation, run_scoreboard,
+                                          _expectations)
+
+
+def test_every_expectation_passes():
+    """The headline guarantee: all encoded paper claims reproduce."""
+    table = run_scoreboard()
+    failing = [row for row in table.rows if row[3] == "FAIL"]
+    assert not failing, failing
+
+
+def test_scoreboard_covers_all_chapters():
+    sources = {e.source for e in _expectations()}
+    assert any("3.4" in s for s in sources)        # profiling
+    assert any("6.2" in s for s in sources)        # contention
+    assert any("6.24" in s for s in sources)       # offered loads
+    assert any("5.5" in s for s in sources)        # hardware budget
+    assert any("6.1" in s for s in sources)        # bus comparison
+
+
+def test_expectation_relative_tolerance():
+    good = Expectation(name="x", paper_value=100.0, tolerance=0.05,
+                       measure=lambda: 104.0)
+    bad = Expectation(name="x", paper_value=100.0, tolerance=0.05,
+                      measure=lambda: 106.0)
+    assert good.evaluate().ok
+    assert not bad.evaluate().ok
+
+
+def test_expectation_absolute_tolerance():
+    check = Expectation(name="x", paper_value=1.0, tolerance=0.0,
+                        measure=lambda: 1.0, absolute=True)
+    assert check.evaluate().ok
+    miss = Expectation(name="x", paper_value=1.0, tolerance=0.0,
+                       measure=lambda: 0.0, absolute=True)
+    assert not miss.evaluate().ok
+
+
+def test_title_reports_pass_count():
+    table = run_scoreboard()
+    assert f"{len(table.rows)}/{len(table.rows)} passing" in table.title

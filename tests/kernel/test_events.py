@@ -1,0 +1,166 @@
+"""Tests for 925 events, non-blocking send + wait, and device
+interrupts via activate (sections 4.2.1-4.2.2, 4.7)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import DistributedSystem, TaskState
+from repro.kernel.events import Event, InterruptContext
+from repro.models.params import Architecture
+
+
+def make_node():
+    system = DistributedSystem(Architecture.II)
+    node = system.add_node("n0")
+    return system, node
+
+
+class TestEventGroups:
+    def test_wait_any_fires_on_first_event(self):
+        system, node = make_node()
+        task = node.create_task("t")
+        a, b = Event(kind="x"), Event(kind="y")
+        got = []
+        node.events.wait_any(task, [a, b], got.append)
+        node.events.fire(b, "payload")
+        system.sim.run()
+        assert got == [b]
+        assert b.value == "payload"
+
+    def test_group_satisfied_once(self):
+        system, node = make_node()
+        task = node.create_task("t")
+        a, b = Event(), Event()
+        got = []
+        node.events.wait_any(task, [a, b], got.append)
+        node.events.fire(a)
+        node.events.fire(b)
+        system.sim.run()
+        assert got == [a]          # only the first wakes the task
+
+    def test_already_fired_event_completes_immediately(self):
+        system, node = make_node()
+        task = node.create_task("t")
+        a = Event()
+        node.events.fire(a, 42)
+        got = []
+        node.events.wait_any(task, [a], got.append)
+        system.sim.run()
+        assert got == [a]
+
+    def test_event_cannot_fire_twice(self):
+        _system, node = make_node()
+        a = Event()
+        node.events.fire(a)
+        with pytest.raises(KernelError):
+            node.events.fire(a)
+
+    def test_empty_group_rejected(self):
+        _system, node = make_node()
+        task = node.create_task("t")
+        with pytest.raises(KernelError):
+            node.events.wait_any(task, [], lambda e: None)
+
+
+class TestNonBlockingSendWithWait:
+    def test_send_completion_event(self):
+        """Section 4.2.1: non-blocking send, then wait for the
+        completion notice."""
+        system, node = make_node()
+        server = node.create_task("server")
+        client = node.create_task("client")
+        node.kernel.create_service(server, "svc")
+        node.kernel.offer(server, "svc")
+        node.kernel.receive(server, "svc",
+                            lambda m: node.kernel.reply(
+                                server, m, payload="done"))
+        message = node.kernel.send(client, "svc")
+        completion = node.events.send_completion_event(message)
+        got = []
+        node.events.wait_any(client, [completion], got.append)
+        system.sim.run()
+        assert got == [completion]
+        assert completion.value == "done"
+
+    def test_event_for_unknown_message_rejected(self):
+        _system, node = make_node()
+        from repro.kernel.messages import Message
+        stray = Message(sender="x", service="y")
+        with pytest.raises(KernelError):
+            node.events.send_completion_event(stray)
+
+
+class TestDeviceInterrupts:
+    def _driver_setup(self):
+        system, node = make_node()
+        driver = node.create_task("disk-driver")
+        serviced = []
+
+        def handler(ctx: InterruptContext):
+            # time-critical work, then hand off via activate
+            ctx.activate(payload=ctx.data)
+
+        node.events.install_handler(driver, "disk", handler)
+        node.kernel.receive(driver, "interrupt:disk",
+                            lambda m: serviced.append(m.payload))
+        return system, node, driver, serviced
+
+    def test_interrupt_flows_through_activate_to_service(self):
+        system, node, _driver, serviced = self._driver_setup()
+        node.events.raise_interrupt("disk", data="block-42")
+        system.sim.run()
+        assert serviced == ["block-42"]
+        assert node.events.interrupt_count("disk") == 1
+
+    def test_handler_runs_even_while_driver_blocked(self):
+        """The handler executes in the task's context while the task
+        itself is stopped in receive (section 4.2.2)."""
+        system, node, driver, serviced = self._driver_setup()
+        system.sim.run()
+        assert driver.state is TaskState.STOPPED
+        node.events.raise_interrupt("disk", data="late")
+        system.sim.run()
+        assert serviced == ["late"]
+        assert driver.state is TaskState.COMPUTING
+
+    def test_handler_at_interrupt_priority(self):
+        """The handler jumps ahead of queued normal work."""
+        system, node, _driver, serviced = self._driver_setup()
+        order = []
+        node.processors.host.submit(500.0, lambda: order.append("slow"))
+        node.processors.host.submit(500.0, lambda: order.append("slow2"))
+        node.events.raise_interrupt("disk", data="x")
+        # the handler (urgent) runs after the in-service item but
+        # before 'slow2'
+        system.sim.run()
+        assert serviced == ["x"]
+        handler_done = 500.0 + 100.0          # slow + handler cost
+        assert order == ["slow", "slow2"]
+
+    def test_activate_only_once_per_interrupt(self):
+        system, node = make_node()
+        driver = node.create_task("driver")
+
+        def bad_handler(ctx: InterruptContext):
+            ctx.activate()
+            ctx.activate()
+
+        node.events.install_handler(driver, "timer", bad_handler)
+        node.events.raise_interrupt("timer")
+        with pytest.raises(KernelError):
+            system.sim.run()
+
+    def test_duplicate_driver_rejected(self):
+        _system, node = make_node()
+        driver = node.create_task("driver")
+        node.events.install_handler(driver, "net", lambda ctx: None)
+        with pytest.raises(KernelError):
+            node.events.install_handler(driver, "net",
+                                        lambda ctx: None)
+
+    def test_interrupt_without_driver_rejected(self):
+        _system, node = make_node()
+        with pytest.raises(KernelError):
+            node.events.raise_interrupt("ghost-device")
+        with pytest.raises(KernelError):
+            node.events.interrupt_count("ghost-device")

@@ -1,0 +1,75 @@
+"""Tests for the conversation meter (windows, percentiles, fairness)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import ConversationMeter, run_conversation_experiment
+from repro.models.params import Architecture, Mode
+
+
+def loaded_meter():
+    meter = ConversationMeter()
+    for i in range(10):
+        meter.record("c0", started_at=i * 100.0,
+                     completed_at=i * 100.0 + 50.0 + i)
+    return meter
+
+
+def test_window_selects_completions():
+    meter = loaded_meter()
+    assert len(meter.window(0.0, 500.0)) == 5
+    assert len(meter.window(0.0, 2000.0)) == 10
+
+
+def test_throughput_counts_per_microsecond():
+    meter = loaded_meter()
+    assert meter.throughput(0.0, 1000.0) == pytest.approx(10 / 1000.0)
+
+
+def test_mean_round_trip():
+    meter = loaded_meter()
+    # latencies 50..59
+    assert meter.mean_round_trip(0.0, 2000.0) == pytest.approx(54.5)
+
+
+def test_percentiles():
+    meter = loaded_meter()
+    assert meter.latency_percentile(0.0, 2000.0, 0) == 50.0
+    assert meter.latency_percentile(0.0, 2000.0, 100) == 59.0
+    assert meter.latency_percentile(0.0, 2000.0, 50) == \
+        pytest.approx(54.5)
+
+
+def test_percentile_validation():
+    meter = loaded_meter()
+    with pytest.raises(KernelError):
+        meter.latency_percentile(0.0, 2000.0, 150)
+    with pytest.raises(KernelError):
+        ConversationMeter().latency_percentile(0.0, 1.0, 50)
+
+
+def test_reversed_completion_rejected():
+    meter = ConversationMeter()
+    with pytest.raises(KernelError):
+        meter.record("c", started_at=10.0, completed_at=5.0)
+
+
+def test_per_client_counts_fairness():
+    """With FCFS scheduling and identical clients, completions split
+    roughly evenly (the thesis's equal-priority workload)."""
+    from repro.kernel import build_conversation_system
+    system, meter = build_conversation_system(
+        Architecture.II, Mode.LOCAL, 3, 1000.0)
+    system.run_for(1_500_000.0)
+    counts = meter.per_client_counts(100_000.0, 1_500_000.0)
+    assert set(counts) == {"client0", "client1", "client2"}
+    low, high = min(counts.values()), max(counts.values())
+    assert high - low <= max(3, 0.2 * high)
+
+
+def test_deterministic_round_trip_latency():
+    result = run_conversation_experiment(
+        Architecture.I, Mode.LOCAL, 1, 0.0,
+        warmup_us=20_000, measure_us=200_000)
+    # a single deterministic conversation: every latency is 4970
+    assert result.mean_round_trip == pytest.approx(4970.0, rel=1e-6)

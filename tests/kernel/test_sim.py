@@ -1,0 +1,128 @@
+"""Tests for the DES core and processor model."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import Processor, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(5.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.at(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(1.0, lambda: order.append(1))
+        sim.at(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10.0, lambda: fired.append(1))
+        sim.at(20.0, lambda: fired.append(2))
+        sim.run_until(15.0)
+        assert fired == [1]
+        assert sim.now == 15.0
+        assert sim.pending_events == 1
+
+    def test_actions_can_schedule_more_events(self):
+        sim = Simulator()
+        hits = []
+
+        def recur(n):
+            hits.append(sim.now)
+            if n > 0:
+                sim.after(1.0, lambda: recur(n - 1))
+
+        sim.at(0.0, lambda: recur(3))
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(KernelError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(KernelError):
+            sim.after(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(0.0, forever)
+
+        sim.at(0.0, forever)
+        with pytest.raises(KernelError):
+            sim.run_until(1.0, max_events=100)
+
+
+class TestProcessor:
+    def test_fcfs_order(self):
+        sim = Simulator()
+        cpu = Processor(sim, "cpu")
+        done = []
+        cpu.submit(10.0, lambda: done.append(("a", sim.now)))
+        cpu.submit(5.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 10.0), ("b", 15.0)]
+
+    def test_urgent_jumps_queue_but_does_not_preempt(self):
+        sim = Simulator()
+        cpu = Processor(sim, "cpu")
+        done = []
+        cpu.submit(10.0, lambda: done.append(("normal1", sim.now)))
+        cpu.submit(10.0, lambda: done.append(("normal2", sim.now)))
+        sim.at(1.0, lambda: cpu.submit(
+            2.0, lambda: done.append(("intr", sim.now)), urgent=True))
+        sim.run()
+        # the in-progress item completes, then the interrupt runs
+        assert done == [("normal1", 10.0), ("intr", 12.0),
+                        ("normal2", 22.0)]
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        cpu = Processor(sim, "cpu")
+        cpu.submit(30.0)
+        cpu.submit(20.0)
+        sim.run()
+        assert cpu.stats.busy_time == pytest.approx(50.0)
+        assert cpu.stats.items_completed == 2
+        assert cpu.stats.utilization(100.0) == pytest.approx(0.5)
+
+    def test_zero_duration_work_allowed(self):
+        sim = Simulator()
+        cpu = Processor(sim, "cpu")
+        hits = []
+        cpu.submit(0.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [0.0]
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        cpu = Processor(sim, "cpu")
+        with pytest.raises(KernelError):
+            cpu.submit(-1.0)
+
+    def test_queue_length_visible(self):
+        sim = Simulator()
+        cpu = Processor(sim, "cpu")
+        cpu.submit(10.0)
+        cpu.submit(10.0)
+        cpu.submit(10.0)
+        # one item in service, two queued
+        assert cpu.queue_length == 2
+        assert cpu.busy

@@ -1,0 +1,98 @@
+"""Tests for message-path time-stamping (section 3.3 technique 3)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import DistributedSystem
+from repro.models.params import Architecture, Mode
+
+
+def run_rendezvous(architecture=Architecture.II, remote=False):
+    system = DistributedSystem(architecture)
+    if remote:
+        server_node = system.add_node("s", default_mode=Mode.NONLOCAL)
+        client_node = system.add_node("c", default_mode=Mode.NONLOCAL)
+    else:
+        server_node = client_node = system.add_node("n0")
+    server = server_node.create_task("server")
+    client = client_node.create_task("client")
+    server_node.kernel.create_service(server, "svc")
+    server_node.kernel.offer(server, "svc")
+    server_node.kernel.receive(
+        server, "svc",
+        lambda m: server_node.kernel.reply(server, m))
+    message = client_node.kernel.send(client, "svc")
+    system.sim.run()
+    return system, message
+
+
+def test_local_journey_stages_in_order():
+    _system, message = run_rendezvous()
+    stages = [name for name, _t in message.stamps]
+    assert stages == ["posted", "queued", "matched", "delivered",
+                      "reply posted", "rendezvous complete"]
+    times = [t for _n, t in message.stamps]
+    assert times == sorted(times)
+
+
+def test_remote_journey_includes_network_queueing():
+    _system, message = run_rendezvous(remote=True)
+    stages = [name for name, _t in message.stamps]
+    assert stages[0] == "posted"
+    assert "queued" in stages
+    assert stages[-1] == "rendezvous complete"
+    # the wire + DMA + interrupt path makes queued noticeably later
+    assert message.stage_time("queued") > \
+        message.stage_time("posted") + 1000.0
+
+
+def test_stage_durations_reconstruct_costs():
+    """The queued->matched stage equals the match processing time."""
+    system, message = run_rendezvous()
+    node = system.nodes["n0"]
+    durations = message.stage_durations()
+    assert durations["queued->matched"] == pytest.approx(
+        node.costs(local=True).match)
+    assert durations["matched->delivered"] == pytest.approx(
+        node.costs(local=True).restart_server_pre)
+
+
+def test_round_trip_equals_first_to_last_stamp():
+    _system, message = run_rendezvous(Architecture.I)
+    total = message.stage_time("rendezvous complete") \
+        - message.stage_time("posted")
+    assert total == pytest.approx(4970.0, rel=1e-6)
+
+
+def test_queue_wait_measured_under_load():
+    """With a busy server, later messages wait on the service queue
+    (the 'time spent by the message on different queues' measure)."""
+    system = DistributedSystem(Architecture.II)
+    node = system.add_node("n0")
+    server = node.create_task("server")
+    node.kernel.create_service(server, "svc")
+    node.kernel.offer(server, "svc")
+
+    def serve(message):
+        node.kernel.compute(
+            node.tasks["server"], 5000.0,
+            lambda: node.kernel.reply(
+                server, message,
+                on_done=lambda: node.kernel.receive(server, "svc",
+                                                    serve)))
+
+    node.kernel.receive(server, "svc", serve)
+    first = node.create_task("c0")
+    second = node.create_task("c1")
+    m1 = node.kernel.send(first, "svc")
+    m2 = node.kernel.send(second, "svc")
+    system.sim.run()
+    wait1 = m1.stage_time("matched") - m1.stage_time("queued")
+    wait2 = m2.stage_time("matched") - m2.stage_time("queued")
+    assert wait2 > wait1 + 4000.0      # m2 queued behind m1's service
+
+
+def test_missing_stage_rejected():
+    _system, message = run_rendezvous()
+    with pytest.raises(KernelError):
+        message.stage_time("teleported")

@@ -1,0 +1,78 @@
+"""Tests for kernel execution tracing."""
+
+import pytest
+
+from repro.kernel import DistributedSystem
+from repro.kernel.tracing import record_node
+from repro.models.params import Architecture
+
+
+def traced_rendezvous():
+    system = DistributedSystem(Architecture.II)
+    node = system.add_node("n0")
+    trace = record_node(node)
+    server = node.create_task("server")
+    client = node.create_task("client")
+    node.kernel.create_service(server, "svc")
+    node.kernel.offer(server, "svc")
+    node.kernel.receive(server, "svc",
+                        lambda m: node.kernel.reply(server, m))
+    node.kernel.send(client, "svc")
+    system.sim.run()
+    return system, node, trace
+
+
+def test_trace_captures_every_kernel_activity():
+    _system, _node, trace = traced_rendezvous()
+    labels = {event.label for event in trace.events}
+    for expected in ("syscall send", "process send", "syscall receive",
+                     "process receive", "match", "syscall reply",
+                     "process reply", "restart client"):
+        assert expected in labels, expected
+
+
+def test_events_attributed_to_right_processor():
+    _system, _node, trace = traced_rendezvous()
+    mp_labels = {e.label for e in trace.by_processor("mp")}
+    host_labels = {e.label for e in trace.by_processor("host")}
+    assert "process send" in mp_labels
+    assert "match" in mp_labels
+    assert "syscall send" in host_labels
+    assert "process send" not in host_labels
+
+
+def test_durations_match_cost_model():
+    _system, node, trace = traced_rendezvous()
+    (match_event,) = trace.by_label("match")
+    assert match_event.duration == pytest.approx(
+        node.costs(local=True).match)
+
+
+def test_busy_time_equals_processor_stats():
+    _system, node, trace = traced_rendezvous()
+    assert trace.busy_time("mp") == pytest.approx(
+        node.processors.mp.stats.busy_time)
+
+
+def test_activity_breakdown_covers_total():
+    _system, node, trace = traced_rendezvous()
+    breakdown = trace.activity_breakdown()
+    total = sum(breakdown.values())
+    stats_total = sum(p.stats.busy_time
+                      for p in node.processors.everything)
+    assert total == pytest.approx(stats_total)
+
+
+def test_events_ordered_and_non_overlapping_per_processor():
+    _system, _node, trace = traced_rendezvous()
+    for processor in ("host", "mp"):
+        events = trace.by_processor(processor)
+        for before, after in zip(events, events[1:]):
+            assert after.started_at >= before.completed_at - 1e-9
+
+
+def test_timeline_rendering():
+    _system, _node, trace = traced_rendezvous()
+    text = trace.timeline("host")
+    assert "n0.host" in text
+    assert "syscall send" in text

@@ -1,0 +1,118 @@
+"""Tests for the conversation workload and cost models."""
+
+import pytest
+
+from repro.errors import KernelError, WorkloadError
+from repro.kernel import (build_conversation_system, cost_model,
+                          run_conversation_experiment)
+from repro.models.params import Architecture, Mode, round_trip_sum
+
+
+class TestCostModels:
+    def test_cost_model_total_matches_action_table(self):
+        for arch in Architecture:
+            for mode in Mode:
+                costs = cost_model(arch, mode)
+                assert costs.total() == pytest.approx(
+                    round_trip_sum(arch, mode)), (arch, mode)
+
+    def test_arch1_runs_ipc_on_host(self):
+        costs = cost_model(Architecture.I, Mode.LOCAL)
+        assert not costs.ipc_on_mp
+        assert costs.process_send == 0.0
+
+    def test_arch2_has_coprocessor_steps(self):
+        costs = cost_model(Architecture.II, Mode.LOCAL)
+        assert costs.ipc_on_mp
+        assert costs.process_send == pytest.approx(1030.2)
+        assert costs.match == pytest.approx(1264.4)
+
+    def test_local_mode_has_no_dma(self):
+        for arch in Architecture:
+            costs = cost_model(arch, Mode.LOCAL)
+            assert costs.dma_out_request == 0.0
+            assert costs.dma_in_reply == 0.0
+
+    def test_smart_bus_cheaper_everywhere(self):
+        a2 = cost_model(Architecture.II, Mode.NONLOCAL)
+        a3 = cost_model(Architecture.III, Mode.NONLOCAL)
+        assert a3.total() < a2.total()
+
+
+class TestConversationWorkload:
+    def test_zero_compute_single_conversation_arch1_local(self):
+        result = run_conversation_experiment(
+            Architecture.I, Mode.LOCAL, 1, 0.0,
+            warmup_us=50_000, measure_us=500_000)
+        # deterministic: exactly 1/4970 round trips per microsecond
+        assert result.throughput == pytest.approx(1 / 4970.0, rel=0.02)
+        assert result.mean_round_trip == pytest.approx(4970.0, rel=0.02)
+
+    def test_arch1_local_throughput_flat_in_conversations(self):
+        t1 = run_conversation_experiment(
+            Architecture.I, Mode.LOCAL, 1, 0.0,
+            warmup_us=50_000, measure_us=500_000).throughput
+        t3 = run_conversation_experiment(
+            Architecture.I, Mode.LOCAL, 3, 0.0,
+            warmup_us=50_000, measure_us=500_000).throughput
+        assert t3 == pytest.approx(t1, rel=0.02)
+
+    def test_coprocessor_gains_with_conversations(self):
+        t1 = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 1, 2850.0,
+            warmup_us=50_000, measure_us=500_000).throughput
+        t3 = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 3, 2850.0,
+            warmup_us=50_000, measure_us=500_000).throughput
+        assert t3 > t1 * 1.2
+
+    def test_compute_time_lowers_throughput(self):
+        fast = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 2, 0.0,
+            warmup_us=50_000, measure_us=400_000).throughput
+        slow = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 2, 5700.0,
+            warmup_us=50_000, measure_us=400_000).throughput
+        assert slow < fast
+
+    def test_nonlocal_splits_clients_and_servers(self):
+        system, _meter = build_conversation_system(
+            Architecture.II, Mode.NONLOCAL, 2, 0.0)
+        assert set(system.nodes) == {"clients", "servers"}
+        assert all(name.startswith("client")
+                   for name in system.nodes["clients"].tasks)
+
+    def test_seed_reproducibility(self):
+        a = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 2, 2850.0, seed=7,
+            warmup_us=50_000, measure_us=300_000)
+        b = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 2, 2850.0, seed=7,
+            warmup_us=50_000, measure_us=300_000)
+        assert a.throughput == b.throughput
+
+    def test_utilization_reported_per_processor(self):
+        result = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 1, 0.0,
+            warmup_us=10_000, measure_us=200_000)
+        node_util = result.utilization["node0"]
+        assert 0 < node_util["host"] < 1
+        assert 0 < node_util["mp"] < 1
+
+    def test_mp_busier_than_host_at_max_load(self):
+        """At zero compute the MP is the bottleneck (section 6.9.1)."""
+        result = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 3, 0.0,
+            warmup_us=50_000, measure_us=400_000)
+        node_util = result.utilization["node0"]
+        assert node_util["mp"] > node_util["host"]
+
+    def test_rejects_zero_conversations(self):
+        with pytest.raises(WorkloadError):
+            build_conversation_system(Architecture.I, Mode.LOCAL, 0, 0.0)
+
+    def test_rejects_empty_window(self):
+        from repro.kernel import ConversationMeter
+        meter = ConversationMeter()
+        with pytest.raises(KernelError):
+            meter.throughput(10.0, 10.0)

@@ -1,0 +1,170 @@
+"""Tests for the smart shared-memory controller (tag table, errors)."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (Direction, NULL, SharedMemory,
+                          SmartMemoryController, build_layout, members)
+
+
+def make_controller(size=256, **kwargs):
+    memory = SharedMemory(size)
+    return SmartMemoryController(memory, **kwargs), memory
+
+
+class TestBlockTransfers:
+    def test_read_roundtrip_in_chunks(self):
+        controller, memory = make_controller()
+        memory.write_block(10, list(range(7)))
+        tag = controller.block_transfer("host", Direction.READ, 10, 7)
+        data = []
+        data += controller.block_read_data(tag, 2)
+        data += controller.block_read_data(tag, 2)
+        data += controller.block_read_data(tag, 2)
+        data += controller.block_read_data(tag, 2)   # last odd word
+        assert data == list(range(7))
+        assert controller.outstanding_tags == []
+
+    def test_write_roundtrip_in_chunks(self):
+        controller, memory = make_controller()
+        tag = controller.block_transfer("host", Direction.WRITE, 20, 5)
+        controller.block_write_data(tag, [1, 2])
+        controller.block_write_data(tag, [3, 4])
+        controller.block_write_data(tag, [5])
+        assert memory.read_block(20, 5) == [1, 2, 3, 4, 5]
+        assert controller.outstanding_tags == []
+
+    def test_restart_after_interleaving(self):
+        # two units' transfers interleave; the tag table keeps each
+        # one's progress so both complete correctly (section 5.2).
+        controller, memory = make_controller()
+        memory.write_block(10, [1, 2, 3, 4])
+        memory.write_block(30, [9, 8, 7, 6])
+        tag_a = controller.block_transfer("host", Direction.READ, 10, 4)
+        tag_b = controller.block_transfer("net", Direction.READ, 30, 4)
+        a = controller.block_read_data(tag_a, 2)
+        b = controller.block_read_data(tag_b, 2)
+        a += controller.block_read_data(tag_a, 2)
+        b += controller.block_read_data(tag_b, 2)
+        assert a == [1, 2, 3, 4]
+        assert b == [9, 8, 7, 6]
+
+    def test_progress_tracked(self):
+        controller, memory = make_controller()
+        memory.write_block(10, [0] * 6)
+        tag = controller.block_transfer("host", Direction.READ, 10, 6)
+        controller.block_read_data(tag, 2)
+        assert controller.outstanding(tag).transferred == 2
+        assert controller.outstanding(tag).remaining == 4
+
+    def test_tag_reuse_after_completion(self):
+        controller, memory = make_controller(n_tags=1)
+        memory.write_block(10, [5, 6])
+        tag = controller.block_transfer("host", Direction.READ, 10, 2)
+        controller.block_read_data(tag, 2)
+        tag2 = controller.block_transfer("host", Direction.READ, 10, 2)
+        assert tag2 == tag
+
+
+class TestErrorConditions:
+    """Section A.5 error conditions."""
+
+    def test_nonpositive_count(self):
+        controller, _memory = make_controller()
+        with pytest.raises(MemoryError_):
+            controller.block_transfer("host", Direction.READ, 10, 0)
+
+    def test_block_outside_memory(self):
+        controller, _memory = make_controller(size=64)
+        with pytest.raises(MemoryError_):
+            controller.block_transfer("host", Direction.READ, 60, 10)
+
+    def test_second_outstanding_request_per_unit_rejected(self):
+        controller, _memory = make_controller()
+        controller.block_transfer("host", Direction.READ, 10, 4)
+        with pytest.raises(MemoryError_):
+            controller.block_transfer("host", Direction.WRITE, 20, 2)
+
+    def test_tag_exhaustion(self):
+        controller, _memory = make_controller(n_tags=2)
+        controller.block_transfer("a", Direction.READ, 10, 4)
+        controller.block_transfer("b", Direction.READ, 20, 4)
+        with pytest.raises(MemoryError_):
+            controller.block_transfer("c", Direction.READ, 30, 4)
+
+    def test_unknown_tag(self):
+        controller, _memory = make_controller()
+        with pytest.raises(MemoryError_):
+            controller.block_read_data(9, 2)
+
+    def test_direction_mismatch(self):
+        controller, _memory = make_controller()
+        tag = controller.block_transfer("host", Direction.READ, 10, 4)
+        with pytest.raises(MemoryError_):
+            controller.block_write_data(tag, [1])
+
+    def test_overrun_write_rejected(self):
+        controller, _memory = make_controller()
+        tag = controller.block_transfer("host", Direction.WRITE, 10, 2)
+        with pytest.raises(MemoryError_):
+            controller.block_write_data(tag, [1, 2, 3])
+
+    def test_overread_rejected(self):
+        controller, memory = make_controller()
+        memory.write_block(10, [1, 2])
+        tag = controller.block_transfer("host", Direction.READ, 10, 2)
+        controller.block_read_data(tag, 2)
+        with pytest.raises(MemoryError_):
+            controller.block_read_data(tag, 2)
+
+    def test_null_queue_element_rejected(self):
+        controller, _memory = make_controller()
+        with pytest.raises(MemoryError_):
+            controller.enqueue_control_block(NULL, 1)
+
+    def test_bad_tag_table_size(self):
+        memory = SharedMemory(64)
+        with pytest.raises(MemoryError_):
+            SmartMemoryController(memory, n_tags=17)
+
+
+class TestQueueOperations:
+    def test_atomic_queue_ops_on_layout(self):
+        layout = build_layout(n_tcbs=4, n_buffers=4)
+        controller = SmartMemoryController(layout.memory)
+        tcb = controller.first_control_block(layout.tcb_free_list)
+        assert tcb == layout.tcbs.address_of(0)
+        controller.enqueue_control_block(tcb, layout.communication_list)
+        assert members(layout.memory, layout.communication_list) == [tcb]
+        assert controller.dequeue_control_block(
+            tcb, layout.communication_list)
+        assert controller.first_control_block(
+            layout.communication_list) == NULL
+
+    def test_first_on_empty_returns_null(self):
+        layout = build_layout()
+        controller = SmartMemoryController(layout.memory)
+        assert controller.first_control_block(
+            layout.computation_list) == NULL
+
+
+class TestCostAccounting:
+    def test_microcode_costs_accumulate(self):
+        layout = build_layout(n_tcbs=4, n_buffers=4)
+        controller = SmartMemoryController(layout.memory)
+        controller.first_control_block(layout.tcb_free_list)      # 2.0
+        tcb = layout.tcbs.address_of(0)
+        controller.enqueue_control_block(tcb, layout.computation_list)
+        controller.dequeue_control_block(tcb, layout.computation_list)
+        # first=2, enqueue=1, dequeue=1
+        assert controller.busy_cycles == pytest.approx(4.0)
+        assert controller.operations == {
+            "first": 1, "enqueue": 1, "dequeue": 1}
+
+    def test_streaming_cost_half_cycle_per_word(self):
+        controller, memory = make_controller()
+        memory.write_block(10, [0] * 8)
+        tag = controller.block_transfer("host", Direction.READ, 10, 8)
+        controller.block_read_data(tag, 8)
+        # request 1.0 + 8 * 0.5
+        assert controller.busy_cycles == pytest.approx(5.0)

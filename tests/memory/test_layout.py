@@ -1,0 +1,108 @@
+"""Tests for shared-memory layout and the SharedMemory model."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (NULL, SharedMemory, build_layout, length, members)
+
+
+class TestSharedMemory:
+    def test_read_write_roundtrip(self):
+        memory = SharedMemory(16)
+        memory.write(5, 42)
+        assert memory.read(5) == 42
+
+    def test_cycle_accounting(self):
+        memory = SharedMemory(16)
+        memory.write(5, 1)
+        memory.read(5)
+        memory.read(5)
+        assert memory.cycles == 3
+
+    def test_address_zero_reserved_as_null(self):
+        memory = SharedMemory(16)
+        with pytest.raises(MemoryError_):
+            memory.read(0)
+        with pytest.raises(MemoryError_):
+            memory.write(0, 1)
+
+    def test_out_of_range_rejected(self):
+        memory = SharedMemory(16)
+        with pytest.raises(MemoryError_):
+            memory.read(16)
+        with pytest.raises(MemoryError_):
+            memory.write(-1, 0)
+
+    def test_block_roundtrip(self):
+        memory = SharedMemory(32)
+        memory.write_block(4, [7, 8, 9])
+        assert memory.read_block(4, 3) == [7, 8, 9]
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(MemoryError_):
+            SharedMemory(1)
+
+
+class TestBlockPool:
+    def test_address_index_roundtrip(self):
+        layout = build_layout(n_tcbs=4, n_buffers=4)
+        for i in range(4):
+            addr = layout.tcbs.address_of(i)
+            assert layout.tcbs.index_of(addr) == i
+
+    def test_out_of_range_index(self):
+        layout = build_layout(n_tcbs=4, n_buffers=4)
+        with pytest.raises(MemoryError_):
+            layout.tcbs.address_of(4)
+
+    def test_non_base_address_rejected(self):
+        layout = build_layout(n_tcbs=4, n_buffers=4)
+        with pytest.raises(MemoryError_):
+            layout.tcbs.index_of(layout.tcbs.base + 1)
+
+    def test_pools_do_not_overlap(self):
+        layout = build_layout(n_tcbs=8, n_buffers=8)
+        assert layout.tcbs.limit <= layout.buffers.base
+        assert layout.buffers.limit <= layout.memory.size
+
+
+class TestBuildLayout:
+    def test_free_lists_fully_linked(self):
+        layout = build_layout(n_tcbs=5, n_buffers=3)
+        tcbs = members(layout.memory, layout.tcb_free_list)
+        buffers = members(layout.memory, layout.buffer_free_list)
+        assert len(tcbs) == 5
+        assert len(buffers) == 3
+        assert set(tcbs) == {layout.tcbs.address_of(i) for i in range(5)}
+
+    def test_work_lists_start_empty(self):
+        layout = build_layout()
+        assert layout.memory.read(layout.computation_list) == NULL
+        assert layout.memory.read(layout.communication_list) == NULL
+
+    def test_startup_cycles_not_charged(self):
+        layout = build_layout()
+        # the read above in this test counted, so build fresh
+        fresh = build_layout()
+        assert fresh.memory.cycles == 0
+        assert layout is not fresh
+
+    def test_service_lists_allocated(self):
+        layout = build_layout(n_service_lists=3)
+        assert len(layout.service_lists) == 3
+        for addr in layout.service_lists.values():
+            assert layout.memory.read(addr) == NULL
+
+    def test_well_known_locations_distinct(self):
+        layout = build_layout(n_service_lists=2)
+        addresses = list(layout.well_known.values())
+        assert len(addresses) == len(set(addresses))
+
+    def test_rejects_empty_pools(self):
+        with pytest.raises(MemoryError_):
+            build_layout(n_tcbs=0)
+
+    def test_free_list_lengths(self):
+        layout = build_layout(n_tcbs=6, n_buffers=2)
+        assert length(layout.memory, layout.tcb_free_list) == 6
+        assert length(layout.memory, layout.buffer_free_list) == 2

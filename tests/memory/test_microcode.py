@@ -1,0 +1,261 @@
+"""Tests for the micro-engine and Appendix A micro-programs,
+including property-based equivalence with the direct queue code."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory import SharedMemory, build_layout, dequeue, enqueue, \
+    first, members
+from repro.memory.microcode import (MICRO_WORD_BITS, MicroEngine, Op,
+                                    assemble)
+from repro.memory.microprograms import (CONTROL_STORE,
+                                        MicrocodedController,
+                                        control_store_bits,
+                                        control_store_words,
+                                        datapath_component_count,
+                                        sequencer_component_count)
+
+
+class TestAssembler:
+    def test_labels_resolve(self):
+        routine = assemble("t", [
+            (Op.MOVI, "TMP", 1),
+            (Op.BZ, "TMP", "@end"),
+            (Op.MOVI, "TMP", 2),
+            "end:",
+            (Op.RET,),
+        ])
+        assert routine.labels == {"end": 3}
+        assert routine.length == 4
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(MemoryError_):
+            assemble("t", [(Op.JMP, "@nowhere"), (Op.RET,)])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(MemoryError_):
+            assemble("t", ["a:", "a:", (Op.RET,)])
+
+    def test_falling_off_the_end_rejected(self):
+        with pytest.raises(MemoryError_):
+            assemble("t", [(Op.MOVI, "TMP", 1)])
+
+    def test_branch_without_target_rejected(self):
+        with pytest.raises(MemoryError_):
+            assemble("t", [(Op.BZ, "TMP"), (Op.RET,)])
+
+
+class TestMicroEngine:
+    def test_arithmetic_and_moves(self):
+        engine = MicroEngine(SharedMemory(32))
+        routine = assemble("t", [
+            (Op.MOVI, "TMP", 5),
+            (Op.ADDI, "TMP", "TMP", 3),
+            (Op.MOV, "CURR", "TMP"),
+            (Op.OUT, "CURR"),
+            (Op.RET,),
+        ])
+        assert engine.run(routine).result == 8
+
+    def test_memory_roundtrip(self):
+        memory = SharedMemory(32)
+        engine = MicroEngine(memory)
+        routine = assemble("t", [
+            (Op.MOVI, "MAR", 9),
+            (Op.MOVI, "MDR", 42),
+            (Op.WRITE,),
+            (Op.RET,),
+        ])
+        engine.run(routine)
+        assert memory.read(9) == 42
+
+    def test_cycle_accounting(self):
+        engine = MicroEngine(SharedMemory(32))
+        routine = assemble("t", [
+            (Op.MOVI, "MAR", 5),
+            (Op.READ,),
+            (Op.RET,),
+        ])
+        result = engine.run(routine)
+        assert result.micro_cycles == 3
+        assert result.memory_cycles == 1
+
+    def test_missing_operand_rejected(self):
+        engine = MicroEngine(SharedMemory(32))
+        routine = assemble("t", [(Op.IN, "TMP", "OP1"), (Op.RET,)])
+        with pytest.raises(MemoryError_):
+            engine.run(routine)
+
+    def test_runaway_loop_caught(self):
+        engine = MicroEngine(SharedMemory(32))
+        routine = assemble("t", ["top:", (Op.JMP, "@top"), (Op.RET,)])
+        with pytest.raises(MemoryError_):
+            engine.run(routine)
+
+    def test_bge_branches(self):
+        engine = MicroEngine(SharedMemory(32))
+        routine = assemble("t", [
+            (Op.MOVI, "TMP", 5),
+            (Op.MOVI, "CURR", 5),
+            (Op.BGE, "TMP", "CURR", "@yes"),
+            (Op.MOVI, "TMP", 0),
+            "yes:",
+            (Op.OUT, "TMP"),
+            (Op.RET,),
+        ])
+        assert engine.run(routine).result == 5
+
+
+class TestControlStoreBudget:
+    def test_under_3000_bits(self):
+        """Section 5.5: 'under 3000 bits of micro-code'."""
+        assert control_store_bits() < 3000
+        assert control_store_bits() == \
+            control_store_words() * MICRO_WORD_BITS
+
+    def test_all_nine_routines_present(self):
+        names = {routine.name for routine in CONTROL_STORE}
+        assert names == {
+            "main", "enqueue_control_block", "first_control_block",
+            "dequeue_control_block", "block_transfer",
+            "block_read_data", "block_write_word", "read", "write"}
+
+    def test_component_counts_match_section_5_5(self):
+        """'roughly 6000' data-path and 'roughly 1000' sequencer
+        active components."""
+        assert datapath_component_count() == pytest.approx(6000,
+                                                           rel=0.05)
+        assert sequencer_component_count() == pytest.approx(1000,
+                                                            rel=0.05)
+
+
+def microcoded(n_blocks=12, block_size=4):
+    memory = SharedMemory(2 + n_blocks * block_size)
+    memory.write(1, 0)
+    blocks = [2 + i * block_size for i in range(n_blocks)]
+    return MicrocodedController(memory), memory, 1, blocks
+
+
+class TestMicrocodedQueueOps:
+    def test_fifo_behaviour(self):
+        controller, _memory, lst, blocks = microcoded()
+        for block in blocks[:4]:
+            controller.enqueue_control_block(block, lst)
+        assert [controller.first_control_block(lst)
+                for _ in range(5)] == blocks[:4] + [0]
+
+    def test_dequeue_tail_and_miss(self):
+        controller, memory, lst, blocks = microcoded()
+        for block in blocks[:3]:
+            controller.enqueue_control_block(block, lst)
+        assert controller.dequeue_control_block(blocks[2], lst)
+        assert members(memory, lst) == blocks[:2]
+        assert not controller.dequeue_control_block(blocks[2], lst)
+
+    def test_main_dispatch_validates_commands(self):
+        controller, _memory, _lst, _blocks = microcoded()
+        for code in (0, 1, 2, 3, 4, 5, 6, 8, 9):
+            assert controller.dispatch(code) == code
+        for code in (7, 10, 15):
+            with pytest.raises(MemoryError_):
+                controller.dispatch(code)
+
+
+class TestMicrocodedBlockOps:
+    def test_read_resumes_across_grants(self):
+        controller, memory, _lst, _blocks = microcoded()
+        memory.write_block(10, list(range(9)))
+        tag = controller.block_transfer("read", 10, 9)
+        data = controller.block_read_data(tag, 2)
+        data += controller.block_read_data(tag, 4)
+        data += controller.block_read_data(tag, 3)
+        assert data == list(range(9))
+
+    def test_overrun_faults(self):
+        controller, memory, _lst, _blocks = microcoded()
+        memory.write_block(10, [1, 2])
+        tag = controller.block_transfer("read", 10, 2)
+        controller.block_read_data(tag, 2)
+        # tag retired; streaming again is an unknown tag
+        with pytest.raises(MemoryError_):
+            controller.block_read_data(tag, 1)
+
+    def test_zero_count_faults(self):
+        controller, _memory, _lst, _blocks = microcoded()
+        with pytest.raises(MemoryError_):
+            controller.block_transfer("read", 10, 0)
+
+    def test_tag_reusable_after_fault(self):
+        controller, memory, _lst, _blocks = microcoded()
+        with pytest.raises(MemoryError_):
+            controller.block_transfer("read", 10, 0)
+        tag = controller.block_transfer("read", 10, 1)
+        assert tag == 0
+
+    def test_write_then_read_back(self):
+        controller, memory, _lst, _blocks = microcoded()
+        tag = controller.block_transfer("write", 20, 4)
+        controller.block_write_data(tag, [4, 3, 2, 1])
+        assert memory.read_block(20, 4) == [4, 3, 2, 1]
+
+    def test_direction_mismatch(self):
+        controller, memory, _lst, _blocks = microcoded()
+        tag = controller.block_transfer("write", 20, 2)
+        with pytest.raises(MemoryError_):
+            controller.block_read_data(tag, 1)
+
+
+# ----------------------------------------------------------------------
+# property: micro-code == direct implementation
+# ----------------------------------------------------------------------
+
+@settings(max_examples=150)
+@given(st.lists(st.tuples(st.sampled_from(["enq", "first", "deq"]),
+                          st.integers(0, 9)), max_size=25))
+def test_property_microcode_equivalent_to_direct(script):
+    """Random op sequences give identical lists and results."""
+    controller, mc_memory, mc_list, blocks = microcoded()
+    ref_memory = SharedMemory(mc_memory.size)
+    ref_memory.write(1, 0)
+    inside: set[int] = set()
+
+    for op, i in script:
+        block = blocks[i]
+        if op == "enq":
+            if i in inside:
+                continue
+            controller.enqueue_control_block(block, mc_list)
+            enqueue(ref_memory, block, 1)
+            inside.add(i)
+        elif op == "first":
+            got = controller.first_control_block(mc_list)
+            expect = first(ref_memory, 1)
+            assert got == expect
+            if got:
+                inside.discard(blocks.index(got))
+        else:
+            got = controller.dequeue_control_block(block, mc_list)
+            expect = dequeue(ref_memory, block, 1)
+            assert got == expect
+            inside.discard(i)
+        assert members(mc_memory, mc_list) == members(ref_memory, 1)
+
+
+@settings(max_examples=60)
+@given(st.integers(1, 20), st.data())
+def test_property_block_read_chunking_irrelevant(total, data):
+    """Any chunking of a block read returns the same words."""
+    memory = SharedMemory(64)
+    payload = list(range(100, 100 + total))
+    memory.write_block(10, payload)
+    controller = MicrocodedController(memory)
+    tag = controller.block_transfer("read", 10, total)
+    out: list[int] = []
+    remaining = total
+    while remaining:
+        chunk = data.draw(st.integers(1, remaining))
+        out += controller.block_read_data(tag, chunk)
+        remaining -= chunk
+    assert out == payload

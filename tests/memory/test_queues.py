@@ -1,0 +1,182 @@
+"""Tests for the circular-list queue primitives, including the
+hypothesis property tests required on core data structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (NEXT_OFFSET, NULL, SharedMemory, dequeue, enqueue,
+                          first, length, members)
+
+
+def make_memory(n_blocks=16, block_size=4):
+    """Memory with a list-tail pointer at 1 and blocks after it."""
+    memory = SharedMemory(2 + n_blocks * block_size)
+    memory.write(1, NULL)
+    memory.cycles = 0
+    blocks = [2 + i * block_size for i in range(n_blocks)]
+    return memory, 1, blocks
+
+
+def test_enqueue_into_empty_list_makes_singleton():
+    memory, lst, blocks = make_memory()
+    enqueue(memory, blocks[0], lst)
+    assert memory.read(lst) == blocks[0]
+    assert memory.read(blocks[0] + NEXT_OFFSET) == blocks[0]
+    assert members(memory, lst) == [blocks[0]]
+
+
+def test_enqueue_appends_at_tail_in_fifo_order():
+    memory, lst, blocks = make_memory()
+    for block in blocks[:4]:
+        enqueue(memory, block, lst)
+    assert members(memory, lst) == blocks[:4]
+    assert memory.read(lst) == blocks[3]      # tail is last enqueued
+
+
+def test_first_returns_null_on_empty():
+    memory, lst, _blocks = make_memory()
+    assert first(memory, lst) == NULL
+
+
+def test_first_dequeues_head():
+    memory, lst, blocks = make_memory()
+    for block in blocks[:3]:
+        enqueue(memory, block, lst)
+    assert first(memory, lst) == blocks[0]
+    assert members(memory, lst) == blocks[1:3]
+
+
+def test_first_on_singleton_sets_list_null():
+    memory, lst, blocks = make_memory()
+    enqueue(memory, blocks[0], lst)
+    assert first(memory, lst) == blocks[0]
+    assert memory.read(lst) == NULL
+
+
+def test_fifo_order_preserved():
+    memory, lst, blocks = make_memory()
+    for block in blocks[:5]:
+        enqueue(memory, block, lst)
+    out = [first(memory, lst) for _ in range(5)]
+    assert out == blocks[:5]
+    assert first(memory, lst) == NULL
+
+
+def test_dequeue_middle_element():
+    memory, lst, blocks = make_memory()
+    for block in blocks[:3]:
+        enqueue(memory, block, lst)
+    assert dequeue(memory, blocks[1], lst)
+    assert members(memory, lst) == [blocks[0], blocks[2]]
+
+
+def test_dequeue_tail_updates_list_pointer():
+    memory, lst, blocks = make_memory()
+    for block in blocks[:3]:
+        enqueue(memory, block, lst)
+    assert dequeue(memory, blocks[2], lst)
+    assert memory.read(lst) == blocks[1]
+    assert members(memory, lst) == blocks[:2]
+
+
+def test_dequeue_head():
+    memory, lst, blocks = make_memory()
+    for block in blocks[:3]:
+        enqueue(memory, block, lst)
+    assert dequeue(memory, blocks[0], lst)
+    assert members(memory, lst) == [blocks[1], blocks[2]]
+
+
+def test_dequeue_singleton_empties_list():
+    memory, lst, blocks = make_memory()
+    enqueue(memory, blocks[0], lst)
+    assert dequeue(memory, blocks[0], lst)
+    assert memory.read(lst) == NULL
+
+
+def test_dequeue_absent_element_is_noop():
+    memory, lst, blocks = make_memory()
+    enqueue(memory, blocks[0], lst)
+    enqueue(memory, blocks[1], lst)
+    assert not dequeue(memory, blocks[5], lst)
+    assert members(memory, lst) == blocks[:2]
+
+
+def test_dequeue_from_empty_list_is_noop():
+    memory, lst, blocks = make_memory()
+    assert not dequeue(memory, blocks[0], lst)
+
+
+def test_interleaved_enqueue_first():
+    memory, lst, blocks = make_memory()
+    enqueue(memory, blocks[0], lst)
+    enqueue(memory, blocks[1], lst)
+    assert first(memory, lst) == blocks[0]
+    enqueue(memory, blocks[2], lst)
+    assert first(memory, lst) == blocks[1]
+    assert first(memory, lst) == blocks[2]
+    assert first(memory, lst) == NULL
+
+
+# ----------------------------------------------------------------------
+# property-based tests: the circular list behaves as a FIFO queue under
+# enqueue/first, and dequeue removes exactly the named element.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=200)
+@given(st.lists(st.sampled_from(range(12)), max_size=30))
+def test_property_enqueue_first_is_fifo(script):
+    """Interleaved enqueues (by index) match a reference FIFO."""
+    memory, lst, blocks = make_memory()
+    reference: list[int] = []
+    enqueued: set[int] = set()
+    for i in script:
+        if i in enqueued:
+            # toggle: do a `first` instead of re-enqueueing a block
+            got = first(memory, lst)
+            expect = reference.pop(0) if reference else NULL
+            assert got == expect
+            if got != NULL:
+                enqueued.discard(blocks.index(got))
+        else:
+            enqueue(memory, blocks[i], lst)
+            reference.append(blocks[i])
+            enqueued.add(i)
+        assert members(memory, lst) == reference
+
+
+@settings(max_examples=200)
+@given(st.sets(st.sampled_from(range(12)), min_size=1, max_size=12),
+       st.data())
+def test_property_dequeue_any_element(indices, data):
+    """Dequeue of an arbitrary member leaves exactly the others."""
+    memory, lst, blocks = make_memory()
+    ordered = sorted(indices)
+    for i in ordered:
+        enqueue(memory, blocks[i], lst)
+    victim = data.draw(st.sampled_from(ordered))
+    assert dequeue(memory, blocks[victim], lst)
+    expected = [blocks[i] for i in ordered if i != victim]
+    assert members(memory, lst) == expected
+    # second removal of the same element is a no-op
+    assert not dequeue(memory, blocks[victim], lst)
+    assert members(memory, lst) == expected
+
+
+@settings(max_examples=100)
+@given(st.lists(st.integers(0, 11), min_size=1, max_size=24))
+def test_property_length_consistent(script):
+    """length() == enqueues - successful firsts at every step."""
+    memory, lst, blocks = make_memory()
+    inside: set[int] = set()
+    for i in script:
+        if i in inside:
+            continue
+        enqueue(memory, blocks[i], lst)
+        inside.add(i)
+        assert length(memory, lst) == len(inside)
+    while inside:
+        got = first(memory, lst)
+        inside.discard(blocks.index(got))
+        assert length(memory, lst) == len(inside)

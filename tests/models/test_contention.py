@@ -1,0 +1,63 @@
+"""Tests for the low-level shared-memory contention model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (arch1_client_contention, build_contention_net,
+                          contention_completion_times)
+from repro.models.params import (ARCH1_CLIENT_CONTENTION_ACTIVITIES,
+                                 ARCH1_CLIENT_CONTENTION_RESULTS,
+                                 ContentionActivity)
+
+
+def test_single_activity_completes_at_best_time():
+    activity = ContentionActivity("Host", "Solo", 100, 20)
+    times = contention_completion_times([activity])
+    assert times["Solo"] == pytest.approx(120.0, rel=0.01)
+
+
+def test_contention_inflates_completion_times():
+    a = ContentionActivity("A", "A", 100, 50)
+    b = ContentionActivity("B", "B", 100, 50)
+    solo = contention_completion_times([a])["A"]
+    contended = contention_completion_times([a, b])["A"]
+    assert contended > solo
+
+
+def test_memoryless_activity_unaffected_by_contention():
+    a = ContentionActivity("A", "A", 100, 0)
+    b = ContentionActivity("B", "B", 100, 90)
+    times = contention_completion_times([a, b])
+    assert times["A"] == pytest.approx(100.0, rel=0.01)
+
+
+def test_table_6_2_reproduction():
+    """The contention column of Table 6.2 within 1%."""
+    times = arch1_client_contention()
+    for name, expected in ARCH1_CLIENT_CONTENTION_RESULTS.items():
+        assert times[name] == pytest.approx(expected, rel=0.01), name
+
+
+def test_contention_at_least_best_for_table_6_2():
+    times = arch1_client_contention()
+    by_name = {a.name: a for a in ARCH1_CLIENT_CONTENTION_ACTIVITIES}
+    for name, value in times.items():
+        assert value >= by_name[name].best - 0.5
+
+
+def test_duplicate_names_rejected():
+    a = ContentionActivity("A", "X", 100, 10)
+    b = ContentionActivity("B", "X", 100, 10)
+    with pytest.raises(ModelError):
+        build_contention_net([a, b])
+
+
+def test_empty_activity_set_rejected():
+    with pytest.raises(ModelError):
+        build_contention_net([])
+
+
+def test_full_memory_share_rejected():
+    bad = ContentionActivity("A", "A", 0, 100)
+    with pytest.raises(ModelError):
+        build_contention_net([bad])

@@ -1,0 +1,127 @@
+"""Tests for the chapter 7 extensions and design ablations."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import Architecture, Mode
+from repro.models.ablations import (derive_arch3_round_trip,
+                                    mp_speed_sensitivity,
+                                    smart_bus_primitive_costs,
+                                    smart_bus_sensitivity)
+from repro.models.extension import (build_symmetric_net,
+                                    compare_dedication,
+                                    dedication_crossover_lock_overhead,
+                                    host_scaling, mp_saturation_bound)
+from repro.models.params import round_trip_sum
+from repro.gtpn import analyze
+
+
+class TestHostScaling:
+    def test_extra_hosts_help_until_mp_saturates(self):
+        points = host_scaling(Architecture.II, [1, 2, 3], 4, 2850.0)
+        assert points[1].throughput > points[0].throughput
+        # by three hosts the MP is the ceiling
+        bound = mp_saturation_bound(Architecture.II)
+        assert points[2].throughput <= bound + 1e-12
+        assert points[2].throughput > 0.95 * points[1].throughput
+
+    def test_throughput_never_exceeds_mp_bound(self):
+        bound = mp_saturation_bound(Architecture.II)
+        for point in host_scaling(Architecture.II, [1, 2, 4], 4, 0.0):
+            assert point.throughput <= bound + 1e-12
+
+    def test_uniprocessor_has_no_mp_bound(self):
+        with pytest.raises(ModelError):
+            mp_saturation_bound(Architecture.I)
+
+    def test_smart_bus_node_scales_too(self):
+        points = host_scaling(Architecture.III, [1, 2], 3, 2850.0)
+        assert points[1].throughput > points[0].throughput
+
+
+class TestSymmetricComparison:
+    def test_symmetric_net_solves(self):
+        result = analyze(build_symmetric_net(2, 1000.0))
+        assert result.throughput() > 0
+
+    def test_lock_overhead_slows_symmetric(self):
+        fast = analyze(build_symmetric_net(2, 0.0,
+                                           lock_overhead=0.0))
+        slow = analyze(build_symmetric_net(2, 0.0,
+                                           lock_overhead=2000.0))
+        assert slow.throughput() < fast.throughput()
+
+    def test_comparison_reports_both_sides(self):
+        comparison = compare_dedication(2, 2850.0)
+        assert comparison.dedicated_throughput > 0
+        assert comparison.symmetric_throughput > 0
+        # honest finding: with published constants and mild locking,
+        # the symmetric organization wins raw throughput
+        assert not comparison.dedication_wins
+
+    def test_crossover_lock_overhead_is_large(self):
+        """Dedication wins on throughput only under heavy locking —
+        the thesis's case is cost/simplicity, not raw speed."""
+        crossover = dedication_crossover_lock_overhead(2, 2850.0)
+        assert crossover > 1000.0
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ModelError):
+            build_symmetric_net(0)
+        with pytest.raises(ModelError):
+            build_symmetric_net(1, processors=0)
+        with pytest.raises(ModelError):
+            build_symmetric_net(1, lock_overhead=-1.0)
+
+
+class TestSmartBusAblation:
+    def test_derivation_matches_published_arch3(self):
+        """16 queue ops + 4 copies replaced by bus primitives lands
+        within 5% of the published architecture III tables."""
+        for mode in Mode:
+            derived = derive_arch3_round_trip(1.0, mode).round_trip_us
+            published = round_trip_sum(Architecture.III, mode)
+            assert derived == pytest.approx(published, rel=0.05), mode
+
+    def test_primitive_costs_at_thesis_speed(self):
+        queue_op, copy = smart_bus_primitive_costs(1.0)
+        assert queue_op == pytest.approx(10.0)   # 9 us + 1 cycle
+        assert copy == pytest.approx(20.0)       # 9 + 1 + 20 * 0.5
+
+    def test_bus_speed_is_second_order(self):
+        """The smart bus's win is eliminating software processing; a
+        4x slower bus costs only a few percent of round trip."""
+        slow, fast = smart_bus_sensitivity([4.0, 1.0])
+        assert slow.round_trip_us < 1.1 * fast.round_trip_us
+
+    def test_faster_bus_monotonically_better(self):
+        points = smart_bus_sensitivity([0.25, 0.5, 1.0, 2.0])
+        times = [p.round_trip_us for p in points]
+        assert times == sorted(times)
+
+    def test_invalid_handshake_rejected(self):
+        with pytest.raises(ModelError):
+            smart_bus_primitive_costs(0.0)
+
+
+class TestMpSpeedAblation:
+    def test_slower_mp_hurts(self):
+        slow, base = mp_speed_sensitivity([0.5, 1.0], 3, 2850.0)
+        assert slow.throughput < base.throughput
+
+    def test_faster_mp_saturates_at_host(self):
+        """Once the MP outruns the host, the host becomes the
+        bottleneck and further MP speed buys little."""
+        x2, x4 = mp_speed_sensitivity([2.0, 4.0], 3, 2850.0)
+        assert x4.throughput < 1.1 * x2.throughput
+
+    def test_unit_ratio_reproduces_published_model(self):
+        from repro.models import solve
+        (point,) = mp_speed_sensitivity([1.0], 2, 2850.0)
+        published = solve(Architecture.II, Mode.LOCAL, 2, 2850.0)
+        assert point.throughput == pytest.approx(published.throughput,
+                                                 rel=1e-9)
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ModelError):
+            mp_speed_sensitivity([0.0], 1, 0.0)

@@ -1,0 +1,74 @@
+"""Tests for the multi-host (chapter 7 / section 6.8) parameter."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gtpn import analyze
+from repro.kernel import run_conversation_experiment
+from repro.models import (Architecture, Mode, build_local_net,
+                          solve_nonlocal)
+from repro.models.nonlocal_client import build_nonlocal_client_net
+from repro.models.nonlocal_server import build_nonlocal_server_net
+
+
+class TestLocalHosts:
+    def test_two_hosts_double_arch1_throughput_at_load(self):
+        """Architecture I with two hosts: twice the processing power,
+        up to rendezvous serialization."""
+        one = analyze(build_local_net(Architecture.I, 4, 0.0,
+                                      hosts=1)).throughput()
+        two = analyze(build_local_net(Architecture.I, 4, 0.0,
+                                      hosts=2)).throughput()
+        assert two > 1.5 * one
+
+    def test_extra_hosts_capped_by_mp(self):
+        from repro.models.extension import mp_saturation_bound
+        bound = mp_saturation_bound(Architecture.II)
+        three = analyze(build_local_net(Architecture.II, 4, 0.0,
+                                        hosts=3)).throughput()
+        assert three <= bound + 1e-12
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ModelError):
+            build_local_net(Architecture.I, 1, hosts=0)
+
+
+class TestNonlocalHosts:
+    def test_nets_accept_hosts(self):
+        client = build_nonlocal_client_net(Architecture.II, 2, 3000.0,
+                                           hosts=2)
+        server = build_nonlocal_server_net(Architecture.II, 2, 3000.0,
+                                           hosts=2)
+        assert client.get_place("Host").initial_tokens == 2
+        assert server.get_place("Host").initial_tokens == 2
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ModelError):
+            build_nonlocal_client_net(Architecture.I, 1, 3000.0,
+                                      hosts=0)
+        with pytest.raises(ModelError):
+            build_nonlocal_server_net(Architecture.I, 1, 3000.0,
+                                      hosts=0)
+
+    def test_solve_nonlocal_with_two_hosts_converges(self):
+        one = solve_nonlocal(Architecture.II, 2, 2850.0, hosts=1)
+        two = solve_nonlocal(Architecture.II, 2, 2850.0, hosts=2)
+        assert two.throughput >= one.throughput * 0.99
+
+
+class TestKernelHosts:
+    def test_two_host_node_faster_under_compute_load(self):
+        slow = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 4, 5700.0, hosts=1,
+            warmup_us=50_000, measure_us=500_000)
+        fast = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 4, 5700.0, hosts=2,
+            warmup_us=50_000, measure_us=500_000)
+        assert fast.throughput > slow.throughput
+
+    def test_host_pool_utilization_normalized(self):
+        result = run_conversation_experiment(
+            Architecture.II, Mode.LOCAL, 4, 5700.0, hosts=2,
+            warmup_us=50_000, measure_us=300_000)
+        # utilization is per-server-pool (0..1), not summed
+        assert 0 < result.utilization["node0"]["host"] <= 1.0

@@ -1,0 +1,100 @@
+"""Tests for the local-conversation GTPN models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gtpn import analyze
+from repro.models import Architecture, build_local_net
+
+
+def throughput(arch, conversations, compute=0.0):
+    return analyze(build_local_net(arch, conversations, compute)) \
+        .throughput()
+
+
+class TestArchitectureI:
+    def test_single_conversation_cycle_is_sum_of_steps(self):
+        # 1390 + 970 + 2610 = 4970 (everything serialized on the host)
+        assert 1 / throughput(Architecture.I, 1) == pytest.approx(4970.0,
+                                                                  rel=1e-9)
+
+    def test_throughput_flat_in_conversations(self):
+        """Section 6.9.1: 'the throughput for local conversations is
+        the same irrespective of the number of conversations'."""
+        base = throughput(Architecture.I, 1)
+        assert throughput(Architecture.I, 2) == pytest.approx(base,
+                                                              rel=1e-9)
+        assert throughput(Architecture.I, 3) == pytest.approx(base,
+                                                              rel=1e-9)
+
+    def test_compute_time_adds_to_cycle(self):
+        assert 1 / throughput(Architecture.I, 1, 1000.0) == \
+            pytest.approx(5970.0, rel=1e-9)
+
+
+class TestArchitectureII:
+    def test_single_conversation_loss_is_small(self):
+        """Section 6.9.1: ~10% loss at one conversation from host/MP
+        information transfer."""
+        c1 = 1 / throughput(Architecture.I, 1)
+        c2 = 1 / throughput(Architecture.II, 1)
+        loss = (c2 - c1) / c1
+        assert 0.05 < loss < 0.15
+
+    def test_throughput_grows_with_conversations(self):
+        t1 = throughput(Architecture.II, 1)
+        t2 = throughput(Architecture.II, 2)
+        t3 = throughput(Architecture.II, 3)
+        assert t2 > t1
+        assert t3 > t2
+
+    def test_growth_sublinear_mp_bandwidth_limit(self):
+        """Section 6.9.1: 'Increase in throughput with the number of
+        conversations is less than linear due to the finite bandwidth
+        of the message coprocessor.'"""
+        t1 = throughput(Architecture.II, 1)
+        t3 = throughput(Architecture.II, 3)
+        assert t3 < 3 * t1
+        # and it stays below the MP service bound
+        mp_busy = 1030.2 + 603.0 + 1264.4 + 1289.8
+        assert t3 <= 1 / mp_busy + 1e-9
+
+
+class TestSmartBusArchitectures:
+    def test_arch3_beats_arch1_and_arch2(self):
+        """Section 6.9.1: architecture III significantly better."""
+        for n in (1, 2):
+            t1 = throughput(Architecture.I, n)
+            t2 = throughput(Architecture.II, n)
+            t3 = throughput(Architecture.III, n)
+            assert t3 > t1
+            assert t3 > t2
+
+    def test_arch4_close_to_arch3(self):
+        """Section 6.9.3: the partitioned bus does not perform
+        significantly better (memory is not the bottleneck)."""
+        t3 = throughput(Architecture.III, 2)
+        t4 = throughput(Architecture.IV, 2)
+        assert t4 == pytest.approx(t3, rel=0.05)
+        assert t4 >= t3 - 1e-12
+
+
+class TestValidation:
+    def test_rejects_zero_conversations(self):
+        with pytest.raises(ModelError):
+            build_local_net(Architecture.I, 0)
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(ModelError):
+            build_local_net(Architecture.I, 1, -5.0)
+
+    def test_net_names_distinguish_architectures(self):
+        n1 = build_local_net(Architecture.I, 2)
+        n3 = build_local_net(Architecture.III, 2)
+        assert n1.name != n3.name
+
+    def test_coprocessor_net_has_mp_place(self):
+        net = build_local_net(Architecture.II, 1)
+        assert net.has_place("MP")
+        uni = build_local_net(Architecture.I, 1)
+        assert not uni.has_place("MP")

@@ -1,0 +1,90 @@
+"""Tests for the chapter 6 parameter tables."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (ACTION_TABLES, Architecture, Mode, action_table,
+                          round_trip_sum)
+from repro.models.params import (LOCAL_PARAMS, NONLOCAL_CLIENT_PARAMS,
+                                 NONLOCAL_SERVER_PARAMS,
+                                 PROCESSING_TIME_TABLE)
+
+
+def test_all_eight_action_tables_present():
+    assert len(ACTION_TABLES) == 8
+    for arch in Architecture:
+        for mode in Mode:
+            assert action_table(arch, mode)
+
+
+def test_every_action_table_has_exactly_one_compute_row():
+    for rows in ACTION_TABLES.values():
+        assert sum(1 for row in rows if row.is_compute) == 1
+
+
+def test_contention_never_below_best():
+    for rows in ACTION_TABLES.values():
+        for row in rows:
+            if row.is_compute:
+                continue
+            assert row.contention >= row.best - 1e-9, row
+
+
+def test_best_equals_processing_plus_shared_access():
+    for rows in ACTION_TABLES.values():
+        for row in rows:
+            if row.is_compute:
+                continue
+            assert row.best == pytest.approx(
+                row.processing + row.shared_access), row
+
+
+def test_arch1_local_round_trip_sum_is_4970():
+    # Chapter 6: C for architecture I local = full serialized sum
+    assert round_trip_sum(Architecture.I, Mode.LOCAL) == \
+        pytest.approx(4970.0)
+
+
+def test_round_trip_sums_decrease_with_hardware_support():
+    """Smart-bus architectures shave time off every step."""
+    for mode in Mode:
+        sums = [round_trip_sum(arch, mode) for arch in
+                (Architecture.II, Architecture.III, Architecture.IV)]
+        assert sums[0] > sums[1] > sums[2]
+
+
+def test_smart_bus_times_below_coprocessor_times():
+    for key in ("client_step", "process_send", "match", "process_reply"):
+        a2 = getattr(LOCAL_PARAMS[Architecture.II], key)
+        a3 = getattr(LOCAL_PARAMS[Architecture.III], key)
+        assert a3 < a2, key
+
+
+def test_arch1_has_no_coprocessor_activities():
+    assert LOCAL_PARAMS[Architecture.I].process_send is None
+    assert NONLOCAL_CLIENT_PARAMS[Architecture.I].process_send is None
+    assert NONLOCAL_SERVER_PARAMS[Architecture.I].process_receive is None
+
+
+def test_nonlocal_server_receive_path():
+    p2 = NONLOCAL_SERVER_PARAMS[Architecture.II]
+    assert p2.receive_path == pytest.approx(549.0 + 628.2)
+    p1 = NONLOCAL_SERVER_PARAMS[Architecture.I]
+    assert p1.receive_path == pytest.approx(790.7)
+
+
+def test_table_6_1_processing_times():
+    by_op = {row.operation: row for row in PROCESSING_TIME_TABLE}
+    # software queue ops: 60 us processing + 14 memory cycles
+    assert by_op["Enqueue"].arch2_processing == 60
+    assert by_op["Enqueue"].arch2_memory == 14
+    # smart bus: 3 instructions = 9 us, one memory cycle
+    assert by_op["Enqueue"].arch3_processing == 9
+    assert by_op["Enqueue"].arch3_memory == 1
+    assert by_op["First"].arch3_memory == 2      # eight-edge handshake
+    assert by_op["Block Read (40 Bytes)"].arch3_memory == 11
+
+
+def test_unknown_table_lookup_raises():
+    with pytest.raises(ModelError):
+        round_trip_sum(Architecture.I, Mode.LOCAL, column="bogus")

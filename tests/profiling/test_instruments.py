@@ -1,0 +1,87 @@
+"""Tests for the profiling instruments, incl. wraparound correction."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.profiling import HardwareTimer, KernelProfiler
+
+
+class TestHardwareTimer:
+    def test_reads_advance(self):
+        timer = HardwareTimer(width_bits=16)
+        assert timer.read() == 0
+        timer.advance(100.0)
+        assert timer.read() == 100
+
+    def test_wraparound(self):
+        timer = HardwareTimer(width_bits=8)
+        timer.advance(300.0)
+        assert timer.read() == 300 % 256
+
+    def test_negative_advance_rejected(self):
+        timer = HardwareTimer()
+        with pytest.raises(ReproError):
+            timer.advance(-1.0)
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ReproError):
+            HardwareTimer(width_bits=2)
+
+
+class TestKernelProfiler:
+    def test_basic_measurement(self):
+        profiler = KernelProfiler(timer=HardwareTimer())
+        profiler.profile("send", 120.0)
+        profiler.profile("send", 80.0)
+        assert profiler.statistics["send"].count == 2
+        assert profiler.mean_time_us("send") == pytest.approx(100.0)
+
+    def test_wraparound_corrected(self):
+        # 8-bit timer wraps every 256 us; measure 100 us straddling it
+        timer = HardwareTimer(width_bits=8)
+        timer.advance(200.0)
+        profiler = KernelProfiler(timer=timer)
+        profiler.profile("op", 100.0)
+        assert profiler.mean_time_us("op") == pytest.approx(100.0)
+
+    def test_probe_overhead_subtracted(self):
+        profiler = KernelProfiler(timer=HardwareTimer(),
+                                  probe_overhead_ticks=5)
+        profiler.profile("op", 100.0)
+        # raw elapsed includes one probe (the exit-side read happens
+        # after its overhead); correction recovers ~the true time
+        assert profiler.mean_time_us("op") == pytest.approx(100.0,
+                                                            abs=6.0)
+
+    def test_exit_without_entry_rejected(self):
+        profiler = KernelProfiler(timer=HardwareTimer())
+        with pytest.raises(ReproError):
+            profiler.exit("never")
+
+    def test_reentrant_call_rejected(self):
+        profiler = KernelProfiler(timer=HardwareTimer())
+        profiler.enter("op")
+        with pytest.raises(ReproError):
+            profiler.enter("op")
+
+    def test_clear_resets(self):
+        profiler = KernelProfiler(timer=HardwareTimer())
+        profiler.profile("op", 10.0)
+        profiler.clear()
+        assert profiler.statistics == {}
+
+    def test_report_shape(self):
+        profiler = KernelProfiler(timer=HardwareTimer())
+        profiler.profile("a", 10.0)
+        profiler.profile("b", 20.0)
+        report = profiler.report()
+        assert set(report) == {"a", "b"}
+        count, total = report["b"]
+        assert count == 1
+        assert total == pytest.approx(20.0)
+
+    def test_mean_of_unfinished_procedure_rejected(self):
+        profiler = KernelProfiler(timer=HardwareTimer())
+        profiler.enter("op")
+        with pytest.raises(ReproError):
+            profiler.mean_time_us("op")

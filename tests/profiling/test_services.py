@@ -1,0 +1,79 @@
+"""Tests for the Unix service-time data (Tables 3.6-3.7)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.profiling import (UNIX_READ_WRITE_MS, UNIX_SERVICE_TIMES_MS,
+                             computation_comparable_to_communication,
+                             fit_read_write, offered_load_range,
+                             read_time_ms, service_time_ms, write_time_ms)
+
+
+def test_table_3_6_values():
+    assert service_time_ms("Open File") == pytest.approx(4.35)
+    assert service_time_ms("GetTimeofDay") == pytest.approx(0.2)
+    assert service_time_ms("Make Directory") == pytest.approx(18.71)
+
+
+def test_unknown_service_rejected():
+    with pytest.raises(ReproError):
+        service_time_ms("Launch Missiles")
+
+
+def test_table_3_7_values():
+    assert read_time_ms(128) == pytest.approx(1.0092)
+    assert write_time_ms(4096) == pytest.approx(6.1082)
+
+
+def test_unmeasured_block_size_rejected():
+    with pytest.raises(ReproError):
+        read_time_ms(777)
+
+
+def test_write_slower_than_read_at_every_size():
+    for size, (read, write) in UNIX_READ_WRITE_MS.items():
+        assert write > read, size
+
+
+def test_times_monotone_in_block_size():
+    sizes = sorted(UNIX_READ_WRITE_MS)
+    reads = [read_time_ms(s) for s in sizes]
+    writes = [write_time_ms(s) for s in sizes]
+    assert reads == sorted(reads)
+    assert writes == sorted(writes)
+
+
+def test_linear_fit_reasonable():
+    read_fit, write_fit = fit_read_write()
+    assert read_fit.base_ms > 0
+    assert read_fit.slope_ms_per_byte > 0
+    # interpolation error under 25% across measured sizes
+    for size in UNIX_READ_WRITE_MS:
+        assert read_fit.predict_ms(size) == pytest.approx(
+            read_time_ms(size), rel=0.25)
+        assert write_fit.predict_ms(size) == pytest.approx(
+            write_time_ms(size), rel=0.25)
+
+
+def test_computation_comparable_to_communication():
+    """Section 3.5's motivating observation."""
+    assert computation_comparable_to_communication(4.57)
+
+
+def test_offered_load_range_matches_section_6_10():
+    """Local C=4.57 ms gives offered loads 0.96..0.43."""
+    low, high = offered_load_range(4.57)
+    assert high == pytest.approx(0.96, abs=0.01)
+    assert low == pytest.approx(0.43, abs=0.01)
+
+
+def test_offered_load_range_nonlocal():
+    """Non-local C=6.8 ms gives 0.97..0.53."""
+    low, high = offered_load_range(6.8)
+    assert high == pytest.approx(0.97, abs=0.01)
+    assert low == pytest.approx(0.53, abs=0.01)
+
+
+def test_offered_load_range_rejects_bad_input():
+    with pytest.raises(ReproError):
+        offered_load_range(0.0)

@@ -1,0 +1,156 @@
+"""Tests for Charlotte link semantics (section 3.2)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import DistributedSystem
+from repro.models.params import Architecture
+from repro.semantics import CharlotteLinks
+
+
+def make_node(tasks=("alice", "bob", "carol")):
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    created = [node.create_task(name) for name in tasks]
+    return system, node, created
+
+
+def test_create_link_assigns_two_ends():
+    _system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    assert link.end_of("alice") == "A"
+    assert link.end_of("bob") == "B"
+
+
+def test_link_needs_two_processes():
+    _system, node, (alice, _bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    with pytest.raises(KernelError):
+        links.create_link(alice, alice)
+
+
+def test_send_completes_only_when_matched():
+    """No kernel buffering: the send stays pending until a receive."""
+    system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    send_op = links.send(alice, link, "hello")
+    system.sim.run()
+    assert not links.poll(send_op)          # nobody received
+    got = []
+    links.receive(bob, link, got.append)
+    system.sim.run()
+    assert got == ["hello"]
+    assert links.poll(send_op)
+
+
+def test_bidirectional_equal_rights():
+    """Either end may send; the link is two-way."""
+    system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    got_a, got_b = [], []
+    links.receive(alice, link, got_a.append)
+    links.receive(bob, link, got_b.append)
+    links.send(alice, link, "to-bob")
+    links.send(bob, link, "to-alice")
+    system.sim.run()
+    assert got_b == ["to-bob"]
+    assert got_a == ["to-alice"]
+
+
+def test_move_transfers_an_end():
+    system, node, (alice, bob, carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    links.move(alice, link, carol)
+    assert link.end_of("carol") == "A"
+    with pytest.raises(KernelError):
+        link.end_of("alice")
+    # carol can now communicate on it
+    got = []
+    links.receive(bob, link, got.append)
+    links.send(carol, link, "via-carol")
+    system.sim.run()
+    assert got == ["via-carol"]
+
+
+def test_either_end_can_destroy_unilaterally():
+    system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    links.destroy(bob, link)            # bob needs no permission
+    assert link.destroyed
+    with pytest.raises(KernelError):
+        links.send(alice, link, "too late")
+
+
+def test_destroy_cancels_pending_ops_with_none():
+    system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    outcomes = []
+    links.send(alice, link, "data", on_complete=outcomes.append)
+    links.destroy(alice, link)
+    system.sim.run()
+    assert outcomes == [None]
+
+
+def test_receive_any_takes_first_message_across_links():
+    system, node, (alice, bob, carol) = make_node()
+    links = CharlotteLinks(node)
+    link_ab = links.create_link(alice, bob)
+    link_ac = links.create_link(alice, carol)
+    got = []
+    links.receive_any(alice, got.append)
+    links.send(carol, link_ac, "from-carol")
+    system.sim.run()
+    assert got == ["from-carol"]
+    # the group completed: a later send on the other link stays
+    # pending until a fresh receive
+    send_op = links.send(bob, link_ab, "from-bob")
+    system.sim.run()
+    assert not links.poll(send_op)
+
+
+def test_receive_any_requires_some_link():
+    _system, node, (alice, bob, carol) = make_node()
+    links = CharlotteLinks(node)
+    links.create_link(bob, carol)
+    with pytest.raises(KernelError):
+        links.receive_any(alice, lambda data: None)
+
+
+def test_fifo_within_direction():
+    system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    got = []
+    for i in range(3):
+        links.send(alice, link, i)
+    for _ in range(3):
+        links.receive(bob, link, got.append)
+    system.sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_copy_cost_scales_with_size():
+    """Bigger messages keep the host busy longer (Table 3.1 copy)."""
+    system, node, (alice, bob, _carol) = make_node()
+    links = CharlotteLinks(node)
+    link = links.create_link(alice, bob)
+    done = []
+    links.receive(bob, link, lambda d: done.append(system.now))
+    links.send(alice, link, "big", size_bytes=6000)
+    system.sim.run()
+    big_time = done[0]
+
+    system2, node2, (alice2, bob2, _c2) = make_node()
+    links2 = CharlotteLinks(node2)
+    link2 = links2.create_link(alice2, bob2)
+    done2 = []
+    links2.receive(bob2, link2, lambda d: done2.append(system2.now))
+    links2.send(alice2, link2, "small", size_bytes=10)
+    system2.sim.run()
+    assert big_time > done2[0]

@@ -1,0 +1,139 @@
+"""Tests for Jasmin path semantics (section 3.2)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import AccessRight, DistributedSystem, MemoryReference
+from repro.models.params import Architecture
+from repro.semantics import JasminPaths
+
+
+def make_node(tasks=("client", "server", "third")):
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    created = [node.create_task(name) for name in tasks]
+    return system, node, created
+
+
+def test_creator_holds_receive_end():
+    system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node)
+    path = paths.create_path(server)
+    assert path.creator == "server"
+    with pytest.raises(KernelError):
+        paths.rcvmsg(client, path, lambda m, p: None)
+
+
+def test_send_end_giftable():
+    system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node)
+    path = paths.create_path(server)
+    paths.give_send_end(server, path, client)
+    got = []
+    paths.rcvmsg(server, path, lambda m, p: got.append(m))
+    paths.sendmsg(client, path, "request")
+    system.sim.run()
+    assert got == ["request"]
+
+
+def test_only_send_holder_may_send():
+    system, node, (client, server, third) = make_node()
+    paths = JasminPaths(node)
+    path = paths.create_path(server)
+    paths.give_send_end(server, path, client)
+    with pytest.raises(KernelError):
+        paths.sendmsg(third, path, "intruder")
+
+
+def test_messages_buffered_fifo():
+    """Kernel buffering: sends complete without a waiting receiver."""
+    system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node)
+    path = paths.create_path(server)
+    paths.give_send_end(server, path, client)
+    sent = []
+    for i in range(3):
+        paths.sendmsg(client, path, i, on_sent=lambda i=i: sent.append(i))
+    system.sim.run()
+    assert sent == [0, 1, 2]           # no receiver needed
+    got = []
+    for _ in range(3):
+        paths.rcvmsg(server, path, lambda m, p: got.append(m))
+    system.sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_sender_blocks_on_buffer_shortage():
+    """Section 3.2.3: sendmsg blocks when kernel resources run out,
+    resuming when a delivery frees a buffer."""
+    system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node, kernel_buffers=2)
+    path = paths.create_path(server)
+    paths.give_send_end(server, path, client)
+    sent = []
+    for i in range(4):
+        paths.sendmsg(client, path, i, on_sent=lambda i=i: sent.append(i))
+    system.sim.run()
+    assert sent == [0, 1]              # two buffers, two accepted
+    got = []
+    paths.rcvmsg(server, path, lambda m, p: got.append(m))
+    system.sim.run()
+    assert got == [0]
+    assert 2 in sent                   # freed buffer admitted sender 2
+
+
+def test_group_receive_takes_any_ready_path():
+    system, node, (client, server, third) = make_node()
+    paths = JasminPaths(node)
+    path1 = paths.create_path(server)
+    path2 = paths.create_path(server)
+    paths.give_send_end(server, path1, client)
+    paths.give_send_end(server, path2, third)
+    got = []
+    paths.rcvmsg(server, [path1, path2],
+                 lambda m, p: got.append((m, p.path_id)))
+    paths.sendmsg(third, path2, "via-2")
+    system.sim.run()
+    assert got == [("via-2", path2.path_id)]
+
+
+def test_gift_path_single_use():
+    """Section 3.2.1: a gift path may be used only once for the
+    reply."""
+    system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node)
+    reply_path = paths.create_gift_path(client, server)
+    got = []
+    paths.rcvmsg(client, reply_path, lambda m, p: got.append(m))
+    paths.sendmsg(server, reply_path, "the-reply")
+    system.sim.run()
+    assert got == ["the-reply"]
+    with pytest.raises(KernelError):
+        paths.sendmsg(server, reply_path, "second-reply")
+
+
+def test_iomove_checks_rights():
+    system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node)
+    ref = MemoryReference(owner="client", address=0, size=2048,
+                          rights=AccessRight.READ)
+    done = []
+    paths.iomove(server, ref, 2048, write=False,
+                 on_done=lambda: done.append(system.now))
+    system.sim.run()
+    assert done
+    with pytest.raises(KernelError):
+        paths.iomove(server, ref, 2048, write=True)
+
+
+def test_zero_buffer_pool_rejected():
+    _system, node, _tasks = make_node()
+    with pytest.raises(KernelError):
+        JasminPaths(node, kernel_buffers=0)
+
+
+def test_empty_group_rejected():
+    _system, node, (client, server, _t) = make_node()
+    paths = JasminPaths(node)
+    with pytest.raises(KernelError):
+        paths.rcvmsg(server, [], lambda m, p: None)

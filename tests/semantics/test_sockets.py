@@ -1,0 +1,166 @@
+"""Tests for Unix socket semantics (section 3.2)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import DistributedSystem
+from repro.models.params import Architecture
+from repro.semantics import UnixSockets, WouldBlock
+
+
+def make_node(tasks=("client", "server")):
+    system = DistributedSystem(Architecture.I)
+    node = system.add_node("n0")
+    created = [node.create_task(name) for name in tasks]
+    return system, node, created
+
+
+def connected_pair():
+    system, node, (client, server) = make_node()
+    sockets = UnixSockets(node)
+    a, b = sockets.socketpair(client, server)
+    return system, sockets, client, server, a, b
+
+
+class TestConnectionSetup:
+    def test_bind_connect_accept(self):
+        system, node, (client, server) = make_node()
+        sockets = UnixSockets(node)
+        listener = sockets.bind(server, "/tmp/svc")
+        ends = {}
+        sockets.accept(server, listener,
+                       lambda s: ends.setdefault("server", s))
+        sockets.connect(client, "/tmp/svc",
+                        lambda s: ends.setdefault("client", s))
+        system.sim.run()
+        assert ends["client"].peer is ends["server"]
+        assert ends["server"].peer is ends["client"]
+
+    def test_double_bind_rejected(self):
+        _system, node, (client, server) = make_node()
+        sockets = UnixSockets(node)
+        sockets.bind(server, "/tmp/svc")
+        with pytest.raises(KernelError):
+            sockets.bind(client, "/tmp/svc")
+
+    def test_connect_to_unbound_rejected(self):
+        _system, node, (client, _server) = make_node()
+        sockets = UnixSockets(node)
+        with pytest.raises(KernelError):
+            sockets.connect(client, "/nowhere", lambda s: None)
+
+    def test_accept_requires_owner(self):
+        _system, node, (client, server) = make_node()
+        sockets = UnixSockets(node)
+        listener = sockets.bind(server, "/tmp/svc")
+        with pytest.raises(KernelError):
+            sockets.accept(client, listener, lambda s: None)
+
+
+class TestByteStreams:
+    def test_write_then_read(self):
+        system, sockets, client, server, a, b = connected_pair()
+        got = []
+        sockets.write(client, a, b"hello world")
+        sockets.read(server, b, 1024, got.append)
+        system.sim.run()
+        assert got == [b"hello world"]
+
+    def test_stream_merges_writes(self):
+        system, sockets, client, server, a, b = connected_pair()
+        sockets.write(client, a, b"abc")
+        sockets.write(client, a, b"def")
+        got = []
+        system.sim.run()
+        sockets.read(server, b, 1024, got.append)
+        system.sim.run()
+        assert got == [b"abcdef"]        # stream, not datagram
+
+    def test_stream_splits_large_write(self):
+        system, sockets, client, server, a, b = connected_pair()
+        sockets.write(client, a, b"abcdefgh")
+        system.sim.run()
+        got = []
+        sockets.read(server, b, 3, got.append)
+        system.sim.run()
+        assert got == [b"abc"]
+        sockets.read(server, b, 100, got.append)
+        system.sim.run()
+        assert got == [b"abc", b"defgh"]
+
+    def test_read_blocks_until_data(self):
+        system, sockets, client, server, a, b = connected_pair()
+        got = []
+        sockets.read(server, b, 10, got.append)
+        system.sim.run()
+        assert got == []
+        sockets.write(client, a, b"late")
+        system.sim.run()
+        assert got == [b"late"]
+
+    def test_bidirectional(self):
+        system, sockets, client, server, a, b = connected_pair()
+        got_a, got_b = [], []
+        sockets.write(client, a, b"ping")
+        sockets.read(server, b, 100, got_b.append)
+        sockets.write(server, b, b"pong")
+        sockets.read(client, a, 100, got_a.append)
+        system.sim.run()
+        assert got_b == [b"ping"]
+        assert got_a == [b"pong"]
+
+    def test_write_blocks_when_buffer_full(self):
+        system, sockets, client, server, a, b = connected_pair()
+        b.buffer_limit = 8
+        done = []
+        sockets.write(client, a, b"12345678",
+                      on_done=lambda: done.append("first"))
+        sockets.write(client, a, b"overflow",
+                      on_done=lambda: done.append("second"))
+        system.sim.run()
+        assert done == ["first"]
+        got = []
+        sockets.read(server, b, 100, got.append)
+        system.sim.run()
+        assert "second" in done          # room freed, write resumed
+
+
+class TestNonBlocking:
+    def test_nonblocking_read_raises(self):
+        system, sockets, client, server, a, b = connected_pair()
+        sockets.set_nonblocking(b)
+        with pytest.raises(WouldBlock):
+            sockets.read(server, b, 10, lambda d: None)
+
+    def test_nonblocking_write_raises_on_full_buffer(self):
+        system, sockets, client, server, a, b = connected_pair()
+        b.buffer_limit = 4
+        sockets.set_nonblocking(a)
+        sockets.write(client, a, b"1234")
+        with pytest.raises(WouldBlock):
+            sockets.write(client, a, b"5678")
+
+
+class TestGuards:
+    def test_read_requires_owner(self):
+        system, sockets, client, server, a, b = connected_pair()
+        with pytest.raises(KernelError):
+            sockets.read(client, b, 10, lambda d: None)
+
+    def test_write_requires_owner(self):
+        system, sockets, client, server, a, b = connected_pair()
+        with pytest.raises(KernelError):
+            sockets.write(server, a, b"x")
+
+    def test_zero_byte_read_rejected(self):
+        system, sockets, client, server, a, b = connected_pair()
+        with pytest.raises(KernelError):
+            sockets.read(server, b, 0, lambda d: None)
+
+    def test_unconnected_socket_rejected(self):
+        system, node, (client, _server) = make_node()
+        sockets = UnixSockets(node)
+        from repro.semantics.sockets import Socket
+        lonely = Socket(socket_id=999, owner="client")
+        with pytest.raises(KernelError):
+            sockets.write(client, lonely, b"x")
