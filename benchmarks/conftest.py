@@ -3,11 +3,26 @@
 Every benchmark regenerates one table or figure of the thesis and
 prints it (run with ``-s`` to see the artifacts inline); timing is
 recorded by pytest-benchmark.  Heavy experiments run a single round.
+
+Benchmarks may additionally call the ``perf_record`` fixture to log a
+timing record (state counts, wall times, speedups); at session end all
+records are written to ``BENCH_perf.json`` at the repo root, giving
+each PR a comparable snapshot of the perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
+
+_PERF_RECORDS: list[dict] = []
+
+#: Written next to the repository's other BENCH artifacts.
+PERF_JSON_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_perf.json"
 
 
 @pytest.fixture
@@ -23,3 +38,25 @@ def run_once(benchmark):
         return artifact
 
     return runner
+
+
+@pytest.fixture
+def perf_record():
+    """Append one record to the session's BENCH_perf.json payload."""
+
+    def recorder(**fields):
+        _PERF_RECORDS.append(dict(fields))
+
+    return recorder
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PERF_RECORDS:
+        return
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": _PERF_RECORDS,
+    }
+    PERF_JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")

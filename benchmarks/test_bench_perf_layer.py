@@ -1,0 +1,96 @@
+"""Benches for the perf layer: sweep parallelism and analysis caching.
+
+Records serial-vs-parallel and cold-vs-warm-cache wall times to
+``BENCH_perf.json`` (via the ``perf_record`` fixture), and asserts the
+headline guarantees: values are bit-identical on every path, and the
+cache fast path delivers at least a 1.5x wall-clock improvement on
+both the exact-analysis bench and a full-figure sweep.
+
+The parallel timings are recorded unconditionally but only asserted
+against when the machine actually has more than one CPU — on a
+single-core runner a process pool cannot beat serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.figures import figure_6_18
+from repro.gtpn import analyze
+from repro.models import Architecture, build_local_net
+from repro.models.solve import _solve_cached
+from repro.perf import AnalysisCache, set_cache_enabled
+
+#: Required wall-clock improvement of the winning fast path.
+MIN_SPEEDUP = 1.5
+
+_FIGURE_GRID = dict(conversations=(2, 3), loads=(0.9, 0.6, 0.3))
+
+
+def _timed(fn, *args, **kwargs):
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def test_bench_exact_analysis_cold_vs_warm(perf_record):
+    """Same workload as ``test_bench_exact_analysis_arch2_local``,
+    solved cold and then through the content-addressed cache."""
+    cache = AnalysisCache()
+    cold_result, cold_s = _timed(
+        analyze, build_local_net(Architecture.II, 3, 1000.0),
+        cache=cache)
+    warm_result, warm_s = _timed(
+        analyze, build_local_net(Architecture.II, 3, 1000.0),
+        cache=cache)
+    speedup = cold_s / warm_s
+    perf_record(bench="exact-analysis-arch2-local",
+                state_count=cold_result.state_count,
+                cold_s=cold_s, warm_s=warm_s, speedup=speedup)
+    assert warm_result.throughput() == cold_result.throughput()
+    assert warm_result.state_count == cold_result.state_count
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_bench_figure_6_18_serial_parallel_warm(perf_record):
+    """One realistic-workload figure timed on every execution path.
+
+    The three runs — serial cold, parallel cold, serial warm-cache —
+    must produce bit-identical figure values; speed is the only
+    degree of freedom.
+    """
+    jobs = min(4, os.cpu_count() or 1)
+
+    set_cache_enabled(False)
+    try:
+        _solve_cached.cache_clear()
+        serial, serial_s = _timed(figure_6_18, jobs=1, **_FIGURE_GRID)
+        _solve_cached.cache_clear()
+        parallel, parallel_s = _timed(figure_6_18, jobs=jobs,
+                                      **_FIGURE_GRID)
+    finally:
+        set_cache_enabled(True)
+
+    from repro.perf import configure_cache
+    configure_cache()               # fresh global cache
+    _solve_cached.cache_clear()
+    figure_6_18(jobs=1, **_FIGURE_GRID)          # populate the cache
+    _solve_cached.cache_clear()
+    warm, warm_s = _timed(figure_6_18, jobs=1, **_FIGURE_GRID)
+
+    parallel_speedup = serial_s / parallel_s
+    warm_speedup = serial_s / warm_s
+    perf_record(bench="figure-6.18-trimmed",
+                grid_points=len(_FIGURE_GRID["conversations"])
+                * len(_FIGURE_GRID["loads"]) * 3,
+                jobs=jobs, serial_s=serial_s, parallel_s=parallel_s,
+                warm_s=warm_s, parallel_speedup=parallel_speedup,
+                warm_speedup=warm_speedup)
+
+    assert [s.y for s in serial.series] == [s.y for s in parallel.series]
+    assert [s.y for s in serial.series] == [s.y for s in warm.series]
+    assert warm_speedup >= MIN_SPEEDUP
+    if jobs > 1 and (os.cpu_count() or 1) > 1:
+        # with real cores available at least one fast path must win big
+        assert max(parallel_speedup, warm_speedup) >= MIN_SPEEDUP

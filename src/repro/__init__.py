@@ -13,6 +13,7 @@ Subpackages:
     models      GTPN models of architectures I-IV (chapter 6)
     profiling   synthetic kernel profiling study (chapter 3)
     experiments every table and figure of the evaluation
+    perf        parallel sweep executor + content-addressed cache
 """
 
 __version__ = "1.0.0"

@@ -5,7 +5,14 @@ Usage::
     python -m repro list [--heavy]
     python -m repro run table-6.24 figure-6.17a
     python -m repro run --all [--heavy]
+    python -m repro --jobs 8 run figure-6.18
+    python -m repro --no-cache run figure-6.7
     python -m repro solve --arch II --mode local -n 4 -x 2850
+
+``--jobs N`` fans the grid points of sweep experiments out over N
+worker processes (``REPRO_JOBS`` sets the same default); ``--no-cache``
+disables the content-addressed analysis cache (``REPRO_CACHE_DIR``
+enables its on-disk tier).  Neither flag changes any computed value.
 """
 
 from __future__ import annotations
@@ -72,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Hardware Support for Interprocess Communication "
                     "— reproduction toolkit")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep experiments (default: "
+             "REPRO_JOBS or serial); results are identical at any N")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed GTPN analysis cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list available experiments")
@@ -121,6 +135,14 @@ def _cmd_scoreboard(_args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        from repro.perf import set_default_jobs
+        set_default_jobs(args.jobs)
+    if args.no_cache:
+        from repro.perf import set_cache_enabled
+        set_cache_enabled(False)
     try:
         return args.fn(args)
     except ReproError as error:

@@ -202,10 +202,15 @@ def transition_attribute_table(experiment_id: str) -> Table:
                "expressions ((NetIntr = 0) & !T & !T')"])
 
 
-def offered_loads_table(mode: Mode) -> Table:
+def offered_loads_table(mode: Mode, *, jobs: int | None = None) -> Table:
     """Tables 6.24 (local) / 6.25 (non-local), recomputed from the
-    solved models."""
-    table = offered_load_table(mode)
+    solved models.
+
+    The four per-architecture communication-time solves behind the
+    table fan out through the parallel sweep executor (``jobs=None``
+    follows the CLI ``--jobs`` / ``REPRO_JOBS`` default).
+    """
+    table = offered_load_table(mode, jobs=jobs)
     rows = []
     for i, server_ms in enumerate(OFFERED_LOAD_SERVER_TIMES_MS):
         rows.append([server_ms] + [round(table[arch][i], 3)

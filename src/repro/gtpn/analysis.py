@@ -26,6 +26,8 @@ from repro.gtpn.markov import stationary_distribution
 from repro.gtpn.net import Net
 from repro.gtpn.reachability import (DEFAULT_MAX_STATES, ReachabilityGraph,
                                      build_reachability_graph)
+from repro.perf.cache import (AnalysisCache, cache_enabled,
+                              fingerprint_net, get_cache)
 
 
 @dataclass
@@ -42,7 +44,13 @@ class AnalysisResult:
 
     @cached_property
     def _mean_inflight(self) -> np.ndarray:
-        """Per-transition mean number of concurrent in-flight firings."""
+        """Per-transition mean number of concurrent in-flight firings.
+
+        Summed state by state (not as pi @ matrix): the accumulation
+        order is part of the reproducibility contract — a BLAS
+        reduction shifts the last bits, and solved figures promise
+        bit-identical values at any job count and cache state.
+        """
         total = np.zeros(len(self.net.transitions))
         for i, weight in enumerate(self.pi):
             if weight > 0:
@@ -85,8 +93,60 @@ class AnalysisResult:
 
 
 def analyze(net: Net, *, method: str = "auto",
-            max_states: int = DEFAULT_MAX_STATES) -> AnalysisResult:
-    """Build the reachability graph of *net* and solve it exactly."""
+            max_states: int = DEFAULT_MAX_STATES,
+            cache: AnalysisCache | None = None) -> AnalysisResult:
+    """Build the reachability graph of *net* and solve it exactly.
+
+    Solves are memoized through the content-addressed analysis cache
+    (:mod:`repro.perf.cache`): a hit on a structurally identical net
+    returns the stored graph and stationary vector re-bound to *net*,
+    skipping both state-space exploration and the Markov solve.  Pass
+    ``cache`` to use a private store; the global cache honours
+    ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` and the CLI flags.
+    Cached payloads are shared — treat results as read-only.
+    """
+    store = cache if cache is not None else (
+        get_cache() if cache_enabled() else None)
+    key = None
+    if store is not None:
+        fingerprint = fingerprint_net(net)
+        if fingerprint is not None:
+            key = (fingerprint, method)
+            payload = store.get(key)
+            if payload is not None:
+                net.validate()      # keep error behaviour of a solve
+                return _rebind(net, payload)
     graph = build_reachability_graph(net, max_states=max_states)
     pi = stationary_distribution(graph, method=method)
-    return AnalysisResult(net=net, graph=graph, pi=pi)
+    result = AnalysisResult(net=net, graph=graph, pi=pi)
+    if key is not None:
+        store.put(key, _payload(result))
+    return result
+
+
+def _payload(result: AnalysisResult) -> dict:
+    """Cacheable view of a result: everything except the net binding.
+
+    Names live only on the net, so a payload computed for one net
+    re-binds cleanly to any net with the same fingerprint.
+    """
+    graph = result.graph
+    return {
+        "states": graph.states,
+        "probabilities": graph.probabilities,
+        "initial": graph.initial,
+        "expected_starts": graph.expected_starts,
+        "inflight_counts": graph.inflight_counts,
+        "pi": result.pi,
+    }
+
+
+def _rebind(net: Net, payload: dict) -> AnalysisResult:
+    graph = ReachabilityGraph(
+        net=net,
+        states=payload["states"],
+        probabilities=payload["probabilities"],
+        initial=payload["initial"],
+        expected_starts=payload["expected_starts"],
+        inflight_counts=payload["inflight_counts"])
+    return AnalysisResult(net=net, graph=graph, pi=payload["pi"])

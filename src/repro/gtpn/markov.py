@@ -5,6 +5,11 @@ architecture models of chapter 6 produce irreducible chains (every
 conversation cycles forever), but the solver also copes with transient
 initial states by falling back to power iteration when the direct
 linear solve is ill-conditioned.
+
+Chains with more than one closed communicating class are refused
+(``AnalysisError``): their stationary distribution is not unique, so
+any single solution would silently disagree with a simulated sample
+path, which settles into exactly one of the closed classes.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from scipy.sparse.csgraph import connected_components
 
 from repro.errors import AnalysisError
 from repro.gtpn.reachability import ReachabilityGraph
@@ -42,6 +48,11 @@ def stationary_distribution(graph: ReachabilityGraph,
     matrix = transition_matrix(graph)
     if method not in ("auto", "linear", "power"):
         raise AnalysisError(f"unknown stationary method {method!r}")
+    closed = _closed_class_count(matrix)
+    if closed > 1:
+        raise AnalysisError(
+            f"embedded chain is reducible ({closed} closed communicating "
+            "classes); the stationary distribution is not unique")
     if method in ("auto", "linear"):
         try:
             pi = _solve_linear(matrix)
@@ -55,15 +66,49 @@ def stationary_distribution(graph: ReachabilityGraph,
     return _solve_power(matrix, graph, tol, max_iterations)
 
 
+def _closed_class_count(matrix: sp.csr_matrix) -> int:
+    """Number of closed communicating classes of the chain.
+
+    A strongly connected component is closed when no edge leaves it;
+    an ergodic chain (possibly with transient initial states) has
+    exactly one.
+    """
+    n_components, labels = connected_components(
+        matrix, directed=True, connection="strong")
+    if n_components == 1:
+        return 1
+    coo = matrix.tocoo()
+    leaving = (labels[coo.row] != labels[coo.col]) & (coo.data != 0)
+    open_components = set(labels[coo.row[leaving]])
+    return n_components - len(open_components)
+
+
 def _solve_linear(matrix: sp.csr_matrix) -> np.ndarray | None:
-    """Direct solve of (P^T - I) pi = 0 with a normalization row."""
+    """Direct solve of (P^T - I) pi = 0 with a normalization row.
+
+    The augmented system — balance equations with the redundant last
+    one replaced by sum(pi) = 1 — is assembled directly in coordinate
+    form (P^T entries off the last row, a -1 diagonal, and a dense
+    last row of ones); duplicate coordinates sum on CSR conversion.
+    This avoids the O(n^2) LIL round-trip of row-assigning into a
+    converted matrix on large chains.
+    """
     n = matrix.shape[0]
-    a = (matrix.T - sp.identity(n, format="csr")).tolil()
-    # replace the last balance equation (redundant) with sum(pi) = 1
-    a[n - 1, :] = np.ones(n)
+    coo = matrix.T.tocoo()
+    keep = coo.row != n - 1
+    data = np.concatenate([coo.data[keep],
+                           -np.ones(n - 1),
+                           np.ones(n)])
+    rows = np.concatenate([coo.row[keep],
+                           np.arange(n - 1),
+                           np.full(n, n - 1)])
+    cols = np.concatenate([coo.col[keep],
+                           np.arange(n - 1),
+                           np.arange(n)])
+    a = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
     b = np.zeros(n)
     b[n - 1] = 1.0
-    pi = spla.spsolve(a.tocsr(), b)
+    pi = spla.spsolve(a, b)
     if not np.all(np.isfinite(pi)):
         return None
     pi = np.where(np.abs(pi) < 1e-14, 0.0, pi)

@@ -66,7 +66,11 @@ def build_reachability_graph(net: Net,
     index: dict[State, int] = {}
     states: list[State] = []
     rows: list[dict[int, float]] = []
-    starts: list[np.ndarray] = []
+    # per-state expected-start accumulators as plain lists: the vectors
+    # are tiny (tens of transitions) and mostly zero per branch, so
+    # scalar accumulation beats allocating an ndarray per state; the
+    # batch converts to one (states x transitions) array at the end.
+    start_rows: list[list[float]] = []
 
     def intern(state: State) -> int:
         found = index.get(state)
@@ -75,7 +79,7 @@ def build_reachability_graph(net: Net,
             index[state] = found
             states.append(state)
             rows.append({})
-            starts.append(np.zeros(n_transitions))
+            start_rows.append([0.0] * n_transitions)
             if len(states) > max_states:
                 raise AnalysisError(
                     f"net {net.name!r}: more than {max_states} reachable "
@@ -83,36 +87,37 @@ def build_reachability_graph(net: Net,
         return found
 
     initial: dict[int, float] = {}
-    frontier: list[int] = []
     for branch in engine.initial_branches(resolver):
         i = intern(branch.state)
         initial[i] = initial.get(i, 0.0) + branch.probability
-        if i not in frontier:
-            frontier.append(i)
 
     explored = 0
     while explored < len(states):
         i = explored
         explored += 1
         row = rows[i]
-        start_vec = starts[i]
+        start_row = start_rows[i]
         for branch in engine.tick(states[i], resolver):
             j = intern(branch.state)
-            row[j] = row.get(j, 0.0) + branch.probability
-            start_vec += branch.probability * np.asarray(
-                branch.starts, dtype=float)
+            prob = branch.probability
+            row[j] = row.get(j, 0.0) + prob
+            for t_idx, count in enumerate(branch.starts):
+                if count:
+                    start_row[t_idx] += prob * count
 
-    inflight = []
-    for state in states:
-        vec = np.zeros(n_transitions)
+    n_states = len(states)
+    starts_matrix = np.asarray(start_rows, dtype=float).reshape(
+        n_states, n_transitions)
+    inflight_matrix = np.zeros((n_states, n_transitions))
+    for i, state in enumerate(states):
         for t_idx, _remaining in state.inflight:
-            vec[t_idx] += 1.0
-        inflight.append(vec)
+            inflight_matrix[i, t_idx] += 1.0
 
     _check_stochastic(net, rows)
     return ReachabilityGraph(net=net, states=states, probabilities=rows,
-                             initial=initial, expected_starts=starts,
-                             inflight_counts=inflight)
+                             initial=initial,
+                             expected_starts=list(starts_matrix),
+                             inflight_counts=list(inflight_matrix))
 
 
 def _check_stochastic(net: Net, rows: list[dict[int, float]]) -> None:

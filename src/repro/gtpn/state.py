@@ -37,7 +37,9 @@ branch), via the :class:`Resolver` strategy.
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Iterator, Sequence
 
 from repro.errors import AnalysisError
@@ -69,7 +71,13 @@ class Resolver:
 
     ``choose`` receives weighted options and returns the branches to
     follow, each with the probability mass assigned to it.
+
+    ``deterministic`` marks resolvers whose choices depend only on the
+    options (not on hidden state such as an RNG); the engine memoizes
+    tick successors only under deterministic resolvers.
     """
+
+    deterministic = False
 
     def choose(self, options: Sequence[tuple[float, object]],
                ) -> list[tuple[float, object]]:
@@ -79,21 +87,40 @@ class Resolver:
 class ExhaustiveResolver(Resolver):
     """Follow every branch with its exact probability (analyzer)."""
 
+    deterministic = True
+
     def choose(self, options):
         return list(options)
 
 
 class SamplingResolver(Resolver):
-    """Sample a single branch (Monte Carlo simulator)."""
+    """Sample a single branch (Monte Carlo simulator).
+
+    Per-class cumulative weights are memoized across calls: the Monte
+    Carlo inner loop revisits the same few weighted selections for the
+    lifetime of a run, so the re-normalization that ``random.choices``
+    performs on every call is paid once per distinct selection
+    instead.  Sampling draws through the same ``random() * total``
+    + bisect scheme as ``random.choices``, so seeded runs reproduce
+    the exact pre-optimization streams.
+    """
 
     def __init__(self, rng: random.Random):
         self._rng = rng
+        #: options-tuple -> (cum_weights, payloads)
+        self._cum: dict[tuple, tuple[list[float], list]] = {}
 
     def choose(self, options):
-        weights = [p for p, _payload in options]
-        payload = self._rng.choices(
-            [payload for _p, payload in options], weights=weights)[0]
-        return [(1.0, payload)]
+        key = tuple(options)
+        cached = self._cum.get(key)
+        if cached is None:
+            cum = list(accumulate(p for p, _payload in options))
+            payloads = [payload for _p, payload in options]
+            cached = self._cum[key] = (cum, payloads)
+        cum, payloads = cached
+        pick = bisect(cum, self._rng.random() * cum[-1], 0,
+                      len(cum) - 1)
+        return [(1.0, payloads[pick])]
 
 
 @dataclass
@@ -127,6 +154,9 @@ class TickEngine:
         self._static_delay = [
             None if callable(t.delay) else int(t.delay)
             for t in net.transitions]
+        #: state -> successor branches, for deterministic resolvers
+        #: (tick is a pure function of the state in that case).
+        self._tick_memo: dict[State, tuple[Branch, ...]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -137,7 +167,20 @@ class TickEngine:
         return self._settle(marking, [], resolver)
 
     def tick(self, state: State, resolver: Resolver) -> list[Branch]:
-        """Execute one tick from *state*, returning successor branches."""
+        """Execute one tick from *state*, returning successor branches.
+
+        Under a deterministic resolver the branch list is memoized per
+        state; callers must treat the returned branches as read-only.
+        """
+        if resolver.deterministic:
+            cached = self._tick_memo.get(state)
+            if cached is None:
+                cached = tuple(self._tick(state, resolver))
+                self._tick_memo[state] = cached
+            return list(cached)
+        return self._tick(state, resolver)
+
+    def _tick(self, state: State, resolver: Resolver) -> list[Branch]:
         marking = list(state.marking)
         inflight: list[list[int]] = []
         for t_idx, remaining in state.inflight:

@@ -36,6 +36,7 @@ from repro.models.params import (ACTION_TABLES, ActionRow, Architecture,
                                  Mode, action_table, round_trip_sum)
 from repro.models.solve import (ThroughputResult, communication_time,
                                 offered_load, offered_load_table, solve,
+                                solve_at_offered_load, solve_grid,
                                 server_time_for_offered_load,
                                 throughput_vs_offered_load)
 
@@ -77,6 +78,8 @@ __all__ = [
     "smart_bus_primitive_costs",
     "smart_bus_sensitivity",
     "solve",
+    "solve_at_offered_load",
+    "solve_grid",
     "solve_nonlocal",
     "throughput_vs_offered_load",
 ]

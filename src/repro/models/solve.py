@@ -17,6 +17,7 @@ from repro.models.iterate import NonlocalSolution, solve_nonlocal
 from repro.models.local import build_local_net
 from repro.models.params import (OFFERED_LOAD_SERVER_TIMES_MS,
                                  Architecture, Mode)
+from repro.perf.pool import map_sweep
 
 
 @dataclass(frozen=True)
@@ -86,16 +87,34 @@ def offered_load(architecture: Architecture, mode: Mode,
     return c / (c + server_time_us)
 
 
-def offered_load_table(mode: Mode) -> dict[Architecture, list[float]]:
+def solve_grid(points: list[tuple[Architecture, Mode, int, float]], *,
+               jobs: int | None = None) -> list[ThroughputResult]:
+    """Solve many independent operating points, possibly in parallel.
+
+    The workhorse of every figure sweep: each point is one exact GTPN
+    solve, fanned out through :func:`repro.perf.pool.map_sweep` with
+    results in input order — values are identical at any job count.
+    """
+    return map_sweep(solve, points, jobs=jobs, star=True)
+
+
+def offered_load_table(mode: Mode, *,
+                       jobs: int | None = None,
+                       ) -> dict[Architecture, list[float]]:
     """Regenerate Table 6.24 (local) / Table 6.25 (non-local).
 
     Rows are the thesis's server times (0 to 45.6 ms); columns the four
-    architectures.
+    architectures.  The per-architecture communication times C (one
+    exact solve each) fan out in parallel; the rest of the grid is
+    arithmetic on C, identical to ``offered_load`` point by point.
     """
+    times = map_sweep(communication_time,
+                      [(arch, mode) for arch in Architecture],
+                      jobs=jobs, star=True)
     return {
-        arch: [offered_load(arch, mode, ms * 1000.0)
+        arch: [c / (c + ms * 1000.0)
                for ms in OFFERED_LOAD_SERVER_TIMES_MS]
-        for arch in Architecture
+        for arch, c in zip(Architecture, times)
     }
 
 
@@ -108,10 +127,25 @@ def server_time_for_offered_load(architecture: Architecture, mode: Mode,
     return c * (1.0 - load) / load
 
 
+def solve_at_offered_load(architecture: Architecture, mode: Mode,
+                          conversations: int, load: float,
+                          reference: Architecture = Architecture.I,
+                          ) -> ThroughputResult:
+    """Solve one grid point of the realistic-workload figures.
+
+    Self-contained (it derives the server time from the reference
+    architecture's offered-load normalization itself), so a sweep over
+    such points ships cleanly to worker processes.
+    """
+    server_time = server_time_for_offered_load(reference, mode, load)
+    return solve(architecture, mode, conversations, server_time)
+
+
 def throughput_vs_offered_load(architecture: Architecture, mode: Mode,
                                conversations: int,
                                loads: list[float], *,
                                reference: Architecture = Architecture.I,
+                               jobs: int | None = None,
                                ) -> list[ThroughputResult]:
     """One curve of Figures 6.18/6.19/6.22/6.23.
 
@@ -119,9 +153,8 @@ def throughput_vs_offered_load(architecture: Architecture, mode: Mode,
     *computed for architecture I* so that equal server times line up
     across architectures; ``reference`` selects that normalization.
     """
-    results = []
-    for load in loads:
-        server_time = server_time_for_offered_load(reference, mode, load)
-        results.append(solve(architecture, mode, conversations,
-                             server_time))
-    return results
+    return map_sweep(
+        solve_at_offered_load,
+        [(architecture, mode, conversations, load, reference)
+         for load in loads],
+        jobs=jobs, star=True)

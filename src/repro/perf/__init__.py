@@ -1,0 +1,34 @@
+"""Performance layer: parallel sweep execution and analysis caching.
+
+The chapter-6 evaluation is grid-shaped — conversations x offered
+loads x architectures, each point an independent exact GTPN solve — so
+the two scalable-offload levers are
+
+* :func:`map_sweep` (:mod:`repro.perf.pool`) — fan independent grid
+  points out over worker processes, with ordered results and a
+  graceful serial fallback, and
+* :class:`AnalysisCache` (:mod:`repro.perf.cache`) — content-addressed
+  memoization of exact solves keyed by a canonical net fingerprint, so
+  structurally identical nets across figures and benchmarks solve
+  once (opt-in on-disk persistence via ``REPRO_CACHE_DIR``).
+
+Both are policy-free utilities: they know nothing about GTPN
+internals beyond the duck-typed net attributes the fingerprint reads.
+"""
+
+from repro.perf.cache import (AnalysisCache, cache_enabled,
+                              configure_cache, fingerprint_net,
+                              get_cache, set_cache_enabled)
+from repro.perf.pool import default_jobs, map_sweep, set_default_jobs
+
+__all__ = [
+    "AnalysisCache",
+    "cache_enabled",
+    "configure_cache",
+    "default_jobs",
+    "fingerprint_net",
+    "get_cache",
+    "map_sweep",
+    "set_cache_enabled",
+    "set_default_jobs",
+]

@@ -1,0 +1,214 @@
+"""Content-addressed cache for exact GTPN analyses.
+
+A net is fingerprinted by its *structure and attributes* — place
+count, initial marking, arcs, delays, frequencies, resource tags —
+while names (of the net, its places, and its transitions) stay out of
+the key: two structurally identical nets share one solve, and the
+cached payload is re-bound to whichever net asked.
+
+State-dependent attributes (callables) are fingerprinted through
+their code object (bytecode, constants, referenced names, defaults)
+plus the values captured in their closure cells, which is exactly the
+information that determines their behaviour for the closure-built
+lambdas the architecture models use.  A callable without usable code
+(e.g. a C callable) makes the net uncacheable — :func:`fingerprint_net`
+returns ``None`` and the analyzer simply solves it.
+
+The cache is in-memory (bounded LRU) by default.  Setting the
+``REPRO_CACHE_DIR`` environment variable — or passing ``directory`` to
+:class:`AnalysisCache` — adds an on-disk pickle store so repeated
+benchmark processes share solves.  ``REPRO_NO_CACHE=1`` or
+:func:`set_cache_enabled` turns the layer off globally (the CLI's
+``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import types
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+#: Default bound on in-memory cached analyses (each holds a full
+#: reachability graph; architecture models run a few MB apiece).
+DEFAULT_MAX_ENTRIES = 256
+
+_enabled = True
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable analysis caching (CLI ``--no-cache``)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    return _enabled and os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+
+def _describe_code(code: types.CodeType) -> tuple:
+    consts = tuple(
+        _describe_code(c) if isinstance(c, types.CodeType) else repr(c)
+        for c in code.co_consts)
+    return ("code", code.co_code.hex(), consts, code.co_names,
+            code.co_varnames, code.co_argcount)
+
+
+def _describe_attr(value: Any) -> tuple | None:
+    """Canonical description of a delay/frequency attribute.
+
+    Returns ``None`` when the attribute cannot be fingerprinted
+    faithfully (no code object, or unreadable closure cells).
+    """
+    if not callable(value):
+        return ("const", repr(value))
+    code = getattr(value, "__code__", None)
+    if code is None:
+        return None
+    cells: tuple = ()
+    closure = getattr(value, "__closure__", None)
+    if closure:
+        try:
+            cells = tuple(repr(c.cell_contents) for c in closure)
+        except ValueError:          # empty cell: still being built
+            return None
+    defaults = repr(getattr(value, "__defaults__", None))
+    return ("callable", _describe_code(code), cells, defaults)
+
+
+def fingerprint_net(net) -> str | None:
+    """Canonical content hash of a net, or ``None`` if uncacheable.
+
+    Covers everything the analyzer's numbers depend on — places,
+    initial marking, arcs, delays, frequencies, resources — and
+    nothing cosmetic (names, labels), so renamed-but-identical nets
+    share a fingerprint.
+    """
+    parts: list = [len(net.places), tuple(net.initial_marking)]
+    for t in net.transitions:
+        delay = _describe_attr(t.delay)
+        freq = _describe_attr(t.frequency)
+        if delay is None or freq is None:
+            return None
+        parts.append((tuple(sorted(t.inputs.items())),
+                      tuple(sorted(t.outputs.items())),
+                      delay, freq, t.resource,
+                      tuple(t.extra_resources)))
+    blob = repr(parts).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+
+class AnalysisCache:
+    """Thread-safe LRU of analysis payloads, with optional disk tier.
+
+    Keys are opaque hashables (the analyzer uses ``(fingerprint,
+    method)``); payloads are opaque picklable objects.  ``directory``
+    (or ``REPRO_CACHE_DIR`` for the global cache) enables the on-disk
+    tier; unreadable or corrupt disk entries are treated as misses.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 max_entries: int = DEFAULT_MAX_ENTRIES):
+        self._mem: OrderedDict[Any, Any] = OrderedDict()
+        self._max_entries = max_entries
+        self._dir = Path(directory) if directory else None
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._mem.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def _disk_path(self, key: Any) -> Path | None:
+        if self._dir is None:
+            return None
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self._dir / f"analysis-{digest}.pkl"
+
+    def get(self, key: Any):
+        """The cached payload for *key*, or ``None`` on a miss."""
+        with self._lock:
+            if key in self._mem:
+                self._mem.move_to_end(key)
+                self.hits += 1
+                return self._mem[key]
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError):
+                payload = None
+            if payload is not None:
+                with self._lock:
+                    self.hits += 1
+                    self._store_mem(key, payload)
+                return payload
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: Any, payload: Any) -> None:
+        with self._lock:
+            self._store_mem(key, payload)
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(f".tmp-{os.getpid()}")
+                with open(tmp, "wb") as fh:
+                    pickle.dump(payload, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)     # atomic for concurrent writers
+            except (OSError, pickle.PicklingError, TypeError):
+                pass                      # disk tier is best-effort
+
+    def _store_mem(self, key: Any, payload: Any) -> None:
+        self._mem[key] = payload
+        self._mem.move_to_end(key)
+        while len(self._mem) > self._max_entries:
+            self._mem.popitem(last=False)
+
+
+_global_cache: AnalysisCache | None = None
+_global_lock = threading.Lock()
+
+
+def get_cache() -> AnalysisCache:
+    """The process-wide analysis cache (created on first use)."""
+    global _global_cache
+    with _global_lock:
+        if _global_cache is None:
+            _global_cache = AnalysisCache(
+                directory=os.environ.get("REPRO_CACHE_DIR") or None)
+        return _global_cache
+
+
+def configure_cache(directory: str | os.PathLike | None = None,
+                    max_entries: int = DEFAULT_MAX_ENTRIES,
+                    ) -> AnalysisCache:
+    """Replace the process-wide cache (tests, CLI) and return it."""
+    global _global_cache
+    with _global_lock:
+        _global_cache = AnalysisCache(directory=directory,
+                                      max_entries=max_entries)
+        return _global_cache

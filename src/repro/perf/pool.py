@@ -1,0 +1,96 @@
+"""Parallel sweep executor for grid-shaped analyses.
+
+:func:`map_sweep` maps a picklable function over a list of independent
+work items, optionally across a :class:`~concurrent.futures.\
+ProcessPoolExecutor`.  Results always come back in input order, so a
+sweep produces bit-identical artifacts whether it ran serially or
+fanned out — parallelism only changes wall-clock time, never values.
+
+The job count resolves, in order, from the explicit ``jobs`` argument,
+:func:`set_default_jobs` (wired to the CLI ``--jobs`` flag), and the
+``REPRO_JOBS`` environment variable; it defaults to 1 (serial).  Any
+failure to spawn or feed the worker pool — no fork support, unpicklable
+work, a broken pool — falls back to the serial path rather than
+erroring, so callers never need to special-case degraded environments.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_default_jobs: int | None = None
+
+try:
+    from concurrent.futures.process import BrokenProcessPool as _BrokenPool
+except ImportError:                                    # pragma: no cover
+    class _BrokenPool(RuntimeError):
+        pass
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the process-wide default worker count (None = env/serial)."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def default_jobs() -> int:
+    """Resolve the default worker count (explicit > REPRO_JOBS > 1)."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+def _call_star(payload: tuple[Callable, tuple]) -> object:
+    fn, item = payload
+    return fn(*item)
+
+
+def map_sweep(fn: Callable[..., R], items: Iterable[T], *,
+              jobs: int | None = None, star: bool = False,
+              chunksize: int = 1) -> list[R]:
+    """Map *fn* over *items*, in order, possibly across processes.
+
+    ``star=True`` unpacks each item as positional arguments
+    (``fn(*item)``); otherwise each item is passed whole (``fn(item)``).
+    ``jobs=None`` uses :func:`default_jobs`.  With one job, one item, or
+    an unusable pool the map runs serially in-process.
+    """
+    work: Sequence[T] = list(items)
+    n_jobs = default_jobs() if jobs is None else jobs
+    if n_jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {n_jobs}")
+    n_jobs = min(n_jobs, len(work))
+    if n_jobs > 1:
+        try:
+            return _map_parallel(fn, work, n_jobs, star, chunksize)
+        except (OSError, pickle.PicklingError, ImportError,
+                _BrokenPool, TypeError, AttributeError):
+            # pool unavailable or work not shippable: solve in-process.
+            # Genuine errors raised by fn re-raise from the serial pass.
+            pass
+    if star:
+        return [fn(*item) for item in work]
+    return [fn(item) for item in work]
+
+
+def _map_parallel(fn, work, n_jobs, star, chunksize):
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        if star:
+            payloads = [(fn, item) for item in work]
+            futures = pool.map(_call_star, payloads, chunksize=chunksize)
+        else:
+            futures = pool.map(fn, work, chunksize=chunksize)
+        return list(futures)

@@ -1,0 +1,147 @@
+"""Cache-correctness tests: warm solves must be indistinguishable
+from cold ones, and the fingerprint must key on structure, not names."""
+
+import numpy as np
+import pytest
+
+from repro.gtpn import Net, analyze
+from repro.models import Architecture, build_local_net
+from repro.perf import AnalysisCache, cache_enabled, fingerprint_net, \
+    set_cache_enabled
+
+
+def _cycle_net(name="cycle", delay=5, compute=0):
+    net = Net(name)
+    ready = net.place("Ready", tokens=1)
+    done = net.place("Done")
+    net.transition("serve", delay=delay + compute, inputs=[ready],
+                   outputs=[done], resource="lambda")
+    net.transition("recycle", delay=1, inputs=[done], outputs=[ready])
+    return net
+
+
+def test_warm_analyze_identical_to_cold():
+    cache = AnalysisCache()
+    cold = analyze(build_local_net(Architecture.I, 2, 500.0),
+                   cache=cache)
+    warm = analyze(build_local_net(Architecture.I, 2, 500.0),
+                   cache=cache)
+    assert cache.hits == 1 and cache.misses == 1
+    assert warm.throughput() == cold.throughput()
+    assert warm.state_count == cold.state_count
+    assert np.array_equal(warm.pi, cold.pi)
+    for t in cold.net.transitions:
+        assert warm.firing_rate(t.name) == cold.firing_rate(t.name)
+    for p in cold.net.places:
+        assert warm.mean_tokens(p.name) == cold.mean_tokens(p.name)
+
+
+def test_structurally_identical_nets_share_fingerprint():
+    # net/place/transition names are cosmetic: they must not split keys
+    a = _cycle_net(name="first")
+    b = _cycle_net(name="second")
+    b.name = "renamed-again"
+    assert fingerprint_net(a) == fingerprint_net(b)
+
+    # ... and a hit on the renamed net binds results to *its* names
+    cache = AnalysisCache()
+    ra = analyze(a, cache=cache)
+    rb = analyze(b, cache=cache)
+    assert cache.hits == 1
+    assert rb.throughput() == ra.throughput()
+    assert rb.net is b
+
+
+def test_fingerprint_distinguishes_structure():
+    base = fingerprint_net(_cycle_net())
+    assert fingerprint_net(_cycle_net(delay=6)) != base
+    extra = _cycle_net()
+    extra.place("Spare", tokens=1)
+    assert fingerprint_net(extra) != base
+
+
+def test_fingerprint_distinguishes_initial_marking():
+    net = _cycle_net()
+    other = Net("other")
+    ready = other.place("Ready", tokens=2)
+    done = other.place("Done")
+    other.transition("serve", delay=5, inputs=[ready], outputs=[done],
+                     resource="lambda")
+    other.transition("recycle", delay=1, inputs=[done], outputs=[ready])
+    assert fingerprint_net(net) != fingerprint_net(other)
+
+
+def test_fingerprint_covers_closure_values():
+    def freq_net(rate):
+        net = Net("freq")
+        ready = net.place("Ready", tokens=1)
+        done = net.place("Done")
+        net.transition("go", delay=1,
+                       frequency=lambda ctx: rate,
+                       inputs=[ready], outputs=[done],
+                       resource="lambda")
+        net.transition("back", delay=1, inputs=[done], outputs=[ready])
+        return net
+
+    same = fingerprint_net(freq_net(0.5))
+    assert fingerprint_net(freq_net(0.5)) == same
+    assert fingerprint_net(freq_net(0.25)) != same
+
+
+def test_uncacheable_callable_yields_none():
+    import functools
+    net = Net("partial")
+    ready = net.place("Ready", tokens=1)
+    done = net.place("Done")
+    net.transition("go", delay=1,
+                   frequency=functools.partial(lambda ctx, v: v, v=1.0),
+                   inputs=[ready], outputs=[done])
+    net.transition("back", delay=1, inputs=[done], outputs=[ready])
+    assert fingerprint_net(net) is None
+    # the analyzer must still solve it (no cache participation)
+    cache = AnalysisCache()
+    result = analyze(net, cache=cache)
+    assert result.state_count > 0
+    assert len(cache) == 0
+
+
+def test_disk_tier_shares_solves(tmp_path):
+    first = AnalysisCache(directory=tmp_path)
+    cold = analyze(_cycle_net(), cache=first)
+    # a fresh cache over the same directory hits the disk tier
+    second = AnalysisCache(directory=tmp_path)
+    warm = analyze(_cycle_net(), cache=second)
+    assert second.hits == 1 and second.misses == 0
+    assert warm.throughput() == cold.throughput()
+    assert np.array_equal(warm.pi, cold.pi)
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = AnalysisCache(directory=tmp_path)
+    analyze(_cycle_net(), cache=cache)
+    for entry in tmp_path.glob("analysis-*.pkl"):
+        entry.write_bytes(b"not a pickle")
+    fresh = AnalysisCache(directory=tmp_path)
+    result = analyze(_cycle_net(), cache=fresh)
+    assert result.throughput() > 0
+    assert fresh.misses >= 1
+
+
+def test_lru_bound_evicts_oldest():
+    cache = AnalysisCache(max_entries=2)
+    for delay in (3, 4, 5):
+        analyze(_cycle_net(delay=delay), cache=cache)
+    assert len(cache) == 2
+
+
+def test_cache_disable_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    set_cache_enabled(True)
+    assert cache_enabled()
+    set_cache_enabled(False)
+    try:
+        assert not cache_enabled()
+    finally:
+        set_cache_enabled(True)
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert not cache_enabled()

@@ -1,0 +1,74 @@
+"""Tests for the parallel sweep executor."""
+
+import pytest
+
+from repro.perf.pool import default_jobs, map_sweep, set_default_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _boom(x):
+    raise ValueError(f"bad point {x}")
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_jobs():
+    yield
+    set_default_jobs(None)
+
+
+def test_serial_map_preserves_order():
+    assert map_sweep(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+
+def test_parallel_map_matches_serial():
+    items = list(range(20))
+    assert map_sweep(_square, items, jobs=4) == \
+        map_sweep(_square, items, jobs=1)
+
+
+def test_star_unpacks_items():
+    assert map_sweep(_add, [(1, 2), (3, 4)], jobs=1, star=True) == [3, 7]
+    assert map_sweep(_add, [(1, 2), (3, 4)], jobs=2, star=True) == [3, 7]
+
+
+def test_empty_items():
+    assert map_sweep(_square, [], jobs=4) == []
+
+
+def test_unpicklable_function_falls_back_to_serial():
+    # a lambda cannot ship to a worker process; the sweep must still
+    # produce correct, ordered results via the serial fallback
+    assert map_sweep(lambda x: x + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+
+
+def test_worker_exceptions_propagate():
+    with pytest.raises(ValueError):
+        map_sweep(_boom, [1], jobs=2)
+    with pytest.raises(ValueError):
+        map_sweep(_boom, [1], jobs=1)
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        map_sweep(_square, [1], jobs=0)
+    with pytest.raises(ValueError):
+        set_default_jobs(0)
+
+
+def test_default_jobs_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    set_default_jobs(None)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert default_jobs() == 1
+    set_default_jobs(5)
+    assert default_jobs() == 5
