@@ -7,12 +7,16 @@ Usage::
     python -m repro run --all [--heavy]
     python -m repro --jobs 8 run figure-6.18
     python -m repro --no-cache run figure-6.7
+    python -m repro --seed 7 chaos --loss 0.01 0.05
     python -m repro solve --arch II --mode local -n 4 -x 2850
 
 ``--jobs N`` fans the grid points of sweep experiments out over N
 worker processes (``REPRO_JOBS`` sets the same default); ``--no-cache``
 disables the content-addressed analysis cache (``REPRO_CACHE_DIR``
 enables its on-disk tier).  Neither flag changes any computed value.
+``--seed N`` sets the default seed of every stochastic component
+(``REPRO_SEED`` sets the same default); runs are deterministic either
+way, the seed just selects which deterministic run.
 """
 
 from __future__ import annotations
@@ -86,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the content-addressed GTPN analysis cache")
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="default seed for every stochastic component (default: "
+             "REPRO_SEED or each component's own)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list available experiments")
@@ -121,7 +129,45 @@ def build_parser() -> argparse.ArgumentParser:
         "scoreboard",
         help="evaluate every paper claim against the library")
     p_score.set_defaults(fn=_cmd_scoreboard)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep packet-fault intensity over the benchmark "
+             "(repro.faults)")
+    p_chaos.add_argument(
+        "--arch", nargs="*", metavar="A",
+        choices=[a.name for a in Architecture], default=None,
+        help="architectures to sweep (default: II III)")
+    p_chaos.add_argument(
+        "--loss", nargs="*", type=float, metavar="RATE", default=None,
+        help="packet loss rates to sweep (default: 0 0.01 0.02 0.05)")
+    p_chaos.add_argument("-n", "--conversations", type=int, default=2)
+    p_chaos.add_argument(
+        "-x", "--compute", type=float, default=0.0,
+        help="server compute time per request (us)")
+    p_chaos.add_argument(
+        "--measure", type=float, default=600_000.0, metavar="US",
+        help="measurement window after warmup (us)")
+    p_chaos.set_defaults(fn=_cmd_chaos)
     return parser
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import (DEFAULT_ARCHITECTURES,
+                                    DEFAULT_LOSS_RATES, sweep_table)
+    architectures = tuple(Architecture[a] for a in args.arch) \
+        if args.arch else DEFAULT_ARCHITECTURES
+    loss_rates = tuple(args.loss) if args.loss is not None \
+        else DEFAULT_LOSS_RATES
+    for rate in loss_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ReproError(f"loss rate {rate} outside [0, 1]")
+    table = sweep_table(architectures, loss_rates,
+                        conversations=args.conversations,
+                        mean_compute=args.compute,
+                        measure_us=args.measure)
+    print(table.render())
+    return 0
 
 
 def _cmd_scoreboard(_args: argparse.Namespace) -> int:
@@ -143,6 +189,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.no_cache:
         from repro.perf import set_cache_enabled
         set_cache_enabled(False)
+    if args.seed is not None:
+        from repro.seeding import set_default_seed
+        set_default_seed(args.seed)
     try:
         return args.fn(args)
     except ReproError as error:

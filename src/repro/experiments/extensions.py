@@ -208,3 +208,10 @@ def ablation_dedication(conversations: int = 3) -> Table:
                "raw throughput; dedication's case is hardware cost and "
                "locking complexity — the last column shows how much "
                "per-round-trip locking overhead would flip the result"])
+
+
+def chaos_outage_table() -> Table:
+    """Node crash/recovery under the MP retransmission protocol."""
+    # lazy import: repro.faults builds on the experiments reporting
+    from repro.faults.chaos import outage_recovery_table
+    return outage_recovery_table(seed=0)

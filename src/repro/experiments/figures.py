@@ -285,3 +285,15 @@ def figure_6_23(conversations=(1, 2, 4),
         "Realistic Load (Architectures III & IV: Non-local)",
         Mode.NONLOCAL, (Architecture.III, Architecture.IV),
         tuple(conversations), tuple(loads), jobs)
+
+
+def figure_chaos_degradation(*, jobs: int | None = None) -> Figure:
+    """Degradation curves under packet loss (repro.faults chaos).
+
+    Beyond the published evaluation: relaxes the section 6.6.4
+    reliable-network assumption and shows the MP retransmission
+    protocol degrading gracefully.  Seeded, hence deterministic.
+    """
+    # lazy import: repro.faults builds on the experiments reporting
+    from repro.faults.chaos import degradation_figure
+    return degradation_figure(seed=0, jobs=jobs)

@@ -108,6 +108,13 @@ def _experiments() -> list[Experiment]:
           extensions.ablation_dedication, heavy=True)
     table("flavors-3.2", "Null RPC per IPC flavor (section 3.2)",
           extensions.flavor_round_trips)
+
+    # repro.faults: the section 6.6.4 reliability assumption relaxed
+    figure("chaos-degradation",
+           "Degradation under packet loss (chaos sweep)",
+           figures.figure_chaos_degradation, heavy=True)
+    table("chaos-outage", "Node crash/recovery with MP retransmission",
+          extensions.chaos_outage_table)
     return entries
 
 
@@ -119,9 +126,16 @@ def get_experiment(experiment_id: str) -> Experiment:
     try:
         return REGISTRY[experiment_id]
     except KeyError:
+        import difflib
+        close = difflib.get_close_matches(experiment_id,
+                                          REGISTRY, n=3, cutoff=0.5)
+        if close:
+            hint = "did you mean " + " or ".join(close) + "?"
+        else:
+            hint = f"known ids: {', '.join(sorted(REGISTRY))}"
         raise ReproError(
-            f"unknown experiment {experiment_id!r}; known: "
-            f"{sorted(REGISTRY)}") from None
+            f"unknown experiment {experiment_id!r}; {hint} "
+            "(see `repro list --heavy`)") from None
 
 
 def run_experiment(experiment_id: str) -> Artifact:

@@ -85,6 +85,8 @@ class Figure:
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        return "-"           # e.g. no completions under total loss
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)

@@ -1,0 +1,55 @@
+"""Deterministic fault injection for the kernel simulator.
+
+The thesis evaluates the message coprocessor over an idealised wire
+("the network is assumed reliable and not a bottleneck", section
+6.6.4).  This package relaxes that assumption the way the related
+NIC-level reliability work does — by pushing retransmission into the
+communication layer the MP already owns:
+
+* :mod:`repro.faults.schedule` — a seeded, deterministic fault
+  schedule: per-packet drop / duplication / reordering / extra
+  latency, plus node crash/recovery windows;
+* :mod:`repro.faults.unreliable` — :class:`UnreliableNetwork`, a wire
+  wrapper applying a schedule to every packet (the reliable ring is
+  the zero-fault special case);
+* :mod:`repro.faults.protocol` — the MP acknowledgement /
+  retransmission protocol: sequence numbers, acks, per-destination
+  timeout with exponential backoff, a retry budget, and duplicate
+  suppression, all costed with the chapter 6 activity times;
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the bundle a
+  :class:`repro.kernel.system.DistributedSystem` accepts;
+* :mod:`repro.faults.chaos` — the chaos harness sweeping fault
+  intensity across architectures and reporting degradation curves.
+
+Invariant: a plan whose schedule cannot fault leaves the simulator on
+the seed code path, so its results are bit-identical to a run without
+any plan at all.
+"""
+
+from repro.faults.chaos import (ChaosResult, degradation_figure,
+                                outage_recovery_table,
+                                run_chaos_experiment, sweep_table)
+from repro.faults.plan import FaultPlan
+from repro.faults.protocol import (ProtocolStats, ReliableTransport,
+                                   RetryPolicy)
+from repro.faults.schedule import (FaultSchedule, NodeOutage,
+                                   PacketFaultSpec, PacketFate)
+from repro.faults.unreliable import FaultStats, UnreliableNetwork
+
+__all__ = [
+    "ChaosResult",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultStats",
+    "NodeOutage",
+    "PacketFaultSpec",
+    "PacketFate",
+    "ProtocolStats",
+    "ReliableTransport",
+    "RetryPolicy",
+    "UnreliableNetwork",
+    "degradation_figure",
+    "outage_recovery_table",
+    "run_chaos_experiment",
+    "sweep_table",
+]

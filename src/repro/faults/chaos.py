@@ -1,0 +1,293 @@
+"""Chaos harness: sweep fault intensity, measure graceful degradation.
+
+Runs the chapter 6 conversation benchmark over an unreliable network
+and reports how round-trip latency, throughput, and the completion
+rate degrade as the packet loss rate rises, per architecture.  Every
+run is deterministic given its seed, so a degradation curve is a
+reproducible artifact like any thesis figure.
+
+The sweep fans out over :func:`repro.perf.pool.map_sweep`, the same
+process-pool executor the figure pipelines use (``--jobs`` /
+``REPRO_JOBS``); results are identical at any job count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import Figure, Series, Table
+from repro.faults.plan import FaultPlan
+from repro.faults.protocol import RetryPolicy
+from repro.faults.schedule import NodeOutage, PacketFaultSpec
+from repro.kernel.workload import build_conversation_system
+from repro.models.params import Architecture, Mode
+from repro.perf.pool import map_sweep
+from repro.seeding import resolve_seed
+
+#: Loss rates swept by the registered degradation experiment.
+DEFAULT_LOSS_RATES = (0.0, 0.01, 0.02, 0.05)
+
+DEFAULT_ARCHITECTURES = (Architecture.II, Architecture.III)
+
+#: Retry policy used by the chaos experiments: tight enough that a
+#: black-holed conversation fails within a sub-second run instead of
+#: backing off past the horizon.
+CHAOS_POLICY = RetryPolicy(initial_timeout_us=10_000.0, backoff=2.0,
+                           max_retries=5,
+                           conversation_timeout_us=500_000.0)
+
+#: Protocol work-item labels charged to the IPC processor (MP).
+_MP_PROTOCOL_LABELS = ("retransmit (MP)", "ack generation (MP)",
+                       "ack cleanup (MP)", "duplicate discard (MP)")
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Measured outcome of one chaos run."""
+
+    architecture: Architecture
+    mode: Mode
+    loss_rate: float
+    conversations: int
+    mean_compute: float
+    seed: int | None
+    warmup_us: float
+    measured_us: float
+    completed: int
+    failed: int
+    mean_round_trip: float | None      # None when nothing completed
+    p95_round_trip: float | None
+    throughput_per_ms: float
+    retransmissions: int
+    acks_sent: int
+    acks_received: int
+    duplicates_suppressed: int
+    giveups: int
+    packets_offered: int
+    packets_lost: int
+    mp_protocol_time_us: float
+    late_replies: int
+
+    @property
+    def completion_rate(self) -> float | None:
+        total = self.completed + self.failed
+        return self.completed / total if total else None
+
+
+def run_chaos_experiment(architecture: Architecture = Architecture.II,
+                         *, loss_rate: float = 0.0,
+                         duplicate_rate: float = 0.0,
+                         reorder_rate: float = 0.0,
+                         jitter_us: float = 0.0,
+                         outages: tuple[NodeOutage, ...] = (),
+                         conversations: int = 2,
+                         mean_compute: float = 0.0,
+                         mode: Mode = Mode.NONLOCAL,
+                         policy: RetryPolicy | None = None,
+                         seed: int | None = None,
+                         warmup_us: float = 100_000.0,
+                         measure_us: float = 600_000.0) -> ChaosResult:
+    """Run the conversation benchmark under an unreliable network."""
+    policy = policy if policy is not None else CHAOS_POLICY
+    plan = FaultPlan(
+        spec=PacketFaultSpec(drop_rate=loss_rate,
+                             duplicate_rate=duplicate_rate,
+                             reorder_rate=reorder_rate,
+                             jitter_us=jitter_us),
+        outages=tuple(outages), policy=policy, seed=seed)
+    system, meter = build_conversation_system(
+        architecture, mode, conversations, mean_compute, seed,
+        faults=plan)
+    system.run_for(warmup_us + measure_us)
+    start, end = warmup_us, warmup_us + measure_us
+
+    completed = len(meter.window(start, end))
+    failed = len(meter.failure_window(start, end))
+    mean_rt = meter.mean_round_trip(start, end) if completed else None
+    p95 = meter.latency_percentile(start, end, 95) if completed \
+        else None
+
+    retransmissions = acks_sent = acks_received = 0
+    duplicates = giveups = late = 0
+    mp_time = 0.0
+    for node in system.nodes.values():
+        stats = getattr(node.transport, "stats", None)
+        if stats is not None:
+            retransmissions += stats.retransmissions
+            acks_sent += stats.acks_sent
+            acks_received += stats.acks_received
+            duplicates += stats.duplicates_suppressed
+            giveups += stats.giveups
+        late += node.kernel.stats.late_replies
+        by_label = node.processors.ipc.stats.busy_by_label
+        mp_time += sum(by_label.get(label, 0.0)
+                       for label in _MP_PROTOCOL_LABELS)
+    net_stats = getattr(system.wire, "stats", None)
+
+    return ChaosResult(
+        architecture=architecture, mode=mode, loss_rate=loss_rate,
+        conversations=conversations, mean_compute=mean_compute,
+        seed=seed, warmup_us=warmup_us, measured_us=measure_us,
+        completed=completed, failed=failed,
+        mean_round_trip=mean_rt, p95_round_trip=p95,
+        throughput_per_ms=completed / measure_us * 1e3,
+        retransmissions=retransmissions, acks_sent=acks_sent,
+        acks_received=acks_received,
+        duplicates_suppressed=duplicates, giveups=giveups,
+        packets_offered=net_stats.offered if net_stats else 0,
+        packets_lost=net_stats.lost if net_stats else 0,
+        mp_protocol_time_us=mp_time, late_replies=late)
+
+
+def _sweep_point(architecture: Architecture, loss_rate: float,
+                 conversations: int, mean_compute: float,
+                 seed: int | None, warmup_us: float, measure_us: float,
+                 policy: RetryPolicy) -> ChaosResult:
+    """One picklable grid point for :func:`map_sweep`."""
+    return run_chaos_experiment(
+        architecture, loss_rate=loss_rate, conversations=conversations,
+        mean_compute=mean_compute, policy=policy, seed=seed,
+        warmup_us=warmup_us, measure_us=measure_us)
+
+
+def _sweep(architectures, loss_rates, conversations, mean_compute,
+           seed, warmup_us, measure_us, policy, jobs):
+    points = [(arch, loss, conversations, mean_compute, seed,
+               warmup_us, measure_us, policy)
+              for arch in architectures for loss in loss_rates]
+    return map_sweep(_sweep_point, points, jobs=jobs, star=True)
+
+
+def sweep_table(architectures=DEFAULT_ARCHITECTURES,
+                loss_rates=DEFAULT_LOSS_RATES, *,
+                conversations: int = 2, mean_compute: float = 0.0,
+                seed: int | None = None,
+                warmup_us: float = 100_000.0,
+                measure_us: float = 600_000.0,
+                policy: RetryPolicy | None = None,
+                jobs: int | None = None) -> Table:
+    """Full loss-rate x architecture sweep as a table."""
+    policy = policy if policy is not None else CHAOS_POLICY
+    # resolve the --seed / REPRO_SEED default here, in the parent, so
+    # pool workers see the same explicit seed
+    seed = resolve_seed(seed)
+    results = _sweep(tuple(architectures), tuple(loss_rates),
+                     conversations, mean_compute, seed, warmup_us,
+                     measure_us, policy, jobs)
+    rows = [[r.architecture.name, r.loss_rate, r.completed, r.failed,
+             r.completion_rate, r.mean_round_trip, r.p95_round_trip,
+             r.throughput_per_ms, r.retransmissions,
+             r.duplicates_suppressed, r.giveups,
+             r.mp_protocol_time_us]
+            for r in results]
+    return Table(
+        experiment_id="chaos-sweep",
+        title="Conversation degradation under packet loss",
+        headers=["arch", "loss", "completed", "failed", "compl rate",
+                 "mean rt (us)", "p95 rt (us)", "msgs/ms",
+                 "retransmits", "dups suppressed", "giveups",
+                 "MP protocol (us)"],
+        rows=rows,
+        notes=[f"n={conversations} non-local conversations, "
+               f"X={mean_compute:g} us, seed={seed}, "
+               f"measured {measure_us:g} us after {warmup_us:g} us "
+               "warmup",
+               "retry policy: initial timeout "
+               f"{policy.initial_timeout_us:g} us, backoff "
+               f"{policy.backoff:g}, budget {policy.max_retries}, "
+               f"deadline {policy.conversation_timeout_us:g} us"])
+
+
+def degradation_figure(architectures=DEFAULT_ARCHITECTURES,
+                       loss_rates=DEFAULT_LOSS_RATES, *,
+                       conversations: int = 2,
+                       mean_compute: float = 0.0,
+                       seed: int | None = None,
+                       warmup_us: float = 100_000.0,
+                       measure_us: float = 600_000.0,
+                       policy: RetryPolicy | None = None,
+                       jobs: int | None = None) -> Figure:
+    """Round-trip inflation and completion rate vs packet loss.
+
+    Latency inflation is relative to each architecture's zero-loss
+    (or lowest swept loss) point, so the curves show degradation, not
+    absolute cost.
+    """
+    policy = policy if policy is not None else CHAOS_POLICY
+    architectures = tuple(architectures)
+    loss_rates = tuple(loss_rates)
+    seed = resolve_seed(seed)
+    results = _sweep(architectures, loss_rates, conversations,
+                     mean_compute, seed, warmup_us, measure_us,
+                     policy, jobs)
+    series = []
+    it = iter(results)
+    for arch in architectures:
+        arch_results = [next(it) for _loss in loss_rates]
+        baseline = next((r.mean_round_trip for r in arch_results
+                         if r.mean_round_trip is not None), None)
+        xs = [float(loss) for loss in loss_rates]
+        inflation = [r.mean_round_trip / baseline
+                     if r.mean_round_trip is not None and baseline
+                     else None
+                     for r in arch_results]
+        completion = [r.completion_rate for r in arch_results]
+        series.append(Series(f"arch {arch.name} rt inflation", xs,
+                             inflation))
+        series.append(Series(f"arch {arch.name} completion rate", xs,
+                             completion))
+    return Figure(
+        experiment_id="chaos-degradation",
+        title="Graceful Degradation under Packet Loss (chaos sweep)",
+        x_label="packet loss rate",
+        y_label="round-trip inflation (x) / completion rate",
+        series=series,
+        notes=["inflation = mean round trip / the architecture's "
+               "lowest-loss mean round trip",
+               f"n={conversations} non-local conversations, "
+               f"seed={seed}; deterministic given the seed"])
+
+
+def outage_recovery_table(architecture: Architecture = Architecture.II,
+                          *, conversations: int = 2,
+                          outage_start_us: float = 200_000.0,
+                          outage_end_us: float = 400_000.0,
+                          horizon_us: float = 800_000.0,
+                          policy: RetryPolicy | None = None,
+                          seed: int | None = None) -> Table:
+    """Crash/recovery demo: the server node goes down and comes back.
+
+    Conversations stall during the outage (requests and replies to
+    the dead node are lost) and resume after recovery, carried across
+    the window by the MP retransmission protocol.
+    """
+    policy = policy if policy is not None else CHAOS_POLICY
+    plan = FaultPlan(outages=(NodeOutage("servers", outage_start_us,
+                                         outage_end_us),),
+                     policy=policy, seed=seed)
+    system, meter = build_conversation_system(
+        architecture, Mode.NONLOCAL, conversations, 0.0, seed,
+        faults=plan)
+    system.run_for(horizon_us)
+    retransmissions = sum(node.transport.stats.retransmissions
+                          for node in system.nodes.values())
+    phases = [("before outage", 0.0, outage_start_us),
+              ("during outage", outage_start_us, outage_end_us),
+              ("after recovery", outage_end_us, horizon_us)]
+    rows = []
+    for name, start, end in phases:
+        completed = len(meter.window(start, end))
+        failed = len(meter.failure_window(start, end))
+        mean_rt = meter.mean_round_trip(start, end) if completed \
+            else None
+        rows.append([name, completed, failed, mean_rt])
+    return Table(
+        experiment_id="chaos-outage",
+        title="Node crash and recovery (MP retransmission carries "
+              "conversations across)",
+        headers=["phase", "completed", "failed", "mean rt (us)"],
+        rows=rows,
+        notes=[f"server node down on [{outage_start_us:g}, "
+               f"{outage_end_us:g}) us; "
+               f"{retransmissions} retransmissions over the whole "
+               "run"])

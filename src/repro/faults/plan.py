@@ -1,0 +1,47 @@
+"""The fault plan a distributed system is built with.
+
+A :class:`FaultPlan` bundles the packet fault intensities, the node
+crash/recovery windows, the MP retransmission policy, and the seed.
+``DistributedSystem(arch, faults=plan)`` wraps its wire in an
+:class:`~repro.faults.unreliable.UnreliableNetwork` and gives every
+node a :class:`~repro.faults.protocol.ReliableTransport` — unless the
+plan is *inactive* (zero fault rates, no outages), in which case the
+system stays on the seed reliable-ring code path bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.protocol import RetryPolicy
+from repro.faults.schedule import (FaultSchedule, NodeOutage,
+                                   PacketFaultSpec)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything needed to run a system over an unreliable network."""
+
+    spec: PacketFaultSpec = PacketFaultSpec()
+    outages: tuple[NodeOutage, ...] = ()
+    policy: RetryPolicy = RetryPolicy()
+    seed: int | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan changes anything at all."""
+        return (not self.spec.is_zero) or bool(self.outages)
+
+    def build_schedule(self) -> FaultSchedule:
+        """A fresh seeded schedule (one per system, so two systems
+        built from the same plan draw identical fault streams)."""
+        return FaultSchedule(self.spec, self.outages, seed=self.seed)
+
+    @classmethod
+    def packet_loss(cls, rate: float, *, seed: int | None = None,
+                    policy: RetryPolicy | None = None) -> "FaultPlan":
+        """Convenience: a plan that only drops packets."""
+        return cls(spec=PacketFaultSpec(drop_rate=rate),
+                   policy=policy if policy is not None
+                   else RetryPolicy(),
+                   seed=seed)

@@ -1,0 +1,155 @@
+"""Deterministic, seeded fault schedules for the inter-node network.
+
+A :class:`FaultSchedule` is the single source of randomness for fault
+injection: it draws one :class:`PacketFate` per packet offered to the
+wire, in transmission order, from one seeded stream.  Because the
+discrete-event simulator itself is deterministic, the same seed and
+workload always produce the same faults at the same simulation times
+— any chaos run is replayable from its seed.
+
+Node crash/recovery is modelled as fail-stop communication outages
+(:class:`NodeOutage` windows): while a node is down, every packet to
+or from it is lost; its local state survives (warm restart).  The
+processors of a crashed node are deliberately left running — the
+thesis's nodes own no inter-node state besides messages, so a crash
+is indistinguishable from a network partition at the wire, which is
+exactly where this package injects it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.seeding import resolve_seed
+
+
+@dataclass(frozen=True)
+class PacketFaultSpec:
+    """Per-packet fault intensities (all probabilities in [0, 1]).
+
+    ``jitter_us`` adds uniform extra latency to every packet;
+    ``reorder_window_us`` is the extra delay a reordered packet
+    suffers (letting later packets overtake it on the constant-
+    latency ring); ``duplicate_gap_us`` separates a duplicate from
+    its original.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    jitter_us: float = 0.0
+    reorder_window_us: float = 2_000.0
+    duplicate_gap_us: float = 250.0
+
+    def __post_init__(self):
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise KernelError(
+                    f"{name} must be in [0, 1], got {rate}")
+        for name in ("jitter_us", "reorder_window_us",
+                     "duplicate_gap_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise KernelError(f"negative {name}: {value}")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec can never perturb a packet."""
+        return (self.drop_rate == 0.0 and self.duplicate_rate == 0.0
+                and self.reorder_rate == 0.0 and self.jitter_us == 0.0)
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One crash/recovery window: *node* is down on [start, end)."""
+
+    node: str
+    start_us: float
+    end_us: float
+
+    def __post_init__(self):
+        if self.start_us < 0:
+            raise KernelError(
+                f"outage of {self.node!r} starts before t=0")
+        if self.end_us <= self.start_us:
+            raise KernelError(
+                f"outage of {self.node!r} ends at {self.end_us} "
+                f"before it starts at {self.start_us}")
+
+    def covers(self, time: float) -> bool:
+        return self.start_us <= time < self.end_us
+
+
+@dataclass(frozen=True)
+class PacketFate:
+    """What the schedule decided for one offered packet."""
+
+    dropped: bool = False
+    extra_delay_us: float = 0.0
+    reordered: bool = False
+    duplicated: bool = False
+    duplicate_delay_us: float = 0.0
+
+
+#: The fate of a packet on a fault-free schedule.
+_CLEAN = PacketFate()
+
+
+class FaultSchedule:
+    """Seeded source of per-packet fates and node outage windows."""
+
+    def __init__(self, spec: PacketFaultSpec = PacketFaultSpec(),
+                 outages: tuple[NodeOutage, ...] = (),
+                 seed: int | None = None):
+        self.spec = spec
+        self.outages = tuple(outages)
+        for outage in self.outages:
+            if not isinstance(outage, NodeOutage):
+                raise KernelError(
+                    f"outages must be NodeOutage, got {outage!r}")
+        self.seed = resolve_seed(seed, fallback=0)
+        self._rng = random.Random(self.seed)
+        self.fates_drawn = 0
+
+    @property
+    def can_fault(self) -> bool:
+        """False iff this schedule is the reliable ring in disguise."""
+        return not self.spec.is_zero or bool(self.outages)
+
+    def is_down(self, node: str, time: float) -> bool:
+        """Whether *node* is inside a crash window at *time*."""
+        return any(o.node == node and o.covers(time)
+                   for o in self.outages)
+
+    def draw(self, source: str, destination: str,
+             kind: str) -> PacketFate:
+        """Draw the fate of the next packet (in transmission order).
+
+        Zero-intensity components consume no randomness, so enabling
+        one fault type does not perturb the stream of another run
+        that never configured it.
+        """
+        spec = self.spec
+        if spec.is_zero:
+            return _CLEAN
+        self.fates_drawn += 1
+        rng = self._rng
+        if spec.drop_rate > 0.0 and rng.random() < spec.drop_rate:
+            return PacketFate(dropped=True)
+        extra = 0.0
+        if spec.jitter_us > 0.0:
+            extra += rng.uniform(0.0, spec.jitter_us)
+        reordered = False
+        if spec.reorder_rate > 0.0 and \
+                rng.random() < spec.reorder_rate:
+            reordered = True
+            extra += rng.uniform(0.0, spec.reorder_window_us)
+        duplicated = spec.duplicate_rate > 0.0 and \
+            rng.random() < spec.duplicate_rate
+        return PacketFate(extra_delay_us=extra, reordered=reordered,
+                          duplicated=duplicated,
+                          duplicate_delay_us=spec.duplicate_gap_us
+                          if duplicated else 0.0)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.errors import AnalysisError
 from repro.gtpn.net import Net
 from repro.gtpn.state import SamplingResolver, TickEngine
+from repro.seeding import resolve_seed
 
 #: two-sided Student-t 97.5% quantiles for df = 1..30 (95% CIs).
 _T_975 = (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
@@ -91,7 +92,7 @@ def simulate_with_confidence(net: Net, *, resource: str = "lambda",
     if not 1 <= batches - 1 <= len(_T_975):
         raise AnalysisError(f"at most {len(_T_975) + 1} batches")
     engine = TickEngine(net)
-    resolver = SamplingResolver(random.Random(seed))
+    resolver = SamplingResolver(random.Random(resolve_seed(seed)))
     branches = engine.initial_branches(resolver)
     state = branches[0].state
 
@@ -135,7 +136,7 @@ def simulate(net: Net, *, ticks: int, warmup: int = 0,
     if ticks <= 0:
         raise AnalysisError("ticks must be positive")
     engine = TickEngine(net)
-    resolver = SamplingResolver(random.Random(seed))
+    resolver = SamplingResolver(random.Random(resolve_seed(seed)))
     result = SimulationResult(net=net, ticks=ticks, warmup=warmup)
 
     branches = engine.initial_branches(resolver)

@@ -11,7 +11,8 @@ client/server benchmark used for the Figure 6.15 validation.
 from repro.kernel.ipc import IPCKernel, KernelStats
 from repro.kernel.messages import (AccessRight, MemoryReference, Message,
                                    MessageKind, MESSAGE_BYTES)
-from repro.kernel.metrics import ConversationMeter, RoundTripSample
+from repro.kernel.metrics import (ConversationMeter, FailureSample,
+                                  RoundTripSample)
 from repro.kernel.network import PacketRecord, Wire
 from repro.kernel.node import Node
 from repro.kernel.processors import (Processor, ProcessorSet,
@@ -21,6 +22,8 @@ from repro.kernel.sim import Simulator
 from repro.kernel.system import DistributedSystem
 from repro.kernel.tasks import Task, TaskState, TaskStats
 from repro.kernel.timings import CostModel, cost_model
+from repro.kernel.transport import (DeliveryFailure, DirectTransport,
+                                    Transport)
 from repro.kernel.tracing import (ExecutionTrace, TraceEvent,
                                   TraceRecorder, record_node)
 from repro.kernel.workload import (ClientProgram, ServerProgram,
@@ -33,8 +36,11 @@ __all__ = [
     "ClientProgram",
     "ConversationMeter",
     "CostModel",
+    "DeliveryFailure",
+    "DirectTransport",
     "DistributedSystem",
     "ExecutionTrace",
+    "FailureSample",
     "IPCKernel",
     "KernelStats",
     "MESSAGE_BYTES",
@@ -57,6 +63,7 @@ __all__ = [
     "TraceRecorder",
     "TaskState",
     "TaskStats",
+    "Transport",
     "Wire",
     "WorkItem",
     "WorkloadResult",

@@ -30,6 +30,7 @@ from repro.kernel.messages import (AccessRight, MemoryReference, Message,
                                    MessageKind)
 from repro.kernel.services import PendingReceive, Service
 from repro.kernel.tasks import Task, TaskState
+from repro.kernel.transport import DeliveryFailure
 from repro.models.params import COPY_40_BYTES_US
 
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard
@@ -59,6 +60,8 @@ class KernelStats:
     memory_moves: int = 0
     bytes_moved: int = 0
     matches_paid: int = 0
+    failed_round_trips: int = 0
+    late_replies: int = 0
 
 
 class IPCKernel:
@@ -68,6 +71,9 @@ class IPCKernel:
         self.node = node
         self.stats = KernelStats()
         self._pending_replies: dict[int, _PendingReply] = {}
+        #: msg_ids failed by the transport; replies arriving for them
+        #: afterwards are discarded instead of raising
+        self._failed_conversations: set[int] = set()
 
     # ------------------------------------------------------------------
     # service management
@@ -121,6 +127,8 @@ class IPCKernel:
 
         task.transition(TaskState.COMMUNICATING, sim.now)
         message.stamp("posted", sim.now)
+        if not local and expects_reply:
+            self.node.transport.watch_conversation(message)
         self.node.processors.host.submit(
             costs.syscall_send,
             lambda: self._process_send(task, message, local),
@@ -156,12 +164,7 @@ class IPCKernel:
         else:
             target_node, _service = self.node.system.lookup_service(
                 message.service)
-            self.node.processors.net_out.submit(
-                costs.dma_out_request,
-                lambda: self.node.system.wire.transmit(
-                    self.node.name, target_node.name, "send",
-                    lambda: target_node.kernel._arrive_request(message)),
-                label="DMA out (request)")
+            self.node.transport.send_request(message, target_node)
 
     def activate(self, service_name: str, *,
                  sender: str = "interrupt-handler",
@@ -349,12 +352,7 @@ class IPCKernel:
             self._complete_rendezvous(message, payload)
         else:
             origin = self.node.system.node(message.origin_node)
-            self.node.processors.net_out.submit(
-                costs.dma_out_reply,
-                lambda: self.node.system.wire.transmit(
-                    self.node.name, origin.name, "reply",
-                    lambda: origin.kernel._arrive_reply(message, payload)),
-                label="DMA out (reply)")
+            self.node.transport.send_reply(message, payload, origin)
 
     def _finish_server_reply(self, task: Task, on_done) -> None:
         self._restart(task)
@@ -374,6 +372,11 @@ class IPCKernel:
     def _complete_rendezvous(self, message: Message, payload) -> None:
         pending = self._pending_replies.pop(message.msg_id, None)
         if pending is None:
+            if message.msg_id in self._failed_conversations:
+                # the transport already failed this conversation; a
+                # straggler reply finally made it through — drop it
+                self.stats.late_replies += 1
+                return
             raise KernelError(
                 f"no pending reply for message {message.msg_id}")
         if pending.memory_ref is not None:
@@ -391,6 +394,40 @@ class IPCKernel:
 
         self.node.processors.host.submit(
             costs.restart_client, deliver, label="restart client")
+
+    def fail_conversation(self, message: Message, reason: str) -> bool:
+        """Complete a remote invocation with a clean failure.
+
+        Called by a reliable transport when its retry budget is
+        exhausted or the conversation deadline passes: the client is
+        restarted with a :class:`DeliveryFailure` payload instead of
+        a reply, so sustained packet loss never hangs a task.
+        Returns False if the conversation already completed.
+        """
+        pending = self._pending_replies.pop(message.msg_id, None)
+        if pending is None:
+            return False
+        self._failed_conversations.add(message.msg_id)
+        self.stats.failed_round_trips += 1
+        self.node.transport.on_conversation_failed(message)
+        if pending.memory_ref is not None:
+            pending.memory_ref.revoked = True
+        client = pending.task
+        client.stats.failed_round_trips += 1
+        costs = self.node.costs(pending.local)
+        failure = DeliveryFailure(msg_id=message.msg_id, reason=reason,
+                                  failed_at=self.node.sim.now)
+
+        def deliver():
+            message.stamp("failed", self.node.sim.now)
+            self._restart(client)
+            if pending.on_reply is not None:
+                pending.on_reply(failure)
+
+        self.node.processors.host.submit(
+            costs.restart_client, deliver,
+            label="restart client (failure)")
+        return True
 
     # ------------------------------------------------------------------
     # compute + memory move

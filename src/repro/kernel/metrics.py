@@ -21,10 +21,31 @@ class RoundTripSample:
 
 
 @dataclass
+class FailureSample:
+    """One conversation that ended in delivery failure."""
+
+    client: str
+    started_at: float
+    failed_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.failed_at - self.started_at
+
+
+@dataclass
 class ConversationMeter:
-    """Collects round-trip completions; reports windowed statistics."""
+    """Collects round-trip completions; reports windowed statistics.
+
+    Conversations that end in a transport
+    :class:`~repro.kernel.transport.DeliveryFailure` are recorded
+    separately, so loss experiments can report completion rates
+    alongside latency.  On a reliable network the failure list stays
+    empty and every statistic is unchanged.
+    """
 
     samples: list[RoundTripSample] = field(default_factory=list)
+    failures: list[FailureSample] = field(default_factory=list)
 
     def record(self, client: str, started_at: float,
                completed_at: float) -> None:
@@ -33,6 +54,14 @@ class ConversationMeter:
         self.samples.append(RoundTripSample(
             client=client, started_at=started_at,
             completed_at=completed_at))
+
+    def record_failure(self, client: str, started_at: float,
+                       failed_at: float) -> None:
+        if failed_at < started_at:
+            raise KernelError("failure before start")
+        self.failures.append(FailureSample(
+            client=client, started_at=started_at,
+            failed_at=failed_at))
 
     def window(self, start: float, end: float) -> list[RoundTripSample]:
         """Samples completing within [start, end)."""
@@ -74,6 +103,25 @@ class ConversationMeter:
             counts[sample.client] = counts.get(sample.client, 0) + 1
         return counts
 
+    def failure_window(self, start: float,
+                       end: float) -> list[FailureSample]:
+        """Failures landing within [start, end)."""
+        return [f for f in self.failures
+                if start <= f.failed_at < end]
+
+    def completion_rate(self, start: float, end: float) -> float:
+        """Completed / (completed + failed) over the window."""
+        completed = len(self.window(start, end))
+        failed = len(self.failure_window(start, end))
+        total = completed + failed
+        if total == 0:
+            raise KernelError("no conversations in the window")
+        return completed / total
+
     @property
     def count(self) -> int:
         return len(self.samples)
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures)

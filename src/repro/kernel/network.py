@@ -19,12 +19,19 @@ from repro.kernel.sim import Simulator
 
 @dataclass
 class PacketRecord:
-    """One packet that crossed the wire (for tests/inspection)."""
+    """One packet offered to the wire (for tests/inspection).
+
+    ``status`` is ``"delivered"`` on the reliable wire; the
+    :class:`repro.faults.unreliable.UnreliableNetwork` wrapper also
+    records ``"dropped"``, ``"outage"``, and ``"duplicate"`` packets
+    so loss accounting is inspectable after a run.
+    """
 
     source: str
     destination: str
     kind: str
     sent_at: float
+    status: str = "delivered"
 
 
 @dataclass
@@ -50,3 +57,28 @@ class Wire:
     @property
     def packet_count(self) -> int:
         return len(self.packets)
+
+    # ------------------------------------------------------------------
+    # packet accounting
+    # ------------------------------------------------------------------
+    def counts_by_destination(self) -> dict[str, int]:
+        """Packets recorded per destination node."""
+        counts: dict[str, int] = {}
+        for packet in self.packets:
+            counts[packet.destination] = \
+                counts.get(packet.destination, 0) + 1
+        return counts
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Packets recorded per kind (``send``/``reply``/``ack``...)."""
+        counts: dict[str, int] = {}
+        for packet in self.packets:
+            counts[packet.kind] = counts.get(packet.kind, 0) + 1
+        return counts
+
+    def counts_by_status(self) -> dict[str, int]:
+        """Packets recorded per delivery status."""
+        counts: dict[str, int] = {}
+        for packet in self.packets:
+            counts[packet.status] = counts.get(packet.status, 0) + 1
+        return counts

@@ -49,6 +49,7 @@ class Node:
                                        everything=everything)
         self.tasks: dict[str, Task] = {}
         self.kernel = IPCKernel(self)
+        self.transport = system.build_transport(self)
         # section 4.2 event/interrupt machinery (lazy import: events
         # builds on the kernel)
         from repro.kernel.events import EventManager

@@ -35,15 +35,26 @@ class WorkItem:
 
 @dataclass
 class ProcessorStats:
-    """Utilization accounting."""
+    """Utilization accounting.
+
+    ``busy_by_label`` splits busy time by work-item label, so a run
+    can report how many modelled cycles went to, e.g., protocol
+    retransmissions versus first-time send processing.
+    """
 
     busy_time: float = 0.0
     items_completed: int = 0
     urgent_items: int = 0
     queue_wait_time: float = 0.0
+    busy_by_label: dict[str, float] = field(default_factory=dict)
 
     def utilization(self, elapsed: float) -> float:
         return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    def labeled_time(self, prefix: str) -> float:
+        """Total busy time of items whose label starts with *prefix*."""
+        return sum(time for label, time in self.busy_by_label.items()
+                   if label.startswith(prefix))
 
 
 class Processor:
@@ -108,6 +119,10 @@ class Processor:
         self._active -= 1
         self.stats.busy_time += item.duration
         self.stats.items_completed += 1
+        if item.label:
+            self.stats.busy_by_label[item.label] = \
+                self.stats.busy_by_label.get(item.label, 0.0) \
+                + item.duration
         if item.urgent:
             self.stats.urgent_items += 1
         if item.action is not None:

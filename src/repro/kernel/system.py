@@ -8,24 +8,53 @@ addressing domain); the registry maps each to its owning node.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import KernelError
 from repro.kernel.network import Wire
 from repro.kernel.node import Node
 from repro.kernel.services import Service
 from repro.kernel.sim import Simulator
+from repro.kernel.transport import DirectTransport, Transport
 from repro.models.params import Architecture, Mode
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 
 class DistributedSystem:
-    """A simulated distributed system of uniform-architecture nodes."""
+    """A simulated distributed system of uniform-architecture nodes.
+
+    ``faults`` layers a :class:`repro.faults.unreliable.\
+    UnreliableNetwork` over the wire and runs every node's packets
+    through the MP acknowledgement/retransmission protocol.  A plan
+    whose schedule cannot fault (all rates zero, no outages) is the
+    reliable ring itself: the system then uses the plain wire and
+    direct transport, so results are bit-identical to ``faults=None``.
+    """
 
     def __init__(self, architecture: Architecture,
-                 wire_latency_us: float = 0.0):
+                 wire_latency_us: float = 0.0,
+                 faults: "FaultPlan | None" = None):
         self.architecture = architecture
         self.sim = Simulator()
         self.wire = Wire(self.sim, wire_latency_us)
+        self.faults = None
+        if faults is not None and faults.active:
+            # lazy import: faults builds on the kernel
+            from repro.faults.unreliable import UnreliableNetwork
+            self.faults = faults
+            self.wire = UnreliableNetwork(self.wire,
+                                          faults.build_schedule())
         self.nodes: dict[str, Node] = {}
         self._services: dict[str, Service] = {}
+
+    def build_transport(self, node: Node) -> Transport:
+        """The packet transport a new node should use."""
+        if self.faults is not None:
+            from repro.faults.protocol import ReliableTransport
+            return ReliableTransport(node, self.faults.policy)
+        return DirectTransport(node)
 
     def add_node(self, name: str, default_mode: Mode = Mode.LOCAL,
                  hosts: int = 1) -> Node:

@@ -36,6 +36,7 @@ class TaskStats:
     receives: int = 0
     replies: int = 0
     round_trips: int = 0
+    failed_round_trips: int = 0
     compute_time: float = 0.0
     stopped_since: float = 0.0
     stopped_time: float = 0.0

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import WorkloadError
 from repro.kernel.messages import Message
@@ -18,7 +19,12 @@ from repro.kernel.metrics import ConversationMeter
 from repro.kernel.node import Node
 from repro.kernel.system import DistributedSystem
 from repro.kernel.tasks import Task
+from repro.kernel.transport import DeliveryFailure
 from repro.models.params import Architecture, Mode
+from repro.seeding import resolve_seed
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 #: Name of the benchmark service.
 SERVICE_NAME = "bench"
@@ -42,9 +48,15 @@ class ClientProgram:
         self.node.kernel.send(self.task, SERVICE_NAME,
                               on_reply=self._on_reply)
 
-    def _on_reply(self, _payload: object) -> None:
-        self.meter.record(self.task.name, self._sent_at,
-                          self.node.sim.now)
+    def _on_reply(self, payload: object) -> None:
+        if isinstance(payload, DeliveryFailure):
+            # the transport gave up on this conversation; count it
+            # and keep offering load
+            self.meter.record_failure(self.task.name, self._sent_at,
+                                      self.node.sim.now)
+        else:
+            self.meter.record(self.task.name, self._sent_at,
+                              self.node.sim.now)
         self._send()
 
 
@@ -104,18 +116,24 @@ class WorkloadResult:
 
 def build_conversation_system(architecture: Architecture, mode: Mode,
                               conversations: int, mean_compute: float,
-                              seed: int | None = 0,
+                              seed: int | None = None,
                               hosts: int = 1,
+                              faults: "FaultPlan | None" = None,
                               ) -> tuple[DistributedSystem,
                                          ConversationMeter]:
     """Assemble the benchmark system without running it.
 
     ``hosts`` sets the host-processor count per node; the thesis's
-    experimental 925 nodes had two (section 6.8).
+    experimental 925 nodes had two (section 6.8).  ``faults`` runs the
+    system over an unreliable network with the MP retransmission
+    protocol (see :mod:`repro.faults`); an inactive plan is identical
+    to ``None``.  ``seed`` falls back to the global ``--seed`` /
+    ``REPRO_SEED`` default, then to the historical 0.
     """
     if conversations < 1:
         raise WorkloadError("need at least one conversation")
-    system = DistributedSystem(architecture)
+    seed = resolve_seed(seed, fallback=0)
+    system = DistributedSystem(architecture, faults=faults)
     meter = ConversationMeter()
     rng = random.Random(seed)
 
@@ -147,12 +165,14 @@ def run_conversation_experiment(architecture: Architecture, mode: Mode,
                                 mean_compute: float = 0.0, *,
                                 warmup_us: float = 200_000.0,
                                 measure_us: float = 2_000_000.0,
-                                seed: int | None = 0,
-                                hosts: int = 1) -> WorkloadResult:
+                                seed: int | None = None,
+                                hosts: int = 1,
+                                faults: "FaultPlan | None" = None,
+                                ) -> WorkloadResult:
     """Run the thesis benchmark and measure steady-state throughput."""
     system, meter = build_conversation_system(
         architecture, mode, conversations, mean_compute, seed,
-        hosts=hosts)
+        hosts=hosts, faults=faults)
     system.run_for(warmup_us + measure_us)
     start, end = warmup_us, warmup_us + measure_us
     utilization = {name: node.utilization(end)

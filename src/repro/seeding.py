@@ -1,0 +1,64 @@
+"""Process-wide default seed for every stochastic component.
+
+Any run of the toolkit is reproducible from the command line: the
+global ``--seed`` CLI flag (or the ``REPRO_SEED`` environment
+variable) installs a default seed that every stochastic component —
+the GTPN Monte Carlo simulator (:class:`repro.gtpn.state.\
+SamplingResolver` via :mod:`repro.gtpn.simulation`), the kernel
+conversation workloads, and the fault schedules of
+:mod:`repro.faults` — consults when its caller did not pass an
+explicit seed.
+
+Resolution order, mirroring :mod:`repro.perf.pool`:
+
+1. an explicit ``seed=`` argument at the call site;
+2. :func:`set_default_seed` (wired to the CLI ``--seed`` flag);
+3. the ``REPRO_SEED`` environment variable;
+4. the component's historical default (``0`` for the conversation
+   workload and fault schedules, ``None`` — system entropy — for the
+   Monte Carlo simulator), so behaviour without the flag is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+_default_seed: int | None = None
+
+
+def set_default_seed(seed: int | None) -> None:
+    """Install the process-wide default seed (``None`` clears it)."""
+    global _default_seed
+    if seed is not None and not isinstance(seed, int):
+        raise ValueError(f"seed must be an int or None, got {seed!r}")
+    _default_seed = seed
+
+
+def default_seed() -> int | None:
+    """The configured default seed (explicit > ``REPRO_SEED`` > None)."""
+    if _default_seed is not None:
+        return _default_seed
+    env = os.environ.get("REPRO_SEED", "")
+    if not env:
+        return None
+    try:
+        return int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SEED must be an integer, got {env!r}") from None
+
+
+def resolve_seed(explicit: int | None,
+                 fallback: int | None = None) -> int | None:
+    """Resolve the seed a component should use.
+
+    ``explicit`` (a caller-supplied argument) wins; otherwise the
+    process-wide default; otherwise *fallback*, which preserves each
+    component's historical default behaviour.
+    """
+    if explicit is not None:
+        return explicit
+    configured = default_seed()
+    if configured is not None:
+        return configured
+    return fallback

@@ -32,6 +32,23 @@ def test_run_unknown_experiment(capsys):
     assert "error:" in capsys.readouterr().err
 
 
+def test_run_unknown_experiment_suggests_close_match(capsys):
+    """A typo exits nonzero with a did-you-mean, not a traceback."""
+    assert main(["run", "tabel-6.24"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "did you mean" in err
+    assert "table-6.24" in err
+    assert "Traceback" not in err
+
+
+def test_run_unknown_experiment_lists_ids_when_no_match(capsys):
+    assert main(["run", "zzzzzz"]) == 1
+    err = capsys.readouterr().err
+    assert "known ids:" in err
+    assert "table-6.24" in err
+
+
 def test_run_without_ids(capsys):
     assert main(["run"]) == 2
     assert "nothing to run" in capsys.readouterr().err
@@ -59,3 +76,30 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_seed_flag_sets_global_default(capsys):
+    from repro.seeding import default_seed, set_default_seed
+    try:
+        assert main(["--seed", "123", "list"]) == 0
+        assert default_seed() == 123
+    finally:
+        set_default_seed(None)
+
+
+def test_chaos_subcommand_renders_sweep(capsys):
+    assert main(["--seed", "1", "chaos", "--arch", "II",
+                 "--loss", "0", "0.02", "--measure", "150000"]) == 0
+    try:
+        out = capsys.readouterr().out
+        assert "chaos-sweep" in out
+        assert "retransmits" in out
+        assert "seed=1" in out
+    finally:
+        from repro.seeding import set_default_seed
+        set_default_seed(None)
+
+
+def test_chaos_rejects_bad_loss_rate(capsys):
+    assert main(["chaos", "--loss", "1.5"]) == 1
+    assert "outside [0, 1]" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Tests for the chaos harness: degradation is graceful and seeded."""
+
+import pytest
+
+from repro.faults import NodeOutage, outage_recovery_table
+from repro.faults.chaos import (run_chaos_experiment, sweep_table,
+                                degradation_figure)
+from repro.models.params import Architecture
+
+
+def test_zero_loss_matches_reliable_run():
+    result = run_chaos_experiment(Architecture.II, loss_rate=0.0,
+                                  seed=1, measure_us=300_000.0)
+    assert result.failed == 0
+    assert result.retransmissions == 0
+    assert result.giveups == 0
+    assert result.completion_rate == 1.0
+
+
+def test_one_percent_loss_degrades_gracefully():
+    """Acceptance: at 1% loss every conversation still completes (via
+    retransmission) with bounded latency inflation."""
+    clean = run_chaos_experiment(Architecture.II, loss_rate=0.0,
+                                 seed=1)
+    lossy = run_chaos_experiment(Architecture.II, loss_rate=0.01,
+                                 seed=1)
+    assert lossy.failed == 0
+    assert lossy.completed > 0
+    assert lossy.retransmissions > 0
+    assert lossy.packets_lost > 0
+    inflation = lossy.mean_round_trip / clean.mean_round_trip
+    assert 1.0 <= inflation < 3.0
+
+
+def test_total_loss_fails_cleanly_not_hangs():
+    """Acceptance: sustained 100% loss ends in per-conversation
+    failures within the horizon — the run terminates and reports."""
+    result = run_chaos_experiment(Architecture.II, loss_rate=1.0,
+                                  seed=1)
+    assert result.completed == 0
+    assert result.failed > 0
+    assert result.completion_rate == 0.0
+    assert result.retransmissions > 0
+
+
+def test_same_seed_is_bitwise_repeatable():
+    a = run_chaos_experiment(Architecture.III, loss_rate=0.05, seed=4,
+                             measure_us=300_000.0)
+    b = run_chaos_experiment(Architecture.III, loss_rate=0.05, seed=4,
+                             measure_us=300_000.0)
+    assert a == b
+
+
+def test_different_seeds_draw_different_fault_streams():
+    a = run_chaos_experiment(Architecture.II, loss_rate=0.05, seed=1,
+                             measure_us=300_000.0)
+    b = run_chaos_experiment(Architecture.II, loss_rate=0.05, seed=2,
+                             measure_us=300_000.0)
+    assert (a.packets_lost, a.retransmissions) != \
+        (b.packets_lost, b.retransmissions)
+
+
+def test_sweep_table_shape():
+    table = sweep_table(architectures=(Architecture.II,),
+                        loss_rates=(0.0, 0.02), seed=1,
+                        measure_us=200_000.0)
+    assert table.experiment_id == "chaos-sweep"
+    assert len(table.rows) == 2
+    assert table.rows[0][0] == "II"
+    assert table.rows[0][1] == 0.0
+    # zero-loss row: no failures, no retransmissions
+    assert table.rows[0][3] == 0 and table.rows[0][8] == 0
+
+
+def test_sweep_results_identical_at_any_job_count():
+    serial = sweep_table(architectures=(Architecture.II,),
+                         loss_rates=(0.01,), seed=1,
+                         measure_us=150_000.0, jobs=1)
+    parallel = sweep_table(architectures=(Architecture.II,),
+                           loss_rates=(0.01,), seed=1,
+                           measure_us=150_000.0, jobs=2)
+    assert serial.rows == parallel.rows
+
+
+def test_degradation_figure_series():
+    figure = degradation_figure(architectures=(Architecture.II,),
+                                loss_rates=(0.0, 0.02), seed=1,
+                                measure_us=200_000.0)
+    assert figure.experiment_id == "chaos-degradation"
+    inflation = figure.get_series("arch II rt inflation")
+    completion = figure.get_series("arch II completion rate")
+    assert inflation.y[0] == pytest.approx(1.0)   # self-baseline
+    assert inflation.y[1] >= 1.0                  # loss never speeds up
+    assert completion.y[0] == 1.0
+
+
+def test_outage_recovery_resumes_after_window():
+    """Acceptance: conversations stall during the server outage and
+    resume after recovery, carried by retransmission."""
+    table = outage_recovery_table(Architecture.II, seed=1)
+    assert table.experiment_id == "chaos-outage"
+    phases = {row[0]: row for row in table.rows}
+    before = phases["before outage"]
+    after = phases["after recovery"]
+    assert before[1] > 0                 # completions before
+    assert after[1] > 0                  # completions resume
+    assert "retransmissions" in table.notes[0]
+
+
+def test_crash_windows_only_plan_is_active():
+    from repro.faults import FaultPlan
+    plan = FaultPlan(outages=(NodeOutage("servers", 10.0, 20.0),))
+    assert plan.active
+    assert plan.build_schedule().can_fault

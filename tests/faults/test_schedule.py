@@ -1,0 +1,113 @@
+"""Tests for the seeded fault schedule."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.faults import (FaultSchedule, NodeOutage, PacketFaultSpec)
+
+
+def drain(schedule, n=200):
+    return [schedule.draw("a", "b", "send") for _ in range(n)]
+
+
+class TestPacketFaultSpec:
+    def test_default_is_zero(self):
+        assert PacketFaultSpec().is_zero
+
+    def test_any_intensity_breaks_zero(self):
+        assert not PacketFaultSpec(drop_rate=0.1).is_zero
+        assert not PacketFaultSpec(duplicate_rate=0.1).is_zero
+        assert not PacketFaultSpec(reorder_rate=0.1).is_zero
+        assert not PacketFaultSpec(jitter_us=5.0).is_zero
+
+    def test_rates_validated(self):
+        with pytest.raises(KernelError):
+            PacketFaultSpec(drop_rate=1.5)
+        with pytest.raises(KernelError):
+            PacketFaultSpec(duplicate_rate=-0.1)
+        with pytest.raises(KernelError):
+            PacketFaultSpec(jitter_us=-1.0)
+
+
+class TestNodeOutage:
+    def test_covers_half_open_window(self):
+        outage = NodeOutage("servers", 100.0, 200.0)
+        assert not outage.covers(99.9)
+        assert outage.covers(100.0)
+        assert outage.covers(199.9)
+        assert not outage.covers(200.0)
+
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            NodeOutage("n", -1.0, 10.0)
+        with pytest.raises(KernelError):
+            NodeOutage("n", 10.0, 10.0)
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_fates(self):
+        spec = PacketFaultSpec(drop_rate=0.3, duplicate_rate=0.2,
+                               jitter_us=50.0)
+        a = drain(FaultSchedule(spec, seed=7))
+        b = drain(FaultSchedule(spec, seed=7))
+        assert a == b
+
+    def test_different_seed_different_fates(self):
+        spec = PacketFaultSpec(drop_rate=0.3, jitter_us=50.0)
+        a = drain(FaultSchedule(spec, seed=7))
+        b = drain(FaultSchedule(spec, seed=8))
+        assert a != b
+
+    def test_zero_spec_draws_clean_without_randomness(self):
+        schedule = FaultSchedule(PacketFaultSpec(), seed=0)
+        for fate in drain(schedule):
+            assert not (fate.dropped or fate.duplicated
+                        or fate.reordered)
+            assert fate.extra_delay_us == 0.0
+        assert schedule.fates_drawn == 0
+
+    def test_zero_components_consume_no_randomness(self):
+        """Adding a zero-rate fault type must not perturb another's
+        stream: drop decisions are identical with and without an
+        (unused) duplicate component."""
+        drops_only = FaultSchedule(
+            PacketFaultSpec(drop_rate=0.5), seed=3)
+        with_zero_dup = FaultSchedule(
+            PacketFaultSpec(drop_rate=0.5, duplicate_rate=0.0), seed=3)
+        assert [f.dropped for f in drain(drops_only)] == \
+            [f.dropped for f in drain(with_zero_dup)]
+
+    def test_drop_rate_one_drops_everything(self):
+        schedule = FaultSchedule(PacketFaultSpec(drop_rate=1.0),
+                                 seed=0)
+        assert all(f.dropped for f in drain(schedule))
+
+    def test_can_fault(self):
+        assert not FaultSchedule(PacketFaultSpec(), seed=0).can_fault
+        assert FaultSchedule(PacketFaultSpec(drop_rate=0.1),
+                             seed=0).can_fault
+        assert FaultSchedule(
+            PacketFaultSpec(),
+            outages=(NodeOutage("n", 0.0, 1.0),), seed=0).can_fault
+
+    def test_is_down(self):
+        schedule = FaultSchedule(
+            PacketFaultSpec(),
+            outages=(NodeOutage("servers", 100.0, 200.0),), seed=0)
+        assert schedule.is_down("servers", 150.0)
+        assert not schedule.is_down("servers", 250.0)
+        assert not schedule.is_down("clients", 150.0)
+
+    def test_seed_resolution_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "41")
+        assert FaultSchedule(PacketFaultSpec()).seed == 41
+
+    def test_jitter_bounded(self):
+        spec = PacketFaultSpec(jitter_us=100.0)
+        for fate in drain(FaultSchedule(spec, seed=5)):
+            assert 0.0 <= fate.extra_delay_us <= 100.0
+
+    def test_outage_type_checked(self):
+        with pytest.raises(KernelError):
+            FaultSchedule(PacketFaultSpec(),
+                          outages=(("servers", 0.0, 1.0),), seed=0)

@@ -1,0 +1,113 @@
+"""Tests for the unreliable network wrapper."""
+
+from repro.faults import (FaultSchedule, NodeOutage, PacketFaultSpec,
+                          UnreliableNetwork)
+from repro.kernel import Simulator, Wire
+
+
+def make_net(spec, outages=(), seed=0, latency=10.0):
+    sim = Simulator()
+    wire = Wire(sim, latency_us=latency)
+    schedule = FaultSchedule(spec, outages=outages, seed=seed)
+    return sim, UnreliableNetwork(wire, schedule)
+
+
+def test_zero_schedule_passes_through_to_wire():
+    sim, net = make_net(PacketFaultSpec())
+    arrived = []
+    net.transmit("a", "b", "send", lambda: arrived.append(sim.now))
+    sim.run()
+    assert arrived == [10.0]
+    assert net.stats.offered == 1
+    assert net.stats.delivered == 1
+    assert net.stats.lost == 0
+    assert net.counts_by_status() == {"delivered": 1}
+
+
+def test_total_loss_drops_every_packet():
+    sim, net = make_net(PacketFaultSpec(drop_rate=1.0))
+    arrived = []
+    for _ in range(5):
+        net.transmit("a", "b", "send", lambda: arrived.append(sim.now))
+    sim.run()
+    assert arrived == []
+    assert net.stats.dropped == 5
+    assert net.stats.delivered == 0
+    assert net.counts_by_status() == {"dropped": 5}
+    assert net.packet_count == 5         # drops are still logged
+
+
+def test_duplicates_deliver_twice():
+    sim, net = make_net(PacketFaultSpec(duplicate_rate=1.0,
+                                        duplicate_gap_us=25.0))
+    arrived = []
+    net.transmit("a", "b", "send", lambda: arrived.append(sim.now))
+    sim.run()
+    assert arrived == [10.0, 35.0]
+    assert net.stats.duplicates == 1
+    assert net.counts_by_status() == {"delivered": 1, "duplicate": 1}
+
+
+def test_jitter_delays_within_bound():
+    sim, net = make_net(PacketFaultSpec(jitter_us=40.0), seed=2)
+    arrived = []
+    for _ in range(20):
+        net.transmit("a", "b", "send", lambda: arrived.append(sim.now))
+    sim.run()
+    assert len(arrived) == 20
+    assert all(10.0 <= t <= 50.0 for t in arrived)
+
+
+def test_reordering_lets_later_packets_overtake():
+    """A reordered packet is held long enough for a later clean packet
+    to arrive first."""
+    spec = PacketFaultSpec(reorder_rate=1.0, reorder_window_us=500.0)
+    sim, net = make_net(spec, seed=1)
+    order = []
+    net.transmit("a", "b", "send", lambda: order.append("first"))
+    # schedule the second packet 1us later with no reordering window
+    sim.after(1.0, lambda: net.wire.transmit(
+        "a", "b", "send", lambda: order.append("second")))
+    sim.run()
+    assert order[0] == "second"
+    assert net.stats.reordered == 1
+
+
+def test_outage_loses_packets_to_down_node():
+    outage = NodeOutage("b", 0.0, 100.0)
+    sim, net = make_net(PacketFaultSpec(jitter_us=0.001),
+                        outages=(outage,))
+    arrived = []
+    net.transmit("a", "b", "send", lambda: arrived.append("early"))
+    sim.after(200.0, lambda: net.transmit(
+        "a", "b", "send", lambda: arrived.append("late")))
+    sim.run()
+    assert arrived == ["late"]
+    assert net.stats.outage_drops == 1
+    assert net.counts_by_status()["outage"] == 1
+
+
+def test_outage_loses_packets_from_down_node():
+    outage = NodeOutage("a", 0.0, 100.0)
+    sim, net = make_net(PacketFaultSpec(jitter_us=0.001),
+                        outages=(outage,))
+    arrived = []
+    net.transmit("a", "b", "send", lambda: arrived.append(1))
+    sim.run()
+    assert arrived == []
+    assert net.stats.outage_drops == 1
+
+
+def test_same_seed_same_packet_log():
+    spec = PacketFaultSpec(drop_rate=0.4, duplicate_rate=0.2,
+                           jitter_us=30.0)
+    logs = []
+    for _ in range(2):
+        sim, net = make_net(spec, seed=9)
+        for i in range(50):
+            sim.after(float(i), lambda: net.transmit(
+                "a", "b", "send", lambda: None))
+        sim.run()
+        logs.append([(p.kind, p.sent_at, p.status)
+                     for p in net.packets])
+    assert logs[0] == logs[1]

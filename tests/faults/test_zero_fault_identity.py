@@ -1,0 +1,83 @@
+"""The zero-fault invariant: an inactive plan is bit-identical to none.
+
+The acceptance bar for the fault subsystem is that merely linking it
+in changes nothing: a ``FaultPlan`` with all-zero intensities and no
+outages must produce byte-for-byte the same simulation as the seed
+code path — same samples, same packet log, same processor busy time,
+same event order.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.kernel import build_conversation_system
+from repro.models.params import Architecture, Mode
+
+HORIZON = 400_000.0
+
+
+def run(architecture, mode, faults):
+    system, meter = build_conversation_system(
+        architecture, mode, 2, 500.0, seed=0, faults=faults)
+    system.run_for(HORIZON)
+    return system, meter
+
+
+def snapshot(system, meter):
+    """Everything observable about a finished run."""
+    return {
+        "samples": [(s.client, s.started_at, s.completed_at)
+                    for s in meter.samples],
+        "failures": len(meter.failures),
+        "packets": [(p.source, p.destination, p.kind, p.sent_at,
+                     p.status) for p in system.wire.packets],
+        "busy": {name: {proc.name: (proc.stats.busy_time,
+                                    dict(proc.stats.busy_by_label))
+                        for proc in node.processors.everything}
+                 for name, node in system.nodes.items()},
+        "kernel": {name: (node.kernel.stats.sends,
+                          node.kernel.stats.replies,
+                          node.kernel.stats.remote_requests_in)
+                   for name, node in system.nodes.items()},
+    }
+
+
+@pytest.mark.parametrize("mode", [Mode.LOCAL, Mode.NONLOCAL])
+@pytest.mark.parametrize("architecture",
+                         [Architecture.I, Architecture.II,
+                          Architecture.III])
+def test_inactive_plan_is_bit_identical(architecture, mode):
+    baseline = snapshot(*run(architecture, mode, faults=None))
+    gated = snapshot(*run(architecture, mode, faults=FaultPlan()))
+    assert gated == baseline
+
+
+def test_inactive_plan_keeps_seed_constants():
+    """The arch I local single-conversation round trip is exactly the
+    chapter 6 constant, with or without an (inactive) fault plan."""
+    from repro.kernel import run_conversation_experiment
+    result = run_conversation_experiment(
+        Architecture.I, Mode.LOCAL, 1, 0.0, warmup_us=20_000,
+        measure_us=200_000, faults=FaultPlan())
+    assert result.mean_round_trip == pytest.approx(4970.0, rel=1e-6)
+
+
+def test_active_plan_with_zero_loss_still_completes():
+    """The reliable-protocol machinery itself (seq/ack/timeout) must
+    not break conversations when no packet is ever faulted.  This run
+    is NOT bit-identical — acks occupy the DMA engines — but it must
+    be failure-free."""
+    plan = FaultPlan.packet_loss(0.0)
+    # an outage past the horizon forces the reliable transport on
+    from repro.faults import NodeOutage
+    plan = FaultPlan(outages=(NodeOutage("servers", 1e12, 2e12),),
+                     seed=0)
+    assert plan.active
+    system, meter = build_conversation_system(
+        Architecture.II, Mode.NONLOCAL, 2, 500.0, seed=0, faults=plan)
+    system.run_for(HORIZON)
+    assert meter.count > 0
+    assert meter.failure_count == 0
+    transports = [n.transport for n in system.nodes.values()]
+    assert all(t.stats.retransmissions == 0 for t in transports)
+    assert sum(t.stats.acks_received for t in transports) > 0

@@ -67,6 +67,45 @@ def test_per_client_counts_fairness():
     assert high - low <= max(3, 0.2 * high)
 
 
+def test_window_boundaries_are_half_open():
+    meter = ConversationMeter()
+    meter.record("c", 0.0, 100.0)
+    assert meter.window(100.0, 200.0) == meter.samples
+    assert meter.window(0.0, 100.0) == []
+
+
+def test_failure_recording_and_window():
+    meter = loaded_meter()
+    meter.record_failure("c1", started_at=0.0, failed_at=500.0)
+    meter.record_failure("c1", started_at=400.0, failed_at=1500.0)
+    assert meter.failure_count == 2
+    assert len(meter.failure_window(0.0, 1000.0)) == 1
+    assert meter.failures[0].duration == 500.0
+
+
+def test_failure_before_start_rejected():
+    with pytest.raises(KernelError):
+        ConversationMeter().record_failure("c", 10.0, 5.0)
+
+
+def test_completion_rate():
+    meter = loaded_meter()                  # 10 completions < 1000us
+    meter.record_failure("c1", 0.0, 400.0)
+    assert meter.completion_rate(0.0, 1000.0) == \
+        pytest.approx(10 / 11)
+    assert meter.completion_rate(0.0, 300.0) == 1.0
+    with pytest.raises(KernelError):
+        meter.completion_rate(5000.0, 6000.0)
+
+
+def test_failures_do_not_disturb_latency_statistics():
+    meter = loaded_meter()
+    mean_before = meter.mean_round_trip(0.0, 2000.0)
+    meter.record_failure("c9", 0.0, 900.0)
+    assert meter.mean_round_trip(0.0, 2000.0) == mean_before
+    assert len(meter.window(0.0, 2000.0)) == 10
+
+
 def test_deterministic_round_trip_latency():
     result = run_conversation_experiment(
         Architecture.I, Mode.LOCAL, 1, 0.0,
