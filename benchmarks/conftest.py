@@ -42,10 +42,19 @@ def run_once(benchmark):
 
 @pytest.fixture
 def perf_record():
-    """Append one record to the session's BENCH_perf.json payload."""
+    """Append one record to the session's BENCH_perf.json payload.
+
+    Every record carries the pool-execution keys (``jobs``,
+    ``chunk_size``, ``pool_efficiency``), defaulting to None for
+    benches that never fan out, so the JSON schema is uniform across
+    records and PRs.
+    """
 
     def recorder(**fields):
-        _PERF_RECORDS.append(dict(fields))
+        record = {"jobs": None, "chunk_size": None,
+                  "pool_efficiency": None}
+        record.update(fields)
+        _PERF_RECORDS.append(record)
 
     return recorder
 

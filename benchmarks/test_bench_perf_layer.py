@@ -1,14 +1,16 @@
 """Benches for the perf layer: sweep parallelism and analysis caching.
 
-Records serial-vs-parallel and cold-vs-warm-cache wall times to
-``BENCH_perf.json`` (via the ``perf_record`` fixture), and asserts the
-headline guarantees: values are bit-identical on every path, and the
-cache fast path delivers at least a 1.5x wall-clock improvement on
-both the exact-analysis bench and a full-figure sweep.
+Records serial-vs-parallel, cold-vs-warm-cache, and structure-sharing
+sweep wall times to ``BENCH_perf.json`` (via the ``perf_record``
+fixture), and asserts the headline guarantees: values are bit-identical
+on every path, the cache fast path delivers at least a 1.5x wall-clock
+improvement, and the structure-sharing sweep engine beats per-point
+analysis by at least 4x on a cold 18-point grid.
 
 The parallel timings are recorded unconditionally but only asserted
 against when the machine actually has more than one CPU — on a
-single-core runner a process pool cannot beat serial execution.
+single-core runner the pool planner falls back to serial and the
+record says so (``mode``/``reason`` from ``last_map_info``).
 """
 
 from __future__ import annotations
@@ -16,22 +18,68 @@ from __future__ import annotations
 import os
 import time
 
+import numpy as np
+
 from repro.experiments.figures import figure_6_18
 from repro.gtpn import analyze
+from repro.gtpn.sweep import SweepSolver
 from repro.models import Architecture, build_local_net
 from repro.models.solve import _solve_cached
 from repro.perf import AnalysisCache, set_cache_enabled
+from repro.perf.pool import last_map_info
 
 #: Required wall-clock improvement of the winning fast path.
 MIN_SPEEDUP = 1.5
 
+#: Required cold-grid improvement of the structure-sharing sweep over
+#: per-point analysis (build once + re-time beats rebuild-per-point).
+MIN_SWEEP_SPEEDUP = 4.0
+
 _FIGURE_GRID = dict(conversations=(2, 3), loads=(0.9, 0.6, 0.3))
+
+#: The sweep bench grid: architecture II local, 3 conversations, 18
+#: compute times — one reachability structure (1658 states), 18 timings.
+_SWEEP_COMPUTE_TIMES = tuple(250.0 * i for i in range(1, 19))
 
 
 def _timed(fn, *args, **kwargs):
     started = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - started
+
+
+def test_bench_sweep_vs_pointwise_analyze(perf_record):
+    """Tentpole guarantee: a cold parameter sweep through
+    ``SweepSolver`` builds the reachability graph once and re-times it
+    per point, beating cold per-point ``analyze`` by ``>= 4x`` with
+    bit-identical results.  Both paths run with caching off (private
+    cold state), so the win measured is structure sharing alone."""
+    set_cache_enabled(False)
+    try:
+        pointwise, pointwise_s = _timed(lambda: [
+            analyze(build_local_net(Architecture.II, 3, x))
+            for x in _SWEEP_COMPUTE_TIMES])
+        solver = SweepSolver(cache=None)
+        swept, sweep_s = _timed(lambda: [
+            solver.analyze(build_local_net(Architecture.II, 3, x))
+            for x in _SWEEP_COMPUTE_TIMES])
+    finally:
+        set_cache_enabled(True)
+
+    speedup = pointwise_s / sweep_s
+    perf_record(bench="sweep-vs-pointwise-arch2-local-n3",
+                grid_points=len(_SWEEP_COMPUTE_TIMES),
+                state_count=pointwise[0].state_count,
+                pointwise_s=pointwise_s, sweep_s=sweep_s,
+                speedup=speedup, **solver.stats.as_dict())
+
+    for a, b in zip(pointwise, swept):
+        assert a.throughput() == b.throughput()
+        assert np.array_equal(a.pi, b.pi)
+        assert a.state_count == b.state_count
+    assert solver.stats.skeleton_builds == 1
+    assert solver.stats.points_retimed == len(_SWEEP_COMPUTE_TIMES) - 1
+    assert speedup >= MIN_SWEEP_SPEEDUP
 
 
 def test_bench_exact_analysis_cold_vs_warm(perf_record):
@@ -60,7 +108,9 @@ def test_bench_figure_6_18_serial_parallel_warm(perf_record):
     must produce bit-identical figure values; speed is the only
     degree of freedom.
     """
-    jobs = min(4, os.cpu_count() or 1)
+    # always *request* the full fan-out; the pool planner decides
+    # whether it can pay off, and the record reports its decision
+    jobs = 4
 
     set_cache_enabled(False)
     try:
@@ -69,6 +119,7 @@ def test_bench_figure_6_18_serial_parallel_warm(perf_record):
         _solve_cached.cache_clear()
         parallel, parallel_s = _timed(figure_6_18, jobs=jobs,
                                       **_FIGURE_GRID)
+        pool_info = last_map_info()
     finally:
         set_cache_enabled(True)
 
@@ -81,16 +132,28 @@ def test_bench_figure_6_18_serial_parallel_warm(perf_record):
 
     parallel_speedup = serial_s / parallel_s
     warm_speedup = serial_s / warm_s
+    ran_parallel = pool_info is not None and pool_info.mode == "parallel"
     perf_record(bench="figure-6.18-trimmed",
                 grid_points=len(_FIGURE_GRID["conversations"])
                 * len(_FIGURE_GRID["loads"]) * 3,
                 jobs=jobs, serial_s=serial_s, parallel_s=parallel_s,
                 warm_s=warm_s, parallel_speedup=parallel_speedup,
-                warm_speedup=warm_speedup)
+                warm_speedup=warm_speedup,
+                mode=pool_info.mode if pool_info else None,
+                reason=pool_info.reason if pool_info else None,
+                jobs_used=pool_info.jobs_used if pool_info else None,
+                chunk_size=pool_info.chunk_size if pool_info else None,
+                pool_efficiency=(parallel_speedup / pool_info.jobs_used
+                                 if ran_parallel else None))
 
     assert [s.y for s in serial.series] == [s.y for s in parallel.series]
     assert [s.y for s in serial.series] == [s.y for s in warm.series]
     assert warm_speedup >= MIN_SPEEDUP
+    if not ran_parallel:
+        # the planner declined to fan out (single CPU or a small
+        # grid); the record must say why instead of reporting a
+        # meaningless <1x "parallel" speedup
+        assert pool_info is not None and pool_info.reason
     if jobs > 1 and (os.cpu_count() or 1) > 1:
         # with real cores available at least one fast path must win big
         assert max(parallel_speedup, warm_speedup) >= MIN_SPEEDUP

@@ -17,6 +17,10 @@ enables its on-disk tier).  Neither flag changes any computed value.
 ``--seed N`` sets the default seed of every stochastic component
 (``REPRO_SEED`` sets the same default); runs are deterministic either
 way, the seed just selects which deterministic run.
+``--profile`` wraps each experiment in :mod:`cProfile` and writes a
+pstats dump plus a top-20-by-cumulative-time summary next to the
+experiment output (the ``--save`` directory when given, else the
+working directory).
 """
 
 from __future__ import annotations
@@ -41,6 +45,37 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def maybe_profile(args: argparse.Namespace, label: str, fn):
+    """Call ``fn()``, under :mod:`cProfile` when ``--profile`` is set.
+
+    The profile lands next to the experiment's other output — the
+    ``--save`` directory when one was given, else the working
+    directory — as ``<label>.prof`` (a pstats dump for ``pstats`` /
+    any profile viewer) and ``<label>.profile.txt`` (the top 20
+    functions by cumulative time).
+    """
+    if not getattr(args, "profile", False):
+        return fn()
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    out_dir = Path(getattr(args, "save", None) or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    prof_path = out_dir / f"{label}.prof"
+    profiler.dump_stats(prof_path)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream) \
+        .sort_stats("cumulative").print_stats(20)
+    text_path = out_dir / f"{label}.profile.txt"
+    text_path.write_text(stream.getvalue())
+    print(f"profile: {prof_path}, {text_path}")
+    return result
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = list(args.ids)
     if args.all:
@@ -51,7 +86,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     for experiment_id in ids:
         started = time.perf_counter()
-        artifact = run_experiment(experiment_id)
+        artifact = maybe_profile(
+            args, experiment_id,
+            lambda: run_experiment(experiment_id))
         elapsed = time.perf_counter() - started
         print(artifact.render())
         print(f"[{experiment_id} in {elapsed:.1f}s]")
@@ -94,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, metavar="N",
         help="default seed for every stochastic component (default: "
              "REPRO_SEED or each component's own)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile each experiment with cProfile; writes a pstats "
+             "dump and a top-20 summary next to the output")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list available experiments")
@@ -162,10 +203,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for rate in loss_rates:
         if not 0.0 <= rate <= 1.0:
             raise ReproError(f"loss rate {rate} outside [0, 1]")
-    table = sweep_table(architectures, loss_rates,
-                        conversations=args.conversations,
-                        mean_compute=args.compute,
-                        measure_us=args.measure)
+    table = maybe_profile(
+        args, "chaos-sweep",
+        lambda: sweep_table(architectures, loss_rates,
+                            conversations=args.conversations,
+                            mean_compute=args.compute,
+                            measure_us=args.measure))
     print(table.render())
     return 0
 

@@ -38,3 +38,11 @@ class WorkloadError(ReproError):
 
 class ConvergenceError(AnalysisError):
     """The iterative client/server fixed point failed to converge."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid runtime configuration (``--jobs``, ``REPRO_JOBS``...).
+
+    Also a :class:`ValueError` so argument-validation call sites keep
+    their historical contract.
+    """

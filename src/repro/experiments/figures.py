@@ -8,8 +8,11 @@ the full defaults.
 Every grid is a sweep of independent exact solves, so each generator
 fans its points out through :func:`repro.perf.pool.map_sweep`
 (``jobs=None`` follows the CLI ``--jobs`` / ``REPRO_JOBS`` default,
-serial unless configured).  Points return in input order, so the
-figure values are identical at any job count.
+serial unless configured; the pool plans each sweep and falls back to
+serial when fan-out cannot pay off).  Points return in input order and
+grid points sharing a net structure share one reachability build
+through the structure-keyed analysis cache (:mod:`repro.gtpn.sweep`),
+so the figure values are identical at any job count and cache state.
 """
 
 from __future__ import annotations
@@ -18,8 +21,8 @@ from repro.experiments.reporting import Figure, Series
 from repro.gtpn import Net, activity_pair, analyze
 from repro.kernel import (build_conversation_system,
                           run_conversation_experiment)
-from repro.models import (Architecture, Mode, solve, solve_at_offered_load,
-                          solve_grid, solve_nonlocal,
+from repro.models import (Architecture, Mode, solve, solve_grid,
+                          solve_nonlocal, solve_offered_load_grid,
                           server_time_for_offered_load)
 from repro.perf.pool import map_sweep
 
@@ -208,8 +211,7 @@ def _realistic_figure(experiment_id: str, title: str, mode: Mode,
               for arch in architectures
               for n in conversations
               for load in loads]
-    results = map_sweep(solve_at_offered_load, points, jobs=jobs,
-                        star=True)
+    results = solve_offered_load_grid(points, jobs=jobs)
     series = []
     it = iter(results)
     for arch in architectures:

@@ -7,8 +7,12 @@ run is deterministic given its seed, so a degradation curve is a
 reproducible artifact like any thesis figure.
 
 The sweep fans out over :func:`repro.perf.pool.map_sweep`, the same
-process-pool executor the figure pipelines use (``--jobs`` /
-``REPRO_JOBS``); results are identical at any job count.
+persistent process pool the figure pipelines use (``--jobs`` /
+``REPRO_JOBS``); results are identical at any job count.  Chaos points
+are kernel-simulator runs, not GTPN solves, so the structure-sharing
+sweep engine does not apply — but the pool's planning does: small
+grids and single-CPU machines run serially, and the executed mode is
+recorded in each artifact's notes.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.faults.protocol import RetryPolicy
 from repro.faults.schedule import NodeOutage, PacketFaultSpec
 from repro.kernel.workload import build_conversation_system
 from repro.models.params import Architecture, Mode
-from repro.perf.pool import map_sweep
+from repro.perf.pool import last_map_info, map_sweep
 from repro.seeding import resolve_seed
 
 #: Loss rates swept by the registered degradation experiment.
@@ -158,6 +162,16 @@ def _sweep(architectures, loss_rates, conversations, mean_compute,
     return map_sweep(_sweep_point, points, jobs=jobs, star=True)
 
 
+def _pool_note() -> str:
+    """One line recording how the last sweep actually executed."""
+    info = last_map_info()
+    if info is None or info.mode == "serial":
+        reason = info.reason if info is not None else "no sweep ran"
+        return f"sweep ran serially ({reason})"
+    return (f"sweep ran on {info.jobs_used} workers, chunk size "
+            f"{info.chunk_size}")
+
+
 def sweep_table(architectures=DEFAULT_ARCHITECTURES,
                 loss_rates=DEFAULT_LOSS_RATES, *,
                 conversations: int = 2, mean_compute: float = 0.0,
@@ -195,7 +209,8 @@ def sweep_table(architectures=DEFAULT_ARCHITECTURES,
                "retry policy: initial timeout "
                f"{policy.initial_timeout_us:g} us, backoff "
                f"{policy.backoff:g}, budget {policy.max_retries}, "
-               f"deadline {policy.conversation_timeout_us:g} us"])
+               f"deadline {policy.conversation_timeout_us:g} us",
+               _pool_note()])
 
 
 def degradation_figure(architectures=DEFAULT_ARCHITECTURES,
@@ -245,7 +260,8 @@ def degradation_figure(architectures=DEFAULT_ARCHITECTURES,
         notes=["inflation = mean round trip / the architecture's "
                "lowest-loss mean round trip",
                f"n={conversations} non-local conversations, "
-               f"seed={seed}; deterministic given the seed"])
+               f"seed={seed}; deterministic given the seed",
+               _pool_note()])
 
 
 def outage_recovery_table(architecture: Architecture = Architecture.II,

@@ -98,9 +98,12 @@ def analyze(net: Net, *, method: str = "auto",
     """Build the reachability graph of *net* and solve it exactly.
 
     Solves are memoized through the content-addressed analysis cache
-    (:mod:`repro.perf.cache`): a hit on a structurally identical net
-    returns the stored graph and stationary vector re-bound to *net*,
-    skipping both state-space exploration and the Markov solve.  Pass
+    (:mod:`repro.perf.cache`) under the split ``(structure, timing,
+    method)`` key: a full hit returns the stored graph and stationary
+    vector re-bound to *net*, skipping both state-space exploration and
+    the Markov solve, while a structure-only hit re-times the cached
+    reachability skeleton (:mod:`repro.gtpn.sweep`) and re-solves just
+    the linear system — bit-identical to a from-scratch build.  Pass
     ``cache`` to use a private store; the global cache honours
     ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` and the CLI flags.
     Cached payloads are shared — treat results as read-only.
@@ -108,16 +111,26 @@ def analyze(net: Net, *, method: str = "auto",
     store = cache if cache is not None else (
         get_cache() if cache_enabled() else None)
     key = None
+    closed = None
     if store is not None:
         fingerprint = fingerprint_net(net)
         if fingerprint is not None:
-            key = (fingerprint, method)
+            key = (fingerprint.structure, fingerprint.timing, method)
             payload = store.get(key)
             if payload is not None:
                 net.validate()      # keep error behaviour of a solve
                 return _rebind(net, payload)
-    graph = build_reachability_graph(net, max_states=max_states)
-    pi = stationary_distribution(graph, method=method)
+    if key is not None:
+        # share the reachability build across every net with this
+        # structure (sweeps re-time the cached skeleton; a timing
+        # change that alters branch resolution rebuilds)
+        from repro.gtpn.sweep import acquire_graph
+        graph, closed = acquire_graph(net, fingerprint.structure,
+                                      max_states, store)
+    else:
+        graph = build_reachability_graph(net, max_states=max_states)
+    pi = stationary_distribution(graph, method=method,
+                                 closed_classes=closed)
     result = AnalysisResult(net=net, graph=graph, pi=pi)
     if key is not None:
         store.put(key, _payload(result))

@@ -39,16 +39,22 @@ def stationary_distribution(graph: ReachabilityGraph,
                             method: str = "auto",
                             tol: float = 1e-12,
                             max_iterations: int = 2_000_000,
+                            closed_classes: int | None = None,
                             ) -> np.ndarray:
     """Stationary distribution pi of the embedded chain.
 
     ``method`` is one of ``"auto"`` (direct solve with power-iteration
-    fallback), ``"linear"`` or ``"power"``.
+    fallback), ``"linear"`` or ``"power"``.  ``closed_classes`` lets a
+    caller that already knows the chain's closed communicating class
+    count (the sweep skeleton computes it once per structure) skip the
+    strongly-connected-components pass; the reducibility refusal is
+    identical either way.
     """
     matrix = transition_matrix(graph)
     if method not in ("auto", "linear", "power"):
         raise AnalysisError(f"unknown stationary method {method!r}")
-    closed = _closed_class_count(matrix)
+    closed = _closed_class_count(matrix) if closed_classes is None \
+        else closed_classes
     if closed > 1:
         raise AnalysisError(
             f"embedded chain is reducible ({closed} closed communicating "

@@ -161,26 +161,32 @@ class TickEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def initial_branches(self, resolver: Resolver) -> list[Branch]:
+    def initial_branches(self, resolver: Resolver,
+                         tracer=None) -> list[Branch]:
         """Settle the initial marking into post-decision states."""
         marking = list(self.net.initial_marking)
-        return self._settle(marking, [], resolver)
+        return self._settle(marking, [], resolver, tracer)
 
-    def tick(self, state: State, resolver: Resolver) -> list[Branch]:
+    def tick(self, state: State, resolver: Resolver,
+             tracer=None) -> list[Branch]:
         """Execute one tick from *state*, returning successor branches.
 
         Under a deterministic resolver the branch list is memoized per
         state; callers must treat the returned branches as read-only.
+        A *tracer* (see :mod:`repro.gtpn.sweep`) records how each
+        branch probability was assembled; traced ticks bypass the memo
+        so every branch is observed.
         """
-        if resolver.deterministic:
+        if resolver.deterministic and tracer is None:
             cached = self._tick_memo.get(state)
             if cached is None:
                 cached = tuple(self._tick(state, resolver))
                 self._tick_memo[state] = cached
             return list(cached)
-        return self._tick(state, resolver)
+        return self._tick(state, resolver, tracer)
 
-    def _tick(self, state: State, resolver: Resolver) -> list[Branch]:
+    def _tick(self, state: State, resolver: Resolver,
+              tracer=None) -> list[Branch]:
         marking = list(state.marking)
         inflight: list[list[int]] = []
         for t_idx, remaining in state.inflight:
@@ -190,19 +196,24 @@ class TickEngine:
                     marking[p] += n
             else:
                 inflight.append([t_idx, remaining - 1])
-        return self._settle(marking, inflight, resolver)
+        return self._settle(marking, inflight, resolver, tracer)
 
     # ------------------------------------------------------------------
     # phases 2 + 3
     # ------------------------------------------------------------------
     def _settle(self, marking: list[int], inflight: list[list[int]],
-                resolver: Resolver) -> list[Branch]:
+                resolver: Resolver, tracer=None) -> list[Branch]:
         n_t = len(self.net.transitions)
         work: list[tuple[float, list[int], list[list[int]], list[int]]]
         work = [(1.0, marking, inflight, [0] * n_t)]
-        work = self._run_settle_rounds(work, resolver)
+        if tracer is None:
+            work = self._run_settle_rounds(work, resolver)
+            progs = None
+        else:
+            work, progs = self._run_settle_rounds(work, resolver, tracer)
+            branch_progs: dict[tuple, list[int]] = {}
         branches: dict[tuple, Branch] = {}
-        for prob, mk, fl, starts in work:
+        for item_idx, (prob, mk, fl, starts) in enumerate(work):
             state = State(marking=tuple(mk),
                           inflight=tuple(sorted(map(tuple, fl))))
             key = (state.marking, state.inflight, tuple(starts))
@@ -211,6 +222,13 @@ class TickEngine:
             else:
                 branches[key] = Branch(probability=prob, state=state,
                                        starts=tuple(starts))
+            if tracer is not None:
+                branch_progs.setdefault(key, []).append(progs[item_idx])
+        if tracer is not None:
+            # aligned with the returned branch list (same first-seen
+            # insertion order); each entry lists the program ids whose
+            # values sum, in order, to that branch's probability.
+            tracer.branch_progs = list(branch_progs.values())
         return list(branches.values())
 
     def _context(self, marking: Sequence[int],
@@ -220,8 +238,10 @@ class TickEngine:
             counts[t_idx] += 1
         return Context(self.net, marking, counts)
 
-    def _run_settle_rounds(self, work, resolver: Resolver):
+    def _run_settle_rounds(self, work, resolver: Resolver, tracer=None):
         done = []
+        done_progs = [] if tracer is not None else None
+        progs = [()] * len(work) if tracer is not None else None
         rounds = 0
         while work:
             rounds += 1
@@ -231,16 +251,25 @@ class TickEngine:
                     f"quiescence in {MAX_IMMEDIATE_ROUNDS} rounds "
                     "(unbounded zero-time loop?)")
             next_work = []
-            for prob, mk, fl, starts in work:
-                selections = self._select_per_class(mk, fl)
+            next_progs = [] if tracer is not None else None
+            for w_idx, (prob, mk, fl, starts) in enumerate(work):
+                if tracer is None:
+                    selections = self._select_per_class(mk, fl)
+                    tokens = None
+                else:
+                    selections, tokens = self._select_per_class(
+                        mk, fl, tracer)
                 if not selections:
                     done.append((prob, mk, fl, starts))
+                    if tracer is not None:
+                        done_progs.append(tracer.prog(progs[w_idx]))
                     continue
                 for branch_prob, chosen in _cartesian(selections, resolver):
                     new_mk = list(mk)
                     new_fl = [list(entry) for entry in fl]
                     new_starts = list(starts)
                     ctx = None
+                    ctx_counts = None
                     for t_idx in chosen:
                         for p, n in self._in_arcs[t_idx]:
                             new_mk[p] -= n
@@ -248,8 +277,18 @@ class TickEngine:
                         if delay is None:
                             if ctx is None:
                                 ctx = self._context(new_mk, new_fl)
+                                if tracer is not None:
+                                    # the context's in-flight counts are
+                                    # snapshotted at creation and then
+                                    # shared by every later dynamic
+                                    # delay in this combo; the marking
+                                    # view stays live.
+                                    ctx_counts = tuple(ctx._inflight)
                             delay = self.net.transitions[t_idx] \
                                 .eval_delay(ctx)
+                            if tracer is not None:
+                                tracer.delay_check(t_idx, tuple(new_mk),
+                                                   ctx_counts, delay)
                         if delay == 0:
                             # immediate: outputs deposit within the tick
                             for p, n in self._out_arcs[t_idx]:
@@ -259,23 +298,41 @@ class TickEngine:
                         new_starts[t_idx] += 1
                     next_work.append(
                         (prob * branch_prob, new_mk, new_fl, new_starts))
+                    if tracer is not None:
+                        fids = tuple(tracer.factor(tokens[k], chosen[k])
+                                     for k in range(len(chosen)))
+                        next_progs.append(progs[w_idx] + (fids,))
             work = next_work
-        return done
+            progs = next_progs
+        if tracer is None:
+            return done
+        return done, done_progs
 
-    def _select_per_class(self, marking, inflight):
+    def _select_per_class(self, marking, inflight, tracer=None):
         """For each conflict class, the weighted enabled choices.
 
         Returns a list with one entry per class that has at least one
         enabled transition of positive frequency; each entry is a list
         of ``(probability, transition_index)`` choices summing to one.
         Immediate and timed members of a class compete by frequency.
+
+        With a *tracer*, also returns a parallel list of factor tokens
+        (one per selection) and records classes whose enabled members
+        all have zero frequency (those silently select nothing, which
+        a re-timed replay must re-verify).
         """
         ctx = None
+        ctx_key = None
         selections = []
+        tokens = [] if tracer is not None else None
         in_arcs = self._in_arcs
         static_freq = self._static_freq
         for cls in self._classes:
             weighted = None
+            if tracer is not None:
+                enabled_members: list[int] = []
+                mask: list[bool] = []
+                class_dynamic = False
             for t_idx in cls:
                 enabled = True
                 for p, n in in_arcs[t_idx]:
@@ -288,8 +345,16 @@ class TickEngine:
                 if freq is None:
                     if ctx is None:
                         ctx = self._context(marking, inflight)
+                        if tracer is not None:
+                            ctx_key = (tuple(marking),
+                                       tuple(ctx._inflight))
+                    if tracer is not None:
+                        class_dynamic = True
                     freq = self.net.transitions[t_idx] \
                         .eval_frequency(ctx)
+                if tracer is not None:
+                    enabled_members.append(t_idx)
+                    mask.append(freq > 0)
                 if freq > 0:
                     if weighted is None:
                         weighted = []
@@ -298,7 +363,16 @@ class TickEngine:
                 total = sum(f for f, _ in weighted)
                 selections.append(
                     [(f / total, t_idx) for f, t_idx in weighted])
-        return selections
+                if tracer is not None:
+                    tokens.append(tracer.factor_token(
+                        tuple(enabled_members), tuple(mask),
+                        ctx_key if class_dynamic else None))
+            elif tracer is not None and enabled_members:
+                tracer.null_class(tuple(enabled_members), tuple(mask),
+                                  ctx_key if class_dynamic else None)
+        if tracer is None:
+            return selections
+        return selections, tokens
 
 
 def _cartesian(selections, resolver: Resolver,

@@ -1,0 +1,561 @@
+"""Structure-sharing sweep analysis: build the graph once, re-time it.
+
+Chapter 6 evaluates each architecture by re-solving the *same* GTPN
+over grids of component timings (Tables 6.4-6.23).  The state space of
+such a sweep is invariant: timing enters the models only through
+frequency weights (the delay-1 geometric activity pairs of
+``approximations.activity_pair``), so every grid point shares one
+reachability graph and only the branch probabilities of the embedded
+Markov chain change.
+
+This module exploits that.  A traced reachability build records, next
+to the ordinary graph, a :class:`SweepSkeleton`: for every branch
+probability the exact *program* of normalized-frequency factors whose
+products and sums produced it.  Re-timing a skeleton under a new net
+re-evaluates only those factors and replays the programs **in the same
+floating-point operation order** as a from-scratch build, so a re-timed
+graph is bit-identical to the one `analyze` would have built — the
+reproducibility contract (identical figure values at any cache state
+or job count) survives.
+
+Replay is only valid while the new timings keep the *support* of every
+choice unchanged.  Each factor therefore records which enabled
+transitions had positive frequency; if a new timing flips any of those
+signs (or changes a state-dependent delay), replay raises
+:class:`SkeletonMismatch` and the caller falls back to a full build.
+Static-delay changes also force a rebuild: remaining-tick counters are
+part of the states themselves.
+
+Entry points:
+
+* :func:`sweep_analyze` — analyze a whole parameter grid, building the
+  skeleton once per structure and re-timing per point; fans out over
+  :func:`repro.perf.pool.map_sweep` when worker processes pay off.
+* :class:`SweepSolver` — the underlying per-structure solver, with
+  per-stage timing stats (build / re-time / solve) for the benchmarks.
+* :func:`acquire_graph` — used by :func:`repro.gtpn.analyze` so even
+  single-point analyses share skeletons through the analysis cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gtpn.net import Context, Net
+from repro.gtpn.reachability import (DEFAULT_MAX_STATES,
+                                     ReachabilityGraph, _check_stochastic)
+from repro.gtpn.state import ExhaustiveResolver, State, TickEngine
+from repro.perf.cache import cache_enabled, fingerprint_net, get_cache
+
+_USE_GLOBAL = object()      # sentinel: "global cache when enabled"
+
+
+class SkeletonMismatch(Exception):
+    """A new timing alters branch resolution; replay is invalid.
+
+    Internal control flow only: callers catch it and fall back to a
+    full traced build (which also refreshes the cached skeleton).
+    """
+
+
+# ----------------------------------------------------------------------
+# the skeleton and its tracer
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepSkeleton:
+    """Everything timing-independent about one net structure.
+
+    ``factors`` entries are ``(chosen, enabled, mask, ctx)``: one
+    conflict-class selection — *chosen* transition out of the *enabled*
+    members whose positive-frequency pattern was *mask*, evaluated
+    under context snapshot *ctx* (``(marking, inflight_counts)``, or
+    ``None`` when every member's frequency is static).  ``chosen is
+    None`` marks a class whose enabled members all had zero frequency
+    (selects nothing; replay re-verifies the zeros).
+
+    ``progs`` entries are factor-id programs: a tuple of settle rounds,
+    each a tuple of factor ids, multiplied exactly as the engine
+    multiplied them.  ``state_branches[i]`` lists, per successor branch
+    of state *i*, ``(j, starts_nonzero, prog_ids)`` — the prog values
+    sum (in order) to the branch probability.
+
+    Skeletons are shared (cached, possibly across processes): treat
+    every field as read-only.
+    """
+
+    structure: str                      # structure fingerprint
+    n_places: int
+    n_transitions: int
+    static_delays: tuple                # per transition: int | None
+    factors: list
+    delay_checks: list                  # (t_idx, marking, counts, expected)
+    progs: list
+    states: list                        # list[State]
+    state_branches: list
+    initial_branches: list              # [(i, prog_ids)]
+    inflight_matrix: np.ndarray
+    closed_classes: int
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+
+class _Tracer:
+    """Records factor/program structure during a traced build.
+
+    Duck-typed against the hooks in :class:`repro.gtpn.state.TickEngine`
+    (``factor_token`` / ``factor`` / ``null_class`` / ``delay_check`` /
+    ``prog``); the engine stashes per-settle branch programs in
+    ``branch_progs``.
+    """
+
+    def __init__(self) -> None:
+        self.factors: list = []
+        self._factor_ids: dict = {}
+        self.delay_checks: list = []
+        self._delay_seen: set = set()
+        self.progs: list = []
+        self._prog_ids: dict = {}
+        self.branch_progs: list = []
+
+    def factor_token(self, enabled, mask, ctx_key):
+        return (enabled, mask, ctx_key)
+
+    def factor(self, token, chosen) -> int:
+        enabled, mask, ctx_key = token
+        key = (chosen, enabled, mask, ctx_key)
+        fid = self._factor_ids.get(key)
+        if fid is None:
+            fid = self._factor_ids[key] = len(self.factors)
+            self.factors.append(key)
+        return fid
+
+    def null_class(self, enabled, mask, ctx_key) -> None:
+        key = (None, enabled, mask, ctx_key)
+        if key not in self._factor_ids:
+            self._factor_ids[key] = len(self.factors)
+            self.factors.append(key)
+
+    def delay_check(self, t_idx, marking, counts, value) -> None:
+        key = (t_idx, marking, counts)
+        if key not in self._delay_seen:
+            self._delay_seen.add(key)
+            self.delay_checks.append((t_idx, marking, counts, value))
+
+    def prog(self, rounds) -> int:
+        pid = self._prog_ids.get(rounds)
+        if pid is None:
+            pid = self._prog_ids[rounds] = len(self.progs)
+            self.progs.append(rounds)
+        return pid
+
+
+# ----------------------------------------------------------------------
+# traced build
+# ----------------------------------------------------------------------
+
+def traced_build(net: Net, *, max_states: int = DEFAULT_MAX_STATES,
+                 structure: str | None = None,
+                 ) -> tuple[ReachabilityGraph, SweepSkeleton]:
+    """Full BFS exactly as ``build_reachability_graph``, plus a skeleton.
+
+    The returned graph is bit-identical to an untraced build (the trace
+    only observes; every float operation is unchanged).
+    """
+    if structure is None:
+        fingerprint = fingerprint_net(net)
+        structure = fingerprint.structure if fingerprint else ""
+    engine = TickEngine(net)
+    resolver = ExhaustiveResolver()
+    tracer = _Tracer()
+    n_transitions = len(net.transitions)
+
+    index: dict[State, int] = {}
+    states: list[State] = []
+    rows: list[dict[int, float]] = []
+    start_rows: list[list[float]] = []
+    state_branches: list = []
+
+    def intern(state: State) -> int:
+        found = index.get(state)
+        if found is None:
+            found = len(states)
+            index[state] = found
+            states.append(state)
+            rows.append({})
+            start_rows.append([0.0] * n_transitions)
+            state_branches.append(None)
+            if len(states) > max_states:
+                raise AnalysisError(
+                    f"net {net.name!r}: more than {max_states} reachable "
+                    "states; increase max_states or simplify the model")
+        return found
+
+    initial: dict[int, float] = {}
+    initial_records: list = []
+    for branch, prog_ids in zip(engine.initial_branches(resolver, tracer),
+                                tracer.branch_progs):
+        i = intern(branch.state)
+        initial[i] = initial.get(i, 0.0) + branch.probability
+        initial_records.append((i, tuple(prog_ids)))
+
+    explored = 0
+    while explored < len(states):
+        i = explored
+        explored += 1
+        row = rows[i]
+        start_row = start_rows[i]
+        records: list = []
+        for branch, prog_ids in zip(engine.tick(states[i], resolver,
+                                                tracer),
+                                    tracer.branch_progs):
+            j = intern(branch.state)
+            prob = branch.probability
+            row[j] = row.get(j, 0.0) + prob
+            starts_nz: list = []
+            for t_idx, count in enumerate(branch.starts):
+                if count:
+                    start_row[t_idx] += prob * count
+                    starts_nz.append((t_idx, count))
+            records.append((j, tuple(starts_nz), tuple(prog_ids)))
+        state_branches[i] = records
+
+    n_states = len(states)
+    starts_matrix = np.asarray(start_rows, dtype=float).reshape(
+        n_states, n_transitions)
+    inflight_matrix = np.zeros((n_states, n_transitions))
+    for i, state in enumerate(states):
+        for t_idx, _remaining in state.inflight:
+            inflight_matrix[i, t_idx] += 1.0
+
+    _check_stochastic(net, rows)
+    graph = ReachabilityGraph(net=net, states=states, probabilities=rows,
+                              initial=initial,
+                              expected_starts=list(starts_matrix),
+                              inflight_counts=list(inflight_matrix))
+    from repro.gtpn.markov import _closed_class_count, transition_matrix
+    skeleton = SweepSkeleton(
+        structure=structure,
+        n_places=len(net.places),
+        n_transitions=n_transitions,
+        static_delays=tuple(engine._static_delay),
+        factors=tracer.factors,
+        delay_checks=tracer.delay_checks,
+        progs=tracer.progs,
+        states=states,
+        state_branches=state_branches,
+        initial_branches=initial_records,
+        inflight_matrix=inflight_matrix,
+        closed_classes=_closed_class_count(transition_matrix(graph)))
+    return graph, skeleton
+
+
+# ----------------------------------------------------------------------
+# re-timing replay
+# ----------------------------------------------------------------------
+
+def retime(skeleton: SweepSkeleton, net: Net, *,
+           max_states: int = DEFAULT_MAX_STATES) -> ReachabilityGraph:
+    """Rebuild the embedded chain of *net* from a shared skeleton.
+
+    Raises :class:`SkeletonMismatch` when the skeleton does not apply
+    (different shape, a static delay changed, a dynamic delay or a
+    frequency-support pattern changed) — callers fall back to
+    :func:`traced_build`, which reproduces full-analyze behaviour.
+    """
+    if (len(net.places) != skeleton.n_places
+            or len(net.transitions) != skeleton.n_transitions):
+        raise SkeletonMismatch("net shape differs")
+    if skeleton.state_count > max_states:
+        raise SkeletonMismatch("skeleton exceeds max_states")
+    net.validate()
+    transitions = net.transitions
+    static_delay = tuple(
+        None if callable(t.delay) else int(t.delay) for t in transitions)
+    if static_delay != skeleton.static_delays:
+        # remaining-tick counters live inside the states: a static
+        # firing-time change moves the state space itself
+        raise SkeletonMismatch("static delays differ")
+    static_freq = [
+        None if callable(t.frequency) else float(t.frequency)
+        for t in transitions]
+
+    for t_idx, marking, counts, expected in skeleton.delay_checks:
+        ctx = Context(net, marking, counts)
+        if transitions[t_idx].eval_delay(ctx) != expected:
+            raise SkeletonMismatch("state-dependent delay changed")
+
+    values = [0.0] * len(skeleton.factors)
+    for fid, (chosen, enabled, mask, ctx_key) in enumerate(
+            skeleton.factors):
+        ctx = None
+        freqs: list[float] = []
+        for k, t_idx in enumerate(enabled):
+            f = static_freq[t_idx]
+            if f is None:
+                if ctx is None:
+                    ctx = Context(net, ctx_key[0], ctx_key[1])
+                f = transitions[t_idx].eval_frequency(ctx)
+            if (f > 0) != mask[k]:
+                raise SkeletonMismatch("frequency support changed")
+            freqs.append(f)
+        if chosen is None:
+            continue            # null class: the zeros were verified
+        # same arithmetic as _select_per_class: positives in enabled
+        # order, python sum from 0, chosen weight over the total
+        total = sum(f for f in freqs if f > 0)
+        values[fid] = freqs[enabled.index(chosen)] / total
+
+    prog_values = [0.0] * len(skeleton.progs)
+    for pid, rounds in enumerate(skeleton.progs):
+        p = 1.0
+        for fids in rounds:
+            # one settle round: the engine folds class factors into the
+            # round's branch probability left-to-right from 1.0 ...
+            bp = 1.0
+            for fid in fids:
+                bp = bp * values[fid]
+            # ... then multiplies it onto the work item's probability
+            p = p * bp
+        prog_values[pid] = p
+
+    def _branch_prob(prog_ids) -> float:
+        prob = prog_values[prog_ids[0]]
+        for pid in prog_ids[1:]:
+            prob += prog_values[pid]
+        return prob
+
+    n_transitions = skeleton.n_transitions
+    rows: list[dict[int, float]] = []
+    start_rows: list[list[float]] = []
+    for records in skeleton.state_branches:
+        row: dict[int, float] = {}
+        start_row = [0.0] * n_transitions
+        for j, starts_nz, prog_ids in records:
+            prob = _branch_prob(prog_ids)
+            row[j] = row.get(j, 0.0) + prob
+            for t_idx, count in starts_nz:
+                start_row[t_idx] += prob * count
+        rows.append(row)
+        start_rows.append(start_row)
+
+    initial: dict[int, float] = {}
+    for i, prog_ids in skeleton.initial_branches:
+        initial[i] = initial.get(i, 0.0) + _branch_prob(prog_ids)
+
+    starts_matrix = np.asarray(start_rows, dtype=float).reshape(
+        skeleton.state_count, n_transitions)
+    _check_stochastic(net, rows)
+    return ReachabilityGraph(
+        net=net, states=skeleton.states, probabilities=rows,
+        initial=initial, expected_starts=list(starts_matrix),
+        inflight_counts=list(skeleton.inflight_matrix))
+
+
+def acquire_graph(net: Net, structure: str, max_states: int, store,
+                  ) -> tuple[ReachabilityGraph, int]:
+    """Graph for *net* through the skeleton tier of *store*.
+
+    Returns ``(graph, closed_class_count)``.  Used by
+    :func:`repro.gtpn.analyze` so plain per-point analyses share
+    structure work with sweeps through the same cache.
+    """
+    skeleton = store.get_structure(structure)
+    if skeleton is not None:
+        try:
+            graph = retime(skeleton, net, max_states=max_states)
+            return graph, skeleton.closed_classes
+        except SkeletonMismatch:
+            pass
+    graph, skeleton = traced_build(net, max_states=max_states,
+                                   structure=structure)
+    store.put_structure(structure, skeleton)
+    return graph, skeleton.closed_classes
+
+
+# ----------------------------------------------------------------------
+# the sweep solver and grid entry point
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Per-stage accounting of a sweep (seconds and point counts)."""
+
+    build_s: float = 0.0        # traced reachability builds
+    retime_s: float = 0.0       # skeleton replays
+    solve_s: float = 0.0        # stationary solves
+    skeleton_builds: int = 0
+    points_retimed: int = 0
+    payload_hits: int = 0
+    uncacheable: int = 0        # nets without a fingerprint
+    mismatches: int = 0         # replays invalidated by a timing change
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class SweepSolver:
+    """Analyze a stream of nets, sharing structure work across them.
+
+    Keeps its own skeleton table (so structure sharing works even with
+    the global cache disabled — a cold sweep is still one build plus
+    N-1 replays) and optionally rides an :class:`AnalysisCache` for
+    payload hits and cross-process skeleton sharing.  Results are
+    bit-identical to per-point :func:`repro.gtpn.analyze`.
+    """
+
+    def __init__(self, *, method: str = "auto",
+                 max_states: int = DEFAULT_MAX_STATES,
+                 cache: Any = _USE_GLOBAL):
+        from repro.gtpn import analysis as _analysis
+        self._analysis = _analysis
+        self.method = method
+        self.max_states = max_states
+        if cache is _USE_GLOBAL:
+            cache = get_cache() if cache_enabled() else None
+        self.cache = cache
+        self._skeletons: dict[str, SweepSkeleton] = {}
+        self.stats = SweepStats()
+
+    def analyze(self, net: Net):
+        """Solve one net; identical contract to ``repro.gtpn.analyze``."""
+        fingerprint = fingerprint_net(net)
+        if fingerprint is None:
+            # uncacheable attribute: behave exactly like plain analyze
+            self.stats.uncacheable += 1
+            started = perf_counter()
+            result = self._analysis.analyze(
+                net, method=self.method, max_states=self.max_states,
+                cache=self.cache)
+            self.stats.build_s += perf_counter() - started
+            return result
+        key = (fingerprint.structure, fingerprint.timing, self.method)
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                net.validate()
+                self.stats.payload_hits += 1
+                return self._analysis._rebind(net, payload)
+        graph, closed = self._graph_for(net, fingerprint.structure)
+        started = perf_counter()
+        pi = self._analysis.stationary_distribution(
+            graph, method=self.method, closed_classes=closed)
+        result = self._analysis.AnalysisResult(net=net, graph=graph,
+                                               pi=pi)
+        self.stats.solve_s += perf_counter() - started
+        if self.cache is not None:
+            self.cache.put(key, self._analysis._payload(result))
+        return result
+
+    def _graph_for(self, net: Net, structure: str,
+                   ) -> tuple[ReachabilityGraph, int]:
+        skeleton = self._skeletons.get(structure)
+        if skeleton is None and self.cache is not None:
+            skeleton = self.cache.get_structure(structure)
+        if skeleton is not None:
+            try:
+                started = perf_counter()
+                graph = retime(skeleton, net,
+                               max_states=self.max_states)
+                self.stats.retime_s += perf_counter() - started
+                self.stats.points_retimed += 1
+                self._skeletons[structure] = skeleton
+                return graph, skeleton.closed_classes
+            except SkeletonMismatch:
+                self.stats.mismatches += 1
+        started = perf_counter()
+        graph, skeleton = traced_build(net, max_states=self.max_states,
+                                       structure=structure)
+        self.stats.build_s += perf_counter() - started
+        self.stats.skeleton_builds += 1
+        self._skeletons[structure] = skeleton
+        if self.cache is not None:
+            self.cache.put_structure(structure, skeleton)
+        return graph, skeleton.closed_classes
+
+
+#: per-worker-process solvers, keyed by (method, max_states): skeleton
+#: reuse persists across the chunks a pooled worker executes.
+_WORKER_SOLVERS: dict = {}
+
+
+def _worker_solver(method: str, max_states: int) -> SweepSolver:
+    solver = _WORKER_SOLVERS.get((method, max_states))
+    if solver is None:
+        solver = SweepSolver(method=method, max_states=max_states)
+        _WORKER_SOLVERS[(method, max_states)] = solver
+    return solver
+
+
+def _sweep_task(build: Callable, point, star: bool, method: str,
+                max_states: int) -> dict:
+    """One pooled grid point: build, solve, return the unbound payload.
+
+    Runs in a worker process; nets and results do not pickle (closures,
+    net back-references), so the worker ships the same net-free payload
+    the analysis cache stores and the parent re-binds it.
+    """
+    net = build(*point) if star else build(point)
+    result = _worker_solver(method, max_states).analyze(net)
+    from repro.gtpn.analysis import _payload
+    return _payload(result)
+
+
+def sweep_analyze(build, grid: Iterable | None = None, *,
+                  star: bool = True, method: str = "auto",
+                  max_states: int = DEFAULT_MAX_STATES,
+                  jobs: int | None = None, cache: Any = _USE_GLOBAL,
+                  solver: SweepSolver | None = None,
+                  oversubscribe: bool = False) -> list:
+    """Analyze a parameter grid, building each structure once.
+
+    Two call shapes::
+
+        sweep_analyze(nets)                  # iterable of built Nets
+        sweep_analyze(build_fn, grid)        # builder + grid points
+
+    With a builder, each grid point is ``build_fn(*point)`` (or
+    ``build_fn(point)`` when ``star=False``) and the sweep may fan out
+    over worker processes (``jobs`` / ``REPRO_JOBS``, subject to the
+    pool's serial-fallback policy); workers return net-free payloads
+    that are re-bound to parent-built nets, so results — and therefore
+    figure and table values — are bit-identical to a serial run and to
+    per-point :func:`repro.gtpn.analyze`.
+
+    Pass ``solver`` to reuse a :class:`SweepSolver` (and read its
+    per-stage stats afterwards); otherwise one is created with
+    ``cache`` (default: the global analysis cache when enabled).
+    """
+    if solver is None:
+        solver = SweepSolver(method=method, max_states=max_states,
+                             cache=cache)
+    if grid is None:
+        return [solver.analyze(net) for net in build]
+    points = list(grid)
+    if not points:
+        return []
+
+    from repro.perf.pool import map_sweep, plan_jobs
+    n_jobs, _reason = plan_jobs(len(points), jobs=jobs,
+                                oversubscribe=oversubscribe)
+    if n_jobs > 1:
+        payloads = map_sweep(
+            _sweep_task,
+            [(build, point, star, method, max_states)
+             for point in points],
+            jobs=jobs, star=True, oversubscribe=oversubscribe)
+        results = []
+        for point, payload in zip(points, payloads):
+            net = build(*point) if star else build(point)
+            net.validate()
+            results.append(solver._analysis._rebind(net, payload))
+        return results
+    nets = (build(*point) if star else build(point) for point in points)
+    return [solver.analyze(net) for net in nets]

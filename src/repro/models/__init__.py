@@ -37,6 +37,7 @@ from repro.models.params import (ACTION_TABLES, ActionRow, Architecture,
 from repro.models.solve import (ThroughputResult, communication_time,
                                 offered_load, offered_load_table, solve,
                                 solve_at_offered_load, solve_grid,
+                                solve_offered_load_grid,
                                 server_time_for_offered_load,
                                 throughput_vs_offered_load)
 
@@ -81,5 +82,6 @@ __all__ = [
     "solve_at_offered_load",
     "solve_grid",
     "solve_nonlocal",
+    "solve_offered_load_grid",
     "throughput_vs_offered_load",
 ]

@@ -94,8 +94,28 @@ def solve_grid(points: list[tuple[Architecture, Mode, int, float]], *,
     The workhorse of every figure sweep: each point is one exact GTPN
     solve, fanned out through :func:`repro.perf.pool.map_sweep` with
     results in input order — values are identical at any job count.
+
+    Points of the same architecture share their reachability structure:
+    with the analysis cache enabled, each solve re-times the cached
+    skeleton (:mod:`repro.gtpn.sweep`) instead of re-exploring the
+    state space, so a grid costs one build per structure plus one
+    linear solve per point.  The persistent worker pool primes workers
+    from the shared cache, so the fan-out shares skeletons too.
     """
     return map_sweep(solve, points, jobs=jobs, star=True)
+
+
+def solve_offered_load_grid(
+        points: list[tuple[Architecture, Mode, int, float, Architecture]],
+        *, jobs: int | None = None) -> list[ThroughputResult]:
+    """Solve a grid of :func:`solve_at_offered_load` points, in order.
+
+    The realistic-workload figures (6.18/6.19/6.22/6.23) are grids of
+    (architecture, mode, conversations, load, reference) tuples; this
+    fans them out with the same structure-sharing and serial-fallback
+    behaviour as :func:`solve_grid`.
+    """
+    return map_sweep(solve_at_offered_load, points, jobs=jobs, star=True)
 
 
 def offered_load_table(mode: Mode, *,
@@ -153,8 +173,7 @@ def throughput_vs_offered_load(architecture: Architecture, mode: Mode,
     *computed for architecture I* so that equal server times line up
     across architectures; ``reference`` selects that normalization.
     """
-    return map_sweep(
-        solve_at_offered_load,
+    return solve_offered_load_grid(
         [(architecture, mode, conversations, load, reference)
          for load in loads],
-        jobs=jobs, star=True)
+        jobs=jobs)

@@ -1,17 +1,29 @@
 """Content-addressed cache for exact GTPN analyses.
 
-A net is fingerprinted by its *structure and attributes* — place
-count, initial marking, arcs, delays, frequencies, resource tags —
-while names (of the net, its places, and its transitions) stay out of
-the key: two structurally identical nets share one solve, and the
-cached payload is re-bound to whichever net asked.
+A net is fingerprinted by a *split key* (:class:`NetFingerprint`):
+
+* the **structure fingerprint** covers everything that shapes the
+  reachable state space — place count, initial marking, arcs, resource
+  tags, and the *code* of state-dependent attributes — and is
+  invariant across a timing sweep, while
+* the **timing fingerprint** covers the numeric attribute values
+  (firing times and frequency weights, including numbers captured in
+  closure cells and defaults).
+
+Names (of the net, its places, and its transitions) stay out of both
+halves: two structurally identical nets share one solve, and the
+cached payload is re-bound to whichever net asked.  The analyzer keys
+full payloads on ``(structure, timing, method)`` and the reusable
+reachability skeleton (:mod:`repro.gtpn.sweep`) on the structure half
+alone, which is what lets a parameter grid rebuild the graph once.
 
 State-dependent attributes (callables) are fingerprinted through
 their code object (bytecode, constants, referenced names, defaults)
 plus the values captured in their closure cells, which is exactly the
 information that determines their behaviour for the closure-built
-lambdas the architecture models use.  A callable without usable code
-(e.g. a C callable) makes the net uncacheable — :func:`fingerprint_net`
+lambdas the architecture models use; numeric cell/default values are
+lifted into the timing half.  A callable without usable code (e.g. a
+C callable) makes the net uncacheable — :func:`fingerprint_net`
 returns ``None`` and the analyzer simply solves it.
 
 The cache is in-memory (bounded LRU) by default.  Setting the
@@ -31,7 +43,7 @@ import threading
 import types
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any
+from typing import Any, NamedTuple
 
 #: Default bound on in-memory cached analyses (each holds a full
 #: reachability graph; architecture models run a few MB apiece).
@@ -54,6 +66,21 @@ def cache_enabled() -> bool:
 # fingerprinting
 # ----------------------------------------------------------------------
 
+class NetFingerprint(NamedTuple):
+    """Split content hash of a net.
+
+    ``structure`` is invariant across a timing sweep (places, arcs,
+    initial marking, resource tags, attribute *code*); ``timing``
+    hashes the numeric attribute values (delays, frequency weights,
+    numbers captured in closures/defaults).  Compares as a plain tuple,
+    so ``fingerprint_net(a) == fingerprint_net(b)`` means identical
+    full keys and equal ``.structure`` means "same state space shape".
+    """
+
+    structure: str
+    timing: str
+
+
 def _describe_code(code: types.CodeType) -> tuple:
     consts = tuple(
         _describe_code(c) if isinstance(c, types.CodeType) else repr(c)
@@ -62,48 +89,89 @@ def _describe_code(code: types.CodeType) -> tuple:
             code.co_varnames, code.co_argcount)
 
 
-def _describe_attr(value: Any) -> tuple | None:
-    """Canonical description of a delay/frequency attribute.
+def _split_captured(value: Any, timing: list) -> Any | None:
+    """Describe one closure-cell/default value, lifting numbers out.
+
+    Non-bool numbers go to *timing* and leave a positional placeholder
+    in the structural description; callables recurse; everything else
+    (bools, strings, tuples of names, ...) is structural.  Returns
+    ``None`` when the value cannot be fingerprinted faithfully.
+    """
+    if isinstance(value, bool):
+        return ("const", repr(value))
+    if isinstance(value, (int, float)):
+        timing.append(repr(value))
+        return ("param",)
+    if callable(value):
+        nested = _split_attr(value)
+        if nested is None:
+            return None
+        desc, nested_timing = nested
+        timing.extend(nested_timing)
+        return desc
+    return ("const", repr(value))
+
+
+def _split_attr(value: Any) -> tuple[tuple, tuple] | None:
+    """``(structure_desc, timing_values)`` for a delay/frequency.
 
     Returns ``None`` when the attribute cannot be fingerprinted
     faithfully (no code object, or unreadable closure cells).
     """
+    timing: list = []
     if not callable(value):
-        return ("const", repr(value))
+        desc = _split_captured(value, timing)
+        return (desc, tuple(timing))
     code = getattr(value, "__code__", None)
     if code is None:
         return None
-    cells: tuple = ()
+    cells: list = []
     closure = getattr(value, "__closure__", None)
     if closure:
         try:
-            cells = tuple(repr(c.cell_contents) for c in closure)
+            contents = [c.cell_contents for c in closure]
         except ValueError:          # empty cell: still being built
             return None
-    defaults = repr(getattr(value, "__defaults__", None))
-    return ("callable", _describe_code(code), cells, defaults)
+        for item in contents:
+            desc = _split_captured(item, timing)
+            if desc is None:
+                return None
+            cells.append(desc)
+    defaults: list = []
+    for item in getattr(value, "__defaults__", None) or ():
+        desc = _split_captured(item, timing)
+        if desc is None:
+            return None
+        defaults.append(desc)
+    return (("callable", _describe_code(code), tuple(cells),
+             tuple(defaults)), tuple(timing))
 
 
-def fingerprint_net(net) -> str | None:
-    """Canonical content hash of a net, or ``None`` if uncacheable.
+def fingerprint_net(net) -> NetFingerprint | None:
+    """Split content hash of a net, or ``None`` if uncacheable.
 
     Covers everything the analyzer's numbers depend on — places,
     initial marking, arcs, delays, frequencies, resources — and
     nothing cosmetic (names, labels), so renamed-but-identical nets
-    share a fingerprint.
+    share a fingerprint.  Numeric attribute values land in the
+    ``timing`` half only; everything shaping the state space lands in
+    ``structure``.
     """
-    parts: list = [len(net.places), tuple(net.initial_marking)]
+    structure: list = [len(net.places), tuple(net.initial_marking)]
+    timing: list = []
     for t in net.transitions:
-        delay = _describe_attr(t.delay)
-        freq = _describe_attr(t.frequency)
+        delay = _split_attr(t.delay)
+        freq = _split_attr(t.frequency)
         if delay is None or freq is None:
             return None
-        parts.append((tuple(sorted(t.inputs.items())),
-                      tuple(sorted(t.outputs.items())),
-                      delay, freq, t.resource,
-                      tuple(t.extra_resources)))
-    blob = repr(parts).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
+        structure.append((tuple(sorted(t.inputs.items())),
+                          tuple(sorted(t.outputs.items())),
+                          delay[0], freq[0], t.resource,
+                          tuple(t.extra_resources)))
+        timing.append((delay[1], freq[1]))
+    def _hash(parts) -> str:
+        return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+    return NetFingerprint(_hash(structure), _hash(timing))
 
 
 # ----------------------------------------------------------------------
@@ -143,12 +211,13 @@ class AnalysisCache:
         digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
         return self._dir / f"analysis-{digest}.pkl"
 
-    def get(self, key: Any):
+    def get(self, key: Any, *, record_stats: bool = True):
         """The cached payload for *key*, or ``None`` on a miss."""
         with self._lock:
             if key in self._mem:
                 self._mem.move_to_end(key)
-                self.hits += 1
+                if record_stats:
+                    self.hits += 1
                 return self._mem[key]
         path = self._disk_path(key)
         if path is not None:
@@ -156,20 +225,56 @@ class AnalysisCache:
                 with open(path, "rb") as fh:
                     payload = pickle.load(fh)
             except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError, IndexError):
+                    AttributeError, ImportError, IndexError,
+                    ValueError, TypeError, KeyError):
+                # corrupted/truncated entries are a miss, never an error
                 payload = None
             if payload is not None:
                 with self._lock:
-                    self.hits += 1
+                    if record_stats:
+                        self.hits += 1
                     self._store_mem(key, payload)
                 return payload
-        with self._lock:
-            self.misses += 1
+        if record_stats:
+            with self._lock:
+                self.misses += 1
         return None
 
     def put(self, key: Any, payload: Any) -> None:
         with self._lock:
             self._store_mem(key, payload)
+        self._write_disk(key, payload)
+
+    def get_structure(self, structure_fp: str):
+        """Cached sweep skeleton for a structure fingerprint, if any.
+
+        Skeleton lookups ride the same LRU/disk tiers as payloads but
+        stay out of ``hits``/``misses`` — those stats count *solves
+        avoided*, and a skeleton hit still re-times and re-solves.
+        """
+        return self.get(("skeleton", structure_fp), record_stats=False)
+
+    def put_structure(self, structure_fp: str, skeleton: Any) -> None:
+        self.put(("skeleton", structure_fp), skeleton)
+
+    def attach_directory(self, directory: str | os.PathLike) -> None:
+        """Add (or retarget) the disk tier without dropping memory.
+
+        Existing in-memory entries are flushed to the new directory so
+        freshly-forked pool workers can prime from what the parent has
+        already solved (the sweep pool's shared-disk priming).
+        """
+        with self._lock:
+            self._dir = Path(directory)
+            entries = list(self._mem.items())
+        for key, payload in entries:
+            self._write_disk(key, payload)
+
+    @property
+    def directory(self) -> Path | None:
+        return self._dir
+
+    def _write_disk(self, key: Any, payload: Any) -> None:
         path = self._disk_path(key)
         if path is not None:
             try:

@@ -1,27 +1,64 @@
 """Parallel sweep executor for grid-shaped analyses.
 
 :func:`map_sweep` maps a picklable function over a list of independent
-work items, optionally across a :class:`~concurrent.futures.\
-ProcessPoolExecutor`.  Results always come back in input order, so a
-sweep produces bit-identical artifacts whether it ran serially or
-fanned out — parallelism only changes wall-clock time, never values.
+work items, optionally across a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Results always come
+back in input order, so a sweep produces bit-identical artifacts
+whether it ran serially or fanned out — parallelism only changes
+wall-clock time, never values.
 
 The job count resolves, in order, from the explicit ``jobs`` argument,
 :func:`set_default_jobs` (wired to the CLI ``--jobs`` flag), and the
-``REPRO_JOBS`` environment variable; it defaults to 1 (serial).  Any
-failure to spawn or feed the worker pool — no fork support, unpicklable
-work, a broken pool — falls back to the serial path rather than
-erroring, so callers never need to special-case degraded environments.
+``REPRO_JOBS`` environment variable; it defaults to 1 (serial).
+Non-positive or non-integer values are rejected with
+:class:`~repro.errors.ConfigError` wherever they come from.
+
+Worker pools only pay off when there is enough work to amortise their
+start-up (fork, imports, cache priming) and per-task IPC.  The
+executor therefore *plans* each sweep (:func:`plan_jobs`): it falls
+back to serial on a single-CPU machine or when the grid offers fewer
+than :data:`MIN_ITEMS_PER_JOB` points per worker, shrinking the worker
+count instead when a smaller pool still clears the threshold.  What it
+decided — mode, reason, worker count, chunk size — is readable
+afterwards via :func:`last_map_info`, which the benchmarks record.
+
+The pool itself is persistent: created once per (worker count, cache
+configuration) and reused across sweeps, so later grids skip process
+start-up entirely.  Its initializer primes each worker with the
+analysis/sweep imports and the parent's cache configuration; when
+caching is enabled and memory-only, the parent first attaches a
+session-scoped disk tier and flushes what it has already solved, so
+cold workers load shared reachability skeletons instead of rebuilding
+them per point.  Any failure to spawn or feed the pool — no fork
+support, unpicklable work, a broken pool — falls back to the serial
+path rather than erroring, so callers never need to special-case
+degraded environments.
 """
 
 from __future__ import annotations
 
+import atexit
+import math
 import os
 import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Below this many grid points per worker, pool start-up + IPC beat the
+#: win from parallelism (BENCH_perf.json showed 0.98x on an 18-point
+#: grid with a fresh pool); the planner shrinks the pool or goes serial.
+MIN_ITEMS_PER_JOB = 4
+
+#: Auto chunking aims for this many chunks per worker: big enough to
+#: amortise per-task pickling, small enough to keep workers balanced.
+CHUNK_WAVES = 4
 
 _default_jobs: int | None = None
 
@@ -32,23 +69,171 @@ except ImportError:                                    # pragma: no cover
         pass
 
 
+def _validate_jobs(value, source: str) -> int:
+    """A positive int, or :class:`ConfigError` naming the bad source."""
+    if not isinstance(value, bool) and isinstance(value, int):
+        jobs = value
+    else:
+        try:
+            jobs = int(str(value).strip())
+        except ValueError:
+            raise ConfigError(
+                f"{source} must be a positive integer, "
+                f"got {value!r}") from None
+    if jobs < 1:
+        raise ConfigError(
+            f"{source} must be a positive integer, got {value!r}")
+    return jobs
+
+
 def set_default_jobs(jobs: int | None) -> None:
     """Set the process-wide default worker count (None = env/serial)."""
     global _default_jobs
-    if jobs is not None and jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs is not None:
+        jobs = _validate_jobs(jobs, "jobs")
     _default_jobs = jobs
 
 
 def default_jobs() -> int:
-    """Resolve the default worker count (explicit > REPRO_JOBS > 1)."""
+    """Resolve the default worker count (explicit > REPRO_JOBS > 1).
+
+    A malformed ``REPRO_JOBS`` raises :class:`ConfigError` instead of
+    being silently coerced: a user who exported it wanted parallelism,
+    and quietly running serial hides the typo.
+    """
     if _default_jobs is not None:
         return _default_jobs
     env = os.environ.get("REPRO_JOBS", "")
-    try:
-        return max(1, int(env))
-    except ValueError:
+    if not env.strip():
         return 1
+    return _validate_jobs(env, "REPRO_JOBS")
+
+
+# ----------------------------------------------------------------------
+# sweep planning and introspection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MapInfo:
+    """How the most recent :func:`map_sweep` actually executed."""
+
+    mode: str                   # "serial" | "parallel"
+    reason: str | None          # why serial (None when parallel)
+    jobs_requested: int
+    jobs_used: int
+    items: int
+    chunk_size: int | None      # None on the serial path
+
+    def as_dict(self) -> dict:
+        return {"mode": self.mode, "reason": self.reason,
+                "jobs_requested": self.jobs_requested,
+                "jobs_used": self.jobs_used, "items": self.items,
+                "chunk_size": self.chunk_size}
+
+
+_last_map_info: MapInfo | None = None
+
+
+def last_map_info() -> MapInfo | None:
+    """The :class:`MapInfo` of the most recent sweep, if any."""
+    return _last_map_info
+
+
+def plan_jobs(n_items: int, jobs: int | None = None, *,
+              oversubscribe: bool = False) -> tuple[int, str | None]:
+    """Decide how a sweep of *n_items* should execute.
+
+    Returns ``(worker_count, reason)``: 1 worker means serial, and
+    *reason* says why.  ``oversubscribe=True`` skips the single-CPU
+    check (tests exercise the pool protocol on one-core machines).
+    """
+    n_jobs = default_jobs() if jobs is None else _validate_jobs(
+        jobs, "jobs")
+    if n_jobs <= 1:
+        return 1, "serial requested (jobs=1)"
+    if n_items <= 1:
+        return 1, f"{n_items} grid point(s): nothing to fan out"
+    if not oversubscribe and (os.cpu_count() or 1) == 1:
+        return 1, "single CPU: worker processes cannot run concurrently"
+    fitting = n_items // MIN_ITEMS_PER_JOB
+    if fitting <= 1:
+        return 1, (f"{n_items} points across {n_jobs} workers is below "
+                   f"the {MIN_ITEMS_PER_JOB}-points-per-worker "
+                   "threshold")
+    return min(n_jobs, fitting, n_items), None
+
+
+# ----------------------------------------------------------------------
+# the persistent pool
+# ----------------------------------------------------------------------
+
+_pool = None
+_pool_key: tuple | None = None
+_shared_cache_dir: str | None = None
+
+
+def _prime_shared_cache() -> tuple[bool, str | None]:
+    """Cache configuration the workers should mirror.
+
+    When caching is enabled but memory-only, attach a session-scoped
+    disk tier to the global cache and flush what the parent already
+    solved — freshly started workers then prime their own caches from
+    disk (shared skeletons, shared payloads) instead of rebuilding
+    per point.
+    """
+    global _shared_cache_dir
+    from repro.perf import cache as _cache
+    if not _cache.cache_enabled():
+        return False, None
+    store = _cache.get_cache()
+    if store.directory is None:
+        if _shared_cache_dir is None:
+            _shared_cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+            atexit.register(shutil.rmtree, _shared_cache_dir,
+                            ignore_errors=True)
+        store.attach_directory(_shared_cache_dir)
+    return True, str(store.directory)
+
+
+def _worker_init(cache_on: bool, cache_dir: str | None) -> None:
+    """Runs once per worker process: mirror the parent's cache setup
+    and pay the heavy imports before the first task arrives."""
+    from repro.perf import cache as _cache
+    if not cache_on:
+        _cache.set_cache_enabled(False)
+    else:
+        _cache.configure_cache(directory=cache_dir)
+    try:
+        import repro.gtpn.sweep        # noqa: F401
+    except ImportError:                                # pragma: no cover
+        pass
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (atexit, tests)."""
+    global _pool, _pool_key
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_key = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _get_pool(n_jobs: int):
+    global _pool, _pool_key
+    cache_on, cache_dir = _prime_shared_cache()
+    key = (n_jobs, cache_on, cache_dir)
+    if _pool is not None and _pool_key != key:
+        shutdown_pool()
+    if _pool is None:
+        from concurrent.futures import ProcessPoolExecutor
+        _pool = ProcessPoolExecutor(max_workers=n_jobs,
+                                    initializer=_worker_init,
+                                    initargs=(cache_on, cache_dir))
+        _pool_key = key
+    return _pool
 
 
 def _call_star(payload: tuple[Callable, tuple]) -> object:
@@ -58,39 +243,56 @@ def _call_star(payload: tuple[Callable, tuple]) -> object:
 
 def map_sweep(fn: Callable[..., R], items: Iterable[T], *,
               jobs: int | None = None, star: bool = False,
-              chunksize: int = 1) -> list[R]:
+              chunksize: int | None = None,
+              oversubscribe: bool = False) -> list[R]:
     """Map *fn* over *items*, in order, possibly across processes.
 
     ``star=True`` unpacks each item as positional arguments
     (``fn(*item)``); otherwise each item is passed whole (``fn(item)``).
-    ``jobs=None`` uses :func:`default_jobs`.  With one job, one item, or
-    an unusable pool the map runs serially in-process.
+    ``jobs=None`` uses :func:`default_jobs`.  The sweep is planned via
+    :func:`plan_jobs` (serial fallback on small grids or one CPU) and
+    chunked to ``ceil(items / (workers * CHUNK_WAVES))`` unless
+    *chunksize* is given; :func:`last_map_info` reports what happened.
+    An unusable pool (unpicklable work, no fork support) falls back to
+    the serial path; exceptions raised by *fn* itself propagate.
     """
+    global _last_map_info
     work: Sequence[T] = list(items)
-    n_jobs = default_jobs() if jobs is None else jobs
-    if n_jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {n_jobs}")
-    n_jobs = min(n_jobs, len(work))
+    jobs_requested = default_jobs() if jobs is None else _validate_jobs(
+        jobs, "jobs")
+    n_jobs, reason = plan_jobs(len(work), jobs_requested,
+                               oversubscribe=oversubscribe)
     if n_jobs > 1:
+        chunk = chunksize if chunksize else max(
+            1, math.ceil(len(work) / (n_jobs * CHUNK_WAVES)))
         try:
-            return _map_parallel(fn, work, n_jobs, star, chunksize)
+            results = _map_parallel(fn, work, n_jobs, star, chunk)
         except (OSError, pickle.PicklingError, ImportError,
                 _BrokenPool, TypeError, AttributeError):
             # pool unavailable or work not shippable: solve in-process.
             # Genuine errors raised by fn re-raise from the serial pass.
-            pass
+            reason = "worker pool unavailable (unpicklable work or " \
+                     "no process support)"
+        else:
+            _last_map_info = MapInfo("parallel", None, jobs_requested,
+                                     n_jobs, len(work), chunk)
+            return results
+    _last_map_info = MapInfo("serial", reason, jobs_requested, 1,
+                             len(work), None)
     if star:
         return [fn(*item) for item in work]
     return [fn(item) for item in work]
 
 
 def _map_parallel(fn, work, n_jobs, star, chunksize):
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+    pool = _get_pool(n_jobs)
+    try:
         if star:
             payloads = [(fn, item) for item in work]
             futures = pool.map(_call_star, payloads, chunksize=chunksize)
         else:
             futures = pool.map(fn, work, chunksize=chunksize)
         return list(futures)
+    except _BrokenPool:
+        shutdown_pool()         # a dead pool never comes back; rebuild
+        raise

@@ -103,3 +103,34 @@ def test_chaos_subcommand_renders_sweep(capsys):
 def test_chaos_rejects_bad_loss_rate(capsys):
     assert main(["chaos", "--loss", "1.5"]) == 1
     assert "outside [0, 1]" in capsys.readouterr().err
+
+
+def test_profile_writes_dump_and_summary(tmp_path, capsys):
+    assert main(["--profile", "run", "table-5.1",
+                 "--save", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    prof = tmp_path / "table-5.1.prof"
+    summary = tmp_path / "table-5.1.profile.txt"
+    assert prof.exists() and summary.exists()
+    # a real pstats dump, with the top-20 cumulative summary
+    import pstats
+    pstats.Stats(str(prof))
+    text = summary.read_text()
+    assert "cumulative" in text
+
+
+def test_profile_defaults_to_cwd(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["--profile", "run", "table-5.1"]) == 0
+    assert (tmp_path / "table-5.1.prof").exists()
+    assert (tmp_path / "table-5.1.profile.txt").exists()
+
+
+def test_jobs_flag_rejects_bad_values(capsys):
+    with pytest.raises(SystemExit):
+        main(["--jobs", "0", "list"])
+    assert "--jobs must be >= 1" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["--jobs", "four", "list"])
+    assert "invalid int value" in capsys.readouterr().err

@@ -116,11 +116,15 @@ def test_disk_tier_shares_solves(tmp_path):
     assert np.array_equal(warm.pi, cold.pi)
 
 
-def test_corrupt_disk_entry_is_a_miss(tmp_path):
+@pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b""])
+def test_corrupt_disk_entry_is_a_miss(tmp_path, junk):
+    # different corruption shapes raise different exceptions from
+    # pickle.load (UnpicklingError, ValueError, EOFError); all must
+    # read as a miss, never an error
     cache = AnalysisCache(directory=tmp_path)
     analyze(_cycle_net(), cache=cache)
     for entry in tmp_path.glob("analysis-*.pkl"):
-        entry.write_bytes(b"not a pickle")
+        entry.write_bytes(junk)
     fresh = AnalysisCache(directory=tmp_path)
     result = analyze(_cycle_net(), cache=fresh)
     assert result.throughput() > 0
