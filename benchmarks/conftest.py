@@ -51,8 +51,10 @@ def perf_record():
     """
 
     def recorder(**fields):
+        from repro.config import resolved_config
         record = {"jobs": None, "chunk_size": None,
-                  "pool_efficiency": None}
+                  "pool_efficiency": None,
+                  "config": resolved_config().as_dict()}
         record.update(fields)
         _PERF_RECORDS.append(record)
 

@@ -1,0 +1,152 @@
+"""The front-door experiment API: one call, one traced, configured run.
+
+:func:`run_experiment` is the single entry point every consumer —
+the CLI, the benchmarks, tests, notebooks — goes through to execute a
+registered experiment:
+
+    from repro import api
+
+    result = api.run_experiment("figure-6.7", jobs=4, trace="out.json")
+    result.artifact.render()
+    result.obs_summary["counters"]
+
+Keyword arguments mirror the CLI flags exactly (``seed`` ↔ ``--seed``,
+``jobs`` ↔ ``--jobs``, ``cache=False`` ↔ ``--no-cache``) and are
+applied through scoped :func:`repro.config.overrides`, so the run sees
+the same precedence as a CLI invocation and nothing leaks afterwards.
+``fault_plan`` installs a default :class:`~repro.faults.plan.FaultPlan`
+every kernel-simulator system in the run is built under — the chaos
+CLI path is just a plan plus an experiment id.
+
+``trace=PATH`` records the run with :mod:`repro.obs` and writes both
+exports: a Chrome-trace JSON at *PATH* and the versioned JSONL stream
+next to it.  The resolved configuration snapshot rides in both
+headers.  Tracing never changes computed values (the bit-identity
+contract of :mod:`repro.obs`).
+
+The historical entry point
+:func:`repro.experiments.registry.run_experiment` still works but
+emits a :class:`DeprecationWarning` and delegates here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import config, obs
+from repro.obs.clock import perf_now
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.recorder import Recorder
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one front-door run produced.
+
+    ``artifact`` is the renderable :class:`~repro.experiments.\
+    reporting.Table` / :class:`~repro.experiments.reporting.Figure`;
+    ``values`` is its plain-data payload (table rows / figure series)
+    for programmatic use.  ``obs_summary`` and ``trace_paths`` are
+    populated only when the run was traced.
+    """
+
+    experiment_id: str
+    kind: str                           # "table" | "figure"
+    title: str
+    artifact: Any
+    values: Any
+    config: dict                        # resolved-config snapshot
+    elapsed_s: float
+    obs_summary: dict | None = None
+    trace_paths: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        return self.artifact.render()
+
+
+def _artifact_values(artifact) -> Any:
+    """The artifact's plain-data payload (rows for tables, series
+    points for figures)."""
+    rows = getattr(artifact, "rows", None)
+    if rows is not None:
+        return [list(row) for row in rows]
+    series = getattr(artifact, "series", None)
+    if series is not None:
+        return {s.label: list(zip(s.x, s.y)) for s in series}
+    return None
+
+
+def _trace_targets(trace: str | Path) -> tuple[Path, Path]:
+    """``(chrome_path, jsonl_path)`` for a ``--trace`` argument.
+
+    A ``.jsonl`` argument puts the JSONL stream there and the Chrome
+    trace at ``.json``; anything else is the Chrome trace with the
+    JSONL stream as a ``.jsonl`` sibling.
+    """
+    path = Path(trace)
+    if path.suffix == ".jsonl":
+        return path.with_suffix(".json"), path
+    return path, path.with_suffix(".jsonl")
+
+
+def run_traced(label: str, fn: Callable[[], Any], *,
+               trace: str | Path | None = None,
+               ) -> tuple[Any, dict | None, tuple[str, ...]]:
+    """Run ``fn()`` under the observability layer, exporting if asked.
+
+    Returns ``(value, obs_summary, trace_paths)``.  With ``trace=None``
+    this adds nothing: no recorder is installed (an outer one, e.g. a
+    parent ``recording()`` block, keeps collecting) and the summary is
+    ``None``.
+    """
+    if trace is None:
+        return fn(), None, ()
+    chrome_path, jsonl_path = _trace_targets(trace)
+    recorder = Recorder()
+    with obs.recording(recorder):
+        with obs.span(label):
+            value = fn()
+        snapshot = config.resolved_config().as_dict()
+        write_chrome_trace(recorder, chrome_path, snapshot)
+        write_jsonl(recorder, jsonl_path, snapshot)
+        summary = recorder.summary()
+    return value, summary, (str(chrome_path), str(jsonl_path))
+
+
+def run_experiment(experiment_id: str, *, seed: int | None = None,
+                   jobs: int | None = None, cache: bool | None = None,
+                   fault_plan=None,
+                   trace: str | Path | None = None) -> ExperimentResult:
+    """Run one registered experiment with scoped configuration.
+
+    ``seed``/``jobs``/``cache`` default to ``None`` = "whatever the
+    surrounding CLI/env configuration says"; a non-``None`` value takes
+    CLI precedence for this run only.  ``fault_plan`` makes every
+    kernel-simulator system in the run honour the plan (chaos through
+    the front door).  ``trace`` writes the Chrome-trace + JSONL pair.
+    """
+    from repro.experiments.registry import get_experiment
+    experiment = get_experiment(experiment_id)
+    kwargs: dict = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if jobs is not None:
+        kwargs["jobs"] = jobs
+    if cache is not None:
+        kwargs["cache_enabled"] = cache
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
+    with config.overrides(**kwargs):
+        snapshot = config.resolved_config().as_dict()
+        started = perf_now()
+        artifact, summary, trace_paths = run_traced(
+            f"experiment:{experiment_id}", experiment.run, trace=trace)
+        elapsed = perf_now() - started
+    return ExperimentResult(
+        experiment_id=experiment_id, kind=experiment.kind,
+        title=experiment.title, artifact=artifact,
+        values=_artifact_values(artifact), config=snapshot,
+        elapsed_s=elapsed, obs_summary=summary,
+        trace_paths=trace_paths)

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.bus.arbitration import Arbiter
 from repro.bus.transactions import (DEFAULT_EDGE_TIME_US, BusOperation,
                                     OpKind, TraceEvent, simple_edges,
                                     streaming_segments)
 from repro.errors import BusError
 from repro.memory.controller import Direction, SmartMemoryController
+from repro.obs.metrics import busy_fraction
 
 
 @dataclass
@@ -173,11 +175,21 @@ class SmartBusFabric:
         self.trace.append(TraceEvent(time=self._now, master=unit,
                                      action=action, edges=edges,
                                      detail=detail))
+        obs.add("bus.edges", edges)
         self._now += edges * self.edge_time_us
         if state.done:
             op.complete_time = self._now
             self._queues[unit].pop(0)
             self.completed.append(op)
+            recorder = obs.current()
+            if recorder is not None:
+                recorder.event("bus.op", {
+                    "unit": op.unit, "kind": op.kind.value,
+                    "issue_us": op.issue_time,
+                    "start_us": op.start_time,
+                    "complete_us": op.complete_time,
+                    "wait_us": op.start_time - op.issue_time,
+                    "preemptions": op.preemptions})
 
     def _perform_simple(self, op: BusOperation):
         controller = self.controller
@@ -205,6 +217,4 @@ class SmartBusFabric:
 
     def utilization(self) -> float:
         """Fraction of elapsed time the bus carried a tenure."""
-        if self._now == 0:
-            return 0.0
-        return self.busy_time_us / self._now
+        return busy_fraction(self.busy_time_us, self._now)

@@ -1,4 +1,10 @@
-"""Bus trace aggregation and statistics."""
+"""Bus trace aggregation and statistics.
+
+Busy-time accounting runs through the shared
+:class:`~repro.obs.metrics.BusyLedger` — the same type the kernel's
+processors charge — so a bus unit's busy fraction and a processor's
+``busy_by_label`` come from one code path.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.bus.bus import SmartBusFabric
 from repro.bus.transactions import TraceEvent
+from repro.obs.metrics import BusyLedger
 
 
 @dataclass
@@ -28,7 +35,16 @@ class BusMonitor:
     def trace(self) -> list[TraceEvent]:
         return self.fabric.trace
 
+    def busy_ledger(self) -> BusyLedger:
+        """Per-unit busy time on the shared accounting ledger."""
+        ledger = BusyLedger()
+        for event in self.trace:
+            ledger.charge(event.master,
+                          event.edges * self.fabric.edge_time_us)
+        return ledger
+
     def unit_stats(self) -> dict[str, UnitStats]:
+        ledger = self.busy_ledger()
         stats: dict[str, UnitStats] = {}
         for event in self.trace:
             entry = stats.get(event.master)
@@ -38,7 +54,8 @@ class BusMonitor:
                 stats[event.master] = entry
             entry.tenures += 1
             entry.edges += event.edges
-            entry.busy_time_us += event.edges * self.fabric.edge_time_us
+        for name, entry in stats.items():
+            entry.busy_time_us = ledger.by_label[name]
         return stats
 
     def action_counts(self) -> dict[str, int]:

@@ -1,4 +1,4 @@
-"""Command-line interface: list and run reproduction experiments.
+"""Command-line interface: list, run, trace, and summarise experiments.
 
 Usage::
 
@@ -7,6 +7,8 @@ Usage::
     python -m repro run --all [--heavy]
     python -m repro --jobs 8 run figure-6.18
     python -m repro --no-cache run figure-6.7
+    python -m repro --trace out.json run figure-6.7
+    python -m repro stats out.jsonl
     python -m repro --seed 7 chaos --loss 0.01 0.05
     python -m repro solve --arch II --mode local -n 4 -x 2850
 
@@ -16,22 +18,30 @@ disables the content-addressed analysis cache (``REPRO_CACHE_DIR``
 enables its on-disk tier).  Neither flag changes any computed value.
 ``--seed N`` sets the default seed of every stochastic component
 (``REPRO_SEED`` sets the same default); runs are deterministic either
-way, the seed just selects which deterministic run.
+way, the seed just selects which deterministic run.  Flag/env/default
+precedence for all of these is resolved in :mod:`repro.config`.
+``--trace PATH`` records the run with :mod:`repro.obs` and writes a
+Chrome-trace JSON at PATH plus the versioned JSONL stream next to it;
+``repro stats`` summarises such a JSONL file afterwards.
 ``--profile`` wraps each experiment in :mod:`cProfile` and writes a
 pstats dump plus a top-20-by-cumulative-time summary next to the
 experiment output (the ``--save`` directory when given, else the
 working directory).
+
+Every experiment execution goes through
+:func:`repro.api.run_experiment` — the CLI is a thin argument parser
+over the front-door API.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 
+from repro import api, config
 from repro.errors import ReproError
-from repro.experiments import (REGISTRY, all_experiment_ids,
-                               run_experiment)
+from repro.experiments import REGISTRY, all_experiment_ids
 from repro.models import Architecture, Mode, solve
 
 
@@ -59,7 +69,6 @@ def maybe_profile(args: argparse.Namespace, label: str, fn):
     import cProfile
     import io
     import pstats
-    from pathlib import Path
 
     profiler = cProfile.Profile()
     result = profiler.runcall(fn)
@@ -76,6 +85,20 @@ def maybe_profile(args: argparse.Namespace, label: str, fn):
     return result
 
 
+def _trace_path_for(trace: str | None, experiment_id: str,
+                    many: bool) -> str | None:
+    """Per-experiment trace target: ``--trace`` verbatim for a single
+    run, ``<stem>-<id><suffix>`` when several experiments share one
+    invocation (so traces don't overwrite each other)."""
+    if trace is None:
+        return None
+    if not many:
+        return trace
+    path = Path(trace)
+    safe = experiment_id.replace("/", "_")
+    return str(path.with_name(f"{path.stem}-{safe}{path.suffix}"))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = list(args.ids)
     if args.all:
@@ -85,16 +108,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     for experiment_id in ids:
-        started = time.perf_counter()
-        artifact = maybe_profile(
+        trace = _trace_path_for(args.trace, experiment_id,
+                                many=len(ids) > 1)
+        result = maybe_profile(
             args, experiment_id,
-            lambda: run_experiment(experiment_id))
-        elapsed = time.perf_counter() - started
-        print(artifact.render())
-        print(f"[{experiment_id} in {elapsed:.1f}s]")
+            lambda: api.run_experiment(experiment_id, trace=trace))
+        print(result.render())
+        print(f"[{experiment_id} in {result.elapsed_s:.1f}s]")
+        if result.trace_paths:
+            print("trace: " + ", ".join(result.trace_paths))
         if args.save:
             from repro.experiments.io import save_artifact
-            paths = save_artifact(artifact, args.save)
+            paths = save_artifact(result.artifact, args.save)
             print("saved: " + ", ".join(str(p) for p in paths))
         print()
     return 0
@@ -115,6 +140,124 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import (DEFAULT_ARCHITECTURES,
+                                    DEFAULT_LOSS_RATES, sweep_table)
+    architectures = tuple(Architecture[a] for a in args.arch) \
+        if args.arch else DEFAULT_ARCHITECTURES
+    loss_rates = tuple(args.loss) if args.loss is not None \
+        else DEFAULT_LOSS_RATES
+    for rate in loss_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ReproError(f"loss rate {rate} outside [0, 1]")
+    table, summary, trace_paths = maybe_profile(
+        args, "chaos-sweep",
+        lambda: api.run_traced(
+            "experiment:chaos-sweep",
+            lambda: sweep_table(architectures, loss_rates,
+                                conversations=args.conversations,
+                                mean_compute=args.compute,
+                                measure_us=args.measure),
+            trace=args.trace))
+    print(table.render())
+    if trace_paths:
+        print("trace: " + ", ".join(trace_paths))
+    return 0
+
+
+def _cmd_scoreboard(_args: argparse.Namespace) -> int:
+    from repro.experiments.scoreboard import run_scoreboard
+    table = run_scoreboard()
+    print(table.render())
+    failing = [row for row in table.rows if row[3] == "FAIL"]
+    return 1 if failing else 0
+
+
+# ----------------------------------------------------------------------
+# stats: summarise a recorded JSONL trace
+# ----------------------------------------------------------------------
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_jsonl, validate_jsonl
+    header = validate_jsonl(args.trace)
+    _header, records = read_jsonl(args.trace)
+    print(f"{args.trace}: schema {header['schema']}")
+    run_config = header.get("config") or {}
+    if run_config:
+        print("config: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(
+                run_config.items()) if not key.endswith("_source")))
+
+    span_totals: dict[str, tuple[int, float]] = {}
+    counters: dict[str, float] = {}
+    work_busy: dict[tuple[str, str], float] = {}
+    ledger_busy: dict[tuple[str, str], float] = {}
+    for record in records:
+        kind = record["type"]
+        if kind == "span":
+            count, total = span_totals.get(record["name"], (0, 0.0))
+            span_totals[record["name"]] = (
+                count + 1,
+                total + record["end_s"] - record["start_s"])
+        elif kind == "counter":
+            counters[record["name"]] = counters.get(
+                record["name"], 0.0) + record["value"]
+        elif kind == "event":
+            attrs = record.get("attrs", {})
+            if record["name"] == "kernel.work":
+                key = (attrs["processor"], attrs["label"])
+                work_busy[key] = work_busy.get(key, 0.0) \
+                    + attrs["duration_us"]
+            elif record["name"] == "kernel.busy_by_label":
+                key = (attrs["processor"], attrs["label"])
+                ledger_busy[key] = attrs["busy_us"]
+
+    top = sorted(span_totals.items(), key=lambda item: item[1][1],
+                 reverse=True)[:args.top]
+    if top:
+        print("\ntop spans (by total wall time):")
+        for name, (count, total) in top:
+            print(f"  {name:<28} {count:>6} x  {total * 1e3:10.2f} ms")
+    if counters:
+        print("\ncounters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<32} {value:>12g}")
+
+    if work_busy or ledger_busy:
+        by_processor: dict[str, float] = {}
+        for (processor, _label), busy in work_busy.items():
+            by_processor[processor] = by_processor.get(processor, 0.0) \
+                + busy
+        print("\nper-processor busy (sim-time us, from kernel.work):")
+        for processor, busy in sorted(by_processor.items()):
+            print(f"  {processor:<24} {busy:12.1f}")
+        if ledger_busy:
+            mismatches = _reconcile(work_busy, ledger_busy)
+            if mismatches:
+                print("\nbusy_by_label reconciliation FAILED:")
+                for line in mismatches:
+                    print(f"  {line}")
+                return 1
+            print("busy_by_label reconciliation: OK "
+                  f"({len(ledger_busy)} (processor, label) entries "
+                  "match)")
+    return 0
+
+
+def _reconcile(work_busy: dict, ledger_busy: dict,
+               tolerance: float = 1e-6) -> list[str]:
+    """Compare per-(processor, label) sums of the two trace
+    accountings; returns human-readable mismatch lines (empty = OK)."""
+    problems = []
+    for key, expected in sorted(ledger_busy.items()):
+        actual = work_busy.get(key, 0.0)
+        if abs(actual - expected) > tolerance * max(1.0, abs(expected)):
+            problems.append(
+                f"{key[0]}/{key[1]}: trace {actual:.3f} us vs ledger "
+                f"{expected:.3f} us")
+    return problems
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, metavar="N",
         help="default seed for every stochastic component (default: "
              "REPRO_SEED or each component's own)")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record the run with repro.obs: Chrome-trace JSON at "
+             "PATH, versioned JSONL next to it")
     parser.add_argument(
         "--profile", action="store_true",
         help="profile each experiment with cProfile; writes a pstats "
@@ -190,35 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--measure", type=float, default=600_000.0, metavar="US",
         help="measurement window after warmup (us)")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="summarise a recorded JSONL trace (top spans, counters, "
+             "busy reconciliation)")
+    p_stats.add_argument("trace", help="JSONL trace file (--trace "
+                                       "writes one next to the Chrome "
+                                       "trace)")
+    p_stats.add_argument("--top", type=int, default=10, metavar="N",
+                         help="span names to show (default 10)")
+    p_stats.set_defaults(fn=_cmd_stats)
     return parser
-
-
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.chaos import (DEFAULT_ARCHITECTURES,
-                                    DEFAULT_LOSS_RATES, sweep_table)
-    architectures = tuple(Architecture[a] for a in args.arch) \
-        if args.arch else DEFAULT_ARCHITECTURES
-    loss_rates = tuple(args.loss) if args.loss is not None \
-        else DEFAULT_LOSS_RATES
-    for rate in loss_rates:
-        if not 0.0 <= rate <= 1.0:
-            raise ReproError(f"loss rate {rate} outside [0, 1]")
-    table = maybe_profile(
-        args, "chaos-sweep",
-        lambda: sweep_table(architectures, loss_rates,
-                            conversations=args.conversations,
-                            mean_compute=args.compute,
-                            measure_us=args.measure))
-    print(table.render())
-    return 0
-
-
-def _cmd_scoreboard(_args: argparse.Namespace) -> int:
-    from repro.experiments.scoreboard import run_scoreboard
-    table = run_scoreboard()
-    print(table.render())
-    failing = [row for row in table.rows if row[3] == "FAIL"]
-    return 1 if failing else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -227,14 +357,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs is not None:
         if args.jobs < 1:
             parser.error("--jobs must be >= 1")
-        from repro.perf import set_default_jobs
-        set_default_jobs(args.jobs)
+        config.set_jobs(args.jobs)
     if args.no_cache:
-        from repro.perf import set_cache_enabled
-        set_cache_enabled(False)
+        config.set_cache_enabled(False)
     if args.seed is not None:
-        from repro.seeding import set_default_seed
-        set_default_seed(args.seed)
+        config.set_seed(args.seed)
     try:
         return args.fn(args)
     except ReproError as error:

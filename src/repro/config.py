@@ -1,0 +1,253 @@
+"""One home for run configuration: CLI flag > environment > default.
+
+Every knob the toolkit reads from the outside world resolves here,
+with a single precedence rule:
+
+===============  ==================  =================  =============
+knob             CLI flag            environment        default
+===============  ==================  =================  =============
+worker count     ``--jobs N``        ``REPRO_JOBS``     1 (serial)
+seed             ``--seed N``        ``REPRO_SEED``     per-component
+analysis cache   ``--no-cache``      ``REPRO_NO_CACHE`` enabled
+cache directory  (none)              ``REPRO_CACHE_DIR``  memory-only
+===============  ==================  =================  =============
+
+The historical entry points (:func:`repro.perf.pool.set_default_jobs`,
+:func:`repro.seeding.set_default_seed`,
+:func:`repro.perf.cache.set_cache_enabled`) delegate to the setters
+below, so precedence lives in exactly one place; error behaviour is
+unchanged (malformed ``REPRO_JOBS`` raises
+:class:`~repro.errors.ConfigError`, malformed ``REPRO_SEED`` raises
+``ValueError`` — a user who exported either wanted an effect, and a
+silent fallback hides the typo).
+
+:func:`resolved_config` snapshots what actually applies *and where
+each value came from*; the snapshot is written into every trace header
+(:mod:`repro.obs.export`) and every ``BENCH_perf.json`` record, so a
+recorded run says how it was configured.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigError
+
+_UNSET = object()
+
+_cli_jobs: int | None = None
+_cli_seed: int | None = None
+#: tri-state: None = not set on the CLI, True/False = CLI decision
+_cli_cache_enabled: bool | None = None
+#: process-wide default fault plan (see ``repro.api.run_experiment``)
+_default_fault_plan = None
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+
+def validate_jobs(value, source: str) -> int:
+    """A positive int, or :class:`ConfigError` naming the bad source."""
+    if not isinstance(value, bool) and isinstance(value, int):
+        jobs = value
+    else:
+        try:
+            jobs = int(str(value).strip())
+        except ValueError:
+            raise ConfigError(
+                f"{source} must be a positive integer, "
+                f"got {value!r}") from None
+    if jobs < 1:
+        raise ConfigError(
+            f"{source} must be a positive integer, got {value!r}")
+    return jobs
+
+
+def set_jobs(jobs: int | None) -> None:
+    """Install the CLI worker count (``None`` reverts to env/default)."""
+    global _cli_jobs
+    if jobs is not None:
+        jobs = validate_jobs(jobs, "jobs")
+    _cli_jobs = jobs
+
+
+def jobs() -> int:
+    """Resolved worker count: CLI > ``REPRO_JOBS`` > 1 (serial)."""
+    return _resolve_jobs()[0]
+
+
+def _resolve_jobs() -> tuple[int, str]:
+    if _cli_jobs is not None:
+        return _cli_jobs, "cli"
+    env = os.environ.get("REPRO_JOBS", "")
+    if env.strip():
+        return validate_jobs(env, "REPRO_JOBS"), "env"
+    return 1, "default"
+
+
+# ----------------------------------------------------------------------
+# seed
+# ----------------------------------------------------------------------
+
+def set_seed(seed: int | None) -> None:
+    """Install the CLI default seed (``None`` reverts to env/default)."""
+    global _cli_seed
+    if seed is not None and not isinstance(seed, int):
+        raise ValueError(f"seed must be an int or None, got {seed!r}")
+    _cli_seed = seed
+
+
+def seed() -> int | None:
+    """Resolved default seed: CLI > ``REPRO_SEED`` > ``None``."""
+    return _resolve_seed()[0]
+
+
+def _resolve_seed() -> tuple[int | None, str]:
+    if _cli_seed is not None:
+        return _cli_seed, "cli"
+    env = os.environ.get("REPRO_SEED", "")
+    if env:
+        try:
+            return int(env), "env"
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SEED must be an integer, got {env!r}") from None
+    return None, "default"
+
+
+# ----------------------------------------------------------------------
+# analysis cache
+# ----------------------------------------------------------------------
+
+def set_cache_enabled(enabled: bool) -> None:
+    """The CLI cache switch (``--no-cache`` passes ``False``).
+
+    ``REPRO_NO_CACHE=1`` still disables the cache even after
+    ``set_cache_enabled(True)``: both switches are kill switches, and
+    either one disabling wins — the only *enabling* path is the
+    default.
+    """
+    global _cli_cache_enabled
+    _cli_cache_enabled = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    """Resolved cache switch: any disable (CLI or env) wins."""
+    return _resolve_cache()[0]
+
+
+def _resolve_cache() -> tuple[bool, str]:
+    if _cli_cache_enabled is False:
+        return False, "cli"
+    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+        return False, "env"
+    if _cli_cache_enabled is True:
+        return True, "cli"
+    return True, "default"
+
+
+def cache_dir() -> str | None:
+    """The on-disk cache tier directory (``REPRO_CACHE_DIR``), if any."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+# ----------------------------------------------------------------------
+# default fault plan
+# ----------------------------------------------------------------------
+
+def set_default_fault_plan(plan) -> None:
+    """Install a fault plan every kernel-simulator system runs under.
+
+    Consulted by ``build_conversation_system`` when its caller passed
+    no explicit plan; ``None`` clears it.  Stored opaquely so the
+    config layer stays free of kernel imports.
+    """
+    global _default_fault_plan
+    _default_fault_plan = plan
+
+
+def default_fault_plan():
+    return _default_fault_plan
+
+
+def reset() -> None:
+    """Drop every CLI-level override (tests and fresh CLI entry)."""
+    global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
+    _cli_jobs = None
+    _cli_seed = None
+    _cli_cache_enabled = None
+    _default_fault_plan = None
+
+
+# ----------------------------------------------------------------------
+# scoped overrides
+# ----------------------------------------------------------------------
+
+@contextmanager
+def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
+              fault_plan=_UNSET):
+    """Apply CLI-level settings for one block, restoring on exit.
+
+    ``repro.api.run_experiment`` uses this so its keyword arguments
+    behave exactly like the matching CLI flags (same precedence, same
+    validation) without leaking into the rest of the process.  Passing
+    nothing leaves a knob untouched — including an override already
+    installed by the CLI.
+    """
+    global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
+    saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
+             _default_fault_plan)
+    try:
+        if jobs is not _UNSET:
+            set_jobs(jobs)
+        if seed is not _UNSET:
+            set_seed(seed)
+        if cache_enabled is not _UNSET and cache_enabled is not None:
+            set_cache_enabled(cache_enabled)
+        if fault_plan is not _UNSET:
+            set_default_fault_plan(fault_plan)
+        yield
+    finally:
+        (_cli_jobs, _cli_seed, _cli_cache_enabled,
+         _default_fault_plan) = saved
+
+
+# ----------------------------------------------------------------------
+# the snapshot
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResolvedConfig:
+    """What actually applies to a run, with per-knob provenance.
+
+    ``*_source`` is one of ``"cli"``, ``"env"``, ``"default"``.
+    """
+
+    jobs: int
+    jobs_source: str
+    seed: int | None
+    seed_source: str
+    cache_enabled: bool
+    cache_source: str
+    cache_dir: str | None
+    fault_plan: str | None      # repr of the active default plan
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def resolved_config() -> ResolvedConfig:
+    """Snapshot the configuration a run starting now would use."""
+    n_jobs, jobs_source = _resolve_jobs()
+    seed_value, seed_source = _resolve_seed()
+    cache_on, cache_source = _resolve_cache()
+    plan = _default_fault_plan
+    return ResolvedConfig(
+        jobs=n_jobs, jobs_source=jobs_source,
+        seed=seed_value, seed_source=seed_source,
+        cache_enabled=cache_on, cache_source=cache_source,
+        cache_dir=cache_dir(),
+        fault_plan=repr(plan) if plan is not None else None)

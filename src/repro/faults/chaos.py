@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.experiments.reporting import Figure, Series, Table
 from repro.faults.plan import FaultPlan
 from repro.faults.protocol import RetryPolicy
 from repro.faults.schedule import NodeOutage, PacketFaultSpec
+from repro.kernel.metrics import emit_busy_events
 from repro.kernel.workload import build_conversation_system
 from repro.models.params import Architecture, Mode
 from repro.perf.pool import last_map_info, map_sweep
@@ -102,7 +104,10 @@ def run_chaos_experiment(architecture: Architecture = Architecture.II,
     system, meter = build_conversation_system(
         architecture, mode, conversations, mean_compute, seed,
         faults=plan)
-    system.run_for(warmup_us + measure_us)
+    with obs.span("chaos.run", architecture=architecture.name,
+                  loss_rate=loss_rate):
+        system.run_for(warmup_us + measure_us)
+    emit_busy_events(system)
     start, end = warmup_us, warmup_us + measure_us
 
     completed = len(meter.window(start, end))
@@ -284,7 +289,10 @@ def outage_recovery_table(architecture: Architecture = Architecture.II,
     system, meter = build_conversation_system(
         architecture, Mode.NONLOCAL, conversations, 0.0, seed,
         faults=plan)
-    system.run_for(horizon_us)
+    with obs.span("chaos.run", architecture=architecture.name,
+                  outage=True):
+        system.run_for(horizon_us)
+    emit_busy_events(system)
     retransmissions = sum(node.transport.stats.retransmissions
                           for node in system.nodes.values())
     phases = [("before outage", 0.0, outage_start_us),

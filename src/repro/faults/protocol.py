@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.errors import KernelError
 from repro.kernel.transport import Transport
 
@@ -169,6 +170,7 @@ class ReliableTransport(Transport):
                            msg_id=msg_id)
         self._outstanding[(destination, seq)] = out
         self.stats.data_packets += 1
+        obs.add("transport.data_packet")
         self._transmit(out)
 
     def _transmit(self, out: _Outstanding) -> None:
@@ -204,6 +206,7 @@ class ReliableTransport(Transport):
         if out.attempt >= self.policy.max_retries:
             del self._outstanding[(out.destination, out.seq)]
             self.stats.giveups += 1
+            obs.add("transport.giveup")
             if out.on_giveup is not None:
                 out.on_giveup(
                     f"retry budget exhausted: {attempt + 1} "
@@ -211,6 +214,7 @@ class ReliableTransport(Transport):
             return
         out.attempt += 1
         self.stats.retransmissions += 1
+        obs.add("transport.retransmission")
         costs = self.node.costs(local=False)
         mp_cost = costs.process_send if out.kind == "send" \
             else costs.process_reply
@@ -230,6 +234,7 @@ class ReliableTransport(Transport):
             # duplicate: discard, but re-ack — the first ack may have
             # been the packet that was lost
             self.stats.duplicates_suppressed += 1
+            obs.add("transport.duplicate_suppressed")
             self.node.processors.ipc.submit(
                 costs.cleanup_client,
                 lambda: self._send_ack(source, seq),
@@ -247,6 +252,7 @@ class ReliableTransport(Transport):
         peer = self.node.system.node(source).transport
         costs = self.node.costs(local=False)
         self.stats.acks_sent += 1
+        obs.add("transport.ack_sent")
         self.node.processors.net_out.submit(
             costs.dma_out_reply,
             lambda: wire.transmit(
@@ -271,3 +277,4 @@ class ReliableTransport(Transport):
         out = self._outstanding.pop((destination, seq), None)
         if out is not None:
             self.stats.acks_received += 1
+            obs.add("transport.ack_received")

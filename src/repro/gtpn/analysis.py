@@ -22,6 +22,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.gtpn.markov import stationary_distribution
 from repro.gtpn.net import Net
 from repro.gtpn.reachability import (DEFAULT_MAX_STATES, ReachabilityGraph,
@@ -108,33 +109,40 @@ def analyze(net: Net, *, method: str = "auto",
     ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` and the CLI flags.
     Cached payloads are shared — treat results as read-only.
     """
-    store = cache if cache is not None else (
-        get_cache() if cache_enabled() else None)
-    key = None
-    closed = None
-    if store is not None:
-        fingerprint = fingerprint_net(net)
-        if fingerprint is not None:
-            key = (fingerprint.structure, fingerprint.timing, method)
-            payload = store.get(key)
-            if payload is not None:
-                net.validate()      # keep error behaviour of a solve
-                return _rebind(net, payload)
-    if key is not None:
-        # share the reachability build across every net with this
-        # structure (sweeps re-time the cached skeleton; a timing
-        # change that alters branch resolution rebuilds)
-        from repro.gtpn.sweep import acquire_graph
-        graph, closed = acquire_graph(net, fingerprint.structure,
-                                      max_states, store)
-    else:
-        graph = build_reachability_graph(net, max_states=max_states)
-    pi = stationary_distribution(graph, method=method,
-                                 closed_classes=closed)
-    result = AnalysisResult(net=net, graph=graph, pi=pi)
-    if key is not None:
-        store.put(key, _payload(result))
-    return result
+    with obs.span("gtpn.analyze", net=net.name, method=method) as root:
+        store = cache if cache is not None else (
+            get_cache() if cache_enabled() else None)
+        key = None
+        closed = None
+        if store is not None:
+            fingerprint = fingerprint_net(net)
+            if fingerprint is not None:
+                key = (fingerprint.structure, fingerprint.timing, method)
+                payload = store.get(key)
+                if payload is not None:
+                    net.validate()      # keep error behaviour of a solve
+                    root.set(outcome="cache-hit")
+                    return _rebind(net, payload)
+        if key is not None:
+            # share the reachability build across every net with this
+            # structure (sweeps re-time the cached skeleton; a timing
+            # change that alters branch resolution rebuilds)
+            from repro.gtpn.sweep import acquire_graph
+            with obs.span("gtpn.build"):
+                graph, closed = acquire_graph(net, fingerprint.structure,
+                                              max_states, store)
+        else:
+            with obs.span("gtpn.build"):
+                graph = build_reachability_graph(net,
+                                                 max_states=max_states)
+        with obs.span("gtpn.solve", states=graph.state_count):
+            pi = stationary_distribution(graph, method=method,
+                                         closed_classes=closed)
+        result = AnalysisResult(net=net, graph=graph, pi=pi)
+        if key is not None:
+            store.put(key, _payload(result))
+        root.set(outcome="solved", states=graph.state_count)
+        return result
 
 
 def _payload(result: AnalysisResult) -> dict:

@@ -40,16 +40,17 @@ Entry points:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from time import perf_counter
 from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.gtpn.net import Context, Net
 from repro.gtpn.reachability import (DEFAULT_MAX_STATES,
                                      ReachabilityGraph, _check_stochastic)
 from repro.gtpn.state import ExhaustiveResolver, State, TickEngine
+from repro.obs.clock import perf_now
 from repro.perf.cache import cache_enabled, fingerprint_net, get_cache
 
 _USE_GLOBAL = object()      # sentinel: "global cache when enabled"
@@ -430,11 +431,11 @@ class SweepSolver:
         if fingerprint is None:
             # uncacheable attribute: behave exactly like plain analyze
             self.stats.uncacheable += 1
-            started = perf_counter()
+            started = perf_now()
             result = self._analysis.analyze(
                 net, method=self.method, max_states=self.max_states,
                 cache=self.cache)
-            self.stats.build_s += perf_counter() - started
+            self.stats.build_s += perf_now() - started
             return result
         key = (fingerprint.structure, fingerprint.timing, self.method)
         if self.cache is not None:
@@ -444,12 +445,13 @@ class SweepSolver:
                 self.stats.payload_hits += 1
                 return self._analysis._rebind(net, payload)
         graph, closed = self._graph_for(net, fingerprint.structure)
-        started = perf_counter()
-        pi = self._analysis.stationary_distribution(
-            graph, method=self.method, closed_classes=closed)
+        started = perf_now()
+        with obs.span("gtpn.solve", states=graph.state_count):
+            pi = self._analysis.stationary_distribution(
+                graph, method=self.method, closed_classes=closed)
         result = self._analysis.AnalysisResult(net=net, graph=graph,
                                                pi=pi)
-        self.stats.solve_s += perf_counter() - started
+        self.stats.solve_s += perf_now() - started
         if self.cache is not None:
             self.cache.put(key, self._analysis._payload(result))
         return result
@@ -461,19 +463,22 @@ class SweepSolver:
             skeleton = self.cache.get_structure(structure)
         if skeleton is not None:
             try:
-                started = perf_counter()
-                graph = retime(skeleton, net,
-                               max_states=self.max_states)
-                self.stats.retime_s += perf_counter() - started
+                started = perf_now()
+                with obs.span("gtpn.retime"):
+                    graph = retime(skeleton, net,
+                                   max_states=self.max_states)
+                self.stats.retime_s += perf_now() - started
                 self.stats.points_retimed += 1
                 self._skeletons[structure] = skeleton
                 return graph, skeleton.closed_classes
             except SkeletonMismatch:
                 self.stats.mismatches += 1
-        started = perf_counter()
-        graph, skeleton = traced_build(net, max_states=self.max_states,
-                                       structure=structure)
-        self.stats.build_s += perf_counter() - started
+        started = perf_now()
+        with obs.span("gtpn.build"):
+            graph, skeleton = traced_build(net,
+                                           max_states=self.max_states,
+                                           structure=structure)
+        self.stats.build_s += perf_now() - started
         self.stats.skeleton_builds += 1
         self._skeletons[structure] = skeleton
         if self.cache is not None:

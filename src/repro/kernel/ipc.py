@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.errors import KernelError
 from repro.kernel.messages import (AccessRight, MemoryReference, Message,
                                    MessageKind)
@@ -120,6 +121,7 @@ class IPCKernel:
         message.origin_node = self.node.name
         self.stats.sends += 1
         task.stats.sends += 1
+        obs.add("ipc.send")
         if expects_reply:
             self._pending_replies[message.msg_id] = _PendingReply(
                 task=task, on_reply=on_reply, local=local,
@@ -185,6 +187,7 @@ class IPCKernel:
         message.origin_node = self.node.name
         message.match_paid = True     # no separate match processing
         self.stats.sends += 1
+        obs.add("ipc.activate")
         costs = self.node.default_costs
         self.node.processors.ipc.submit(
             costs.process_send,
@@ -234,6 +237,7 @@ class IPCKernel:
         costs = self.node.default_costs
         self.stats.receives += 1
         task.stats.receives += 1
+        obs.add("ipc.receive")
         task.transition(TaskState.COMMUNICATING, sim.now)
         self.node.processors.host.submit(
             costs.syscall_receive,
@@ -323,6 +327,7 @@ class IPCKernel:
         costs = self.node.costs(local)
         self.stats.replies += 1
         task.stats.replies += 1
+        obs.add("ipc.reply")
         message.stamp("reply posted", sim.now)
         task.transition(TaskState.COMMUNICATING, sim.now)
         self.node.processors.host.submit(
@@ -376,6 +381,7 @@ class IPCKernel:
                 # the transport already failed this conversation; a
                 # straggler reply finally made it through — drop it
                 self.stats.late_replies += 1
+                obs.add("ipc.late_reply")
                 return
             raise KernelError(
                 f"no pending reply for message {message.msg_id}")

@@ -125,3 +125,25 @@ class ConversationMeter:
     @property
     def failure_count(self) -> int:
         return len(self.failures)
+
+
+def emit_busy_events(system) -> None:
+    """Record each processor's busy-by-label ledger into the trace.
+
+    Called at the end of a measured run so the trace carries the
+    authoritative ``busy_by_label`` accounting alongside the per-item
+    ``kernel.work`` stream; ``repro stats`` and the trace tests
+    reconcile the two (they are fed by the same completions, so the
+    per-(processor, label) sums match exactly).  No-op when tracing
+    is disabled.
+    """
+    from repro import obs
+    recorder = obs.current()
+    if recorder is None:
+        return
+    for node in system.nodes.values():
+        for proc in node.processors.everything:
+            for label, busy in proc.stats.busy_by_label.items():
+                recorder.event("kernel.busy_by_label", {
+                    "processor": proc.name, "label": label,
+                    "busy_us": busy})

@@ -18,8 +18,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import KernelError
 from repro.kernel.sim import Simulator
+from repro.obs.metrics import BusyLedger, busy_fraction
 
 
 @dataclass
@@ -39,22 +41,27 @@ class ProcessorStats:
 
     ``busy_by_label`` splits busy time by work-item label, so a run
     can report how many modelled cycles went to, e.g., protocol
-    retransmissions versus first-time send processing.
+    retransmissions versus first-time send processing.  The split is
+    kept on the shared :class:`~repro.obs.metrics.BusyLedger`, the
+    same accounting type the bus monitor uses.
     """
 
     busy_time: float = 0.0
     items_completed: int = 0
     urgent_items: int = 0
     queue_wait_time: float = 0.0
-    busy_by_label: dict[str, float] = field(default_factory=dict)
+    ledger: BusyLedger = field(default_factory=BusyLedger)
+
+    @property
+    def busy_by_label(self) -> dict[str, float]:
+        return self.ledger.by_label
 
     def utilization(self, elapsed: float) -> float:
-        return self.busy_time / elapsed if elapsed > 0 else 0.0
+        return busy_fraction(self.busy_time, elapsed)
 
     def labeled_time(self, prefix: str) -> float:
         """Total busy time of items whose label starts with *prefix*."""
-        return sum(time for label, time in self.busy_by_label.items()
-                   if label.startswith(prefix))
+        return self.ledger.labeled_time(prefix)
 
 
 class Processor:
@@ -120,20 +127,24 @@ class Processor:
         self.stats.busy_time += item.duration
         self.stats.items_completed += 1
         if item.label:
-            self.stats.busy_by_label[item.label] = \
-                self.stats.busy_by_label.get(item.label, 0.0) \
-                + item.duration
+            self.stats.ledger.charge(item.label, item.duration)
         if item.urgent:
             self.stats.urgent_items += 1
+        recorder = obs.current()
+        if recorder is not None:
+            # the same completion feeds both accountings, so summing
+            # trace durations per (processor, label) reconciles with
+            # busy_by_label exactly
+            recorder.sim_work(self.name, item.label or "(unlabeled)",
+                              self.sim.now - item.duration,
+                              item.duration, item.urgent)
         if item.action is not None:
             item.action()
         self._start_next()
 
     def utilization(self, elapsed: float) -> float:
         """Mean fraction of the server pool busy over *elapsed* us."""
-        if elapsed <= 0:
-            return 0.0
-        return self.stats.busy_time / (elapsed * self.servers)
+        return busy_fraction(self.stats.busy_time, elapsed, self.servers)
 
 
 @dataclass

@@ -13,9 +13,10 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import config, obs
 from repro.errors import WorkloadError
 from repro.kernel.messages import Message
-from repro.kernel.metrics import ConversationMeter
+from repro.kernel.metrics import ConversationMeter, emit_busy_events
 from repro.kernel.node import Node
 from repro.kernel.system import DistributedSystem
 from repro.kernel.tasks import Task
@@ -132,6 +133,8 @@ def build_conversation_system(architecture: Architecture, mode: Mode,
     """
     if conversations < 1:
         raise WorkloadError("need at least one conversation")
+    if faults is None:
+        faults = config.default_fault_plan()
     seed = resolve_seed(seed, fallback=0)
     system = DistributedSystem(architecture, faults=faults)
     meter = ConversationMeter()
@@ -173,7 +176,10 @@ def run_conversation_experiment(architecture: Architecture, mode: Mode,
     system, meter = build_conversation_system(
         architecture, mode, conversations, mean_compute, seed,
         hosts=hosts, faults=faults)
-    system.run_for(warmup_us + measure_us)
+    with obs.span("kernel.run", architecture=architecture.name,
+                  mode=mode.name, conversations=conversations):
+        system.run_for(warmup_us + measure_us)
+    emit_busy_events(system)
     start, end = warmup_us, warmup_us + measure_us
     utilization = {name: node.utilization(end)
                    for name, node in system.nodes.items()}

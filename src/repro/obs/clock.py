@@ -1,0 +1,22 @@
+"""The observability layer's wall clock.
+
+Every wall-clock measurement in the toolkit goes through
+:func:`perf_now` — the repository lint (CI and
+``tests/obs/test_clock_lint.py``) forbids direct
+``time.perf_counter()`` call sites outside :mod:`repro.obs`, so timing
+policy (what clock, what resolution) has exactly one home.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf_counter
+
+
+def perf_now() -> float:
+    """Seconds on the process-local monotonic performance clock.
+
+    Values are comparable only within one process; cross-process
+    records therefore carry their origin pid and per-process relative
+    timestamps (see :mod:`repro.obs.sink`).
+    """
+    return _perf_counter()

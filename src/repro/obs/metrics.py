@@ -1,0 +1,54 @@
+"""Shared busy-time accounting: one code path for every utilisation.
+
+Before this module, the kernel's processors (``busy_by_label``), the
+bus monitor's per-unit tenures, and the fabric's utilisation each
+implemented their own accumulate-and-divide arithmetic.  They now all
+run through :class:`BusyLedger` (label -> busy time accumulation) and
+:func:`busy_fraction` (busy / elapsed, server-pool aware), so a busy
+fraction means the same thing whether it came from a host processor, a
+DMA engine, or a bus unit — and ``repro stats`` can reconcile them
+against the trace's per-item records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def busy_fraction(busy: float, elapsed: float, servers: int = 1) -> float:
+    """Mean fraction of *servers* busy over *elapsed* time units.
+
+    Zero (not an error) on an empty interval, matching the historical
+    behaviour of every call site.
+    """
+    if elapsed <= 0:
+        return 0.0
+    return busy / (elapsed * servers)
+
+
+@dataclass
+class BusyLedger:
+    """Busy-time totals split by label, with an exact running sum.
+
+    ``charge`` is the single accounting entry point: the kernel charges
+    work-item labels, the bus monitor charges unit names.  The order of
+    charges is the order of completions, so ledger totals reproduce the
+    historical accumulation bit-for-bit.
+    """
+
+    by_label: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, label: str, duration: float) -> None:
+        self.by_label[label] = self.by_label.get(label, 0.0) + duration
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_label.values())
+
+    def labeled_time(self, prefix: str) -> float:
+        """Total time of labels starting with *prefix*."""
+        return sum(time for label, time in self.by_label.items()
+                   if label.startswith(prefix))
+
+    def fraction(self, elapsed: float, servers: int = 1) -> float:
+        return busy_fraction(self.total, elapsed, servers)

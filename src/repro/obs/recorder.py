@@ -1,0 +1,278 @@
+"""The structured recorder behind :mod:`repro.obs`.
+
+One :class:`Recorder` collects everything a run wants to tell the
+outside world:
+
+* **spans** — nested wall-clock intervals (``obs.span("gtpn.build",
+  net="arch-II")``), with parent/depth recorded so exporters can
+  reconstruct the call tree;
+* **counters** — monotonic sums (``obs.add("gtpn.cache.hit")``);
+* **gauges** — last-value-wins observations;
+* **events** — point records with arbitrary attributes, including the
+  kernel simulator's *sim-time* work items (:meth:`Recorder.sim_work`),
+  which carry simulated-microsecond timestamps instead of wall clock.
+
+The recorder never touches the values an experiment computes: it reads
+clocks and appends records, so installing one cannot perturb a figure
+(asserted by ``tests/obs/test_bit_identity.py``).  All mutation happens
+on plain lists/dicts in one thread — the simulator and the solvers are
+single-threaded; cross-process records arrive only via the merge path
+(:meth:`Recorder.merge`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs.clock import perf_now
+
+#: Version tag carried by every export; bump on any breaking change to
+#: the record shapes below (see DESIGN.md "Observability schema").
+SCHEMA_VERSION = "repro.obs/1"
+
+#: Event name under which processor work items are recorded; exporters
+#: and ``repro stats`` treat these as the sim-time busy breakdown.
+SIM_WORK_EVENT = "kernel.work"
+
+
+@dataclass
+class SpanRecord:
+    """One closed wall-clock interval."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float              # relative to the recorder's epoch
+    end_s: float
+    depth: int
+    pid: int
+    attrs: dict
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_record(self) -> dict:
+        return {"type": "span", "span_id": self.span_id,
+                "parent_id": self.parent_id, "name": self.name,
+                "start_s": self.start_s, "end_s": self.end_s,
+                "depth": self.depth, "pid": self.pid,
+                "attrs": self.attrs}
+
+
+@dataclass
+class EventRecord:
+    """One point-in-time record with free-form attributes."""
+
+    name: str
+    wall_s: float               # relative to the recorder's epoch
+    pid: int
+    attrs: dict
+
+    def as_record(self) -> dict:
+        return {"type": "event", "name": self.name,
+                "wall_s": self.wall_s, "pid": self.pid,
+                "attrs": self.attrs}
+
+
+class _SpanHandle:
+    """Context manager for one open span; ``set()`` adds attributes."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id",
+                 "depth", "start_s")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (state counts, ...)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._recorder._open_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._close_span(self)
+        return False
+
+
+class NullSpan:
+    """The disabled-tracing span: a shared, stateless no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Singleton handed out by ``obs.span`` when no recorder is installed,
+#: so the disabled path allocates nothing.
+NULL_SPAN = NullSpan()
+
+
+@dataclass
+class Recorder:
+    """Collects spans, counters, gauges, and events for one run."""
+
+    pid: int = field(default_factory=os.getpid)
+    epoch_s: float = field(default_factory=perf_now)
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._stack: list[_SpanHandle] = []
+        self._next_span_id = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, attrs: dict | None = None) -> _SpanHandle:
+        return _SpanHandle(self, name, dict(attrs) if attrs else {})
+
+    def _open_span(self, handle: _SpanHandle) -> None:
+        handle.span_id = self._next_span_id
+        self._next_span_id += 1
+        handle.parent_id = self._stack[-1].span_id if self._stack \
+            else None
+        handle.depth = len(self._stack)
+        handle.start_s = perf_now() - self.epoch_s
+        self._stack.append(handle)
+
+    def _close_span(self, handle: _SpanHandle) -> None:
+        if not self._stack or self._stack[-1] is not handle:
+            raise ReproError(
+                f"span {handle.name!r} closed out of order")
+        self._stack.pop()
+        self.spans.append(SpanRecord(
+            span_id=handle.span_id, parent_id=handle.parent_id,
+            name=handle.name, start_s=handle.start_s,
+            end_s=perf_now() - self.epoch_s, depth=handle.depth,
+            pid=self.pid, attrs=handle.attrs))
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment the monotonic counter *name*."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of *name*."""
+        self.gauges[name] = value
+
+    def event(self, name: str, attrs: dict | None = None) -> None:
+        self.events.append(EventRecord(
+            name=name, wall_s=perf_now() - self.epoch_s, pid=self.pid,
+            attrs=dict(attrs) if attrs else {}))
+
+    def sim_work(self, processor: str, label: str, start_us: float,
+                 duration_us: float, urgent: bool) -> None:
+        """One completed simulator work item, in sim-time microseconds.
+
+        Summing ``duration_us`` per (processor, label) reproduces the
+        processor's ``busy_by_label`` ledger exactly — both are fed by
+        the same completion, which is what lets ``repro stats`` and the
+        trace tests reconcile the two accountings.
+        """
+        self.events.append(EventRecord(
+            name=SIM_WORK_EVENT, wall_s=perf_now() - self.epoch_s,
+            pid=self.pid,
+            attrs={"processor": processor, "label": label,
+                   "start_us": start_us, "duration_us": duration_us,
+                   "urgent": urgent}))
+
+    # ------------------------------------------------------------------
+    # merging and summarising
+    # ------------------------------------------------------------------
+    def merge(self, records: list[dict]) -> None:
+        """Fold foreign records (pool-worker spills) into this recorder.
+
+        Foreign spans keep their own pid and per-process-relative
+        timestamps; span ids are re-based so they stay unique here.
+        Counters sum; gauges last-write-wins.
+        """
+        id_base = self._next_span_id
+        max_seen = -1
+        for record in records:
+            kind = record.get("type")
+            if kind == "span":
+                span_id = record["span_id"] + id_base
+                parent = record["parent_id"]
+                max_seen = max(max_seen, record["span_id"])
+                self.spans.append(SpanRecord(
+                    span_id=span_id,
+                    parent_id=None if parent is None
+                    else parent + id_base,
+                    name=record["name"], start_s=record["start_s"],
+                    end_s=record["end_s"], depth=record["depth"],
+                    pid=record["pid"], attrs=record.get("attrs", {})))
+            elif kind == "event":
+                self.events.append(EventRecord(
+                    name=record["name"], wall_s=record["wall_s"],
+                    pid=record["pid"], attrs=record.get("attrs", {})))
+            elif kind == "counter":
+                self.add(record["name"], record["value"])
+            elif kind == "gauge":
+                self.gauge(record["name"], record["value"])
+            elif kind == "header":
+                pass                     # spill files carry no header
+            else:
+                raise ReproError(f"unknown obs record type {kind!r}")
+        if max_seen >= 0:
+            self._next_span_id = id_base + max_seen + 1
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self.counters.clear()
+        self.gauges.clear()
+
+    @property
+    def record_count(self) -> int:
+        return (len(self.spans) + len(self.events)
+                + len(self.counters) + len(self.gauges))
+
+    def span_totals(self) -> dict[str, tuple[int, float]]:
+        """Per-name ``(count, total seconds)`` over closed spans."""
+        totals: dict[str, tuple[int, float]] = {}
+        for span in self.spans:
+            count, total = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (count + 1, total + span.duration_s)
+        return totals
+
+    def sim_busy_by_processor(self) -> dict[str, float]:
+        """Total sim-time busy microseconds per processor."""
+        busy: dict[str, float] = {}
+        for event in self.events:
+            if event.name == SIM_WORK_EVENT:
+                processor = event.attrs["processor"]
+                busy[processor] = busy.get(processor, 0.0) \
+                    + event.attrs["duration_us"]
+        return busy
+
+    def summary(self, top: int = 10) -> dict:
+        """Compact run summary: top spans, counters, busy breakdown."""
+        totals = sorted(self.span_totals().items(),
+                        key=lambda item: item[1][1], reverse=True)
+        return {
+            "schema": SCHEMA_VERSION,
+            "spans": len(self.spans),
+            "events": len(self.events),
+            "top_spans": [
+                {"name": name, "count": count, "total_s": total}
+                for name, (count, total) in totals[:top]],
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "sim_busy_us": dict(sorted(
+                self.sim_busy_by_processor().items())),
+        }

@@ -45,21 +45,21 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, NamedTuple
 
+from repro import config, obs
+
 #: Default bound on in-memory cached analyses (each holds a full
 #: reachability graph; architecture models run a few MB apiece).
 DEFAULT_MAX_ENTRIES = 256
 
-_enabled = True
-
 
 def set_cache_enabled(enabled: bool) -> None:
     """Globally enable/disable analysis caching (CLI ``--no-cache``)."""
-    global _enabled
-    _enabled = bool(enabled)
+    config.set_cache_enabled(enabled)
 
 
 def cache_enabled() -> bool:
-    return _enabled and os.environ.get("REPRO_NO_CACHE", "") != "1"
+    """Resolved cache switch: either disable (CLI or env) wins."""
+    return config.cache_enabled()
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +218,7 @@ class AnalysisCache:
                 self._mem.move_to_end(key)
                 if record_stats:
                     self.hits += 1
+                    obs.add("cache.hit")
                 return self._mem[key]
         path = self._disk_path(key)
         if path is not None:
@@ -233,11 +234,13 @@ class AnalysisCache:
                 with self._lock:
                     if record_stats:
                         self.hits += 1
+                        obs.add("cache.hit")
                     self._store_mem(key, payload)
                 return payload
         if record_stats:
             with self._lock:
                 self.misses += 1
+                obs.add("cache.miss")
         return None
 
     def put(self, key: Any, payload: Any) -> None:
@@ -303,8 +306,7 @@ def get_cache() -> AnalysisCache:
     global _global_cache
     with _global_lock:
         if _global_cache is None:
-            _global_cache = AnalysisCache(
-                directory=os.environ.get("REPRO_CACHE_DIR") or None)
+            _global_cache = AnalysisCache(directory=config.cache_dir())
         return _global_cache
 
 

@@ -7,11 +7,9 @@ back in input order, so a sweep produces bit-identical artifacts
 whether it ran serially or fanned out — parallelism only changes
 wall-clock time, never values.
 
-The job count resolves, in order, from the explicit ``jobs`` argument,
-:func:`set_default_jobs` (wired to the CLI ``--jobs`` flag), and the
-``REPRO_JOBS`` environment variable; it defaults to 1 (serial).
-Non-positive or non-integer values are rejected with
-:class:`~repro.errors.ConfigError` wherever they come from.
+The job count resolves through :mod:`repro.config` (CLI ``--jobs`` >
+``REPRO_JOBS`` > 1); non-positive or non-integer values are rejected
+with :class:`~repro.errors.ConfigError` wherever they come from.
 
 Worker pools only pay off when there is enough work to amortise their
 start-up (fork, imports, cache priming) and per-task IPC.  The
@@ -23,16 +21,22 @@ decided — mode, reason, worker count, chunk size — is readable
 afterwards via :func:`last_map_info`, which the benchmarks record.
 
 The pool itself is persistent: created once per (worker count, cache
-configuration) and reused across sweeps, so later grids skip process
-start-up entirely.  Its initializer primes each worker with the
-analysis/sweep imports and the parent's cache configuration; when
-caching is enabled and memory-only, the parent first attaches a
-session-scoped disk tier and flushes what it has already solved, so
-cold workers load shared reachability skeletons instead of rebuilding
-them per point.  Any failure to spawn or feed the pool — no fork
-support, unpicklable work, a broken pool — falls back to the serial
-path rather than erroring, so callers never need to special-case
-degraded environments.
+configuration, trace spill directory) and reused across sweeps, so
+later grids skip process start-up entirely.  Its initializer primes
+each worker with the analysis/sweep imports and the parent's cache
+configuration; when caching is enabled and memory-only, the parent
+first attaches a session-scoped disk tier and flushes what it has
+already solved, so cold workers load shared reachability skeletons
+instead of rebuilding them per point.  Any failure to spawn or feed
+the pool — no fork support, unpicklable work, a broken pool — falls
+back to the serial path rather than erroring, so callers never need to
+special-case degraded environments.
+
+When a recorder is installed (:mod:`repro.obs`), every sweep runs
+under a ``pool.map`` span and each work item under a ``pool.task``
+span — in workers those spans spill to per-pid JSONL files that the
+parent merges back after the sweep (:mod:`repro.obs.sink`), so one
+trace shows per-worker task timing across the whole process tree.
 """
 
 from __future__ import annotations
@@ -46,7 +50,8 @@ import tempfile
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.errors import ConfigError
+from repro import config, obs
+from repro.obs import sink
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,8 +65,6 @@ MIN_ITEMS_PER_JOB = 4
 #: amortise per-task pickling, small enough to keep workers balanced.
 CHUNK_WAVES = 4
 
-_default_jobs: int | None = None
-
 try:
     from concurrent.futures.process import BrokenProcessPool as _BrokenPool
 except ImportError:                                    # pragma: no cover
@@ -69,29 +72,12 @@ except ImportError:                                    # pragma: no cover
         pass
 
 
-def _validate_jobs(value, source: str) -> int:
-    """A positive int, or :class:`ConfigError` naming the bad source."""
-    if not isinstance(value, bool) and isinstance(value, int):
-        jobs = value
-    else:
-        try:
-            jobs = int(str(value).strip())
-        except ValueError:
-            raise ConfigError(
-                f"{source} must be a positive integer, "
-                f"got {value!r}") from None
-    if jobs < 1:
-        raise ConfigError(
-            f"{source} must be a positive integer, got {value!r}")
-    return jobs
+_validate_jobs = config.validate_jobs
 
 
 def set_default_jobs(jobs: int | None) -> None:
     """Set the process-wide default worker count (None = env/serial)."""
-    global _default_jobs
-    if jobs is not None:
-        jobs = _validate_jobs(jobs, "jobs")
-    _default_jobs = jobs
+    config.set_jobs(jobs)
 
 
 def default_jobs() -> int:
@@ -101,12 +87,7 @@ def default_jobs() -> int:
     being silently coerced: a user who exported it wanted parallelism,
     and quietly running serial hides the typo.
     """
-    if _default_jobs is not None:
-        return _default_jobs
-    env = os.environ.get("REPRO_JOBS", "")
-    if not env.strip():
-        return 1
-    return _validate_jobs(env, "REPRO_JOBS")
+    return config.jobs()
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +151,7 @@ def plan_jobs(n_items: int, jobs: int | None = None, *,
 _pool = None
 _pool_key: tuple | None = None
 _shared_cache_dir: str | None = None
+_parent_spill_dir: str | None = None
 
 
 def _prime_shared_cache() -> tuple[bool, str | None]:
@@ -195,14 +177,28 @@ def _prime_shared_cache() -> tuple[bool, str | None]:
     return True, str(store.directory)
 
 
-def _worker_init(cache_on: bool, cache_dir: str | None) -> None:
-    """Runs once per worker process: mirror the parent's cache setup
-    and pay the heavy imports before the first task arrives."""
+def _trace_spill_dir() -> str | None:
+    """The spill directory workers should report traces into, if any."""
+    global _parent_spill_dir
+    if obs.current() is None:
+        return None
+    if _parent_spill_dir is None:
+        _parent_spill_dir = tempfile.mkdtemp(prefix="repro-obs-")
+        atexit.register(shutil.rmtree, _parent_spill_dir,
+                        ignore_errors=True)
+    return _parent_spill_dir
+
+
+def _worker_init(cache_on: bool, cache_dir: str | None,
+                 spill_dir: str | None) -> None:
+    """Runs once per worker process: mirror the parent's cache and
+    trace setup and pay the heavy imports before the first task."""
     from repro.perf import cache as _cache
     if not cache_on:
         _cache.set_cache_enabled(False)
     else:
         _cache.configure_cache(directory=cache_dir)
+    sink.set_spill_dir(spill_dir)
     try:
         import repro.gtpn.sweep        # noqa: F401
     except ImportError:                                # pragma: no cover
@@ -224,14 +220,16 @@ atexit.register(shutdown_pool)
 def _get_pool(n_jobs: int):
     global _pool, _pool_key
     cache_on, cache_dir = _prime_shared_cache()
-    key = (n_jobs, cache_on, cache_dir)
+    spill_dir = _trace_spill_dir()
+    key = (n_jobs, cache_on, cache_dir, spill_dir)
     if _pool is not None and _pool_key != key:
         shutdown_pool()
     if _pool is None:
         from concurrent.futures import ProcessPoolExecutor
         _pool = ProcessPoolExecutor(max_workers=n_jobs,
                                     initializer=_worker_init,
-                                    initargs=(cache_on, cache_dir))
+                                    initargs=(cache_on, cache_dir,
+                                              spill_dir))
         _pool_key = key
     return _pool
 
@@ -239,6 +237,15 @@ def _get_pool(n_jobs: int):
 def _call_star(payload: tuple[Callable, tuple]) -> object:
     fn, item = payload
     return fn(*item)
+
+
+def _traced_call(payload: tuple[Callable, object, bool, int]) -> object:
+    """One pooled work item under a ``pool.task`` span, spilled after."""
+    fn, item, star, index = payload
+    with obs.span("pool.task", index=index):
+        result = fn(*item) if star else fn(item)
+    sink.flush_current()
+    return result
 
 
 def map_sweep(fn: Callable[..., R], items: Iterable[T], *,
@@ -262,37 +269,58 @@ def map_sweep(fn: Callable[..., R], items: Iterable[T], *,
         jobs, "jobs")
     n_jobs, reason = plan_jobs(len(work), jobs_requested,
                                oversubscribe=oversubscribe)
-    if n_jobs > 1:
-        chunk = chunksize if chunksize else max(
-            1, math.ceil(len(work) / (n_jobs * CHUNK_WAVES)))
-        try:
-            results = _map_parallel(fn, work, n_jobs, star, chunk)
-        except (OSError, pickle.PicklingError, ImportError,
-                _BrokenPool, TypeError, AttributeError):
-            # pool unavailable or work not shippable: solve in-process.
-            # Genuine errors raised by fn re-raise from the serial pass.
-            reason = "worker pool unavailable (unpicklable work or " \
-                     "no process support)"
-        else:
-            _last_map_info = MapInfo("parallel", None, jobs_requested,
-                                     n_jobs, len(work), chunk)
-            return results
-    _last_map_info = MapInfo("serial", reason, jobs_requested, 1,
-                             len(work), None)
-    if star:
-        return [fn(*item) for item in work]
-    return [fn(item) for item in work]
+    with obs.span("pool.map", items=len(work),
+                  jobs_requested=jobs_requested) as map_span:
+        if n_jobs > 1:
+            chunk = chunksize if chunksize else max(
+                1, math.ceil(len(work) / (n_jobs * CHUNK_WAVES)))
+            try:
+                results = _map_parallel(fn, work, n_jobs, star, chunk)
+            except (OSError, pickle.PicklingError, ImportError,
+                    _BrokenPool, TypeError, AttributeError):
+                # pool unavailable or work not shippable: solve
+                # in-process.  Genuine errors raised by fn itself
+                # re-raise from the serial pass.
+                reason = "worker pool unavailable (unpicklable work " \
+                         "or no process support)"
+            else:
+                _last_map_info = MapInfo("parallel", None,
+                                         jobs_requested, n_jobs,
+                                         len(work), chunk)
+                map_span.set(**_last_map_info.as_dict())
+                return results
+        _last_map_info = MapInfo("serial", reason, jobs_requested, 1,
+                                 len(work), None)
+        map_span.set(**_last_map_info.as_dict())
+        if obs.current() is None:
+            if star:
+                return [fn(*item) for item in work]
+            return [fn(item) for item in work]
+        results = []
+        for index, item in enumerate(work):
+            with obs.span("pool.task", index=index):
+                results.append(fn(*item) if star else fn(item))
+        return results
 
 
 def _map_parallel(fn, work, n_jobs, star, chunksize):
     pool = _get_pool(n_jobs)
+    recorder = obs.current()
     try:
-        if star:
+        if recorder is not None:
+            payloads = [(fn, item, star, index)
+                        for index, item in enumerate(work)]
+            futures = pool.map(_traced_call, payloads,
+                               chunksize=chunksize)
+        elif star:
             payloads = [(fn, item) for item in work]
             futures = pool.map(_call_star, payloads, chunksize=chunksize)
         else:
             futures = pool.map(fn, work, chunksize=chunksize)
-        return list(futures)
+        results = list(futures)
     except _BrokenPool:
         shutdown_pool()         # a dead pool never comes back; rebuild
         raise
+    if recorder is not None and _parent_spill_dir is not None:
+        sink.merge_spills(recorder, _parent_spill_dir)
+    return results

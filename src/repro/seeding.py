@@ -9,7 +9,8 @@ conversation workloads, and the fault schedules of
 :mod:`repro.faults` — consults when its caller did not pass an
 explicit seed.
 
-Resolution order, mirroring :mod:`repro.perf.pool`:
+Resolution order (normalised in :mod:`repro.config` alongside the
+other knobs):
 
 1. an explicit ``seed=`` argument at the call site;
 2. :func:`set_default_seed` (wired to the CLI ``--seed`` flag);
@@ -21,31 +22,17 @@ Resolution order, mirroring :mod:`repro.perf.pool`:
 
 from __future__ import annotations
 
-import os
-
-_default_seed: int | None = None
+from repro import config
 
 
 def set_default_seed(seed: int | None) -> None:
     """Install the process-wide default seed (``None`` clears it)."""
-    global _default_seed
-    if seed is not None and not isinstance(seed, int):
-        raise ValueError(f"seed must be an int or None, got {seed!r}")
-    _default_seed = seed
+    config.set_seed(seed)
 
 
 def default_seed() -> int | None:
     """The configured default seed (explicit > ``REPRO_SEED`` > None)."""
-    if _default_seed is not None:
-        return _default_seed
-    env = os.environ.get("REPRO_SEED", "")
-    if not env:
-        return None
-    try:
-        return int(env)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_SEED must be an integer, got {env!r}") from None
+    return config.seed()
 
 
 def resolve_seed(explicit: int | None,
@@ -58,7 +45,7 @@ def resolve_seed(explicit: int | None,
     """
     if explicit is not None:
         return explicit
-    configured = default_seed()
+    configured = config.seed()
     if configured is not None:
         return configured
     return fallback

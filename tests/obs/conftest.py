@@ -1,0 +1,18 @@
+"""Isolation for the observability tests: no recorder or CLI override
+installed by one test may leak into the next (or into the rest of the
+suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config, obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_and_config():
+    config.reset()
+    obs.uninstall()
+    yield
+    config.reset()
+    obs.uninstall()

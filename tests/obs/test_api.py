@@ -1,0 +1,85 @@
+"""The front-door API: parity with legacy paths, config scoping,
+deprecation of the old entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api, config
+from repro.experiments import registry
+
+#: Cheap registered experiments covering table and figure kinds.
+PARITY_IDS = ("figure-6.7", "table-5.1", "table-3.1")
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("experiment_id", PARITY_IDS)
+    def test_parity_with_direct_runner(self, experiment_id):
+        direct = registry.get_experiment(experiment_id).run()
+        result = api.run_experiment(experiment_id)
+        assert result.experiment_id == experiment_id
+        assert result.artifact.experiment_id == direct.experiment_id
+        if hasattr(direct, "rows"):
+            assert result.artifact.rows == direct.rows
+            assert result.values == [list(r) for r in direct.rows]
+        else:
+            assert [s.y for s in result.artifact.series] \
+                == [s.y for s in direct.series]
+            assert set(result.values) == {s.label for s in direct.series}
+
+    def test_result_carries_config_and_timing(self):
+        result = api.run_experiment("table-5.1", jobs=3, seed=99,
+                                    cache=False)
+        assert result.config["jobs"] == 3
+        assert result.config["jobs_source"] == "cli"
+        assert result.config["seed"] == 99
+        assert result.config["cache_enabled"] is False
+        assert result.elapsed_s >= 0.0
+        assert result.obs_summary is None          # untraced run
+        assert result.trace_paths == ()
+        assert result.render() == result.artifact.render()
+
+    def test_overrides_do_not_leak(self):
+        api.run_experiment("table-5.1", jobs=5, seed=123, cache=False)
+        assert config.jobs() == 1
+        assert config.seed() is None
+        assert config.cache_enabled() is True
+
+    def test_trace_writes_both_exports(self, tmp_path):
+        target = tmp_path / "run.json"
+        result = api.run_experiment("figure-6.7", trace=target)
+        chrome, jsonl = result.trace_paths
+        assert chrome.endswith("run.json")
+        assert jsonl.endswith("run.jsonl")
+        from repro.obs.export import validate_jsonl
+        header = validate_jsonl(jsonl)
+        assert header["config"]["jobs"] == 1
+        summary = result.obs_summary
+        assert any(s["name"] == "experiment:figure-6.7"
+                   for s in summary["top_spans"])
+
+    def test_jsonl_trace_argument_flips_targets(self, tmp_path):
+        result = api.run_experiment("table-5.1",
+                                    trace=tmp_path / "run.jsonl")
+        chrome, jsonl = result.trace_paths
+        assert chrome.endswith("run.json")
+        assert jsonl.endswith("run.jsonl")
+
+    def test_unknown_id_still_raises_with_hint(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="unknown experiment"):
+            api.run_experiment("figure-9.99")
+
+
+class TestLegacyShim:
+    @pytest.mark.parametrize("experiment_id", PARITY_IDS)
+    def test_legacy_run_experiment_deprecated_but_identical(
+            self, experiment_id):
+        fresh = api.run_experiment(experiment_id).artifact
+        with pytest.deprecated_call():
+            legacy = registry.run_experiment(experiment_id)
+        if hasattr(fresh, "rows"):
+            assert legacy.rows == fresh.rows
+        else:
+            assert [s.y for s in legacy.series] \
+                == [s.y for s in fresh.series]

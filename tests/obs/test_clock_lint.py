@@ -1,0 +1,29 @@
+"""Self-enforcing lint: time.perf_counter() may only appear inside
+repro.obs — every other timing site must use repro.obs.clock.perf_now
+so traces and benchmarks share one clock."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SCAN_DIRS = ("src", "benchmarks", "tests")
+ALLOWED_PREFIX = Path("src/repro/obs")
+
+
+def test_perf_counter_only_inside_obs():
+    offenders = []
+    for top in SCAN_DIRS:
+        for path in (REPO / top).rglob("*.py"):
+            rel = path.relative_to(REPO)
+            if ALLOWED_PREFIX in rel.parents or rel == ALLOWED_PREFIX:
+                continue
+            if rel == Path(__file__).resolve().relative_to(REPO):
+                continue
+            text = path.read_text()
+            for lineno, line in enumerate(text.splitlines(), 1):
+                if "perf_counter" in line:
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "time.perf_counter() used outside repro.obs — use "
+        "repro.obs.clock.perf_now instead:\n" + "\n".join(offenders))

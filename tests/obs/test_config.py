@@ -1,0 +1,126 @@
+"""Config precedence: CLI > env > default, in one place."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+
+
+class TestJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert config.jobs() == 1
+        assert config.resolved_config().jobs_source == "default"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert config.jobs() == 4
+        assert config.resolved_config().jobs_source == "env"
+
+    def test_cli_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        config.set_jobs(2)
+        assert config.jobs() == 2
+        assert config.resolved_config().jobs_source == "cli"
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.raises(ConfigError):
+            config.jobs()
+
+    def test_invalid_cli_value_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            config.set_jobs(0)
+
+
+class TestSeed:
+    def test_default_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        assert config.seed() is None
+
+    def test_env_seed_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "7")
+        assert config.seed() == 7
+        assert config.resolved_config().seed_source == "env"
+
+    def test_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "7")
+        config.set_seed(13)
+        assert config.seed() == 13
+        assert config.resolved_config().seed_source == "cli"
+
+    def test_malformed_env_seed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "not-an-int")
+        with pytest.raises(ValueError, match="REPRO_SEED"):
+            config.seed()
+
+
+class TestCache:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert config.cache_enabled() is True
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert config.cache_enabled() is False
+
+    def test_cli_kill_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        config.set_cache_enabled(False)
+        assert config.cache_enabled() is False
+
+    def test_either_switch_disables(self, monkeypatch):
+        # CLI True cannot re-enable past the env kill switch: a cache
+        # disabled anywhere stays disabled.
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        config.set_cache_enabled(True)
+        assert config.cache_enabled() is False
+
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert config.cache_dir() == str(tmp_path / "c")
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert config.cache_dir() is None
+
+
+class TestSnapshot:
+    def test_resolved_config_snapshot(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        config.set_jobs(3)
+        snap = config.resolved_config()
+        assert snap.jobs == 3
+        assert snap.jobs_source == "cli"
+        assert snap.seed is None and snap.seed_source == "default"
+        assert snap.cache_enabled is True
+        d = snap.as_dict()
+        assert d["jobs"] == 3 and d["jobs_source"] == "cli"
+
+    def test_overrides_scope_and_restore(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        config.set_jobs(2)
+        with config.overrides(jobs=5, seed=42, cache_enabled=False):
+            assert config.jobs() == 5
+            assert config.seed() == 42
+            assert config.cache_enabled() is False
+        assert config.jobs() == 2
+        assert config.seed() is None
+        assert config.cache_enabled() is True
+
+    def test_overrides_restore_on_exception(self):
+        config.set_seed(1)
+        with pytest.raises(RuntimeError):
+            with config.overrides(seed=99):
+                raise RuntimeError("boom")
+        assert config.seed() == 1
+
+    def test_reset_clears_cli_state(self):
+        config.set_jobs(8)
+        config.set_seed(5)
+        config.set_cache_enabled(False)
+        config.reset()
+        assert config.resolved_config().jobs_source != "cli"
+        assert config.resolved_config().seed_source != "cli"

@@ -1,0 +1,106 @@
+"""JSONL schema round-trip, validation, and the Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs.export import (SIM_PID, chrome_trace, read_jsonl,
+                              validate_jsonl, write_chrome_trace,
+                              write_jsonl)
+from repro.obs.recorder import SCHEMA_VERSION, Recorder
+
+
+def _recorded() -> Recorder:
+    with obs.recording() as recorder:
+        with obs.span("outer", kind="test"):
+            with obs.span("inner"):
+                obs.add("hits", 2.0)
+        obs.gauge("depth", 4.0)
+        obs.event("milestone", detail="x")
+        recorder.sim_work("node0.host", "syscall send", 5.0, 10.0,
+                          False)
+    return recorder
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_every_record(self, tmp_path):
+        recorder = _recorded()
+        path = write_jsonl(recorder, tmp_path / "trace.jsonl",
+                           {"jobs": 1, "seed": None})
+        header, records = read_jsonl(path)
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["config"] == {"jobs": 1, "seed": None}
+        by_type: dict[str, list] = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert len(by_type["span"]) == 2
+        assert len(by_type["event"]) == 2      # milestone + kernel.work
+        assert {r["name"]: r["value"] for r in by_type["counter"]} \
+            == {"hits": 2.0}
+        assert {r["name"]: r["value"] for r in by_type["gauge"]} \
+            == {"depth": 4.0}
+        # a merge of the read records reproduces the recorder
+        clone = Recorder()
+        clone.merge(records)
+        assert clone.counters == recorder.counters
+        assert [s.name for s in clone.spans] \
+            == [s.name for s in recorder.spans]
+
+    def test_validate_accepts_written_trace(self, tmp_path):
+        path = write_jsonl(_recorded(), tmp_path / "ok.jsonl")
+        assert validate_jsonl(path)["schema"] == SCHEMA_VERSION
+
+    def test_validate_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps(
+            {"type": "header", "schema": "repro.obs/0"}) + "\n")
+        with pytest.raises(ReproError, match="schema"):
+            validate_jsonl(path)
+
+    def test_validate_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "header",
+                        "schema": SCHEMA_VERSION}) + "\n"
+            + json.dumps({"type": "span", "name": "broken"}) + "\n")
+        with pytest.raises(ReproError, match="missing"):
+            validate_jsonl(path)
+
+    def test_validate_rejects_header_less_file(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text(json.dumps(
+            {"type": "counter", "name": "x", "value": 1}) + "\n")
+        with pytest.raises(ReproError, match="header"):
+            validate_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_trace_loads_and_partitions_time_domains(self, tmp_path):
+        recorder = _recorded()
+        path = write_chrome_trace(recorder, tmp_path / "trace.json",
+                                  {"jobs": 1})
+        loaded = json.loads(path.read_text())
+        events = loaded["traceEvents"]
+        wall = [e for e in events if e.get("cat") == "wall"]
+        sim = [e for e in events if e.get("cat") == "sim"]
+        assert {e["name"] for e in wall} == {"outer", "inner"}
+        assert all(e["pid"] == recorder.pid for e in wall)
+        # sim-time work lands on the synthetic sim pid, in sim us
+        (work,) = sim
+        assert work["pid"] == SIM_PID
+        assert work["ts"] == 5.0 and work["dur"] == 10.0
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+        assert loaded["otherData"]["schema"] == SCHEMA_VERSION
+        assert loaded["otherData"]["counters"] == {"hits": 2.0}
+        assert loaded["otherData"]["config"] == {"jobs": 1}
+
+    def test_span_durations_are_non_negative(self):
+        trace = chrome_trace(_recorded())
+        for event in trace["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0

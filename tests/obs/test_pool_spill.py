@@ -1,0 +1,70 @@
+"""Worker-span spilling: one merged trace across the process pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.perf import pool
+from repro.perf.pool import last_map_info, map_sweep, shutdown_pool
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def test_serial_sweep_records_per_item_spans():
+    with obs.recording() as recorder:
+        results = map_sweep(_square, [1, 2, 3], jobs=1)
+    assert results == [1, 4, 9]
+    totals = recorder.span_totals()
+    assert totals["pool.task"][0] == 3
+    assert totals["pool.map"][0] == 1
+    (map_span,) = [s for s in recorder.spans if s.name == "pool.map"]
+    assert map_span.attrs["mode"] == "serial"
+    assert map_span.attrs["items"] == 3
+
+
+def test_untraced_sweep_records_nothing():
+    results = map_sweep(_square, [1, 2, 3], jobs=1)
+    assert results == [1, 4, 9]
+    assert obs.current() is None
+
+
+def test_parallel_sweep_merges_worker_spans():
+    items = list(range(12))
+    with obs.recording() as recorder:
+        results = map_sweep(_square, items, jobs=2, oversubscribe=True)
+    assert results == [x * x for x in items]
+    info = last_map_info()
+    if info.mode != "parallel":
+        pytest.skip(f"pool declined to fan out: {info.reason}")
+    task_spans = [s for s in recorder.spans if s.name == "pool.task"]
+    assert len(task_spans) == len(items)
+    # every item's index arrived exactly once, across worker pids
+    assert sorted(s.attrs["index"] for s in task_spans) == items
+    worker_pids = {s.pid for s in task_spans}
+    assert all(pid != recorder.pid for pid in worker_pids)
+    # parent-side spans still carry the parent pid
+    (map_span,) = [s for s in recorder.spans if s.name == "pool.map"]
+    assert map_span.pid == recorder.pid
+    assert map_span.attrs["mode"] == "parallel"
+    # spill files were consumed by the merge
+    assert pool._parent_spill_dir is not None
+    from pathlib import Path
+    assert list(Path(pool._parent_spill_dir).glob("obs-*.jsonl")) == []
+
+
+def test_parallel_results_identical_with_and_without_tracing():
+    items = list(range(8, 24))
+    plain = map_sweep(_square, items, jobs=2, oversubscribe=True)
+    with obs.recording():
+        traced = map_sweep(_square, items, jobs=2, oversubscribe=True)
+    assert traced == plain

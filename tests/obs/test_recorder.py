@@ -1,0 +1,121 @@
+"""Recorder core: spans, nesting, counters, merge, disabled no-ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs.recorder import NULL_SPAN, Recorder
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert obs.current() is None
+        assert obs.span("anything", key=1) is NULL_SPAN
+        assert obs.span("other") is NULL_SPAN
+
+    def test_disabled_hooks_are_noops(self):
+        obs.add("counter")
+        obs.gauge("gauge", 3.0)
+        obs.event("event", detail=1)
+        with obs.span("nothing") as span:
+            span.set(extra=True)
+        # nothing anywhere records anything
+        assert obs.current() is None
+
+
+class TestSpans:
+    def test_nesting_parent_and_depth(self):
+        with obs.recording() as recorder:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("sibling"):
+                    pass
+        inner, sibling, outer = recorder.spans
+        assert outer.name == "outer" and outer.depth == 0
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id and inner.depth == 1
+        assert sibling.parent_id == outer.span_id
+        # children close before parents; start ordering is preserved
+        assert inner.start_s <= sibling.start_s <= outer.end_s
+        assert all(s.end_s >= s.start_s for s in recorder.spans)
+
+    def test_span_attrs_and_set(self):
+        with obs.recording() as recorder:
+            with obs.span("work", phase="build") as span:
+                span.set(states=42)
+        (span,) = recorder.spans
+        assert span.attrs == {"phase": "build", "states": 42}
+
+    def test_out_of_order_close_raises(self):
+        recorder = Recorder()
+        a = recorder.span("a")
+        b = recorder.span("b")
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(ReproError):
+            recorder._close_span(a)
+
+    def test_recording_restores_previous_recorder(self):
+        outer = obs.install()
+        with obs.recording() as inner:
+            assert obs.current() is inner
+            assert inner is not outer
+        assert obs.current() is outer
+
+
+class TestCountersAndEvents:
+    def test_counters_sum_and_gauges_overwrite(self):
+        with obs.recording() as recorder:
+            obs.add("hits")
+            obs.add("hits", 2.0)
+            obs.gauge("depth", 1.0)
+            obs.gauge("depth", 5.0)
+        assert recorder.counters == {"hits": 3.0}
+        assert recorder.gauges == {"depth": 5.0}
+
+    def test_sim_work_reconciles_with_summary(self):
+        with obs.recording() as recorder:
+            recorder.sim_work("node0.host", "syscall send", 0.0, 10.0,
+                              False)
+            recorder.sim_work("node0.host", "process send", 10.0, 5.0,
+                              False)
+            recorder.sim_work("node0.mp", "ack generation (MP)", 0.0,
+                              2.5, True)
+        busy = recorder.sim_busy_by_processor()
+        assert busy == {"node0.host": 15.0, "node0.mp": 2.5}
+        assert recorder.summary()["sim_busy_us"] == busy
+
+
+class TestMerge:
+    def test_merge_rebases_span_ids_and_sums_counters(self):
+        parent = Recorder()
+        with parent.span("parent-span"):
+            pass
+        foreign = [
+            {"type": "span", "span_id": 0, "parent_id": None,
+             "name": "worker-span", "start_s": 0.1, "end_s": 0.2,
+             "depth": 0, "pid": 9999, "attrs": {}},
+            {"type": "span", "span_id": 1, "parent_id": 0,
+             "name": "child", "start_s": 0.12, "end_s": 0.15,
+             "depth": 1, "pid": 9999, "attrs": {}},
+            {"type": "counter", "name": "hits", "value": 2.0},
+        ]
+        parent.add("hits", 1.0)
+        parent.merge(foreign)
+        names = {s.name: s for s in parent.spans}
+        assert names["child"].parent_id == names["worker-span"].span_id
+        assert names["worker-span"].span_id != 0       # rebased
+        assert names["worker-span"].pid == 9999
+        assert parent.counters["hits"] == 3.0
+        # the id cursor moved past the merged ids: new spans stay unique
+        with parent.span("after"):
+            pass
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_merge_rejects_unknown_record_type(self):
+        with pytest.raises(ReproError):
+            Recorder().merge([{"type": "mystery"}])

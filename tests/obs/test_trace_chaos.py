@@ -1,0 +1,57 @@
+"""A traced chaos run reconciles: the simulator's per-processor busy
+time derived from the kernel.work span stream matches the authoritative
+busy_by_label ledger events, per (processor, label)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import api, obs
+from repro.obs.export import read_jsonl, validate_jsonl
+
+
+@pytest.fixture(scope="module")
+def traced_chaos(tmp_path_factory):
+    target = tmp_path_factory.mktemp("chaos") / "chaos.json"
+    result = api.run_experiment("chaos-outage", trace=target)
+    return result
+
+
+def test_trace_files_exist_and_validate(traced_chaos):
+    chrome, jsonl = traced_chaos.trace_paths
+    assert validate_jsonl(jsonl)["schema"].startswith("repro.obs/")
+    loaded = json.loads(open(chrome).read())
+    assert loaded["traceEvents"]
+
+
+def test_busy_reconciliation(traced_chaos):
+    _, jsonl = traced_chaos.trace_paths
+    _, records = read_jsonl(jsonl)
+    work: dict[tuple[str, str], float] = {}
+    ledger: dict[tuple[str, str], float] = {}
+    for record in records:
+        if record["type"] != "event":
+            continue
+        attrs = record["attrs"]
+        if record["name"] == obs.SIM_WORK_EVENT:
+            key = (attrs["processor"], attrs["label"])
+            work[key] = work.get(key, 0.0) + attrs["duration_us"]
+        elif record["name"] == "kernel.busy_by_label":
+            ledger[(attrs["processor"], attrs["label"])] = \
+                attrs["busy_us"]
+    assert work, "traced chaos run produced no kernel.work events"
+    assert set(work) == set(ledger)
+    for key, busy in ledger.items():
+        assert math.isclose(work[key], busy, rel_tol=1e-6), \
+            f"{key}: work stream {work[key]} != ledger {busy}"
+
+
+def test_transport_counters_present(traced_chaos):
+    summary = traced_chaos.obs_summary
+    counters = summary["counters"]
+    assert counters.get("ipc.send", 0) > 0
+    # the outage plan forces losses, so the protocol retransmits
+    assert counters.get("transport.retransmission", 0) > 0
