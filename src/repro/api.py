@@ -61,9 +61,28 @@ class ExperimentResult:
     elapsed_s: float
     obs_summary: dict | None = None
     trace_paths: tuple[str, ...] = field(default=())
+    extras: dict = field(default_factory=dict)
 
     def render(self) -> str:
         return self.artifact.render()
+
+
+_extras_stack: list[dict] = []
+
+
+def attach_extra(name: str, value: Any) -> None:
+    """Attach a side-channel object to the enclosing run's result.
+
+    Some runners produce more than their renderable artifact — the
+    validation harness, for instance, builds a full
+    :class:`~repro.validate.report.ValidationReport` of which the table
+    is only a summary.  Calling ``attach_extra`` inside a runner makes
+    the object available as ``ExperimentResult.extras[name]`` without
+    widening the ``runner() -> Artifact`` contract every experiment
+    shares.  Outside a :func:`run_experiment` call this is a no-op.
+    """
+    if _extras_stack:
+        _extras_stack[-1][name] = value
 
 
 def _artifact_values(artifact) -> Any:
@@ -141,12 +160,18 @@ def run_experiment(experiment_id: str, *, seed: int | None = None,
     with config.overrides(**kwargs):
         snapshot = config.resolved_config().as_dict()
         started = perf_now()
-        artifact, summary, trace_paths = run_traced(
-            f"experiment:{experiment_id}", experiment.run, trace=trace)
+        extras: dict = {}
+        _extras_stack.append(extras)
+        try:
+            artifact, summary, trace_paths = run_traced(
+                f"experiment:{experiment_id}", experiment.run,
+                trace=trace)
+        finally:
+            _extras_stack.pop()
         elapsed = perf_now() - started
     return ExperimentResult(
         experiment_id=experiment_id, kind=experiment.kind,
         title=experiment.title, artifact=artifact,
         values=_artifact_values(artifact), config=snapshot,
         elapsed_s=elapsed, obs_summary=summary,
-        trace_paths=trace_paths)
+        trace_paths=trace_paths, extras=extras)

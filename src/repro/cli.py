@@ -11,6 +11,8 @@ Usage::
     python -m repro stats out.jsonl
     python -m repro --seed 7 chaos --loss 0.01 0.05
     python -m repro solve --arch II --mode local -n 4 -x 2850
+    python -m repro validate --quick
+    python -m repro validate --rebaseline
 
 ``--jobs N`` fans the grid points of sweep experiments out over N
 worker processes (``REPRO_JOBS`` sets the same default); ``--no-cache``
@@ -162,6 +164,43 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(table.render())
     if trace_paths:
         print("trace: " + ", ".join(trace_paths))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.baseline import (default_path, rebaseline,
+                                         set_default_path)
+    from repro.validate.report import write_report
+    if args.baseline is not None:
+        set_default_path(args.baseline)
+    try:
+        if args.rebaseline:
+            path = default_path()
+            entries = maybe_profile(args, "rebaseline",
+                                    lambda: rebaseline(path))
+            print(f"baseline written: {path} "
+                  f"({len(entries)} configurations pinned)")
+            return 0
+        experiment_id = "validate-quick" if args.quick \
+            else "validate-full"
+        result = maybe_profile(
+            args, experiment_id,
+            lambda: api.run_experiment(experiment_id,
+                                       trace=args.trace))
+    finally:
+        if args.baseline is not None:
+            set_default_path(None)
+    print(result.render())
+    report = result.extras["validation_report"]
+    target = write_report(report, args.report)
+    print(f"parity report: {target}")
+    if result.trace_paths:
+        print("trace: " + ", ".join(result.trace_paths))
+    print(f"[{experiment_id} in {result.elapsed_s:.1f}s]")
+    if not report.ok:
+        print("validation FAILED: " + "; ".join(report.failures),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -317,6 +356,28 @@ def build_parser() -> argparse.ArgumentParser:
         "scoreboard",
         help="evaluate every paper claim against the library")
     p_score.set_defaults(fn=_cmd_scoreboard)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="three-way cross-validation: exact GTPN vs Monte Carlo "
+             "vs kernel DES (repro.validate)")
+    p_validate.add_argument(
+        "--quick", action="store_true",
+        help="4-configuration smoke grid (the CI gate); default is "
+             "the full chapter-6 grid (heavy)")
+    p_validate.add_argument(
+        "--report", metavar="PATH", default="validation-report.json",
+        help="machine-readable parity report destination (default: "
+             "validation-report.json)")
+    p_validate.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="exact-value baseline file (default: "
+             "validation-baseline.json)")
+    p_validate.add_argument(
+        "--rebaseline", action="store_true",
+        help="recompute and write the exact-value baseline (exact "
+             "solves only), then exit")
+    p_validate.set_defaults(fn=_cmd_validate)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -34,6 +34,18 @@ class Experiment:
         return artifact
 
 
+def _validation_artifact(grid_name: str, experiment_id: str) -> Table:
+    """Run the three-way cross-validation; the full
+    :class:`~repro.validate.report.ValidationReport` rides along as
+    the ``validation_report`` extra for ``repro validate`` to persist
+    and gate on."""
+    from repro import api
+    from repro.validate.report import run_validation
+    report = run_validation(grid_name)
+    api.attach_extra("validation_report", report)
+    return report.table(experiment_id)
+
+
 def _experiments() -> list[Experiment]:
     entries: list[Experiment] = []
 
@@ -115,6 +127,15 @@ def _experiments() -> list[Experiment]:
            figures.figure_chaos_degradation, heavy=True)
     table("chaos-outage", "Node crash/recovery with MP retransmission",
           extensions.chaos_outage_table)
+
+    # repro.validate: three-way differential testing of the estimators
+    table("validate-quick",
+          "Cross-validation: exact vs MC vs DES (quick grid)",
+          partial(_validation_artifact, "quick", "validate-quick"))
+    table("validate-full",
+          "Cross-validation: exact vs MC vs DES (full chapter-6 grid)",
+          partial(_validation_artifact, "full", "validate-full"),
+          heavy=True)
     return entries
 
 

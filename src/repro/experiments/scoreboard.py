@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import ReproError
 from repro.experiments.reporting import Table
 
 
@@ -24,6 +25,20 @@ class Expectation:
     measure: Callable[[], float]
     absolute: bool = False
     source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ReproError(
+                f"expectation {self.name!r}: negative tolerance")
+        if not self.absolute and self.paper_value == 0:
+            # tolerance * |0| = 0: the check would degenerate to
+            # demanding measured == 0.0 exactly, which is never what a
+            # relative tolerance means.  Zero paper values must declare
+            # an absolute band.
+            raise ReproError(
+                f"expectation {self.name!r}: relative tolerance "
+                "against a zero paper value is degenerate; pass "
+                "absolute=True with an explicit band")
 
     def evaluate(self) -> "ScoreRow":
         measured = self.measure()
@@ -119,12 +134,22 @@ def _expectations() -> list[Expectation]:
     return checks
 
 
+def scoreboard_results() -> list[ScoreRow]:
+    """Evaluate every expectation (the rows behind the table).
+
+    The validation harness (:mod:`repro.validate`) folds these
+    point-claim checks into its parity report next to the three-way
+    estimator agreement checks.
+    """
+    return [expectation.evaluate()
+            for expectation in _expectations()]
+
+
 def run_scoreboard() -> Table:
     """Evaluate every expectation; returns the scoreboard table."""
     rows = []
     passed = 0
-    for expectation in _expectations():
-        score = expectation.evaluate()
+    for score in scoreboard_results():
         passed += score.ok
         rows.append([score.name, round(score.paper, 3),
                      round(score.measured, 3),

@@ -92,6 +92,25 @@ class AnalysisResult:
         """Alias for :meth:`resource_usage` on the conventional name."""
         return self.resource_usage(resource)
 
+    def busy_fraction(self, place: str) -> float:
+        """Steady-state busy fraction of the resource pool *place*.
+
+        The architecture nets model a processor as a place whose
+        initial tokens are its servers; an activity holding the place
+        removes the token for its whole duration, so the mean token
+        deficit over the initial population is exactly the processor's
+        utilization — directly comparable to the kernel simulator's
+        per-processor busy fractions.
+        """
+        from repro.errors import AnalysisError
+        index = self.net.place_index(place)
+        tokens = self.net.places[index].initial_tokens
+        if tokens <= 0:
+            raise AnalysisError(
+                f"place {place!r} holds no initial tokens; busy "
+                "fraction is only defined for resource pools")
+        return 1.0 - self.mean_tokens(place) / tokens
+
 
 def analyze(net: Net, *, method: str = "auto",
             max_states: int = DEFAULT_MAX_STATES,

@@ -91,6 +91,11 @@ def simulate_with_confidence(net: Net, *, resource: str = "lambda",
         raise AnalysisError("need at least two batches")
     if not 1 <= batches - 1 <= len(_T_975):
         raise AnalysisError(f"at most {len(_T_975) + 1} batches")
+    if batch_ticks <= 0:
+        raise AnalysisError(
+            f"batch_ticks must be positive, got {batch_ticks}")
+    if warmup < 0:
+        raise AnalysisError(f"warmup must be >= 0, got {warmup}")
     engine = TickEngine(net)
     resolver = SamplingResolver(random.Random(resolve_seed(seed)))
     branches = engine.initial_branches(resolver)
@@ -135,6 +140,11 @@ def simulate(net: Net, *, ticks: int, warmup: int = 0,
     """Simulate *net* for ``warmup + ticks`` ticks; measure the tail."""
     if ticks <= 0:
         raise AnalysisError("ticks must be positive")
+    if warmup < 0:
+        # range(warmup + ticks) would silently shorten the measured
+        # horizon while SimulationResult still divides by the full
+        # ``ticks`` — every time-average would be biased low.
+        raise AnalysisError(f"warmup must be >= 0, got {warmup}")
     engine = TickEngine(net)
     resolver = SamplingResolver(random.Random(resolve_seed(seed)))
     result = SimulationResult(net=net, ticks=ticks, warmup=warmup)

@@ -109,6 +109,23 @@ class ConversationMeter:
         return [f for f in self.failures
                 if start <= f.failed_at < end]
 
+    def signature(self) -> tuple:
+        """Order-independent exact digest of everything recorded.
+
+        Two runs are behaviourally identical iff their signatures are
+        equal (client names, start and completion times compared
+        bit-for-bit) — the comparison behind the zero-fault identity
+        seam: a system built under an inactive
+        :class:`~repro.faults.plan.FaultPlan` must produce the same
+        signature as one built with no plan at all.
+        """
+        return (
+            tuple(sorted((s.client, s.started_at, s.completed_at)
+                         for s in self.samples)),
+            tuple(sorted((f.client, f.started_at, f.failed_at)
+                         for f in self.failures)),
+        )
+
     def completion_rate(self, start: float, end: float) -> float:
         """Completed / (completed + failed) over the window."""
         completed = len(self.window(start, end))

@@ -66,6 +66,64 @@ def _solve_cached(architecture: Architecture, mode: Mode,
     return solution.throughput
 
 
+@dataclass(frozen=True)
+class ReferencePoint:
+    """The net and exact analysis behind one operating point.
+
+    The cross-validation harness (:mod:`repro.validate`) needs the
+    *same* net both exactly analyzed and Monte Carlo simulated; for
+    local conversations that is the single closed net, for non-local
+    ones the converged client-node net of the fixed-point solution
+    (re-analyzed at the converged surrogate delay, so the exact value
+    and the simulated sample paths describe one identical model).
+    ``solution_throughput`` is the figure-level value from
+    :func:`solve` for comparison against external estimators such as
+    the kernel DES.
+    """
+
+    architecture: Architecture
+    mode: Mode
+    conversations: int
+    compute_time: float
+    net: "object"                      # repro.gtpn.Net
+    result: "object"                   # repro.gtpn.AnalysisResult
+    solution_throughput: float
+
+    @property
+    def busy_places(self) -> tuple[str, ...]:
+        """Processor pool places present in the reference net."""
+        names = {p.name for p in self.net.places}
+        return tuple(name for name in ("Host", "MP") if name in names)
+
+
+def reference_point(architecture: Architecture, mode: Mode,
+                    conversations: int,
+                    compute_time: float = 0.0) -> ReferencePoint:
+    """Build and exactly analyze the reference net of one grid point."""
+    if conversations < 1:
+        raise ModelError("need at least one conversation")
+    if compute_time < 0:
+        raise ModelError("compute time must be non-negative")
+    if mode is Mode.LOCAL:
+        net = build_local_net(architecture, conversations, compute_time)
+        result = analyze(net)
+        return ReferencePoint(
+            architecture=architecture, mode=mode,
+            conversations=conversations, compute_time=compute_time,
+            net=net, result=result,
+            solution_throughput=result.throughput())
+    from repro.models.nonlocal_client import build_nonlocal_client_net
+    solution = solve_nonlocal(architecture, conversations, compute_time)
+    net = build_nonlocal_client_net(
+        architecture, conversations, max(solution.server_delay, 1.0))
+    result = analyze(net)
+    return ReferencePoint(
+        architecture=architecture, mode=mode,
+        conversations=conversations, compute_time=compute_time,
+        net=net, result=result,
+        solution_throughput=solution.throughput)
+
+
 def communication_time(architecture: Architecture, mode: Mode) -> float:
     """C: round-trip communication time of one unloaded conversation.
 

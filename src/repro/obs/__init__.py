@@ -3,7 +3,9 @@
 One process-wide :class:`~repro.obs.recorder.Recorder` (installed with
 :func:`install` / the CLI ``--trace`` flag) collects spans, counters,
 gauges, and events from the kernel simulator, the GTPN engine, the bus
-cycle simulator, and the perf pool; :mod:`repro.obs.export` turns it
+cycle simulator, the perf pool, and the validation harness
+(``validate.run`` / ``validate.point`` spans, ``validate.checks`` /
+``validate.failures`` counters); :mod:`repro.obs.export` turns it
 into a Chrome-trace file and a versioned JSONL stream, and
 ``repro stats`` summarises either.
 

@@ -111,6 +111,13 @@ class MapInfo:
                 "jobs_used": self.jobs_used, "items": self.items,
                 "chunk_size": self.chunk_size}
 
+    def describe(self) -> str:
+        """Human-readable one-liner for report notes and benchmarks."""
+        if self.mode == "serial":
+            return f"sweep ran serially ({self.reason})"
+        return (f"sweep ran on {self.jobs_used} workers, chunk size "
+                f"{self.chunk_size}")
+
 
 _last_map_info: MapInfo | None = None
 

@@ -1,0 +1,70 @@
+"""repro.validate — three-way differential testing of the estimators.
+
+The chapter-6 conclusions rest on three independent estimators of the
+same steady-state quantities:
+
+1. the **exact** embedded-chain GTPN analyzer
+   (:mod:`repro.gtpn.analysis`),
+2. the **Monte Carlo** GTPN simulator with batch-means confidence
+   intervals (:mod:`repro.gtpn.simulation`), and
+3. the **kernel discrete-event simulator** running the section 6.3
+   conversation benchmark (:mod:`repro.kernel`).
+
+This package confronts them systematically over the chapter-6
+configuration grid: the exact value must fall inside the Monte Carlo
+95 % confidence interval, and the kernel DES throughput and processor
+busy fractions must agree with the exact analysis within declared
+per-configuration tolerances.  Metamorphic properties (delay scaling,
+zero-fault identity, seed determinism, monotonicity) catch errors that
+shift every estimator the same way, and a persisted baseline
+(``validation-baseline.json``) turns any unintended change of the
+exact values into a loud failure.
+
+Front doors: ``repro validate [--quick]`` on the command line, the
+``validate-quick`` / ``validate-full`` registered experiments, and
+:func:`repro.validate.report.run_validation` in code.
+"""
+
+from repro.validate.baseline import (DEFAULT_BASELINE_PATH,
+                                     load_baseline, rebaseline,
+                                     set_default_path, write_baseline)
+from repro.validate.estimators import (ExactEstimate, KernelEstimate,
+                                       MonteCarloEstimate,
+                                       PointEstimates, estimate_point)
+from repro.validate.grid import (DEFAULT_VALIDATE_SEED,
+                                 ValidationConfig, full_grid, grid,
+                                 quick_grid)
+from repro.validate.metamorphic import (MetamorphicResult,
+                                        run_metamorphic_checks)
+from repro.validate.report import (Check, PointReport, REPORT_SCHEMA,
+                                   ValidationReport, point_checks,
+                                   run_validation, validate_report,
+                                   write_report)
+
+__all__ = [
+    "Check",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_VALIDATE_SEED",
+    "ExactEstimate",
+    "KernelEstimate",
+    "MetamorphicResult",
+    "MonteCarloEstimate",
+    "PointEstimates",
+    "PointReport",
+    "REPORT_SCHEMA",
+    "ValidationConfig",
+    "ValidationReport",
+    "estimate_point",
+    "full_grid",
+    "grid",
+    "load_baseline",
+    "point_checks",
+    "quick_grid",
+    "rebaseline",
+    "run_metamorphic_checks",
+    "run_validation",
+    "set_default_path",
+    "validate_report",
+    "write_baseline",
+    "write_report",
+]

@@ -1,0 +1,41 @@
+"""Validate a written parity report: ``python -m repro.validate
+validation-report.json``.
+
+Checks the ``repro.validate/1`` schema, re-counts the recorded checks
+against the summary verdict, and exits non-zero if the report is
+malformed *or* records a failing gate — CI's defense in depth against
+a truncated or hand-edited artifact masquerading as a pass.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ReproError
+from repro.validate.report import validate_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.validate REPORT.json",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = validate_report(argv[0])
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    summary = payload["summary"]
+    print(f"{argv[0]}: schema {payload['schema']}, grid "
+          f"{payload['grid']}, seed {payload['seed']}")
+    print(f"  {summary['points']} configurations, "
+          f"{summary['checks']} checks, "
+          f"{len(summary['failures'])} failures")
+    for failure in summary["failures"]:
+        print(f"  FAIL {failure}")
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":          # pragma: no cover
+    raise SystemExit(main())

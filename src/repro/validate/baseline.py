@@ -1,0 +1,156 @@
+"""The persisted parity baseline and its drift detection.
+
+``validation-baseline.json`` (committed at the repository root) pins
+the *exact* GTPN value of every grid configuration — throughput and
+processor busy fractions.  Exact analysis is deterministic, so any
+change beyond float-noise tolerance means a model, solver, or
+parameter-table change: intended ones re-baseline explicitly
+(``repro validate --rebaseline``), unintended ones fail the gate.
+
+Only the exact estimator is pinned.  The Monte Carlo and kernel-DES
+values are seeded-stochastic and already gated against the exact value
+by the per-point agreement checks; pinning them too would make every
+seed change look like drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+
+BASELINE_SCHEMA = "repro.validate-baseline/1"
+
+#: Default location: the repository/check-out root the CLI runs from.
+DEFAULT_BASELINE_PATH = "validation-baseline.json"
+
+#: Relative tolerance separating float noise (BLAS/libm differences
+#: across platforms) from genuine model drift.
+DRIFT_RTOL = 1e-6
+
+_default_path: str | None = None
+
+
+def set_default_path(path: str | None) -> None:
+    """Install the baseline path ``repro validate`` should use
+    (``None`` restores :data:`DEFAULT_BASELINE_PATH`)."""
+    global _default_path
+    _default_path = path
+
+
+def default_path() -> str:
+    return _default_path if _default_path is not None \
+        else DEFAULT_BASELINE_PATH
+
+
+def entry_for(exact) -> dict:
+    """The pinned view of one exact estimate."""
+    return {"throughput_per_ms": exact.throughput_per_ms,
+            "busy": dict(exact.busy)}
+
+
+def write_baseline(path: str | Path, entries: dict[str, dict], *,
+                   grids: list[str]) -> None:
+    """Write the baseline file (sorted keys: diffable artifacts)."""
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "grids": sorted(grids),
+        "drift_rtol": DRIFT_RTOL,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Load and schema-check a baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ReproError(f"cannot read baseline {path}: {error}") \
+            from error
+    except json.JSONDecodeError as error:
+        raise ReproError(f"baseline {path} is not valid JSON: "
+                         f"{error}") from error
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"baseline {path}: schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r}")
+    if not isinstance(payload.get("entries"), dict):
+        raise ReproError(f"baseline {path}: missing entries mapping")
+    return payload
+
+
+def check_drift(baseline: dict, exact_by_config: dict[str, dict],
+                ) -> dict:
+    """Compare measured exact values against the pinned baseline.
+
+    Returns the machine-readable baseline section of the parity
+    report: per-config drift records, configurations the baseline
+    does not cover, and the overall verdict.  A missing configuration
+    fails the gate — it means the grid grew without re-baselining.
+    """
+    rtol = float(baseline.get("drift_rtol", DRIFT_RTOL))
+    entries = baseline["entries"]
+    drifted: list[dict] = []
+    missing: list[str] = []
+    checked = 0
+    for config_id, measured in sorted(exact_by_config.items()):
+        pinned = entries.get(config_id)
+        if pinned is None:
+            missing.append(config_id)
+            continue
+        checked += 1
+        problems = []
+        expected = pinned["throughput_per_ms"]
+        actual = measured["throughput_per_ms"]
+        if abs(actual - expected) > rtol * max(1.0, abs(expected)):
+            problems.append(f"throughput {actual:.9g} vs pinned "
+                            f"{expected:.9g}")
+        for place, pinned_busy in pinned.get("busy", {}).items():
+            actual_busy = measured.get("busy", {}).get(place)
+            if actual_busy is None or \
+                    abs(actual_busy - pinned_busy) > rtol:
+                problems.append(
+                    f"busy[{place}] {actual_busy!r} vs pinned "
+                    f"{pinned_busy:.9g}")
+        if problems:
+            drifted.append({"config_id": config_id,
+                            "problems": problems})
+    return {
+        "path": None,               # filled in by the caller
+        "drift_rtol": rtol,
+        "checked": checked,
+        "drifted": drifted,
+        "missing": missing,
+        "ok": not drifted and not missing,
+    }
+
+
+def rebaseline(path: str | Path, *, jobs: int | None = None) -> dict:
+    """Recompute and write the baseline for the union of all grids.
+
+    Only exact solves run — no Monte Carlo, no kernel DES — so
+    re-baselining after an intended model change is cheap.
+    """
+    from repro.models.solve import reference_point
+    from repro.perf.pool import map_sweep
+    from repro.validate.estimators import exact_estimate
+    from repro.validate.grid import GRIDS
+
+    configs: dict[str, "object"] = {}
+    for build in GRIDS.values():
+        for config in build():
+            configs[config.config_id] = config
+    ordered = [configs[key] for key in sorted(configs)]
+    references = map_sweep(
+        reference_point,
+        [(c.architecture, c.mode, c.conversations, c.compute_us)
+         for c in ordered],
+        jobs=jobs, star=True)
+    entries = {
+        config.config_id: entry_for(exact_estimate(reference))
+        for config, reference in zip(ordered, references)}
+    write_baseline(path, entries, grids=sorted(GRIDS))
+    return entries

@@ -1,0 +1,180 @@
+"""The three independent estimators the harness confronts.
+
+For one :class:`~repro.validate.grid.ValidationConfig` the harness
+produces:
+
+* an **exact** estimate — the embedded-chain GTPN analysis of the
+  reference net (:func:`repro.models.solve.reference_point`), the
+  value chapter 6's published curves rest on;
+* a **Monte Carlo** estimate — :func:`repro.gtpn.simulation.\
+simulate_with_confidence` batch means over *the same net*, giving a
+  95 % confidence interval the exact value must fall into;
+* a **kernel DES** estimate — the discrete-event kernel simulator
+  running the section 6.3 conversation benchmark, a fully independent
+  implementation of the same system.
+
+:func:`estimate_point` bundles all three; it is picklable work, so the
+report layer fans configurations out through
+:func:`repro.perf.pool.map_sweep` like any figure grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.gtpn.simulation import simulate_with_confidence
+from repro.kernel.workload import run_conversation_experiment
+from repro.models.params import Architecture, Mode
+from repro.models.solve import ReferencePoint, reference_point
+from repro.validate.grid import DESSettings, MCSettings, ValidationConfig
+
+#: GTPN pool place -> kernel processor name.
+_BUSY_MAP = {"Host": "host", "MP": "mp"}
+
+
+@dataclass(frozen=True)
+class ExactEstimate:
+    """Embedded-chain analysis of the reference net."""
+
+    throughput_per_ms: float           # of the reference net
+    solution_throughput_per_ms: float  # figure-level solve() value
+    busy: dict[str, float]             # pool place -> busy fraction
+    state_count: int
+
+    def as_dict(self) -> dict:
+        return {"throughput_per_ms": self.throughput_per_ms,
+                "solution_throughput_per_ms":
+                    self.solution_throughput_per_ms,
+                "busy": dict(self.busy),
+                "state_count": self.state_count}
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Batch-means 95 % confidence interval over the same net."""
+
+    mean_per_ms: float
+    half_width_per_ms: float
+    batches: int
+    batch_ticks: int
+    warmup_ticks: int
+    seed: int
+
+    @property
+    def interval_per_ms(self) -> tuple[float, float]:
+        return (self.mean_per_ms - self.half_width_per_ms,
+                self.mean_per_ms + self.half_width_per_ms)
+
+    def as_dict(self) -> dict:
+        low, high = self.interval_per_ms
+        return {"mean_per_ms": self.mean_per_ms,
+                "half_width_per_ms": self.half_width_per_ms,
+                "interval_per_ms": [low, high],
+                "batches": self.batches,
+                "batch_ticks": self.batch_ticks,
+                "warmup_ticks": self.warmup_ticks,
+                "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Kernel discrete-event simulation of the same operating point."""
+
+    throughput_per_ms: float
+    busy: dict[str, float]             # pool place -> busy fraction
+    round_trips: int
+    warmup_us: float
+    measure_us: float
+    seed: int
+
+    def as_dict(self) -> dict:
+        return {"throughput_per_ms": self.throughput_per_ms,
+                "busy": dict(self.busy),
+                "round_trips": self.round_trips,
+                "warmup_us": self.warmup_us,
+                "measure_us": self.measure_us,
+                "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class PointEstimates:
+    """All three estimators' views of one configuration."""
+
+    config: ValidationConfig
+    exact: ExactEstimate
+    monte_carlo: MonteCarloEstimate
+    kernel: KernelEstimate
+
+
+def exact_estimate(reference: ReferencePoint) -> ExactEstimate:
+    """Exact throughput and processor busy fractions of a point."""
+    result = reference.result
+    busy = {place: result.busy_fraction(place)
+            for place in reference.busy_places}
+    return ExactEstimate(
+        throughput_per_ms=result.throughput() * 1e3,
+        solution_throughput_per_ms=reference.solution_throughput * 1e3,
+        busy=busy, state_count=result.state_count)
+
+
+def monte_carlo_estimate(reference: ReferencePoint,
+                         settings: MCSettings,
+                         seed: int) -> MonteCarloEstimate:
+    """Batch-means CI for the reference net's throughput.
+
+    The batch length adapts to the point's exact cycle time so every
+    batch sees a comparable number of completed round trips whatever
+    the server compute time.
+    """
+    batch_ticks = settings.batch_ticks(reference.result.throughput())
+    warmup = batch_ticks // 2
+    ci = simulate_with_confidence(
+        reference.net, batches=settings.batches,
+        batch_ticks=batch_ticks, warmup=warmup, seed=seed)
+    return MonteCarloEstimate(
+        mean_per_ms=ci.mean * 1e3,
+        half_width_per_ms=ci.half_width * 1e3,
+        batches=settings.batches, batch_ticks=batch_ticks,
+        warmup_ticks=warmup, seed=seed)
+
+
+def kernel_estimate(config: ValidationConfig, settings: DESSettings,
+                    seed: int) -> KernelEstimate:
+    """Run the conversation benchmark on the kernel simulator.
+
+    Non-local busy fractions come from the client node — the side the
+    non-local GTPN reference net models; local ones from the single
+    node.
+    """
+    outcome = run_conversation_experiment(
+        config.architecture, config.mode, config.conversations,
+        config.compute_us, warmup_us=settings.warmup_us,
+        measure_us=settings.measure_us, seed=seed)
+    node = "node0" if config.mode is Mode.LOCAL else "clients"
+    utilization = outcome.utilization[node]
+    busy = {place: utilization[processor]
+            for place, processor in _BUSY_MAP.items()
+            if processor in utilization}
+    if config.architecture is Architecture.I:
+        busy.pop("MP", None)
+    return KernelEstimate(
+        throughput_per_ms=outcome.throughput_per_ms,
+        busy=busy, round_trips=outcome.round_trips,
+        warmup_us=settings.warmup_us, measure_us=settings.measure_us,
+        seed=seed)
+
+
+def estimate_point(config: ValidationConfig, mc: MCSettings,
+                   des: DESSettings, base_seed: int) -> PointEstimates:
+    """All three estimates for one grid point (picklable sweep work)."""
+    seed = config.seed_for(base_seed)
+    with obs.span("validate.point", config=config.config_id):
+        reference = reference_point(config.architecture, config.mode,
+                                    config.conversations,
+                                    config.compute_us)
+        exact = exact_estimate(reference)
+        monte_carlo = monte_carlo_estimate(reference, mc, seed)
+        kernel = kernel_estimate(config, des, seed)
+    return PointEstimates(config=config, exact=exact,
+                          monte_carlo=monte_carlo, kernel=kernel)

@@ -1,0 +1,144 @@
+"""Metamorphic properties: relations every estimator must respect.
+
+Differential testing compares estimators to each other; metamorphic
+testing compares an estimator to *itself* under a transformation with
+a known effect.  A formalization error that shifts every estimator the
+same way slips past pairwise checks but breaks these.
+
+* **delay scaling** — scaling every activity mean and constant delay
+  of a contention-free pipeline by k must scale the cycle time by
+  exactly k (throughput by 1/k).  The exact analyzer satisfies this to
+  machine precision; under contention the geometric approximation only
+  scales approximately, so the property is checked on the clean
+  pipeline where any violation is a real solver bug.
+* **zero-fault identity** — a kernel system built under an *inactive*
+  :class:`~repro.faults.plan.FaultPlan` must be bit-identical to one
+  built with no plan at all (the PR-2 transport seam): same round-trip
+  record, same processor utilizations.
+* **Monte Carlo determinism** — the batch-means simulator must be a
+  pure function of its seed.
+* **conversation monotonicity** — adding a conversation to a closed
+  local model can never reduce exact throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gtpn import Net, activity_pair, analyze
+from repro.gtpn.simulation import simulate_with_confidence
+from repro.models.local import build_local_net
+from repro.models.params import Architecture, Mode
+
+
+@dataclass(frozen=True)
+class MetamorphicResult:
+    """Outcome of one property check."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok,
+                "detail": self.detail}
+
+
+def _pipeline_cycle(scale: int) -> Net:
+    """A contention-free three-stage cycle with all delays x scale."""
+    net = Net(f"validate-scale-{scale}")
+    ready = net.place("Ready", tokens=1)
+    mid = net.place("Mid")
+    done = net.place("Done")
+    activity_pair(net, "stage_a", 7.0 * scale, inputs=[ready],
+                  outputs=[mid])
+    activity_pair(net, "stage_b", 4.0 * scale, inputs=[mid],
+                  outputs=[done], resource="lambda")
+    net.transition("recycle", delay=scale, inputs=[done],
+                   outputs=[ready])
+    return net
+
+
+def check_delay_scaling(scale: int = 3,
+                        rtol: float = 1e-9) -> MetamorphicResult:
+    """Scaling all delays by k scales exact cycle time by exactly k."""
+    base = analyze(_pipeline_cycle(1)).throughput()
+    scaled = analyze(_pipeline_cycle(scale)).throughput()
+    error = abs(scaled * scale - base) / base
+    return MetamorphicResult(
+        name="delay-scaling",
+        ok=error <= rtol,
+        detail=f"base {base:.9g}/tick vs {scale}x-scaled "
+               f"{scaled:.9g}/tick: relative error {error:.3g} "
+               f"(tolerance {rtol:g})")
+
+
+def check_zero_fault_identity(seed: int,
+                              horizon_us: float = 150_000.0,
+                              ) -> MetamorphicResult:
+    """An inactive fault plan must not perturb the kernel DES at all."""
+    from repro.faults.plan import FaultPlan
+    from repro.kernel.workload import build_conversation_system
+
+    def run(faults):
+        system, meter = build_conversation_system(
+            Architecture.II, Mode.NONLOCAL, 2, 0.0, seed,
+            faults=faults)
+        system.run_for(horizon_us)
+        utilization = {name: node.utilization(horizon_us)
+                       for name, node in system.nodes.items()}
+        return meter.signature(), utilization
+
+    plain_sig, plain_util = run(None)
+    inert_sig, inert_util = run(FaultPlan())
+    same = plain_sig == inert_sig and plain_util == inert_util
+    return MetamorphicResult(
+        name="zero-fault-identity",
+        ok=same,
+        detail=("inactive FaultPlan run bit-identical to no plan "
+                f"({len(plain_sig[0])} round trips compared)" if same
+                else "inactive FaultPlan changed the run: meter or "
+                     "utilization records differ"))
+
+
+def check_mc_determinism(seed: int) -> MetamorphicResult:
+    """simulate_with_confidence must be a pure function of its seed."""
+    net = _pipeline_cycle(1)
+    first = simulate_with_confidence(net, batches=4, batch_ticks=2_000,
+                                     warmup=500, seed=seed)
+    second = simulate_with_confidence(net, batches=4,
+                                      batch_ticks=2_000, warmup=500,
+                                      seed=seed)
+    same = (first.mean == second.mean
+            and first.batch_means == second.batch_means)
+    return MetamorphicResult(
+        name="mc-determinism",
+        ok=same,
+        detail=(f"two seed-{seed} runs reproduced mean "
+                f"{first.mean:.9g} bit-for-bit" if same
+                else f"seed {seed} produced {first.mean!r} then "
+                     f"{second.mean!r}"))
+
+
+def check_conversation_monotonicity() -> MetamorphicResult:
+    """Exact throughput is non-decreasing in the conversation count."""
+    values = [analyze(build_local_net(Architecture.II, n,
+                                      0.0)).throughput()
+              for n in (1, 2, 3)]
+    ok = all(a <= b * (1 + 1e-12)
+             for a, b in zip(values, values[1:]))
+    return MetamorphicResult(
+        name="conversation-monotonicity",
+        ok=ok,
+        detail="arch II local throughput per tick at n=1,2,3: "
+               + ", ".join(f"{v:.6g}" for v in values))
+
+
+def run_metamorphic_checks(seed: int) -> list[MetamorphicResult]:
+    """Every property, in a stable order."""
+    return [
+        check_delay_scaling(),
+        check_zero_fault_identity(seed),
+        check_mc_determinism(seed),
+        check_conversation_monotonicity(),
+    ]

@@ -127,6 +127,39 @@ def test_profile_defaults_to_cwd(tmp_path, capsys, monkeypatch):
     assert (tmp_path / "table-5.1.profile.txt").exists()
 
 
+def test_validate_quick_end_to_end(tmp_path, capsys):
+    """The acceptance gate: `repro validate --quick` agrees on every
+    configuration, writes a parity report, and that report validates."""
+    report_path = tmp_path / "validation-report.json"
+    assert main(["validate", "--quick",
+                 "--report", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 configurations agree" in out
+    assert "parity report:" in out
+    from repro.validate.report import validate_report
+    payload = validate_report(report_path)
+    assert payload["summary"]["ok"] is True
+    assert payload["grid"] == "quick"
+    # the committed baseline at the repo root was found and checked
+    assert payload["baseline"].get("skipped") is None
+    assert payload["baseline"]["ok"] is True
+
+
+def test_validate_rebaseline_writes_custom_path(tmp_path, capsys):
+    target = tmp_path / "baseline.json"
+    assert main(["validate", "--rebaseline",
+                 "--baseline", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "baseline written" in out
+    from repro.validate.baseline import load_baseline
+    payload = load_baseline(target)
+    # the union of the quick and full grids, exact values only
+    assert len(payload["entries"]) >= 24
+    entry = payload["entries"]["II-nonlocal-n2-x0"]
+    assert entry["throughput_per_ms"] > 0
+    assert "Host" in entry["busy"]
+
+
 def test_jobs_flag_rejects_bad_values(capsys):
     with pytest.raises(SystemExit):
         main(["--jobs", "0", "list"])

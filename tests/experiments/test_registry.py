@@ -38,6 +38,13 @@ def test_light_ids_exclude_heavy():
     assert "figure-6.18" not in light
 
 
+def test_validation_experiments_registered():
+    light = all_experiment_ids(include_heavy=False)
+    assert "validate-quick" in light              # the CI gate
+    assert "validate-full" not in light           # full grid is heavy
+    assert get_experiment("validate-full").heavy
+
+
 def test_light_tables_run_and_render():
     for experiment_id in ("table-3.1", "table-3.6", "table-5.1",
                           "table-5.2", "table-6.1", "table-6.4"):

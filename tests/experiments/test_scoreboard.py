@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import ReproError
 from repro.experiments.scoreboard import (Expectation, run_scoreboard,
+                                          scoreboard_results,
                                           _expectations)
 
 
@@ -43,3 +45,30 @@ def test_expectation_absolute_tolerance():
 def test_title_reports_pass_count():
     table = run_scoreboard()
     assert f"{len(table.rows)}/{len(table.rows)} passing" in table.title
+
+
+def test_zero_paper_value_with_relative_tolerance_rejected():
+    """tolerance * |0| = 0 would demand measured == 0.0 exactly; such
+    claims must declare an absolute band instead."""
+    with pytest.raises(ReproError, match="absolute"):
+        Expectation(name="degenerate", paper_value=0.0, tolerance=0.05,
+                    measure=lambda: 0.0)
+
+
+def test_zero_paper_value_allowed_with_absolute_band():
+    check = Expectation(name="ok", paper_value=0.0, tolerance=0.01,
+                        measure=lambda: 0.005, absolute=True)
+    assert check.evaluate().ok
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ReproError, match="negative"):
+        Expectation(name="bad", paper_value=1.0, tolerance=-0.1,
+                    measure=lambda: 1.0)
+
+
+def test_scoreboard_results_match_table():
+    rows = scoreboard_results()
+    table = run_scoreboard()
+    assert len(rows) == len(table.rows)
+    assert all(row.ok for row in rows)

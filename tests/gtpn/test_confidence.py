@@ -65,3 +65,46 @@ def test_validation_errors():
     with pytest.raises(AnalysisError):
         simulate_with_confidence(net, resource="nonexistent",
                                  batches=4, batch_ticks=1_000)
+
+
+@pytest.mark.parametrize("batch_ticks", [0, -5])
+def test_nonpositive_batch_ticks_rejected(batch_ticks):
+    """Used to surface as a bare ZeroDivisionError from the batch
+    average."""
+    with pytest.raises(AnalysisError, match="batch_ticks"):
+        simulate_with_confidence(cycle_net(), batches=4,
+                                 batch_ticks=batch_ticks)
+
+
+def test_negative_warmup_rejected():
+    with pytest.raises(AnalysisError, match="warmup"):
+        simulate_with_confidence(cycle_net(), batches=4,
+                                 batch_ticks=1_000, warmup=-1)
+
+
+def test_interval_coverage_across_seeds():
+    """The 95% CI should contain the exact value at roughly its
+    nominal rate: over 20 seeds, allow at most 3 misses."""
+    net = cycle_net(mean=8.0)
+    exact = analyze(net).throughput()
+    hits = sum(
+        simulate_with_confidence(net, batches=8, batch_ticks=2_000,
+                                 warmup=1_000, seed=s).contains(exact)
+        for s in range(20))
+    assert hits >= 17, f"only {hits}/20 intervals contained the exact value"
+
+
+def test_seed_resolves_through_global_default():
+    """Without an explicit seed the simulator consults the
+    process-wide default (CLI --seed / REPRO_SEED)."""
+    from repro.seeding import set_default_seed
+    net = cycle_net()
+    try:
+        set_default_seed(77)
+        a = simulate_with_confidence(net, batches=4, batch_ticks=2_000)
+        b = simulate_with_confidence(net, batches=4, batch_ticks=2_000,
+                                     seed=77)
+    finally:
+        set_default_seed(None)
+    assert a.mean == b.mean
+    assert a.batch_means == b.batch_means

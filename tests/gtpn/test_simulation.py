@@ -33,6 +33,14 @@ def test_nonpositive_ticks_rejected():
         simulate(small_net(), ticks=0)
 
 
+def test_negative_warmup_rejected():
+    """A negative warmup used to silently shorten the measured horizon
+    (range(warmup + ticks)) while the averages still divided by the
+    full tick count, biasing every measurement low."""
+    with pytest.raises(AnalysisError, match="warmup"):
+        simulate(small_net(), ticks=1_000, warmup=-500)
+
+
 def test_throughput_close_to_renewal_value():
     result = simulate(small_net(), ticks=200_000, warmup=2_000, seed=9)
     assert result.throughput() == pytest.approx(1 / 6, rel=0.03)

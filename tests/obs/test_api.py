@@ -45,6 +45,28 @@ class TestRunExperiment:
         assert config.seed() is None
         assert config.cache_enabled() is True
 
+    def test_attach_extra_rides_on_result(self):
+        from repro.experiments.registry import Experiment, REGISTRY
+        from repro.experiments.reporting import Table
+
+        def runner():
+            api.attach_extra("payload", {"x": 1})
+            return Table(experiment_id="extra-test", title="t",
+                         headers=["a"], rows=[[1]])
+
+        REGISTRY["extra-test"] = Experiment(
+            "extra-test", "t", "table", runner)
+        try:
+            result = api.run_experiment("extra-test")
+        finally:
+            REGISTRY.pop("extra-test")
+        assert result.extras == {"payload": {"x": 1}}
+
+    def test_attach_extra_outside_run_is_noop(self):
+        api.attach_extra("orphan", 1)       # silently ignored
+        result = api.run_experiment("table-5.1")
+        assert "orphan" not in result.extras
+
     def test_trace_writes_both_exports(self, tmp_path):
         target = tmp_path / "run.json"
         result = api.run_experiment("figure-6.7", trace=target)

@@ -44,6 +44,17 @@ def test_empty_items():
     assert map_sweep(_square, [], jobs=4) == []
 
 
+def test_map_info_describe():
+    from repro.perf.pool import MapInfo
+    serial = MapInfo("serial", "serial requested (jobs=1)", 1, 1, 4,
+                     None)
+    assert serial.describe() == \
+        "sweep ran serially (serial requested (jobs=1))"
+    parallel = MapInfo("parallel", None, 8, 4, 16, 2)
+    assert parallel.describe() == \
+        "sweep ran on 4 workers, chunk size 2"
+
+
 def test_unpicklable_function_falls_back_to_serial():
     # a lambda cannot ship to a worker process; the sweep must still
     # produce correct, ordered results via the serial fallback

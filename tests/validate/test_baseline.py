@@ -1,0 +1,102 @@
+"""Tests for the persisted exact-value baseline and drift detection."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.validate.baseline import (BASELINE_SCHEMA, check_drift,
+                                     default_path, load_baseline,
+                                     set_default_path, write_baseline)
+
+
+def entries():
+    return {
+        "II-local-n2-x0": {"throughput_per_ms": 0.2012,
+                           "busy": {"Host": 0.9, "MP": 0.5}},
+        "III-local-n3-x0": {"throughput_per_ms": 0.3409,
+                            "busy": {"Host": 0.8, "MP": 0.6}},
+    }
+
+
+def test_write_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries(), grids=["quick", "full"])
+    payload = load_baseline(path)
+    assert payload["schema"] == BASELINE_SCHEMA
+    assert payload["grids"] == ["full", "quick"]
+    assert set(payload["entries"]) == set(entries())
+
+
+def test_no_drift_on_identical_values(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries(), grids=["quick"])
+    section = check_drift(load_baseline(path), entries())
+    assert section["ok"]
+    assert section["checked"] == 2
+    assert section["drifted"] == []
+    assert section["missing"] == []
+
+
+def test_drift_detected_beyond_float_noise(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries(), grids=["quick"])
+    moved = entries()
+    moved["II-local-n2-x0"]["throughput_per_ms"] *= 1.001
+    section = check_drift(load_baseline(path), moved)
+    assert not section["ok"]
+    assert [d["config_id"] for d in section["drifted"]] == \
+        ["II-local-n2-x0"]
+    assert "throughput" in section["drifted"][0]["problems"][0]
+
+
+def test_float_noise_is_not_drift(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries(), grids=["quick"])
+    jittered = entries()
+    jittered["II-local-n2-x0"]["throughput_per_ms"] += 1e-12
+    assert check_drift(load_baseline(path), jittered)["ok"]
+
+
+def test_unpinned_config_fails_the_gate(tmp_path):
+    """A grid point the baseline has never seen means the grid grew
+    without re-baselining — that must fail, not silently pass."""
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries(), grids=["quick"])
+    grown = entries()
+    grown["IV-nonlocal-n2-x0"] = {"throughput_per_ms": 0.31,
+                                  "busy": {"Host": 0.5}}
+    section = check_drift(load_baseline(path), grown)
+    assert not section["ok"]
+    assert section["missing"] == ["IV-nonlocal-n2-x0"]
+
+
+def test_busy_drift_detected(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries(), grids=["quick"])
+    moved = entries()
+    moved["III-local-n3-x0"]["busy"]["MP"] += 0.01
+    section = check_drift(load_baseline(path), moved)
+    assert not section["ok"]
+    assert "busy[MP]" in section["drifted"][0]["problems"][0]
+
+
+def test_load_rejects_bad_schema_and_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "other/1", "entries": {}}')
+    with pytest.raises(ReproError, match="schema"):
+        load_baseline(bad)
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("[")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        load_baseline(garbage)
+    with pytest.raises(ReproError, match="cannot read"):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_default_path_override():
+    assert default_path() == "validation-baseline.json"
+    try:
+        set_default_path("elsewhere.json")
+        assert default_path() == "elsewhere.json"
+    finally:
+        set_default_path(None)
+    assert default_path() == "validation-baseline.json"

@@ -1,0 +1,86 @@
+"""Tests for the three estimator adapters.
+
+These run the real analyzers on the smallest grid point with short
+horizons — the statistical agreement itself is exercised by the
+``validate-quick`` gate, not the unit suite.
+"""
+
+import pytest
+
+from repro.models.params import Architecture, Mode
+from repro.models.solve import reference_point
+from repro.validate.estimators import (estimate_point, exact_estimate,
+                                       kernel_estimate,
+                                       monte_carlo_estimate)
+from repro.validate.grid import (DESSettings, MCSettings,
+                                 ValidationConfig)
+
+TINY_MC = MCSettings(batches=4, round_trips_per_batch=2.0,
+                     min_batch_ticks=2_000)
+TINY_DES = DESSettings(warmup_us=20_000.0, measure_us=100_000.0)
+
+
+def tiny_config(architecture=Architecture.II, mode=Mode.LOCAL):
+    return ValidationConfig(
+        architecture=architecture, mode=mode, conversations=1,
+        compute_us=0.0, des_throughput_rtol=0.2, busy_atol=0.15)
+
+
+def test_exact_estimate_fields():
+    reference = reference_point(Architecture.II, Mode.LOCAL, 1, 0.0)
+    exact = exact_estimate(reference)
+    assert exact.throughput_per_ms > 0
+    assert exact.solution_throughput_per_ms == \
+        pytest.approx(exact.throughput_per_ms, rel=1e-9)
+    assert set(exact.busy) == {"Host", "MP"}
+    assert all(0.0 <= value <= 1.0 for value in exact.busy.values())
+    assert exact.state_count > 0
+
+
+def test_monte_carlo_estimate_near_exact():
+    reference = reference_point(Architecture.II, Mode.LOCAL, 1, 0.0)
+    exact = exact_estimate(reference)
+    mc = monte_carlo_estimate(reference, TINY_MC, seed=7)
+    assert mc.batches == TINY_MC.batches
+    assert mc.half_width_per_ms > 0
+    low, high = mc.interval_per_ms
+    assert low < mc.mean_per_ms < high
+    # loose sanity: a short run still lands in the right decade
+    assert mc.mean_per_ms == pytest.approx(exact.throughput_per_ms,
+                                           rel=0.5)
+
+
+def test_kernel_estimate_names_processors_like_the_model():
+    kernel = kernel_estimate(tiny_config(), TINY_DES, seed=7)
+    assert set(kernel.busy) == {"Host", "MP"}
+    assert kernel.throughput_per_ms > 0
+    assert kernel.round_trips > 0
+
+
+def test_kernel_estimate_drops_mp_for_uniprocessor():
+    """Architecture I has no message processor; its busy map must not
+    invent one."""
+    kernel = kernel_estimate(tiny_config(Architecture.I), TINY_DES,
+                             seed=7)
+    assert "MP" not in kernel.busy
+    assert "Host" in kernel.busy
+
+
+def test_estimate_point_is_deterministic():
+    config = tiny_config()
+    a = estimate_point(config, TINY_MC, TINY_DES, base_seed=7)
+    b = estimate_point(config, TINY_MC, TINY_DES, base_seed=7)
+    assert a.exact.throughput_per_ms == b.exact.throughput_per_ms
+    assert a.monte_carlo.mean_per_ms == b.monte_carlo.mean_per_ms
+    assert a.kernel.throughput_per_ms == b.kernel.throughput_per_ms
+    assert a.monte_carlo.seed == config.seed_for(7)
+
+
+def test_nonlocal_point_uses_client_side():
+    config = tiny_config(mode=Mode.NONLOCAL)
+    point = estimate_point(config, TINY_MC, TINY_DES, base_seed=7)
+    # the non-local reference net models the client node; solve()'s
+    # fixed-point throughput is the figure-level value
+    assert point.exact.solution_throughput_per_ms > 0
+    assert point.kernel.throughput_per_ms > 0
+    assert set(point.exact.busy) <= {"Host", "MP"}

@@ -1,0 +1,75 @@
+"""Tests for the validation configuration grid."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.params import Architecture, Mode
+from repro.validate.grid import (GRIDS, MCSettings, SETTINGS,
+                                 ValidationConfig, declared_tolerances,
+                                 full_grid, grid, quick_grid)
+
+
+def test_quick_grid_covers_every_architecture_and_both_modes():
+    configs = quick_grid()
+    assert len(configs) == 4
+    assert {c.architecture for c in configs} == set(Architecture)
+    assert {c.mode for c in configs} == {Mode.LOCAL, Mode.NONLOCAL}
+
+
+def test_full_grid_shape_and_unique_ids():
+    configs = full_grid()
+    assert len(configs) == 24       # 4 archs x 2 modes x 3 points
+    ids = [c.config_id for c in configs]
+    assert len(set(ids)) == len(ids)
+    assert {c.architecture for c in configs} == set(Architecture)
+
+
+def test_config_id_format():
+    config = ValidationConfig(
+        architecture=Architecture.II, mode=Mode.NONLOCAL,
+        conversations=3, compute_us=2850.0,
+        des_throughput_rtol=0.15, busy_atol=0.08)
+    assert config.config_id == "II-nonlocal-n3-x2850"
+
+
+def test_seed_for_is_stable_and_distinct():
+    configs = full_grid()
+    seeds = [c.seed_for(7) for c in configs]
+    assert seeds == [c.seed_for(7) for c in configs]
+    assert len(set(seeds)) == len(seeds)
+    assert all(0 <= s < 2 ** 31 for s in seeds)
+    # a different base seed shifts every per-config seed
+    assert all(a != b for a, b in zip(seeds,
+                                      (c.seed_for(8) for c in configs)))
+
+
+def test_uniprocessor_nonlocal_band_is_the_thesis_band():
+    """Arch I non-local at several conversations carries the thesis's
+    own ~25% validation band, everything else a much tighter one."""
+    wide = declared_tolerances(Architecture.I, Mode.NONLOCAL, 3, 0.0)
+    tight = declared_tolerances(Architecture.II, Mode.NONLOCAL, 3, 0.0)
+    assert wide[0] > 2 * tight[0]
+    assert declared_tolerances(Architecture.I, Mode.NONLOCAL, 1,
+                               0.0) == tight
+    assert declared_tolerances(Architecture.I, Mode.LOCAL, 3,
+                               0.0)[0] <= tight[0]
+
+
+def test_adaptive_batch_ticks():
+    settings = MCSettings(batches=8, round_trips_per_batch=10.0,
+                          min_batch_ticks=6_000)
+    # fast cycle: the floor wins
+    assert settings.batch_ticks(0.01) == 6_000
+    # slow cycle (long server compute): batches stretch to keep
+    # ~10 round trips each
+    assert settings.batch_ticks(0.0002) == 50_000
+    # degenerate throughput falls back to the floor
+    assert settings.batch_ticks(0.0) == 6_000
+
+
+def test_named_grids_and_settings_agree():
+    assert set(GRIDS) == set(SETTINGS)
+    assert [c.config_id for c in grid("quick")] == \
+        [c.config_id for c in quick_grid()]
+    with pytest.raises(ConfigError, match="unknown validation grid"):
+        grid("bogus")

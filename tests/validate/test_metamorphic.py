@@ -1,0 +1,44 @@
+"""Tests for the metamorphic property checks."""
+
+from repro.validate.metamorphic import (check_conversation_monotonicity,
+                                        check_delay_scaling,
+                                        check_mc_determinism,
+                                        check_zero_fault_identity,
+                                        run_metamorphic_checks)
+
+
+def test_all_properties_hold():
+    results = run_metamorphic_checks(seed=7)
+    assert [r.name for r in results] == [
+        "delay-scaling", "zero-fault-identity", "mc-determinism",
+        "conversation-monotonicity"]
+    failing = [r for r in results if not r.ok]
+    assert not failing, [(r.name, r.detail) for r in failing]
+
+
+def test_delay_scaling_holds_to_machine_precision():
+    result = check_delay_scaling(scale=5, rtol=1e-12)
+    assert result.ok, result.detail
+
+
+def test_zero_fault_identity_seed_independent():
+    assert check_zero_fault_identity(seed=3,
+                                     horizon_us=60_000.0).ok
+
+
+def test_mc_determinism_any_seed():
+    assert check_mc_determinism(seed=12345).ok
+
+
+def test_monotonicity_detail_names_the_series():
+    result = check_conversation_monotonicity()
+    assert result.ok
+    assert "n=1,2,3" in result.detail
+
+
+def test_result_serializes():
+    result = check_delay_scaling()
+    payload = result.as_dict()
+    assert payload["name"] == "delay-scaling"
+    assert payload["ok"] is True
+    assert isinstance(payload["detail"], str)

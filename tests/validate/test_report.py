@@ -1,0 +1,178 @@
+"""Tests for parity-report assembly, persistence, and validation.
+
+Built on synthetic estimates so the check logic is exercised exactly
+at its boundaries without running any simulator.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.models.params import Architecture, Mode
+from repro.validate.estimators import (ExactEstimate, KernelEstimate,
+                                       MonteCarloEstimate,
+                                       PointEstimates)
+from repro.validate.grid import ValidationConfig
+from repro.validate.metamorphic import MetamorphicResult
+from repro.validate.report import (REPORT_SCHEMA, PointReport,
+                                   ValidationReport, point_checks,
+                                   validate_report, write_report)
+
+
+def make_point(*, exact=0.20, mc_mean=0.21, mc_half=0.02,
+               des=0.21, exact_busy=None, kernel_busy=None,
+               rtol=0.12, atol=0.08, ci_slack=1.0):
+    config = ValidationConfig(
+        architecture=Architecture.II, mode=Mode.LOCAL,
+        conversations=2, compute_us=0.0,
+        des_throughput_rtol=rtol, busy_atol=atol, ci_slack=ci_slack)
+    return PointEstimates(
+        config=config,
+        exact=ExactEstimate(
+            throughput_per_ms=exact,
+            solution_throughput_per_ms=exact,
+            busy=exact_busy if exact_busy is not None
+            else {"Host": 0.9, "MP": 0.5},
+            state_count=10),
+        monte_carlo=MonteCarloEstimate(
+            mean_per_ms=mc_mean, half_width_per_ms=mc_half,
+            batches=8, batch_ticks=6_000, warmup_ticks=3_000, seed=7),
+        kernel=KernelEstimate(
+            throughput_per_ms=des,
+            busy=kernel_busy if kernel_busy is not None
+            else {"Host": 0.88, "MP": 0.47},
+            round_trips=100, warmup_us=1e5, measure_us=5e5, seed=7))
+
+
+def by_name(checks):
+    return {check.name: check for check in checks}
+
+
+def test_all_checks_pass_on_agreeing_estimates():
+    checks = point_checks(make_point())
+    assert {c.name for c in checks} == {
+        "exact-in-mc-ci", "des-throughput", "des-busy-host",
+        "des-busy-mp"}
+    assert all(c.ok for c in checks)
+
+
+def test_exact_outside_ci_fails():
+    checks = by_name(point_checks(make_point(exact=0.20, mc_mean=0.25,
+                                             mc_half=0.02)))
+    assert not checks["exact-in-mc-ci"].ok
+
+
+def test_ci_slack_widens_the_band():
+    tight = by_name(point_checks(make_point(
+        exact=0.20, mc_mean=0.23, mc_half=0.02, ci_slack=1.0)))
+    slack = by_name(point_checks(make_point(
+        exact=0.20, mc_mean=0.23, mc_half=0.02, ci_slack=2.0)))
+    assert not tight["exact-in-mc-ci"].ok
+    assert slack["exact-in-mc-ci"].ok
+
+
+def test_des_throughput_band_is_relative():
+    ok = by_name(point_checks(make_point(des=0.20 * 1.11)))
+    bad = by_name(point_checks(make_point(des=0.20 * 1.13)))
+    assert ok["des-throughput"].ok
+    assert not bad["des-throughput"].ok
+
+
+def test_busy_fraction_band_is_absolute():
+    bad = by_name(point_checks(make_point(
+        kernel_busy={"Host": 0.79, "MP": 0.5})))
+    assert not bad["des-busy-host"].ok
+    assert bad["des-busy-mp"].ok
+
+
+def test_missing_kernel_processor_fails_loudly():
+    checks = by_name(point_checks(make_point(
+        kernel_busy={"Host": 0.9})))
+    assert not checks["des-busy-mp"].ok
+    assert "no MP processor" in checks["des-busy-mp"].detail
+
+
+def passing_report(tmp_path=None):
+    estimates = make_point()
+    return ValidationReport(
+        grid_name="quick", seed=7,
+        points=[PointReport(estimates=estimates,
+                            checks=point_checks(estimates))],
+        metamorphic=[MetamorphicResult("delay-scaling", True, "ok")],
+        baseline={"ok": True, "checked": 1, "drifted": [],
+                  "missing": [], "path": "b.json",
+                  "drift_rtol": 1e-6},
+        scoreboard={"total": 2, "passed": 2, "failing": [],
+                    "ok": True, "claims": []},
+        execution={"pool_note": "serial", "elapsed_s": 0.1})
+
+
+def test_report_aggregates_failures():
+    report = passing_report()
+    assert report.ok
+    assert report.failures == []
+    report.baseline = {"ok": False}
+    report.scoreboard = {"ok": False}
+    report.metamorphic.append(
+        MetamorphicResult("mc-determinism", False, "broken"))
+    assert set(report.failures) == {
+        "baseline-drift", "scoreboard", "metamorphic: mc-determinism"}
+    assert not report.ok
+
+
+def test_report_roundtrip_validates(tmp_path):
+    path = write_report(passing_report(), tmp_path / "report.json")
+    payload = validate_report(path)
+    assert payload["schema"] == REPORT_SCHEMA
+    assert payload["summary"]["ok"] is True
+    assert payload["summary"]["points"] == 1
+
+
+def test_table_renders_summary(capsys):
+    table = passing_report().table("validate-quick")
+    text = table.render()
+    assert "1/1 configurations agree" in text
+    assert "II-local-n2-x0" in text
+    assert "PASS" in text
+
+
+def test_validate_report_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "report.json"
+    payload = json.loads(
+        write_report(passing_report(), path).read_text())
+    payload["schema"] = "something/else"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ReproError, match="schema"):
+        validate_report(path)
+
+
+def test_validate_report_rejects_empty_points(tmp_path):
+    path = tmp_path / "report.json"
+    payload = json.loads(
+        write_report(passing_report(), path).read_text())
+    payload["points"] = []
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ReproError, match="no configurations"):
+        validate_report(path)
+
+
+def test_validate_report_detects_doctored_verdict(tmp_path):
+    """A report whose checks say FAIL but whose summary says ok must
+    not pass the CI artifact validation."""
+    path = tmp_path / "report.json"
+    payload = json.loads(
+        write_report(passing_report(), path).read_text())
+    payload["points"][0]["checks"][0]["ok"] = False
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ReproError, match="summary.ok"):
+        validate_report(path)
+
+
+def test_validate_report_rejects_garbage(tmp_path):
+    path = tmp_path / "report.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        validate_report(path)
+    with pytest.raises(ReproError, match="cannot read"):
+        validate_report(tmp_path / "absent.json")
