@@ -314,6 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="default seed for every stochastic component (default: "
              "REPRO_SEED or each component's own)")
     parser.add_argument(
+        "--reduction", metavar="MODE", default=None,
+        help="opt-in state-space reduction for exact solves: none, "
+             "lump, elim, or lump+elim (default: REPRO_REDUCTION or "
+             "none; the default exact path is bit-identical)")
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record the run with repro.obs: Chrome-trace JSON at "
              "PATH, versioned JSONL next to it")
@@ -423,6 +428,11 @@ def main(argv: list[str] | None = None) -> int:
         config.set_cache_enabled(False)
     if args.seed is not None:
         config.set_seed(args.seed)
+    if args.reduction is not None:
+        try:
+            config.set_reduction(args.reduction)
+        except ReproError as error:
+            parser.error(str(error))
     try:
         return args.fn(args)
     except ReproError as error:

@@ -10,6 +10,7 @@ worker count     ``--jobs N``        ``REPRO_JOBS``     1 (serial)
 seed             ``--seed N``        ``REPRO_SEED``     per-component
 analysis cache   ``--no-cache``      ``REPRO_NO_CACHE`` enabled
 cache directory  (none)              ``REPRO_CACHE_DIR``  memory-only
+state reduction  ``--reduction M``   ``REPRO_REDUCTION``  ``none``
 ===============  ==================  =================  =============
 
 The historical entry points (:func:`repro.perf.pool.set_default_jobs`,
@@ -155,6 +156,60 @@ def cache_dir() -> str | None:
 
 
 # ----------------------------------------------------------------------
+# state-space reduction
+# ----------------------------------------------------------------------
+
+#: Recognized reduction modes, in canonical spelling.  ``lump`` folds
+#: states related by a declared client symmetry onto one representative
+#: (:meth:`repro.gtpn.net.Net.declare_symmetry`); ``elim`` drops the
+#: transient states the chain leaves during initial settling.  Both are
+#: exact for steady-state measures and both are **off** by default so
+#: the exact path stays bit-identical to the committed baselines.
+VALID_REDUCTIONS = ("none", "lump", "elim", "lump+elim")
+
+_cli_reduction: str | None = None
+
+
+def normalize_reduction(value, source: str = "reduction") -> str:
+    """Canonical reduction mode, or :class:`ConfigError` for junk.
+
+    Accepts any ``+``-joined combination of ``lump`` / ``elim`` in any
+    order (``elim+lump`` -> ``lump+elim``), plus ``none``.
+    """
+    if value is None:
+        return "none"
+    parts = [p for p in str(value).strip().lower().split("+") if p]
+    if parts in ([], ["none"]):
+        return "none"
+    if not set(parts) <= {"lump", "elim"}:
+        raise ConfigError(
+            f"{source} must be one of {', '.join(VALID_REDUCTIONS)}, "
+            f"got {value!r}")
+    return "+".join(m for m in ("lump", "elim") if m in parts)
+
+
+def set_reduction(mode: str | None) -> None:
+    """Install the CLI reduction mode (``None`` reverts to env/default)."""
+    global _cli_reduction
+    _cli_reduction = None if mode is None \
+        else normalize_reduction(mode, "reduction")
+
+
+def reduction() -> str:
+    """Resolved reduction: CLI > ``REPRO_REDUCTION`` > ``"none"``."""
+    return _resolve_reduction()[0]
+
+
+def _resolve_reduction() -> tuple[str, str]:
+    if _cli_reduction is not None:
+        return _cli_reduction, "cli"
+    env = os.environ.get("REPRO_REDUCTION", "")
+    if env.strip():
+        return normalize_reduction(env, "REPRO_REDUCTION"), "env"
+    return "none", "default"
+
+
+# ----------------------------------------------------------------------
 # default fault plan
 # ----------------------------------------------------------------------
 
@@ -176,10 +231,12 @@ def default_fault_plan():
 def reset() -> None:
     """Drop every CLI-level override (tests and fresh CLI entry)."""
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
+    global _cli_reduction
     _cli_jobs = None
     _cli_seed = None
     _cli_cache_enabled = None
     _default_fault_plan = None
+    _cli_reduction = None
 
 
 # ----------------------------------------------------------------------
@@ -188,7 +245,7 @@ def reset() -> None:
 
 @contextmanager
 def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
-              fault_plan=_UNSET):
+              fault_plan=_UNSET, reduction=_UNSET):
     """Apply CLI-level settings for one block, restoring on exit.
 
     ``repro.api.run_experiment`` uses this so its keyword arguments
@@ -198,8 +255,9 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
     installed by the CLI.
     """
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
+    global _cli_reduction
     saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
-             _default_fault_plan)
+             _default_fault_plan, _cli_reduction)
     try:
         if jobs is not _UNSET:
             set_jobs(jobs)
@@ -209,10 +267,12 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
             set_cache_enabled(cache_enabled)
         if fault_plan is not _UNSET:
             set_default_fault_plan(fault_plan)
+        if reduction is not _UNSET:
+            set_reduction(reduction)
         yield
     finally:
         (_cli_jobs, _cli_seed, _cli_cache_enabled,
-         _default_fault_plan) = saved
+         _default_fault_plan, _cli_reduction) = saved
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +294,8 @@ class ResolvedConfig:
     cache_source: str
     cache_dir: str | None
     fault_plan: str | None      # repr of the active default plan
+    reduction: str = "none"
+    reduction_source: str = "default"
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -244,10 +306,12 @@ def resolved_config() -> ResolvedConfig:
     n_jobs, jobs_source = _resolve_jobs()
     seed_value, seed_source = _resolve_seed()
     cache_on, cache_source = _resolve_cache()
+    reduction_mode, reduction_source = _resolve_reduction()
     plan = _default_fault_plan
     return ResolvedConfig(
         jobs=n_jobs, jobs_source=jobs_source,
         seed=seed_value, seed_source=seed_source,
         cache_enabled=cache_on, cache_source=cache_source,
         cache_dir=cache_dir(),
-        fault_plan=repr(plan) if plan is not None else None)
+        fault_plan=repr(plan) if plan is not None else None,
+        reduction=reduction_mode, reduction_source=reduction_source)

@@ -20,6 +20,28 @@ class AnalysisError(ReproError):
     """The analyzer could not solve a model (state explosion, divergence)."""
 
 
+class StateSpaceLimitError(AnalysisError):
+    """Reachability exploration hit the ``max_states`` cap.
+
+    Carries where the build stood when it gave up so callers can size a
+    retry: ``state_count`` states interned, ``frontier_size`` of them
+    still unexpanded, against a ``max_states`` cap.
+    """
+
+    def __init__(self, net_name: str, state_count: int,
+                 frontier_size: int, max_states: int):
+        self.net_name = net_name
+        self.state_count = state_count
+        self.frontier_size = frontier_size
+        self.max_states = max_states
+        super().__init__(
+            f"net {net_name!r}: more than {max_states} reachable states "
+            f"({state_count} interned, {frontier_size} still on the "
+            "frontier); raise max_states, simplify the model, or enable "
+            "symmetry lumping (reduction='lump') if the net declares "
+            "symmetric subnets")
+
+
 class BusError(ReproError):
     """Smart-bus protocol violation (bad command, tag mismatch...)."""
 

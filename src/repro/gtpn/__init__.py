@@ -23,8 +23,10 @@ from repro.gtpn.approximations import (activity_pair, geometric_frequency,
                                        littles_law_population,
                                        littles_law_residence)
 from repro.gtpn.markov import stationary_distribution, transition_matrix
-from repro.gtpn.net import Context, Net, Place, Transition
-from repro.gtpn.reachability import (ReachabilityGraph,
+from repro.gtpn.net import Context, Net, Place, SymmetryGroup, Transition
+from repro.gtpn.packed import (PackedLayout, PackedSkeleton, compile_packed,
+                               packed_build, packed_retime)
+from repro.gtpn.reachability import (ReachabilityGraph, ReductionInfo,
                                      build_reachability_graph)
 from repro.gtpn.simulation import (ConfidenceResult, SimulationResult,
                                    simulate, simulate_with_confidence)
@@ -39,16 +41,23 @@ __all__ = [
     "AnalysisResult",
     "Context",
     "Net",
+    "PackedLayout",
+    "PackedSkeleton",
     "Place",
     "ReachabilityGraph",
+    "ReductionInfo",
     "SimulationResult",
     "State",
+    "SymmetryGroup",
     "TickEngine",
     "Transition",
     "activity_pair",
     "analyze",
     "ConfidenceResult",
     "build_reachability_graph",
+    "compile_packed",
+    "packed_build",
+    "packed_retime",
     "check_invariant",
     "geometric_frequency",
     "incidence_matrix",

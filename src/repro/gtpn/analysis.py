@@ -47,25 +47,54 @@ class AnalysisResult:
     def _mean_inflight(self) -> np.ndarray:
         """Per-transition mean number of concurrent in-flight firings.
 
-        Summed state by state (not as pi @ matrix): the accumulation
-        order is part of the reproducibility contract — a BLAS
-        reduction shifts the last bits, and solved figures promise
-        bit-identical values at any job count and cache state.
+        Object-walk graphs sum state by state (not as pi @ matrix):
+        that accumulation order is part of the reproducibility contract
+        for the committed baselines — a BLAS reduction shifts the last
+        bits.  Packed graphs use the vector product (deterministic per
+        build, and both build and retime go through it, so sweep
+        bit-identity holds); lumped graphs then average each declared
+        transition orbit, which recovers the exact per-member value
+        because canonicalization only permutes members within a state.
         """
-        total = np.zeros(len(self.net.transitions))
-        for i, weight in enumerate(self.pi):
-            if weight > 0:
-                total += weight * self.graph.inflight_counts[i]
-        return total
+        if self.graph.is_packed:
+            total = self.pi @ self.graph.inflight_matrix
+        else:
+            total = np.zeros(len(self.net.transitions))
+            for i, weight in enumerate(self.pi):
+                if weight > 0:
+                    total += weight * self.graph.inflight_counts[i]
+        return self._fold_orbits(total, places=False)
 
     @cached_property
     def _mean_starts(self) -> np.ndarray:
         """Per-transition expected firing starts per tick."""
-        total = np.zeros(len(self.net.transitions))
-        for i, weight in enumerate(self.pi):
-            if weight > 0:
-                total += weight * self.graph.expected_starts[i]
-        return total
+        if self.graph.is_packed:
+            total = self.pi @ self.graph.starts_matrix
+        else:
+            total = np.zeros(len(self.net.transitions))
+            for i, weight in enumerate(self.pi):
+                if weight > 0:
+                    total += weight * self.graph.expected_starts[i]
+        return self._fold_orbits(total, places=False)
+
+    def _fold_orbits(self, vec: np.ndarray, *, places: bool) -> np.ndarray:
+        """Average *vec* over each symmetry orbit of a lumped graph.
+
+        Lumping preserves orbit sums exactly but scrambles which member
+        carries which share; the members are interchangeable, so the
+        orbit mean is each member's exact steady-state value.
+        """
+        info = self.graph.reduction
+        if info is None or not info.lumped:
+            return vec
+        orbits = info.place_orbits if places else info.transition_orbits
+        out = vec.copy()
+        for orbit in orbits:
+            total = 0.0
+            for idx in orbit:
+                total += vec[idx]
+            out[list(orbit)] = total / len(orbit)
+        return out
 
     def resource_usage(self, resource: str) -> float:
         """Mean steady-state usage of *resource* (see module docstring)."""
@@ -82,9 +111,18 @@ class AnalysisResult:
         """Expected firing starts of *transition* per tick."""
         return float(self._mean_starts[self.net.transition_index(transition)])
 
+    @cached_property
+    def _mean_marking(self) -> np.ndarray:
+        """Per-place mean token count (packed graphs only)."""
+        n_places = self.graph.packed_layout.n_places
+        marking = self.graph.packed_table[:, :n_places].astype(float)
+        return self._fold_orbits(self.pi @ marking, places=True)
+
     def mean_tokens(self, place: str) -> float:
         """Steady-state mean number of tokens in *place*."""
         index = self.net.place_index(place)
+        if self.graph.is_packed:
+            return float(self._mean_marking[index])
         return float(sum(weight * self.graph.states[i].marking[index]
                          for i, weight in enumerate(self.pi) if weight > 0))
 
@@ -114,20 +152,33 @@ class AnalysisResult:
 
 def analyze(net: Net, *, method: str = "auto",
             max_states: int = DEFAULT_MAX_STATES,
-            cache: AnalysisCache | None = None) -> AnalysisResult:
+            cache: AnalysisCache | None = None,
+            reduction: str | None = None) -> AnalysisResult:
     """Build the reachability graph of *net* and solve it exactly.
 
     Solves are memoized through the content-addressed analysis cache
     (:mod:`repro.perf.cache`) under the split ``(structure, timing,
-    method)`` key: a full hit returns the stored graph and stationary
-    vector re-bound to *net*, skipping both state-space exploration and
-    the Markov solve, while a structure-only hit re-times the cached
-    reachability skeleton (:mod:`repro.gtpn.sweep`) and re-solves just
-    the linear system — bit-identical to a from-scratch build.  Pass
-    ``cache`` to use a private store; the global cache honours
-    ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` and the CLI flags.
-    Cached payloads are shared — treat results as read-only.
+    method, reduction)`` key: a full hit returns the stored graph and
+    stationary vector re-bound to *net*, skipping both state-space
+    exploration and the Markov solve, while a structure-only hit
+    re-times the cached reachability skeleton (:mod:`repro.gtpn.sweep`)
+    and re-solves just the linear system — bit-identical to a
+    from-scratch build.  Pass ``cache`` to use a private store; the
+    global cache honours ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` and
+    the CLI flags.  Cached payloads are shared — treat results as
+    read-only.
+
+    ``reduction`` selects opt-in state-space reduction (``"lump"``,
+    ``"elim"``, ``"lump+elim"``); ``None`` resolves the configured mode
+    (CLI ``--reduction`` > ``REPRO_REDUCTION`` > ``"none"``).  The
+    default exact path is untouched: with ``"none"`` the packed and
+    object engines produce bit-identical graphs.
     """
+    from repro import config
+    if reduction is None:
+        reduction = config.reduction()
+    else:
+        reduction = config.normalize_reduction(reduction)
     with obs.span("gtpn.analyze", net=net.name, method=method) as root:
         store = cache if cache is not None else (
             get_cache() if cache_enabled() else None)
@@ -136,7 +187,8 @@ def analyze(net: Net, *, method: str = "auto",
         if store is not None:
             fingerprint = fingerprint_net(net)
             if fingerprint is not None:
-                key = (fingerprint.structure, fingerprint.timing, method)
+                key = (fingerprint.structure, fingerprint.timing,
+                       method, reduction)
                 payload = store.get(key)
                 if payload is not None:
                     net.validate()      # keep error behaviour of a solve
@@ -149,11 +201,13 @@ def analyze(net: Net, *, method: str = "auto",
             from repro.gtpn.sweep import acquire_graph
             with obs.span("gtpn.build"):
                 graph, closed = acquire_graph(net, fingerprint.structure,
-                                              max_states, store)
+                                              max_states, store,
+                                              reduction=reduction)
         else:
             with obs.span("gtpn.build"):
                 graph = build_reachability_graph(net,
-                                                 max_states=max_states)
+                                                 max_states=max_states,
+                                                 reduction=reduction)
         with obs.span("gtpn.solve", states=graph.state_count):
             pi = stationary_distribution(graph, method=method,
                                          closed_classes=closed)
@@ -168,9 +222,24 @@ def _payload(result: AnalysisResult) -> dict:
     """Cacheable view of a result: everything except the net binding.
 
     Names live only on the net, so a payload computed for one net
-    re-binds cleanly to any net with the same fingerprint.
+    re-binds cleanly to any net with the same fingerprint.  Packed
+    graphs cache their array form (CSR matrix, packed state table);
+    object-walk graphs keep the historical dict form, so existing
+    on-disk cache entries stay readable.
     """
     graph = result.graph
+    if graph.is_packed:
+        return {
+            "packed": True,
+            "matrix": graph.matrix,
+            "starts_matrix": graph.starts_matrix,
+            "init_vec": graph.init_vec,
+            "inflight_matrix": graph.inflight_matrix,
+            "table": graph.packed_table,
+            "layout": graph.packed_layout,
+            "reduction": graph.reduction,
+            "pi": result.pi,
+        }
     return {
         "states": graph.states,
         "probabilities": graph.probabilities,
@@ -182,11 +251,22 @@ def _payload(result: AnalysisResult) -> dict:
 
 
 def _rebind(net: Net, payload: dict) -> AnalysisResult:
-    graph = ReachabilityGraph(
-        net=net,
-        states=payload["states"],
-        probabilities=payload["probabilities"],
-        initial=payload["initial"],
-        expected_starts=payload["expected_starts"],
-        inflight_counts=payload["inflight_counts"])
+    if payload.get("packed"):
+        graph = ReachabilityGraph(
+            net=net,
+            matrix=payload["matrix"],
+            starts_matrix=payload["starts_matrix"],
+            init_vec=payload["init_vec"],
+            inflight_matrix=payload["inflight_matrix"],
+            packed_table=payload["table"],
+            packed_layout=payload["layout"],
+            reduction=payload["reduction"])
+    else:
+        graph = ReachabilityGraph(
+            net=net,
+            states=payload["states"],
+            probabilities=payload["probabilities"],
+            initial=payload["initial"],
+            expected_starts=payload["expected_starts"],
+            inflight_counts=payload["inflight_counts"])
     return AnalysisResult(net=net, graph=graph, pi=payload["pi"])

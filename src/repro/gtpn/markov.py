@@ -24,15 +24,12 @@ from repro.gtpn.reachability import ReachabilityGraph
 
 
 def transition_matrix(graph: ReachabilityGraph) -> sp.csr_matrix:
-    """The one-tick probability matrix P as a sparse CSR matrix."""
-    n = graph.state_count
-    data, rows, cols = [], [], []
-    for i, row in enumerate(graph.probabilities):
-        for j, p in row.items():
-            rows.append(i)
-            cols.append(j)
-            data.append(p)
-    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    """The one-tick probability matrix P as a sparse CSR matrix.
+
+    Packed graphs carry their CSR natively; object-walk graphs
+    materialize (and cache) it from the row dicts on first access.
+    """
+    return graph.matrix
 
 
 def stationary_distribution(graph: ReachabilityGraph,
@@ -60,8 +57,10 @@ def stationary_distribution(graph: ReachabilityGraph,
             f"embedded chain is reducible ({closed} closed communicating "
             "classes); the stationary distribution is not unique")
     if method in ("auto", "linear"):
+        solve = _solve_linear if matrix.shape[0] <= _DEFLATION_THRESHOLD \
+            else _solve_linear_deflated
         try:
-            pi = _solve_linear(matrix)
+            pi = solve(matrix)
             if pi is not None:
                 return pi
         except Exception:
@@ -87,6 +86,15 @@ def _closed_class_count(matrix: sp.csr_matrix) -> int:
     leaving = (labels[coo.row] != labels[coo.col]) & (coo.data != 0)
     open_components = set(labels[coo.row[leaving]])
     return n_components - len(open_components)
+
+
+# Above this many states the augmented-system direct solve switches to
+# the deflated formulation: the dense normalization row causes
+# catastrophic LU fill-in on large chains (tens of millions of
+# factor nonzeros from a few-hundred-thousand-entry matrix).  Every
+# chain in the validation grids sits far below the threshold, so the
+# committed baseline keeps the historical solver bit for bit.
+_DEFLATION_THRESHOLD = 10_000
 
 
 def _solve_linear(matrix: sp.csr_matrix) -> np.ndarray | None:
@@ -132,6 +140,51 @@ def _solve_linear(matrix: sp.csr_matrix) -> np.ndarray | None:
     return pi
 
 
+def _solve_linear_deflated(matrix: sp.csr_matrix) -> np.ndarray | None:
+    """Large-chain direct solve via deflation instead of a dense row.
+
+    Pinning pi[n-1] = 1 and solving the order-(n-1) principal block of
+    P^T - I keeps the system as sparse as the chain itself, where the
+    augmented form's dense normalization row destroys the fill-reducing
+    ordering.  An ILU-preconditioned GMRES attempt comes first (its
+    factorization is an order of magnitude cheaper than a full LU);
+    exactness is gated by the same fixed-point residual check as the
+    small-chain path, with sparse LU on the deflated block as the
+    in-function fallback and power iteration behind a ``None`` return.
+    """
+    n = matrix.shape[0]
+    a = (matrix.T - sp.identity(n, format="csr", dtype=float)).tocsc()
+    block = a[:n - 1, :n - 1]
+    rhs = -np.asarray(a[:n - 1, [n - 1]].todense()).ravel()
+    x = None
+    try:
+        ilu = spla.spilu(block, drop_tol=0.05, fill_factor=2.0)
+        precond = spla.LinearOperator(block.shape, ilu.solve)
+        x, info = spla.gmres(block, rhs, M=precond, rtol=1e-12,
+                             atol=0.0, restart=50, maxiter=40)
+        if info != 0:
+            x = None
+    except Exception:
+        x = None
+    if x is None:
+        x = spla.spsolve(block, rhs)
+    pi = np.concatenate([x, [1.0]])
+    if not np.all(np.isfinite(pi)):
+        return None
+    total = pi.sum()
+    if total <= 0 or not np.isfinite(total):
+        return None
+    pi = pi / total
+    if np.any(pi < -1e-9):
+        return None
+    pi = np.clip(pi, 0.0, None)
+    pi = pi / pi.sum()
+    residual = np.abs(pi @ matrix - pi).max()
+    if residual > 1e-8:
+        return None
+    return pi
+
+
 def _solve_power(matrix: sp.csr_matrix, graph: ReachabilityGraph,
                  tol: float, max_iterations: int) -> np.ndarray:
     """Power iteration from the initial distribution.
@@ -140,10 +193,7 @@ def _solve_power(matrix: sp.csr_matrix, graph: ReachabilityGraph,
     (equivalent to the lazy chain (P + I) / 2, which has the same
     stationary distribution).
     """
-    n = matrix.shape[0]
-    pi = np.zeros(n)
-    for i, p in graph.initial.items():
-        pi[i] = p
+    pi = np.array(graph.init_vec, dtype=float)
     for _ in range(max_iterations):
         nxt = 0.5 * (pi @ matrix) + 0.5 * pi
         delta = np.abs(nxt - pi).max()

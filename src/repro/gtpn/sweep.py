@@ -45,23 +45,22 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from repro import obs
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StateSpaceLimitError
 from repro.gtpn.net import Context, Net
+from repro.gtpn.packed import (SkeletonMismatch, compile_packed,
+                               packed_build, packed_retime)
 from repro.gtpn.reachability import (DEFAULT_MAX_STATES,
                                      ReachabilityGraph, _check_stochastic)
 from repro.gtpn.state import ExhaustiveResolver, State, TickEngine
 from repro.obs.clock import perf_now
 from repro.perf.cache import cache_enabled, fingerprint_net, get_cache
 
+__all__ = [
+    "SkeletonMismatch", "SweepSkeleton", "SweepSolver", "SweepStats",
+    "acquire_graph", "retime", "sweep_analyze", "traced_build",
+]
+
 _USE_GLOBAL = object()      # sentinel: "global cache when enabled"
-
-
-class SkeletonMismatch(Exception):
-    """A new timing alters branch resolution; replay is invalid.
-
-    Internal control flow only: callers catch it and fall back to a
-    full traced build (which also refreshes the cached skeleton).
-    """
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +105,17 @@ class SweepSkeleton:
     @property
     def state_count(self) -> int:
         return len(self.states)
+
+    # the lazily-built CSR replay plan (`retime`) is a per-process
+    # derived structure: strip it from pickles so cached skeletons stay
+    # compact and old cache entries stay loadable
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_csr_plan", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 class _Tracer:
@@ -183,6 +193,7 @@ def traced_build(net: Net, *, max_states: int = DEFAULT_MAX_STATES,
     rows: list[dict[int, float]] = []
     start_rows: list[list[float]] = []
     state_branches: list = []
+    explored = 0
 
     def intern(state: State) -> int:
         found = index.get(state)
@@ -194,9 +205,9 @@ def traced_build(net: Net, *, max_states: int = DEFAULT_MAX_STATES,
             start_rows.append([0.0] * n_transitions)
             state_branches.append(None)
             if len(states) > max_states:
-                raise AnalysisError(
-                    f"net {net.name!r}: more than {max_states} reachable "
-                    "states; increase max_states or simplify the model")
+                raise StateSpaceLimitError(
+                    net.name, len(states), len(states) - explored,
+                    max_states)
         return found
 
     initial: dict[int, float] = {}
@@ -207,7 +218,6 @@ def traced_build(net: Net, *, max_states: int = DEFAULT_MAX_STATES,
         initial[i] = initial.get(i, 0.0) + branch.probability
         initial_records.append((i, tuple(prog_ids)))
 
-    explored = 0
     while explored < len(states):
         i = explored
         explored += 1
@@ -327,47 +337,152 @@ def retime(skeleton: SweepSkeleton, net: Net, *,
             p = p * bp
         prog_values[pid] = p
 
-    def _branch_prob(prog_ids) -> float:
-        prob = prog_values[prog_ids[0]]
-        for pid in prog_ids[1:]:
-            prob += prog_values[pid]
-        return prob
+    plan = getattr(skeleton, "_csr_plan", None)
+    if plan is None:
+        plan = _build_csr_plan(skeleton)
+        skeleton._csr_plan = plan
 
+    # replay the branch sums on the shared CSR pattern.  Padding the
+    # prog-id matrix with a 0.0-valued sentinel and accumulating with
+    # np.add.at (which applies additions one index at a time, in
+    # order) reproduces the historical per-row dict accumulation bit
+    # for bit — without rebuilding row dicts at every grid point.
+    pv_ext = np.append(np.asarray(prog_values), 0.0)
+    bv = pv_ext[plan.b_prog[:, 0]]
+    for k in range(1, plan.b_prog.shape[1]):
+        bv = bv + pv_ext[plan.b_prog[:, k]]
+    n_states = skeleton.state_count
+    data = np.zeros(len(plan.indices))
+    np.add.at(data, plan.b_entry, bv)
     n_transitions = skeleton.n_transitions
-    rows: list[dict[int, float]] = []
-    start_rows: list[list[float]] = []
-    for records in skeleton.state_branches:
-        row: dict[int, float] = {}
-        start_row = [0.0] * n_transitions
-        for j, starts_nz, prog_ids in records:
-            prob = _branch_prob(prog_ids)
-            row[j] = row.get(j, 0.0) + prob
-            for t_idx, count in starts_nz:
-                start_row[t_idx] += prob * count
-        rows.append(row)
-        start_rows.append(start_row)
+    starts_matrix = np.zeros((n_states, n_transitions))
+    np.add.at(starts_matrix, (plan.s_src, plan.s_t),
+              bv[plan.s_branch] * plan.s_cnt)
+    iv = pv_ext[plan.i_prog[:, 0]]
+    for k in range(1, plan.i_prog.shape[1]):
+        iv = iv + pv_ext[plan.i_prog[:, k]]
+    init_vec = np.zeros(n_states)
+    np.add.at(init_vec, plan.i_dst, iv)
 
-    initial: dict[int, float] = {}
-    for i, prog_ids in skeleton.initial_branches:
-        initial[i] = initial.get(i, 0.0) + _branch_prob(prog_ids)
-
-    starts_matrix = np.asarray(start_rows, dtype=float).reshape(
-        skeleton.state_count, n_transitions)
-    _check_stochastic(net, rows)
+    import scipy.sparse as sp
+    from repro.gtpn.packed import _check_stochastic_csr
+    matrix = sp.csr_matrix((data, plan.indices, plan.indptr),
+                           shape=(n_states, n_states), copy=False)
+    _check_stochastic_csr(net, matrix)
     return ReachabilityGraph(
-        net=net, states=skeleton.states, probabilities=rows,
-        initial=initial, expected_starts=list(starts_matrix),
+        net=net, states=skeleton.states, matrix=matrix,
+        starts_matrix=starts_matrix, init_vec=init_vec,
         inflight_counts=list(skeleton.inflight_matrix))
 
 
+@dataclass
+class _CsrPlan:
+    """Frozen replay order of a skeleton's branch accumulations.
+
+    Derived once per skeleton per process (see ``retime``): the CSR
+    sparsity pattern plus, for every branch, its program ids (padded
+    with a sentinel whose value is 0.0) and its entry index, in the
+    exact record order the historical dict assembly used.
+    """
+
+    b_prog: np.ndarray      # (n_branches, K) prog ids, sentinel-padded
+    b_entry: np.ndarray     # (n_branches,) CSR entry index
+    s_branch: np.ndarray    # nonzero starts, in record order:
+    s_src: np.ndarray       # branch, source state, transition, count
+    s_t: np.ndarray
+    s_cnt: np.ndarray
+    i_dst: np.ndarray       # initial records: state and prog-id rows
+    i_prog: np.ndarray
+    indices: np.ndarray     # the shared CSR pattern
+    indptr: np.ndarray
+
+
+def _build_csr_plan(skeleton: SweepSkeleton) -> _CsrPlan:
+    sentinel = len(skeleton.progs)
+    n = skeleton.state_count
+
+    def _prog_matrix(rows: list) -> np.ndarray:
+        width = max((len(r) for r in rows), default=0)
+        out = np.full((len(rows), max(width, 1)), sentinel,
+                      dtype=np.int64)
+        for k, r in enumerate(rows):
+            out[k, :len(r)] = r
+        return out
+
+    b_src: list[int] = []
+    b_dst: list[int] = []
+    b_progs: list = []
+    s_branch: list[int] = []
+    s_src: list[int] = []
+    s_t: list[int] = []
+    s_cnt: list[int] = []
+    for i, records in enumerate(skeleton.state_branches):
+        for j, starts_nz, prog_ids in records:
+            b = len(b_src)
+            b_src.append(i)
+            b_dst.append(j)
+            b_progs.append(prog_ids)
+            for t_idx, count in starts_nz:
+                s_branch.append(b)
+                s_src.append(i)
+                s_t.append(t_idx)
+                s_cnt.append(count)
+
+    ekey = np.array(b_src, dtype=np.int64) * (n + 1) \
+        + np.array(b_dst, dtype=np.int64)
+    entries, b_entry = np.unique(ekey, return_inverse=True)
+    indices = (entries % (n + 1)).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, entries // (n + 1) + 1, 1)
+    indptr = np.cumsum(indptr)
+
+    return _CsrPlan(
+        b_prog=_prog_matrix(b_progs),
+        b_entry=b_entry.astype(np.int64),
+        s_branch=np.array(s_branch, dtype=np.int64),
+        s_src=np.array(s_src, dtype=np.int64),
+        s_t=np.array(s_t, dtype=np.int64),
+        s_cnt=np.array(s_cnt, dtype=np.int64),
+        i_dst=np.array([i for i, _ in skeleton.initial_branches],
+                       dtype=np.int64),
+        i_prog=_prog_matrix(
+            [prog_ids for _, prog_ids in skeleton.initial_branches]),
+        indices=indices, indptr=indptr)
+
+
 def acquire_graph(net: Net, structure: str, max_states: int, store,
+                  reduction: str = "none",
                   ) -> tuple[ReachabilityGraph, int]:
     """Graph for *net* through the skeleton tier of *store*.
 
     Returns ``(graph, closed_class_count)``.  Used by
     :func:`repro.gtpn.analyze` so plain per-point analyses share
-    structure work with sweeps through the same cache.
+    structure work with sweeps through the same cache.  Static nets
+    ride the packed engine (and its skeleton kind); nets with callable
+    attributes use the object skeleton, keeping its historical cache
+    key.
     """
+    pnet = compile_packed(net, reduction)
+    if pnet is not None:
+        kind = f"packed:{reduction}"
+        skeleton = store.get_structure(structure, kind=kind)
+        if skeleton is not None:
+            try:
+                graph = packed_retime(skeleton, net,
+                                      max_states=max_states)
+                return graph, skeleton.closed_class_count()
+            except SkeletonMismatch:
+                pass
+        graph, skeleton = packed_build(net, pnet, max_states=max_states,
+                                       structure=structure,
+                                       reduction=reduction)
+        store.put_structure(structure, skeleton, kind=kind)
+        return graph, skeleton.closed_class_count()
+    if reduction != "none":
+        raise AnalysisError(
+            f"net {net.name!r}: reduction {reduction!r} requires the "
+            "packed engine, which needs static delays and frequencies "
+            "(state-dependent attributes force the object walk)")
     skeleton = store.get_structure(structure)
     if skeleton is not None:
         try:
@@ -397,6 +512,8 @@ class SweepStats:
     payload_hits: int = 0
     uncacheable: int = 0        # nets without a fingerprint
     mismatches: int = 0         # replays invalidated by a timing change
+    csr_plans_built: int = 0    # object-skeleton CSR replay plans made
+    csr_plan_reuses: int = 0    # retimes that reused an existing plan
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -414,15 +531,21 @@ class SweepSolver:
 
     def __init__(self, *, method: str = "auto",
                  max_states: int = DEFAULT_MAX_STATES,
-                 cache: Any = _USE_GLOBAL):
+                 cache: Any = _USE_GLOBAL,
+                 reduction: str | None = None):
+        from repro import config
         from repro.gtpn import analysis as _analysis
         self._analysis = _analysis
         self.method = method
         self.max_states = max_states
+        self.reduction = config.reduction() if reduction is None \
+            else config.normalize_reduction(reduction)
         if cache is _USE_GLOBAL:
             cache = get_cache() if cache_enabled() else None
         self.cache = cache
-        self._skeletons: dict[str, SweepSkeleton] = {}
+        #: keyed ``(structure, kind)``: one structure can hold an
+        #: object skeleton and packed skeletons per reduction mode
+        self._skeletons: dict[tuple, Any] = {}
         self.stats = SweepStats()
 
     def analyze(self, net: Net):
@@ -434,10 +557,11 @@ class SweepSolver:
             started = perf_now()
             result = self._analysis.analyze(
                 net, method=self.method, max_states=self.max_states,
-                cache=self.cache)
+                cache=self.cache, reduction=self.reduction)
             self.stats.build_s += perf_now() - started
             return result
-        key = (fingerprint.structure, fingerprint.timing, self.method)
+        key = (fingerprint.structure, fingerprint.timing, self.method,
+               self.reduction)
         if self.cache is not None:
             payload = self.cache.get(key)
             if payload is not None:
@@ -458,18 +582,34 @@ class SweepSolver:
 
     def _graph_for(self, net: Net, structure: str,
                    ) -> tuple[ReachabilityGraph, int]:
-        skeleton = self._skeletons.get(structure)
+        pnet = compile_packed(net, self.reduction)
+        if pnet is not None:
+            return self._packed_graph_for(net, pnet, structure)
+        if self.reduction != "none":
+            raise AnalysisError(
+                f"net {net.name!r}: reduction {self.reduction!r} "
+                "requires the packed engine, which needs static delays "
+                "and frequencies (state-dependent attributes force the "
+                "object walk)")
+        skel_key = (structure, "object")
+        skeleton = self._skeletons.get(skel_key)
         if skeleton is None and self.cache is not None:
             skeleton = self.cache.get_structure(structure)
         if skeleton is not None:
             try:
+                had_plan = getattr(skeleton, "_csr_plan", None) \
+                    is not None
                 started = perf_now()
                 with obs.span("gtpn.retime"):
                     graph = retime(skeleton, net,
                                    max_states=self.max_states)
                 self.stats.retime_s += perf_now() - started
                 self.stats.points_retimed += 1
-                self._skeletons[structure] = skeleton
+                if had_plan:
+                    self.stats.csr_plan_reuses += 1
+                else:
+                    self.stats.csr_plans_built += 1
+                self._skeletons[skel_key] = skeleton
                 return graph, skeleton.closed_classes
             except SkeletonMismatch:
                 self.stats.mismatches += 1
@@ -480,27 +620,61 @@ class SweepSolver:
                                            structure=structure)
         self.stats.build_s += perf_now() - started
         self.stats.skeleton_builds += 1
-        self._skeletons[structure] = skeleton
+        self._skeletons[skel_key] = skeleton
         if self.cache is not None:
             self.cache.put_structure(structure, skeleton)
         return graph, skeleton.closed_classes
 
+    def _packed_graph_for(self, net: Net, pnet, structure: str,
+                          ) -> tuple[ReachabilityGraph, int]:
+        kind = f"packed:{self.reduction}"
+        skel_key = (structure, kind)
+        skeleton = self._skeletons.get(skel_key)
+        if skeleton is None and self.cache is not None:
+            skeleton = self.cache.get_structure(structure, kind=kind)
+        if skeleton is not None:
+            try:
+                started = perf_now()
+                with obs.span("gtpn.retime"):
+                    graph = packed_retime(skeleton, net,
+                                          max_states=self.max_states)
+                self.stats.retime_s += perf_now() - started
+                self.stats.points_retimed += 1
+                self._skeletons[skel_key] = skeleton
+                return graph, skeleton.closed_class_count()
+            except SkeletonMismatch:
+                self.stats.mismatches += 1
+        started = perf_now()
+        with obs.span("gtpn.build"):
+            graph, skeleton = packed_build(
+                net, pnet, max_states=self.max_states,
+                structure=structure, reduction=self.reduction)
+        self.stats.build_s += perf_now() - started
+        self.stats.skeleton_builds += 1
+        self._skeletons[skel_key] = skeleton
+        if self.cache is not None:
+            self.cache.put_structure(structure, skeleton, kind=kind)
+        return graph, skeleton.closed_class_count()
 
-#: per-worker-process solvers, keyed by (method, max_states): skeleton
-#: reuse persists across the chunks a pooled worker executes.
+
+#: per-worker-process solvers, keyed by (method, max_states,
+#: reduction): skeleton reuse persists across the chunks a pooled
+#: worker executes.
 _WORKER_SOLVERS: dict = {}
 
 
-def _worker_solver(method: str, max_states: int) -> SweepSolver:
-    solver = _WORKER_SOLVERS.get((method, max_states))
+def _worker_solver(method: str, max_states: int,
+                   reduction: str = "none") -> SweepSolver:
+    solver = _WORKER_SOLVERS.get((method, max_states, reduction))
     if solver is None:
-        solver = SweepSolver(method=method, max_states=max_states)
-        _WORKER_SOLVERS[(method, max_states)] = solver
+        solver = SweepSolver(method=method, max_states=max_states,
+                             reduction=reduction)
+        _WORKER_SOLVERS[(method, max_states, reduction)] = solver
     return solver
 
 
 def _sweep_task(build: Callable, point, star: bool, method: str,
-                max_states: int) -> dict:
+                max_states: int, reduction: str = "none") -> dict:
     """One pooled grid point: build, solve, return the unbound payload.
 
     Runs in a worker process; nets and results do not pickle (closures,
@@ -508,7 +682,7 @@ def _sweep_task(build: Callable, point, star: bool, method: str,
     the analysis cache stores and the parent re-binds it.
     """
     net = build(*point) if star else build(point)
-    result = _worker_solver(method, max_states).analyze(net)
+    result = _worker_solver(method, max_states, reduction).analyze(net)
     from repro.gtpn.analysis import _payload
     return _payload(result)
 
@@ -518,7 +692,8 @@ def sweep_analyze(build, grid: Iterable | None = None, *,
                   max_states: int = DEFAULT_MAX_STATES,
                   jobs: int | None = None, cache: Any = _USE_GLOBAL,
                   solver: SweepSolver | None = None,
-                  oversubscribe: bool = False) -> list:
+                  oversubscribe: bool = False,
+                  reduction: str | None = None) -> list:
     """Analyze a parameter grid, building each structure once.
 
     Two call shapes::
@@ -540,7 +715,7 @@ def sweep_analyze(build, grid: Iterable | None = None, *,
     """
     if solver is None:
         solver = SweepSolver(method=method, max_states=max_states,
-                             cache=cache)
+                             cache=cache, reduction=reduction)
     if grid is None:
         return [solver.analyze(net) for net in build]
     points = list(grid)
@@ -553,7 +728,7 @@ def sweep_analyze(build, grid: Iterable | None = None, *,
     if n_jobs > 1:
         payloads = map_sweep(
             _sweep_task,
-            [(build, point, star, method, max_states)
+            [(build, point, star, method, max_states, solver.reduction)
              for point in points],
             jobs=jobs, star=True, oversubscribe=oversubscribe)
         results = []

@@ -158,6 +158,13 @@ def fingerprint_net(net) -> NetFingerprint | None:
     ``structure``.
     """
     structure: list = [len(net.places), tuple(net.initial_marking)]
+    # declared symmetry groups shape the packed engine's lumping
+    # quotient, so they are structural: two nets that differ only in
+    # declarations must not share a lumped skeleton
+    for group in getattr(net, "symmetries", ()):
+        structure.append(("sym", tuple(
+            (tuple(p_idx), tuple(t_idx)) for p_idx, t_idx
+            in group.members)))
     timing: list = []
     for t in net.transitions:
         delay = _split_attr(t.delay)
@@ -248,17 +255,30 @@ class AnalysisCache:
             self._store_mem(key, payload)
         self._write_disk(key, payload)
 
-    def get_structure(self, structure_fp: str):
+    def get_structure(self, structure_fp: str, kind: str = "object"):
         """Cached sweep skeleton for a structure fingerprint, if any.
+
+        ``kind`` separates skeleton families sharing one structure:
+        ``"object"`` (the historical traced-build skeleton, keeping its
+        historical key so old disk tiers stay readable) and
+        ``"packed:<reduction>"`` for the array engine's skeletons.
 
         Skeleton lookups ride the same LRU/disk tiers as payloads but
         stay out of ``hits``/``misses`` — those stats count *solves
         avoided*, and a skeleton hit still re-times and re-solves.
         """
-        return self.get(("skeleton", structure_fp), record_stats=False)
+        return self.get(self._structure_key(structure_fp, kind),
+                        record_stats=False)
 
-    def put_structure(self, structure_fp: str, skeleton: Any) -> None:
-        self.put(("skeleton", structure_fp), skeleton)
+    def put_structure(self, structure_fp: str, skeleton: Any,
+                      kind: str = "object") -> None:
+        self.put(self._structure_key(structure_fp, kind), skeleton)
+
+    @staticmethod
+    def _structure_key(structure_fp: str, kind: str):
+        if kind == "object":
+            return ("skeleton", structure_fp)
+        return ("skeleton", structure_fp, kind)
 
     def attach_directory(self, directory: str | os.PathLike) -> None:
         """Add (or retarget) the disk tier without dropping memory.

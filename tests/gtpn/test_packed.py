@@ -1,0 +1,151 @@
+"""Tests for the array-native packed GTPN engine (repro.gtpn.packed).
+
+The contract under test: with ``reduction="none"`` the packed engine is
+*bit-identical* to the historical object walk — same state order, same
+sparse row dicts, same expected-start vectors, same stationary vector —
+on nets covering multi-tick delays, immediate transitions, multi-token
+places and conflict classes.  Plus the supporting machinery: the
+pack/unpack round trip, the vectorized row interner, and the structured
+state-space limit error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StateSpaceLimitError
+from repro.gtpn import Net, activity_pair
+from repro.gtpn.markov import stationary_distribution
+from repro.gtpn.packed import (_Interner, _unique_rows_first_seen,
+                               compile_packed, packed_build,
+                               packed_retime)
+from repro.gtpn.reachability import _build_object_graph
+from repro.models.local import build_local_net
+from repro.models.params import Architecture
+
+
+def _cycle_net() -> Net:
+    """Multi-token place, delay >= 2, and a geometric activity pair."""
+    net = Net("cycle")
+    ready = net.place("Ready", tokens=2)
+    done = net.place("Done")
+    activity_pair(net, "serve", 10.0, inputs=[ready], outputs=[done],
+                  resource="lambda")
+    net.transition("recycle", delay=2, inputs=[done], outputs=[ready])
+    return net
+
+
+def _immediate_net() -> Net:
+    """A zero-delay transition between two timed stages."""
+    net = Net("imm")
+    a = net.place("A", tokens=2)
+    b = net.place("B")
+    c = net.place("C")
+    net.transition("go", delay=3, inputs=[a], outputs=[b])
+    net.transition("hop", delay=0, inputs=[b], outputs=[c])
+    net.transition("back", delay=1, inputs=[c], outputs=[a],
+                   resource="lambda")
+    return net
+
+
+def _conflict_net() -> Net:
+    """Two transitions competing for one token (a conflict class)."""
+    net = Net("conflict")
+    ready = net.place("Ready", tokens=1)
+    left = net.place("Left")
+    right = net.place("Right")
+    done = net.place("Done")
+    net.transition("tl", delay=1, frequency=0.25,
+                   inputs=[ready], outputs=[left])
+    net.transition("tr", delay=2, frequency=0.75,
+                   inputs=[ready], outputs=[right])
+    net.transition("jl", delay=3, inputs=[left], outputs=[done])
+    net.transition("jr", delay=1, inputs=[right], outputs=[done])
+    net.transition("loop", delay=1, inputs=[done], outputs=[ready],
+                   resource="lambda")
+    return net
+
+
+NETS = [_cycle_net, _immediate_net, _conflict_net,
+        lambda: build_local_net(Architecture.I, 2),
+        lambda: build_local_net(Architecture.II, 2)]
+
+
+def _assert_bit_identical(og, pg):
+    assert og.states == pg.states
+    assert og.probabilities == pg.probabilities
+    assert og.initial == pg.initial
+    assert all((a == b).all() for a, b in
+               zip(og.expected_starts, pg.expected_starts))
+    assert all(tuple(a) == tuple(b) for a, b in
+               zip(og.inflight_counts, pg.inflight_counts))
+
+
+@pytest.mark.parametrize("make", NETS, ids=lambda f: "net")
+def test_packed_build_is_bit_identical_to_object_walk(make):
+    net = make()
+    og = _build_object_graph(net, 200_000)
+    pnet = compile_packed(net)
+    assert pnet is not None
+    pg, _ = packed_build(net, pnet, max_states=200_000)
+    _assert_bit_identical(og, pg)
+    assert (stationary_distribution(og) == stationary_distribution(pg)).all()
+
+
+@pytest.mark.parametrize("make", NETS, ids=lambda f: "net")
+def test_packed_retime_is_bit_identical_to_packed_build(make):
+    net = make()
+    pg, skeleton = packed_build(net, compile_packed(net),
+                                max_states=200_000)
+    rg = packed_retime(skeleton, net, max_states=200_000)
+    assert (rg.matrix != pg.matrix).nnz == 0
+    assert (rg.init_vec == pg.init_vec).all()
+    assert (rg.starts_matrix == pg.starts_matrix).all()
+    assert (rg.inflight_matrix == pg.inflight_matrix).all()
+
+
+def test_pack_unpack_round_trip():
+    net = _cycle_net()
+    pnet = compile_packed(net)
+    graph, _ = packed_build(net, pnet, max_states=200_000)
+    layout = graph.packed_layout
+    for state, row in zip(graph.states, graph.packed_table):
+        assert layout.unpack(row) == state
+        assert (layout.pack(state) == row).all()
+    assert layout.unpack_all(graph.packed_table) == graph.states
+
+
+def test_interner_assigns_first_seen_ids_and_is_stable():
+    rows = np.array([[1, 2], [3, 4], [1, 2], [5, 6], [3, 4]],
+                    dtype=np.int32)
+    interner = _Interner(2)
+    ids = interner.intern(rows)
+    assert ids.tolist() == [0, 1, 0, 2, 1]
+    assert interner.n == 3
+    assert (interner.table() == [[1, 2], [3, 4], [5, 6]]).all()
+    # a second pass over known plus fresh rows keeps existing ids
+    more = np.array([[5, 6], [7, 8], [1, 2]], dtype=np.int32)
+    assert interner.intern(more).tolist() == [2, 3, 0]
+    assert interner.n == 4
+
+
+def test_unique_rows_first_seen_order():
+    rows = np.array([[9, 9], [0, 1], [9, 9], [0, 1], [2, 2]],
+                    dtype=np.int32)
+    firsts, inverse = _unique_rows_first_seen(rows)
+    assert firsts.tolist() == [0, 1, 4]
+    assert inverse.tolist() == [0, 1, 0, 1, 2]
+
+
+def test_state_space_limit_error_is_structured():
+    net = build_local_net(Architecture.II, 3)
+    with pytest.raises(StateSpaceLimitError) as exc_info:
+        packed_build(net, compile_packed(net), max_states=100)
+    error = exc_info.value
+    assert error.net_name == net.name
+    assert error.state_count > 100
+    assert error.frontier_size > 0
+    assert error.max_states == 100
+    assert "reduction='lump'" in str(error)
+    # the object walk raises the same structured error
+    with pytest.raises(StateSpaceLimitError):
+        _build_object_graph(net, 100)

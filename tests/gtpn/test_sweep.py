@@ -115,6 +115,20 @@ def test_sweep_analyze_parallel_matches_pointwise():
         _assert_identical(swept, analyze(_grid_net(*point)))
 
 
+def test_object_retime_reuses_csr_plan_across_points():
+    """The CSR replay plan (successor targets, program gather indices)
+    is a pure function of the skeleton, so an object-path sweep must
+    build it once on the first replay and reuse it for every later
+    point of the same structure."""
+    solver = SweepSolver(cache=None)
+    for f2 in (0.3, 0.4, 0.5, 0.6):
+        solver.analyze(_grid_net(0.5, f2, 3.0))
+    assert solver.stats.skeleton_builds == 1
+    assert solver.stats.points_retimed == 3
+    assert solver.stats.csr_plans_built == 1
+    assert solver.stats.csr_plan_reuses == 2
+
+
 # ----------------------------------------------------------------------
 # rebuild fallback: timing changes that invalidate the skeleton
 # ----------------------------------------------------------------------
