@@ -136,7 +136,10 @@ def run_traced(label: str, fn: Callable[[], Any], *,
 
 def run_experiment(experiment_id: str, *, seed: int | None = None,
                    jobs: int | None = None, cache: bool | None = None,
-                   fault_plan=None,
+                   fault_plan=None, duration: float | None = None,
+                   arrival_rate: float | None = None,
+                   deadline: float | None = None,
+                   queue_limit: int | None = None,
                    trace: str | Path | None = None) -> ExperimentResult:
     """Run one registered experiment with scoped configuration.
 
@@ -144,7 +147,10 @@ def run_experiment(experiment_id: str, *, seed: int | None = None,
     surrounding CLI/env configuration says"; a non-``None`` value takes
     CLI precedence for this run only.  ``fault_plan`` makes every
     kernel-simulator system in the run honour the plan (chaos through
-    the front door).  ``trace`` writes the Chrome-trace + JSONL pair.
+    the front door).  ``duration``/``arrival_rate``/``deadline``/
+    ``queue_limit`` are the open-arrival traffic knobs (↔
+    ``--duration`` etc.), honoured by the ``traffic-*`` experiments.
+    ``trace`` writes the Chrome-trace + JSONL pair.
     """
     from repro.experiments.registry import get_experiment
     experiment = get_experiment(experiment_id)
@@ -157,6 +163,14 @@ def run_experiment(experiment_id: str, *, seed: int | None = None,
         kwargs["cache_enabled"] = cache
     if fault_plan is not None:
         kwargs["fault_plan"] = fault_plan
+    if duration is not None:
+        kwargs["duration"] = duration
+    if arrival_rate is not None:
+        kwargs["arrival_rate"] = arrival_rate
+    if deadline is not None:
+        kwargs["deadline"] = deadline
+    if queue_limit is not None:
+        kwargs["queue_limit"] = queue_limit
     with config.overrides(**kwargs):
         snapshot = config.resolved_config().as_dict()
         started = perf_now()

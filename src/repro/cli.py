@@ -10,6 +10,8 @@ Usage::
     python -m repro --trace out.json run figure-6.7
     python -m repro stats out.jsonl
     python -m repro --seed 7 chaos --loss 0.01 0.05
+    python -m repro traffic --arch II --process mmpp --load 1.2
+    python -m repro --duration 500000 --deadline 8000 run traffic-knee-quick
     python -m repro solve --arch II --mode local -n 4 -x 2850
     python -m repro validate --quick
     python -m repro validate --rebaseline
@@ -161,6 +163,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                                 mean_compute=args.compute,
                                 measure_us=args.measure),
             trace=args.trace))
+    print(table.render())
+    if trace_paths:
+        print("trace: " + ", ".join(trace_paths))
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import Table
+    from repro.traffic import make_process, run_open_experiment
+    from repro.traffic.experiments import (DEFAULT_POOL,
+                                           DEFAULT_QUEUE_LIMIT,
+                                           closed_loop_capacity)
+    architecture = Architecture[args.arch]
+    mode = Mode.LOCAL if args.mode == "local" else Mode.NONLOCAL
+    capacity = closed_loop_capacity(architecture, mode, args.servers,
+                                    args.compute)
+    rate_per_ms = config.arrival_rate()
+    rate_per_us = rate_per_ms / 1e3 if rate_per_ms is not None \
+        else args.load * capacity
+    process = make_process(args.process, rate_per_us,
+                           alpha=args.alpha,
+                           burst_ratio=args.burst_ratio)
+    measure_us = config.duration() or 1_000_000.0
+    queue_bound = config.queue_limit() or DEFAULT_QUEUE_LIMIT
+
+    result, _summary, trace_paths = maybe_profile(
+        args, "traffic-point",
+        lambda: api.run_traced(
+            "experiment:traffic-point",
+            lambda: run_open_experiment(
+                architecture, mode, process, servers=args.servers,
+                mean_compute=args.compute, warmup_us=args.warmup,
+                measure_us=measure_us, pool_size=args.pool,
+                queue_limit=queue_bound, policy=args.policy,
+                deadline_us=config.deadline(),
+                population=args.population),
+            trace=args.trace))
+    counts = result.counts
+    table = Table(
+        experiment_id="traffic-point",
+        title=f"Open-arrival operating point — arch "
+              f"{architecture.name}, {mode.value}",
+        headers=["metric", "value"],
+        rows=[
+            ["arrival process", result.process],
+            ["offered rate (msgs/ms)", result.offered_rate_per_ms],
+            ["closed-loop capacity (msgs/ms)", capacity * 1e3],
+            ["offered", counts.offered],
+            ["completed", counts.completed],
+            ["throughput (msgs/ms)", result.throughput_per_ms],
+            ["goodput (msgs/ms)", result.goodput_per_ms],
+            ["drop rate", result.drop_rate],
+            ["deadline-miss rate", result.deadline_miss_rate],
+            ["p50 latency (us)", result.latency_p50],
+            ["p99 latency (us)", result.latency_p99],
+            ["p999 latency (us)", result.latency_p999],
+            ["mean latency (us)", result.latency_mean],
+            ["queue-wait p99 (us)", result.queue_wait_p99],
+            ["DES events", result.events_processed],
+        ],
+        notes=[f"{args.policy} policy, queue limit {queue_bound}, "
+               f"worker pool {args.pool}, population "
+               f"{args.population}",
+               f"measured {measure_us:g} us after {args.warmup:g} us "
+               "warmup; latency includes ingress-queue wait"])
     print(table.render())
     if trace_paths:
         print("trace: " + ", ".join(trace_paths))
@@ -319,6 +386,23 @@ def build_parser() -> argparse.ArgumentParser:
              "lump, elim, or lump+elim (default: REPRO_REDUCTION or "
              "none; the default exact path is bit-identical)")
     parser.add_argument(
+        "--duration", metavar="US", default=None,
+        help="open-arrival measurement window in simulated us "
+             "(default: REPRO_DURATION or each experiment's own)")
+    parser.add_argument(
+        "--arrival-rate", metavar="R", default=None,
+        help="offered arrival rate in messages per simulated ms "
+             "(default: REPRO_ARRIVAL_RATE or each experiment's own)")
+    parser.add_argument(
+        "--deadline", metavar="US", default=None,
+        help="per-message deadline in simulated us; completions past "
+             "it count as deadline misses (default: REPRO_DEADLINE "
+             "or none)")
+    parser.add_argument(
+        "--queue-limit", metavar="N", default=None,
+        help="bounded MP ingress queue length for open-arrival runs "
+             "(default: REPRO_QUEUE_LIMIT or each experiment's own)")
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record the run with repro.obs: Chrome-trace JSON at "
              "PATH, versioned JSONL next to it")
@@ -404,6 +488,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="measurement window after warmup (us)")
     p_chaos.set_defaults(fn=_cmd_chaos)
 
+    p_traffic = sub.add_parser(
+        "traffic",
+        help="run one open-arrival operating point (repro.traffic); "
+             "--duration/--arrival-rate/--deadline/--queue-limit "
+             "apply")
+    p_traffic.add_argument(
+        "--arch", choices=[a.name for a in Architecture], default="II")
+    p_traffic.add_argument("--mode", choices=["local", "nonlocal"],
+                           default="local")
+    p_traffic.add_argument(
+        "--process", choices=["poisson", "mmpp", "pareto"],
+        default="poisson", help="arrival process shape")
+    p_traffic.add_argument(
+        "--load", type=float, default=0.8, metavar="F",
+        help="offered load as a fraction of closed-loop capacity "
+             "(default 0.8); --arrival-rate overrides with an "
+             "absolute rate")
+    p_traffic.add_argument(
+        "--policy", choices=["drop", "reject", "backpressure"],
+        default="drop", help="admission policy at a full ingress "
+                             "queue")
+    p_traffic.add_argument("--servers", type=int, default=4,
+                           help="server tasks behind the service")
+    p_traffic.add_argument(
+        "--pool", type=int, default=32,
+        help="bounded worker-task pool multiplexing the population")
+    p_traffic.add_argument(
+        "--population", type=int, default=1_000_000,
+        help="logical client population multiplexed over the pool")
+    p_traffic.add_argument(
+        "--alpha", type=float, default=1.5,
+        help="Pareto tail index (with --process pareto)")
+    p_traffic.add_argument(
+        "--burst-ratio", type=float, default=4.0,
+        help="MMPP peak-to-mean rate ratio (with --process mmpp)")
+    p_traffic.add_argument(
+        "-x", "--compute", type=float, default=0.0,
+        help="server compute time per request (us)")
+    p_traffic.add_argument("--warmup", type=float, default=100_000.0,
+                           metavar="US",
+                           help="warmup before the measured window")
+    p_traffic.set_defaults(fn=_cmd_traffic)
+
     p_stats = sub.add_parser(
         "stats",
         help="summarise a recorded JSONL trace (top spans, counters, "
@@ -433,6 +560,15 @@ def main(argv: list[str] | None = None) -> int:
             config.set_reduction(args.reduction)
         except ReproError as error:
             parser.error(str(error))
+    for value, setter in ((args.duration, config.set_duration),
+                          (args.arrival_rate, config.set_arrival_rate),
+                          (args.deadline, config.set_deadline),
+                          (args.queue_limit, config.set_queue_limit)):
+        if value is not None:
+            try:
+                setter(value)
+            except ReproError as error:
+                parser.error(str(error))
     try:
         return args.fn(args)
     except ReproError as error:

@@ -11,7 +11,17 @@ seed             ``--seed N``        ``REPRO_SEED``     per-component
 analysis cache   ``--no-cache``      ``REPRO_NO_CACHE`` enabled
 cache directory  (none)              ``REPRO_CACHE_DIR``  memory-only
 state reduction  ``--reduction M``   ``REPRO_REDUCTION``  ``none``
+traffic window   ``--duration US``   ``REPRO_DURATION`` per-experiment
+arrival rate     ``--arrival-rate R``  ``REPRO_ARRIVAL_RATE``  per-exp.
+deadline         ``--deadline US``   ``REPRO_DEADLINE`` none
+ingress queue    ``--queue-limit N``  ``REPRO_QUEUE_LIMIT``  per-exp.
 ===============  ==================  =================  =============
+
+The traffic knobs (measurement window in simulated microseconds,
+offered arrival rate in messages per simulated millisecond, the
+per-message deadline, and the bounded MP ingress queue length) default
+to *unset*: each open-arrival entry point keeps its own documented
+default, and a set knob overrides all of them at once.
 
 The historical entry points (:func:`repro.perf.pool.set_default_jobs`,
 :func:`repro.seeding.set_default_seed`,
@@ -30,6 +40,7 @@ recorded run says how it was configured.
 
 from __future__ import annotations
 
+import math
 import os
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
@@ -50,21 +61,40 @@ _default_fault_plan = None
 # jobs
 # ----------------------------------------------------------------------
 
-def validate_jobs(value, source: str) -> int:
+def validate_positive_int(value, source: str) -> int:
     """A positive int, or :class:`ConfigError` naming the bad source."""
     if not isinstance(value, bool) and isinstance(value, int):
-        jobs = value
+        result = value
     else:
         try:
-            jobs = int(str(value).strip())
+            result = int(str(value).strip())
         except ValueError:
             raise ConfigError(
                 f"{source} must be a positive integer, "
                 f"got {value!r}") from None
-    if jobs < 1:
+    if result < 1:
         raise ConfigError(
             f"{source} must be a positive integer, got {value!r}")
-    return jobs
+    return result
+
+
+def validate_positive_float(value, source: str) -> float:
+    """A finite positive float, or :class:`ConfigError`."""
+    try:
+        result = float(str(value).strip())
+    except ValueError:
+        raise ConfigError(
+            f"{source} must be a positive number, "
+            f"got {value!r}") from None
+    if not math.isfinite(result) or result <= 0.0:
+        raise ConfigError(
+            f"{source} must be a positive number, got {value!r}")
+    return result
+
+
+def validate_jobs(value, source: str) -> int:
+    """A positive int, or :class:`ConfigError` naming the bad source."""
+    return validate_positive_int(value, source)
 
 
 def set_jobs(jobs: int | None) -> None:
@@ -210,6 +240,84 @@ def _resolve_reduction() -> tuple[str, str]:
 
 
 # ----------------------------------------------------------------------
+# open-arrival traffic knobs (see repro.traffic)
+# ----------------------------------------------------------------------
+
+#: (attribute suffix, CLI spelling, env var, validator) for the four
+#: traffic knobs — they share the resolve/set machinery below.
+_TRAFFIC_KNOBS = {
+    "duration": ("--duration", "REPRO_DURATION",
+                 validate_positive_float),
+    "arrival_rate": ("--arrival-rate", "REPRO_ARRIVAL_RATE",
+                     validate_positive_float),
+    "deadline": ("--deadline", "REPRO_DEADLINE",
+                 validate_positive_float),
+    "queue_limit": ("--queue-limit", "REPRO_QUEUE_LIMIT",
+                    validate_positive_int),
+}
+
+_cli_traffic: dict[str, float | int | None] = {
+    name: None for name in _TRAFFIC_KNOBS}
+
+
+def _set_traffic_knob(name: str, value) -> None:
+    flag, _env, validate = _TRAFFIC_KNOBS[name]
+    _cli_traffic[name] = None if value is None \
+        else validate(value, flag.lstrip("-"))
+
+
+def _resolve_traffic_knob(name: str):
+    _flag, env_var, validate = _TRAFFIC_KNOBS[name]
+    if _cli_traffic[name] is not None:
+        return _cli_traffic[name], "cli"
+    env = os.environ.get(env_var, "")
+    if env.strip():
+        return validate(env, env_var), "env"
+    return None, "default"
+
+
+def set_duration(duration_us) -> None:
+    """Install the CLI measurement window (simulated microseconds)."""
+    _set_traffic_knob("duration", duration_us)
+
+
+def duration() -> float | None:
+    """Resolved window: CLI > ``REPRO_DURATION`` > ``None`` (unset)."""
+    return _resolve_traffic_knob("duration")[0]
+
+
+def set_arrival_rate(rate_per_ms) -> None:
+    """Install the CLI offered arrival rate (messages per simulated
+    millisecond)."""
+    _set_traffic_knob("arrival_rate", rate_per_ms)
+
+
+def arrival_rate() -> float | None:
+    """Resolved rate: CLI > ``REPRO_ARRIVAL_RATE`` > ``None``."""
+    return _resolve_traffic_knob("arrival_rate")[0]
+
+
+def set_deadline(deadline_us) -> None:
+    """Install the CLI per-message deadline (simulated microseconds)."""
+    _set_traffic_knob("deadline", deadline_us)
+
+
+def deadline() -> float | None:
+    """Resolved deadline: CLI > ``REPRO_DEADLINE`` > ``None``."""
+    return _resolve_traffic_knob("deadline")[0]
+
+
+def set_queue_limit(limit) -> None:
+    """Install the CLI bounded MP ingress queue length."""
+    _set_traffic_knob("queue_limit", limit)
+
+
+def queue_limit() -> int | None:
+    """Resolved queue bound: CLI > ``REPRO_QUEUE_LIMIT`` > ``None``."""
+    return _resolve_traffic_knob("queue_limit")[0]
+
+
+# ----------------------------------------------------------------------
 # default fault plan
 # ----------------------------------------------------------------------
 
@@ -237,6 +345,8 @@ def reset() -> None:
     _cli_cache_enabled = None
     _default_fault_plan = None
     _cli_reduction = None
+    for name in _cli_traffic:
+        _cli_traffic[name] = None
 
 
 # ----------------------------------------------------------------------
@@ -245,7 +355,9 @@ def reset() -> None:
 
 @contextmanager
 def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
-              fault_plan=_UNSET, reduction=_UNSET):
+              fault_plan=_UNSET, reduction=_UNSET, duration=_UNSET,
+              arrival_rate=_UNSET, deadline=_UNSET,
+              queue_limit=_UNSET):
     """Apply CLI-level settings for one block, restoring on exit.
 
     ``repro.api.run_experiment`` uses this so its keyword arguments
@@ -257,7 +369,7 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
     global _cli_reduction
     saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
-             _default_fault_plan, _cli_reduction)
+             _default_fault_plan, _cli_reduction, dict(_cli_traffic))
     try:
         if jobs is not _UNSET:
             set_jobs(jobs)
@@ -269,10 +381,19 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
             set_default_fault_plan(fault_plan)
         if reduction is not _UNSET:
             set_reduction(reduction)
+        if duration is not _UNSET:
+            set_duration(duration)
+        if arrival_rate is not _UNSET:
+            set_arrival_rate(arrival_rate)
+        if deadline is not _UNSET:
+            set_deadline(deadline)
+        if queue_limit is not _UNSET:
+            set_queue_limit(queue_limit)
         yield
     finally:
         (_cli_jobs, _cli_seed, _cli_cache_enabled,
-         _default_fault_plan, _cli_reduction) = saved
+         _default_fault_plan, _cli_reduction, traffic_saved) = saved
+        _cli_traffic.update(traffic_saved)
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +417,14 @@ class ResolvedConfig:
     fault_plan: str | None      # repr of the active default plan
     reduction: str = "none"
     reduction_source: str = "default"
+    duration_us: float | None = None
+    duration_source: str = "default"
+    arrival_rate_per_ms: float | None = None
+    arrival_rate_source: str = "default"
+    deadline_us: float | None = None
+    deadline_source: str = "default"
+    queue_limit: int | None = None
+    queue_limit_source: str = "default"
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -307,6 +436,10 @@ def resolved_config() -> ResolvedConfig:
     seed_value, seed_source = _resolve_seed()
     cache_on, cache_source = _resolve_cache()
     reduction_mode, reduction_source = _resolve_reduction()
+    duration_us, duration_source = _resolve_traffic_knob("duration")
+    rate_per_ms, rate_source = _resolve_traffic_knob("arrival_rate")
+    deadline_us, deadline_source = _resolve_traffic_knob("deadline")
+    queue_bound, queue_source = _resolve_traffic_knob("queue_limit")
     plan = _default_fault_plan
     return ResolvedConfig(
         jobs=n_jobs, jobs_source=jobs_source,
@@ -314,4 +447,9 @@ def resolved_config() -> ResolvedConfig:
         cache_enabled=cache_on, cache_source=cache_source,
         cache_dir=cache_dir(),
         fault_plan=repr(plan) if plan is not None else None,
-        reduction=reduction_mode, reduction_source=reduction_source)
+        reduction=reduction_mode, reduction_source=reduction_source,
+        duration_us=duration_us, duration_source=duration_source,
+        arrival_rate_per_ms=rate_per_ms,
+        arrival_rate_source=rate_source,
+        deadline_us=deadline_us, deadline_source=deadline_source,
+        queue_limit=queue_bound, queue_limit_source=queue_source)

@@ -58,6 +58,11 @@ class WorkloadError(ReproError):
     """Invalid workload specification (negative compute time...)."""
 
 
+class TrafficError(ReproError):
+    """Invalid open-arrival traffic specification (negative rate,
+    Pareto tail index <= 1, unknown admission policy...)."""
+
+
 class ConvergenceError(AnalysisError):
     """The iterative client/server fixed point failed to converge."""
 

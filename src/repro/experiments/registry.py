@@ -46,6 +46,11 @@ def _validation_artifact(grid_name: str, experiment_id: str) -> Table:
     return report.table(experiment_id)
 
 
+def _traffic_artifact(runner_name: str) -> Artifact:
+    from repro.traffic import experiments as traffic_experiments
+    return getattr(traffic_experiments, runner_name)()
+
+
 def _experiments() -> list[Experiment]:
     entries: list[Experiment] = []
 
@@ -127,6 +132,18 @@ def _experiments() -> list[Experiment]:
            figures.figure_chaos_degradation, heavy=True)
     table("chaos-outage", "Node crash/recovery with MP retransmission",
           extensions.chaos_outage_table)
+
+    # repro.traffic: open-arrival load beyond the closed loop (lazy
+    # import: traffic experiments build on this package's reporting)
+    figure("traffic-knee-quick",
+           "Open-arrival load/latency knee (arch II, quick)",
+           partial(_traffic_artifact, "knee_quick_figure"))
+    figure("traffic-knee",
+           "Open-arrival load/latency knee (arch I-IV)",
+           partial(_traffic_artifact, "knee_full_figure"), heavy=True)
+    table("traffic-chaos",
+          "Chaos under load: burst spike + loss + outage",
+          partial(_traffic_artifact, "chaos_under_load_table"))
 
     # repro.validate: three-way differential testing of the estimators
     table("validate-quick",

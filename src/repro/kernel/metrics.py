@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.errors import KernelError
@@ -42,10 +43,26 @@ class ConversationMeter:
     separately, so loss experiments can report completion rates
     alongside latency.  On a reliable network the failure list stays
     empty and every statistic is unchanged.
+
+    Window queries are indexed: completions arrive in nondecreasing
+    sim-time order in every DES run, so :meth:`window` bisects a
+    maintained completion-time list instead of scanning all samples,
+    and :meth:`latency_percentile` sorts each distinct window once
+    instead of on every call.  Samples appended out of order (only
+    possible by hand) drop the meter back to the original linear scan;
+    results are identical either way, as the regression tests in
+    ``tests/kernel/test_metrics.py`` assert against a naive
+    reimplementation.
     """
 
     samples: list[RoundTripSample] = field(default_factory=list)
     failures: list[FailureSample] = field(default_factory=list)
+    _completions: list[float] = field(default_factory=list, init=False,
+                                      repr=False, compare=False)
+    _monotone: bool = field(default=True, init=False, repr=False,
+                            compare=False)
+    _sorted_windows: dict = field(default_factory=dict, init=False,
+                                  repr=False, compare=False)
 
     def record(self, client: str, started_at: float,
                completed_at: float) -> None:
@@ -63,8 +80,43 @@ class ConversationMeter:
             client=client, started_at=started_at,
             failed_at=failed_at))
 
+    def _sync(self) -> None:
+        """Bring the completion-time index up to date with ``samples``.
+
+        Tolerates direct appends to ``samples`` (several tests build
+        meters that way): new entries are indexed incrementally, and
+        any other external surgery (truncation, replacement) triggers
+        a full rebuild.
+        """
+        completions = self._completions
+        samples = self.samples
+        indexed = len(completions)
+        if indexed == len(samples) and \
+                (indexed == 0
+                 or completions[-1] == samples[-1].completed_at):
+            return
+        if indexed > len(samples) or (
+                indexed and
+                completions[-1] != samples[indexed - 1].completed_at):
+            completions.clear()
+            self._monotone = True
+            indexed = 0
+        last = completions[-1] if completions else float("-inf")
+        for sample in samples[indexed:]:
+            completed = sample.completed_at
+            if completed < last:
+                self._monotone = False
+            last = completed
+            completions.append(completed)
+        self._sorted_windows.clear()
+
     def window(self, start: float, end: float) -> list[RoundTripSample]:
         """Samples completing within [start, end)."""
+        self._sync()
+        if self._monotone:
+            low = bisect_left(self._completions, start)
+            high = bisect_left(self._completions, end)
+            return self.samples[low:high]
         return [s for s in self.samples
                 if start <= s.completed_at < end]
 
@@ -85,7 +137,7 @@ class ConversationMeter:
         """Round-trip latency percentile over the window (0..100)."""
         if not 0 <= percentile <= 100:
             raise KernelError("percentile must be in [0, 100]")
-        window = sorted(s.latency for s in self.window(start, end))
+        window = self._sorted_latencies(start, end)
         if not window:
             raise KernelError("no samples in the measurement window")
         rank = percentile / 100.0 * (len(window) - 1)
@@ -93,6 +145,19 @@ class ConversationMeter:
         high = min(low + 1, len(window) - 1)
         fraction = rank - low
         return window[low] * (1 - fraction) + window[high] * fraction
+
+    def _sorted_latencies(self, start: float, end: float) -> list[float]:
+        """Sorted window latencies, computed once per settled window
+        (the cache is dropped whenever a new sample lands)."""
+        self._sync()
+        cached = self._sorted_windows.get((start, end))
+        if cached is None:
+            cached = sorted(s.latency
+                            for s in self.window(start, end))
+            if len(self._sorted_windows) >= 64:
+                self._sorted_windows.clear()
+            self._sorted_windows[(start, end)] = cached
+        return cached
 
     def per_client_counts(self, start: float, end: float,
                           ) -> dict[str, int]:

@@ -33,9 +33,13 @@ class Simulator:
 
     def run_until(self, time: float, max_events: int = 50_000_000) -> None:
         """Process events in time order up to and including *time*."""
+        # hot loop: queue/heappop bound to locals (open-arrival runs
+        # push this past 10^6 events; see benchmarks/test_bench_traffic)
         processed = 0
-        while self._queue and self._queue[0][0] <= time:
-            event_time, _seq, action = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and queue[0][0] <= time:
+            event_time, _seq, action = pop(queue)
             self.now = event_time
             action()
             processed += 1
@@ -49,8 +53,10 @@ class Simulator:
     def run(self, max_events: int = 50_000_000) -> None:
         """Process every scheduled event (the calendar must drain)."""
         processed = 0
-        while self._queue:
-            event_time, _seq, action = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            event_time, _seq, action = pop(queue)
             self.now = event_time
             action()
             processed += 1

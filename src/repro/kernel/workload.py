@@ -115,6 +115,46 @@ class WorkloadResult:
         return self.throughput * 1e3
 
 
+def build_benchmark_nodes(system: DistributedSystem, mode: Mode,
+                          hosts: int = 1) -> tuple[Node, Node]:
+    """Add the benchmark's node layout; ``(client_node, server_node)``.
+
+    Local experiments put every task on one node (both returned nodes
+    are the same object); non-local experiments group all clients on
+    one node and all servers on the other.  Shared by the closed-loop
+    builder below and the open-arrival builder in
+    :mod:`repro.traffic.engine`, so both drive a structurally
+    identical system.
+    """
+    if mode is Mode.LOCAL:
+        node = system.add_node("node0", default_mode=Mode.LOCAL,
+                               hosts=hosts)
+        return node, node
+    client_node = system.add_node(
+        "clients", default_mode=Mode.NONLOCAL, hosts=hosts)
+    server_node = system.add_node(
+        "servers", default_mode=Mode.NONLOCAL, hosts=hosts)
+    return client_node, server_node
+
+
+def install_bench_service(server_node: Node, servers: int,
+                          mean_compute: float,
+                          rng: random.Random) -> None:
+    """Create the ``bench`` service and start *servers* server loops.
+
+    Each server draws exactly one value from *rng* to seed its private
+    compute-time stream — the only randomness the closed-loop system
+    consumes, so any builder that calls this with an equally seeded
+    *rng* reproduces the server behaviour bit for bit.
+    """
+    creator = server_node.create_task("service-owner")
+    server_node.kernel.create_service(creator, SERVICE_NAME)
+    for i in range(servers):
+        server_task = server_node.create_task(f"server{i}")
+        ServerProgram(server_node, server_task, mean_compute,
+                      random.Random(rng.random())).start()
+
+
 def build_conversation_system(architecture: Architecture, mode: Mode,
                               conversations: int, mean_compute: float,
                               seed: int | None = None,
@@ -140,23 +180,10 @@ def build_conversation_system(architecture: Architecture, mode: Mode,
     meter = ConversationMeter()
     rng = random.Random(seed)
 
-    if mode is Mode.LOCAL:
-        node = system.add_node("node0", default_mode=Mode.LOCAL,
-                               hosts=hosts)
-        client_node = server_node = node
-    else:
-        client_node = system.add_node(
-            "clients", default_mode=Mode.NONLOCAL, hosts=hosts)
-        server_node = system.add_node(
-            "servers", default_mode=Mode.NONLOCAL, hosts=hosts)
-
-    creator = server_node.create_task("service-owner")
-    server_node.kernel.create_service(creator, SERVICE_NAME)
-
-    for i in range(conversations):
-        server_task = server_node.create_task(f"server{i}")
-        ServerProgram(server_node, server_task, mean_compute,
-                      random.Random(rng.random())).start()
+    client_node, server_node = build_benchmark_nodes(system, mode,
+                                                     hosts)
+    install_bench_service(server_node, conversations, mean_compute,
+                          rng)
     for i in range(conversations):
         client_task = client_node.create_task(f"client{i}")
         ClientProgram(client_node, client_task, meter).start()

@@ -1,0 +1,39 @@
+"""Open-arrival traffic: workload generation beyond the closed loop.
+
+The paper evaluates architectures with *k* patient closed-loop clients
+(§6.3) under never-saturated-network assumptions (§6.6.4).  This
+package drives the same kernel DES with *open* arrivals — load offered
+by an external process regardless of system state — which is the
+regime where admission control, bounded queues, and tail latency
+separate the architectures:
+
+* :mod:`~repro.traffic.arrivals` — pluggable arrival processes
+  (Poisson / bursty MMPP / heavy-tailed Pareto), seed-deterministic.
+* :mod:`~repro.traffic.engine` — session-multiplexed client
+  population over a bounded task pool, bounded MP ingress queue,
+  drop/reject/backpressure admission charged with Table 6.x times.
+* :mod:`~repro.traffic.metrics` — streaming counters +
+  :class:`~repro.obs.metrics.QuantileSketch` latency distributions
+  (p50/p99/p999 in bounded memory), goodput/drop/deadline-miss rates.
+* :mod:`~repro.traffic.experiments` — the registered knee sweep
+  (``traffic-knee-quick`` / ``traffic-knee``) and chaos-under-load
+  (``traffic-chaos``).
+"""
+
+from repro.traffic.arrivals import (ArrivalProcess, MMPPArrivals,
+                                    ParetoArrivals, PoissonArrivals,
+                                    PROCESS_NAMES, make_process)
+from repro.traffic.engine import (OpenBench, OpenTrafficSource,
+                                  POLICY_NAMES, build_open_system,
+                                  run_open_experiment)
+from repro.traffic.metrics import (TrafficCounts, TrafficMeter,
+                                   TrafficResult, phase_breakdown)
+
+__all__ = [
+    "ArrivalProcess", "PoissonArrivals", "MMPPArrivals",
+    "ParetoArrivals", "PROCESS_NAMES", "make_process",
+    "OpenBench", "OpenTrafficSource", "POLICY_NAMES",
+    "build_open_system", "run_open_experiment",
+    "TrafficCounts", "TrafficMeter", "TrafficResult",
+    "phase_breakdown",
+]

@@ -1,0 +1,234 @@
+"""Pluggable open-arrival processes for the traffic engine.
+
+Every process is a frozen, picklable specification; the *stream* of
+interarrival times is produced by :meth:`ArrivalProcess.stream` from a
+:class:`random.Random` the engine seeds, so two engines built from the
+same seed draw bit-identical arrival timestamps (the determinism
+contract tested in ``tests/traffic/test_determinism.py``).
+
+The contract every process honours:
+
+* ``mean_rate_per_us`` is the long-run mean arrival rate (arrivals per
+  simulated microsecond).  A zero rate is valid on every process and
+  means *no arrivals at all*: the engine then attaches nothing to the
+  system and consumes no randomness, which is what makes the zero-rate
+  open workload reduce bit-identically to the closed-loop path.
+* ``stream(rng)`` yields strictly finite, non-negative interarrival
+  gaps (microseconds) forever; the engine stops drawing at its
+  horizon.
+* Specifications validate loudly at construction
+  (:class:`~repro.errors.TrafficError`), not at first draw.
+
+Three shapes cover the regimes of interest: :class:`PoissonArrivals`
+(memoryless baseline), :class:`MMPPArrivals` (bursty on/off
+Markov-modulated Poisson — hot-spot load), and
+:class:`ParetoArrivals` (heavy-tailed interarrivals — the regime where
+mean-only metrics hide the knee).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TrafficError
+
+
+def _check_rate(rate: float, what: str = "rate_per_us") -> float:
+    rate = float(rate)
+    if not math.isfinite(rate) or rate < 0.0:
+        raise TrafficError(
+            f"{what} must be finite and >= 0, got {rate!r}")
+    return rate
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base class: a seed-deterministic stream of interarrival gaps."""
+
+    def stream(self, rng: random.Random) -> Iterator[float]:
+        raise NotImplementedError
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        """Long-run mean arrivals per microsecond."""
+        raise NotImplementedError
+
+    @property
+    def is_null(self) -> bool:
+        """True when the process can never produce an arrival."""
+        return self.mean_rate_per_us == 0.0
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential interarrival gaps."""
+
+    rate_per_us: float
+
+    def __post_init__(self):
+        _check_rate(self.rate_per_us)
+
+    def stream(self, rng: random.Random) -> Iterator[float]:
+        rate = self.rate_per_us
+        while True:
+            yield rng.expovariate(rate) if rate > 0.0 else math.inf
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        return self.rate_per_us
+
+    def describe(self) -> str:
+        return f"poisson({self.rate_per_us * 1e3:g} msgs/ms)"
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """Two-state on/off Markov-modulated Poisson process.
+
+    The modulating chain alternates between an *on* state (rate
+    ``rate_on_per_us``) and an *off* state (``rate_off_per_us``,
+    typically much smaller or zero) with exponentially distributed
+    dwell times — the canonical bursty-traffic model.  Candidate
+    arrivals are drawn per state; a candidate falling beyond the
+    state's residual dwell is discarded and the draw restarts in the
+    next state, preserving the exponential-gap property within each
+    state.
+    """
+
+    rate_on_per_us: float
+    rate_off_per_us: float
+    mean_on_us: float
+    mean_off_us: float
+
+    def __post_init__(self):
+        _check_rate(self.rate_on_per_us, "rate_on_per_us")
+        _check_rate(self.rate_off_per_us, "rate_off_per_us")
+        for name in ("mean_on_us", "mean_off_us"):
+            value = float(getattr(self, name))
+            if not math.isfinite(value) or value <= 0.0:
+                raise TrafficError(
+                    f"{name} must be finite and > 0, got {value!r}")
+
+    def stream(self, rng: random.Random) -> Iterator[float]:
+        on = True
+        residual = rng.expovariate(1.0 / self.mean_on_us)
+        gap = 0.0
+        while True:
+            rate = self.rate_on_per_us if on else self.rate_off_per_us
+            candidate = rng.expovariate(rate) if rate > 0.0 \
+                else math.inf
+            if candidate <= residual:
+                residual -= candidate
+                yield gap + candidate
+                gap = 0.0
+            else:
+                gap += residual
+                on = not on
+                mean = self.mean_on_us if on else self.mean_off_us
+                residual = rng.expovariate(1.0 / mean)
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        cycle = self.mean_on_us + self.mean_off_us
+        return (self.rate_on_per_us * self.mean_on_us
+                + self.rate_off_per_us * self.mean_off_us) / cycle
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate_on_per_us == 0.0 and \
+            self.rate_off_per_us == 0.0
+
+    def describe(self) -> str:
+        return (f"mmpp(on {self.rate_on_per_us * 1e3:g}/"
+                f"off {self.rate_off_per_us * 1e3:g} msgs/ms, "
+                f"dwell {self.mean_on_us:g}/{self.mean_off_us:g} us)")
+
+
+@dataclass(frozen=True)
+class ParetoArrivals(ArrivalProcess):
+    """Heavy-tailed interarrivals: Pareto(alpha) gaps, matched mean.
+
+    ``alpha`` is the tail index; ``alpha <= 1`` has no finite mean and
+    is rejected.  The scale is chosen so the mean gap is
+    ``1 / rate_per_us``, making the offered-load axis directly
+    comparable with the Poisson baseline while the variance (infinite
+    for ``alpha <= 2``) stresses the tail of every latency metric.
+    """
+
+    rate_per_us: float
+    alpha: float = 1.5
+
+    def __post_init__(self):
+        _check_rate(self.rate_per_us)
+        alpha = float(self.alpha)
+        if not math.isfinite(alpha) or alpha <= 1.0:
+            raise TrafficError(
+                f"Pareto tail index alpha must be > 1 (finite mean), "
+                f"got {alpha!r}")
+
+    @property
+    def scale_us(self) -> float:
+        """Minimum gap x_m with mean x_m * alpha / (alpha - 1)."""
+        if self.rate_per_us == 0.0:
+            return math.inf
+        return (self.alpha - 1.0) / (self.alpha * self.rate_per_us)
+
+    def stream(self, rng: random.Random) -> Iterator[float]:
+        scale, inv_alpha = self.scale_us, 1.0 / self.alpha
+        while True:
+            yield scale * (1.0 - rng.random()) ** -inv_alpha
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        return self.rate_per_us
+
+    def describe(self) -> str:
+        return (f"pareto({self.rate_per_us * 1e3:g} msgs/ms, "
+                f"alpha={self.alpha:g})")
+
+
+#: CLI spelling -> constructor, the `repro traffic --process` choices.
+PROCESS_NAMES = ("poisson", "mmpp", "pareto")
+
+
+def make_process(name: str, rate_per_us: float, *,
+                 alpha: float = 1.5,
+                 burst_ratio: float = 4.0,
+                 mean_on_us: float = 20_000.0,
+                 mean_off_us: float = 60_000.0) -> ArrivalProcess:
+    """Build a named process at a target *mean* rate.
+
+    For ``mmpp`` the on/off rates are derived from ``burst_ratio``
+    (peak rate over mean rate) with the off rate solved so the
+    time-weighted mean equals *rate_per_us* exactly; the derivation is
+    validated (a ratio too large for the duty cycle would need a
+    negative off rate and is rejected).
+    """
+    rate_per_us = _check_rate(rate_per_us)
+    if name == "poisson":
+        return PoissonArrivals(rate_per_us)
+    if name == "pareto":
+        return ParetoArrivals(rate_per_us, alpha=alpha)
+    if name == "mmpp":
+        if burst_ratio < 1.0:
+            raise TrafficError(
+                f"burst_ratio must be >= 1, got {burst_ratio!r}")
+        cycle = mean_on_us + mean_off_us
+        rate_on = burst_ratio * rate_per_us
+        rate_off = (rate_per_us * cycle - rate_on * mean_on_us) \
+            / mean_off_us
+        if rate_off < 0.0:
+            raise TrafficError(
+                f"burst_ratio {burst_ratio:g} is impossible at duty "
+                f"cycle {mean_on_us / cycle:.2f} (off rate would be "
+                "negative); lower the ratio or the on-dwell")
+        return MMPPArrivals(rate_on, rate_off, mean_on_us, mean_off_us)
+    raise TrafficError(
+        f"unknown arrival process {name!r}; "
+        f"choose from {', '.join(PROCESS_NAMES)}")

@@ -19,6 +19,11 @@ same way slips past pairwise checks but breaks these.
   pure function of its seed.
 * **conversation monotonicity** — adding a conversation to a closed
   local model can never reduce exact throughput.
+* **open-arrival convergence** — far below saturation an open
+  (Poisson) workload must carry its offered rate (losing nothing) and
+  see per-message latency near the exact single-conversation round
+  trip: the open engine and the closed-loop analyzer describe the same
+  system, so they must agree where queueing vanishes.
 """
 
 from __future__ import annotations
@@ -134,6 +139,62 @@ def check_conversation_monotonicity() -> MetamorphicResult:
                + ", ".join(f"{v:.6g}" for v in values))
 
 
+#: Declared tolerances for the open-arrival convergence check: the
+#: throughput bound covers Poisson counting noise at the fixed seeds
+#: the check runs under; the latency bound covers light-load queueing
+#: on top of the exact unloaded round trip.
+OPEN_ARRIVAL_THROUGHPUT_RTOL = 0.15
+OPEN_ARRIVAL_LATENCY_RTOL = 0.25
+
+
+def check_open_arrival_convergence(seed: int,
+                                   load_fraction: float = 0.2,
+                                   measure_us: float = 1_500_000.0,
+                                   ) -> MetamorphicResult:
+    """At light load, open-arrival DES must match the exact analyzer.
+
+    Offered-rate carriage: completed throughput equals the offered
+    Poisson rate within ``OPEN_ARRIVAL_THROUGHPUT_RTOL`` with nothing
+    dropped.  Latency anchor: mean latency is within
+    ``OPEN_ARRIVAL_LATENCY_RTOL`` of the exact single-conversation
+    round trip from :func:`repro.models.solve.solve` (the open
+    measure ends at reply delivery, so it sits slightly *below* the
+    closed round trip, which also counts client-restart work — the
+    symmetric tolerance covers both that offset and light-load
+    queueing).
+    """
+    from repro.models.solve import solve
+    from repro.traffic.arrivals import PoissonArrivals
+    from repro.traffic.engine import run_open_experiment
+
+    exact = solve(Architecture.II, Mode.LOCAL, 1, compute_time=0.0)
+    capacity = solve(Architecture.II, Mode.LOCAL, 4,
+                     compute_time=0.0).throughput
+    rate = load_fraction * capacity
+    result = run_open_experiment(
+        Architecture.II, Mode.LOCAL, PoissonArrivals(rate),
+        servers=4, warmup_us=100_000.0, measure_us=measure_us,
+        seed=seed)
+    throughput_err = abs(result.throughput_per_us - rate) / rate
+    latency_err = (result.latency_mean - exact.round_trip_time) \
+        / exact.round_trip_time
+    ok = (throughput_err <= OPEN_ARRIVAL_THROUGHPUT_RTOL
+          and abs(latency_err) <= OPEN_ARRIVAL_LATENCY_RTOL
+          and result.drop_rate == 0.0)
+    return MetamorphicResult(
+        name="open-arrival-convergence",
+        ok=ok,
+        detail=(f"offered {rate * 1e3:.4g}/ms carried at "
+                f"{result.throughput_per_ms:.4g}/ms (rel err "
+                f"{throughput_err:.3g} <= "
+                f"{OPEN_ARRIVAL_THROUGHPUT_RTOL:g}); mean latency "
+                f"{result.latency_mean:.4g} us vs exact unloaded "
+                f"round trip {exact.round_trip_time:.4g} us (rel "
+                f"excess {latency_err:.3g} <= "
+                f"{OPEN_ARRIVAL_LATENCY_RTOL:g}); drop rate "
+                f"{result.drop_rate:g}"))
+
+
 def run_metamorphic_checks(seed: int) -> list[MetamorphicResult]:
     """Every property, in a stable order."""
     return [
@@ -141,4 +202,5 @@ def run_metamorphic_checks(seed: int) -> list[MetamorphicResult]:
         check_zero_fault_identity(seed),
         check_mc_determinism(seed),
         check_conversation_monotonicity(),
+        check_open_arrival_convergence(seed),
     ]

@@ -1,9 +1,12 @@
 """Tests for the conversation meter (windows, percentiles, fairness)."""
 
+import random
+
 import pytest
 
 from repro.errors import KernelError
-from repro.kernel import ConversationMeter, run_conversation_experiment
+from repro.kernel import (ConversationMeter, RoundTripSample,
+                          run_conversation_experiment)
 from repro.models.params import Architecture, Mode
 
 
@@ -112,3 +115,113 @@ def test_deterministic_round_trip_latency():
         warmup_us=20_000, measure_us=200_000)
     # a single deterministic conversation: every latency is 4970
     assert result.mean_round_trip == pytest.approx(4970.0, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# regression: the indexed window/percentile fast path must agree with
+# the naive linear-scan definition in every append pattern
+# ----------------------------------------------------------------------
+
+def naive_window(meter, start, end):
+    return [s for s in meter.samples if start <= s.completed_at < end]
+
+
+def naive_percentile(meter, start, end, percentile):
+    latencies = sorted(s.latency for s in naive_window(meter, start,
+                                                       end))
+    if not latencies:
+        raise KernelError("empty")
+    rank = percentile / 100.0 * (len(latencies) - 1)
+    low = int(rank)
+    high = min(low + 1, len(latencies) - 1)
+    fraction = rank - low
+    return latencies[low] * (1 - fraction) \
+        + latencies[high] * fraction
+
+
+def assert_matches_naive(meter, windows):
+    for start, end in windows:
+        expected = naive_window(meter, start, end)
+        assert meter.window(start, end) == expected, (start, end)
+        if expected:
+            for percentile in (0, 25, 50, 90, 99, 100):
+                assert meter.latency_percentile(
+                    start, end, percentile) == pytest.approx(
+                    naive_percentile(meter, start, end, percentile))
+
+
+def test_fast_path_matches_naive_on_monotone_stream():
+    meter = ConversationMeter()
+    rng = random.Random(0)
+    now = 0.0
+    for i in range(500):
+        now += rng.expovariate(0.01)
+        meter.record(f"c{i % 7}", started_at=now - rng.uniform(1, 400),
+                     completed_at=now)
+    assert_matches_naive(meter, [(0.0, 1e9), (5_000.0, 20_000.0),
+                                 (0.0, 0.0), (1e9, 2e9),
+                                 (now, now + 1.0)])
+
+
+def test_fast_path_matches_naive_with_ties():
+    meter = ConversationMeter()
+    for i in range(30):
+        meter.record("c", started_at=0.0,
+                     completed_at=float(i // 3) * 100.0)
+    # boundaries exactly on tied completion times, half-open semantics
+    assert_matches_naive(meter, [(0.0, 100.0), (100.0, 100.0),
+                                 (100.0, 300.0), (0.0, 1_000.0),
+                                 (900.0, 901.0)])
+
+
+def test_out_of_order_direct_appends_fall_back_correctly():
+    """Hand-built meters (several tests append to ``samples``
+    directly) may violate the DES monotone-completion invariant; the
+    meter must notice and still give exact answers."""
+    meter = ConversationMeter()
+    meter.record("a", 0.0, 500.0)
+    meter.samples.append(RoundTripSample("b", 0.0, 100.0))   # rewinds
+    meter.samples.append(RoundTripSample("c", 50.0, 300.0))
+    assert_matches_naive(meter, [(0.0, 200.0), (0.0, 1_000.0),
+                                 (100.0, 500.0), (300.0, 500.0)])
+
+
+def test_external_truncation_and_replacement_resync():
+    meter = ConversationMeter()
+    for i in range(10):
+        meter.record("c", i * 10.0, i * 10.0 + 5.0)
+    assert len(meter.window(0.0, 100.0)) == 10   # builds the index
+    del meter.samples[5:]                        # external surgery
+    assert len(meter.window(0.0, 100.0)) == 5
+    meter.samples[:] = [RoundTripSample("x", 0.0, 42.0)]
+    assert_matches_naive(meter, [(0.0, 100.0), (42.0, 43.0)])
+
+
+def test_queries_interleaved_with_appends_stay_fresh():
+    """The sorted-window cache must be invalidated by every append."""
+    meter = ConversationMeter()
+    meter.record("c", 0.0, 10.0)
+    assert meter.latency_percentile(0.0, 100.0, 50) == 10.0
+    meter.record("c", 0.0, 30.0)
+    assert meter.latency_percentile(0.0, 100.0, 50) == \
+        pytest.approx(20.0)
+    assert meter.latency_percentile(0.0, 100.0, 100) == 30.0
+
+
+def test_fast_path_fuzz_against_naive():
+    rng = random.Random(42)
+    meter = ConversationMeter()
+    now = 0.0
+    for i in range(400):
+        if rng.random() < 0.1:
+            # occasional out-of-order hand append
+            meter.samples.append(RoundTripSample(
+                "hand", 0.0, rng.uniform(0.0, max(now, 1.0))))
+        else:
+            now += rng.expovariate(0.05)
+            meter.record("des", max(0.0, now - 10.0), now)
+        if rng.random() < 0.2:
+            start = rng.uniform(0.0, max(now, 1.0))
+            end = start + rng.uniform(0.0, now / 2 + 1.0)
+            assert meter.window(start, end) == \
+                naive_window(meter, start, end)

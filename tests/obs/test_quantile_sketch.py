@@ -1,0 +1,137 @@
+"""QuantileSketch: the declared error bound is a real guarantee."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import QuantileSketch
+
+
+def exact_quantile(values, q):
+    """Nearest-rank quantile, the definition the sketch approximates."""
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    if q == 1.0:
+        return ordered[-1]
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "lognormal",
+                                          "pareto", "exponential"])
+@pytest.mark.parametrize("eps", [0.01, 0.05])
+def test_error_bound_holds_against_exact_quantiles(distribution, eps):
+    rng = random.Random(20_260_807)
+    draw = {
+        "uniform": lambda: rng.uniform(0.001, 5_000.0),
+        "lognormal": lambda: rng.lognormvariate(3.0, 2.0),
+        "pareto": lambda: rng.paretovariate(1.3),
+        "exponential": lambda: rng.expovariate(0.01),
+    }[distribution]
+    values = [draw() for _ in range(20_000)]
+    sketch = QuantileSketch(eps)
+    for value in values:
+        sketch.add(value)
+    for q in (0.01, 0.10, 0.50, 0.90, 0.99, 0.999):
+        exact = exact_quantile(values, q)
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) <= eps * exact * (1 + 1e-12), \
+            (distribution, q, exact, estimate)
+
+
+def test_extremes_are_exact():
+    sketch = QuantileSketch()
+    for value in (3.0, 9.5, 0.25, 7.0):
+        sketch.add(value)
+    assert sketch.quantile(0.0) == 0.25
+    assert sketch.quantile(1.0) == 9.5
+    assert sketch.minimum == 0.25
+    assert sketch.maximum == 9.5
+
+
+def test_mean_is_exact():
+    sketch = QuantileSketch()
+    values = [1.5, 2.5, 100.0, 0.0]
+    for value in values:
+        sketch.add(value)
+    assert sketch.mean() == sum(values) / len(values)
+
+
+def test_zero_bin_collects_nonpositive_values():
+    sketch = QuantileSketch()
+    for value in (0.0, -1.0, 0.0, 5.0):
+        sketch.add(value)
+    assert sketch.quantile(0.5) == 0.0       # 3 of 4 are <= 0
+    assert sketch.quantile(0.99) == pytest.approx(5.0, rel=0.01)
+    assert sketch.count == 4
+
+
+def test_memory_is_bounded_by_bins_not_samples():
+    sketch = QuantileSketch(0.01)
+    rng = random.Random(1)
+    for _ in range(200_000):
+        sketch.add(rng.expovariate(0.001))
+    assert sketch.count == 200_000
+    # twelve decades fit in a few thousand bins at 1% error; an
+    # exponential's realistic range needs far fewer
+    assert sketch.bin_count < 1_000
+
+
+def test_merge_is_exact_and_order_independent():
+    rng = random.Random(7)
+    values = [rng.lognormvariate(2.0, 1.5) for _ in range(5_000)]
+    whole = QuantileSketch()
+    for value in values:
+        whole.add(value)
+    left, right = QuantileSketch(), QuantileSketch()
+    for value in values[:2_000]:
+        left.add(value)
+    for value in values[2_000:]:
+        right.add(value)
+    left.merge(right)
+    assert left.signature() == whole.signature()
+    assert left.mean() == pytest.approx(whole.mean())
+    assert left.minimum == whole.minimum
+    assert left.maximum == whole.maximum
+
+    shuffled = QuantileSketch()
+    reordered = list(values)
+    rng.shuffle(reordered)
+    for value in reordered:
+        shuffled.add(value)
+    assert shuffled.signature() == whole.signature()
+
+
+def test_merge_rejects_mismatched_error_bounds():
+    with pytest.raises(ReproError, match="error bounds"):
+        QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+
+def test_empty_sketch_queries_are_loud():
+    sketch = QuantileSketch()
+    for query in (lambda: sketch.quantile(0.5), sketch.mean,
+                  lambda: sketch.minimum, lambda: sketch.maximum):
+        with pytest.raises(ReproError, match="empty sketch"):
+            query()
+
+
+def test_parameter_validation():
+    with pytest.raises(ReproError, match="relative_error"):
+        QuantileSketch(0.0)
+    with pytest.raises(ReproError, match="relative_error"):
+        QuantileSketch(1.0)
+    sketch = QuantileSketch()
+    sketch.add(1.0)
+    with pytest.raises(ReproError, match="quantile"):
+        sketch.quantile(1.5)
+    with pytest.raises(ReproError, match="percentile"):
+        sketch.percentile(150.0)
+
+
+def test_percentile_is_quantile_scaled():
+    sketch = QuantileSketch()
+    for value in range(1, 101):
+        sketch.add(float(value))
+    assert sketch.percentile(99.0) == sketch.quantile(0.99)

@@ -1,0 +1,119 @@
+"""Arrival-process contracts: validation, mean rates, determinism."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.arrivals import (MMPPArrivals, ParetoArrivals,
+                                    PoissonArrivals, make_process)
+
+
+def draw(process, n, seed=0):
+    stream = process.stream(random.Random(seed))
+    return [next(stream) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# loud validation at construction
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [-1.0, float("nan"), float("inf")])
+def test_poisson_rejects_bad_rates(rate):
+    with pytest.raises(TrafficError):
+        PoissonArrivals(rate)
+
+
+@pytest.mark.parametrize("alpha", [1.0, 0.5, -2.0, float("nan")])
+def test_pareto_rejects_tail_without_mean(alpha):
+    with pytest.raises(TrafficError):
+        ParetoArrivals(0.001, alpha=alpha)
+
+
+def test_mmpp_rejects_nonpositive_dwells():
+    with pytest.raises(TrafficError):
+        MMPPArrivals(0.01, 0.001, mean_on_us=0.0, mean_off_us=100.0)
+    with pytest.raises(TrafficError):
+        MMPPArrivals(0.01, 0.001, mean_on_us=100.0, mean_off_us=-1.0)
+
+
+def test_make_process_rejects_unknown_name():
+    with pytest.raises(TrafficError, match="unknown arrival process"):
+        make_process("uniform", 0.001)
+
+
+def test_make_process_rejects_impossible_burst_ratio():
+    # duty cycle 0.5: peak 3x the mean would need a negative off rate
+    with pytest.raises(TrafficError, match="impossible"):
+        make_process("mmpp", 0.001, burst_ratio=3.0,
+                     mean_on_us=100.0, mean_off_us=100.0)
+    with pytest.raises(TrafficError):
+        make_process("mmpp", 0.001, burst_ratio=0.5)
+
+
+# ----------------------------------------------------------------------
+# mean-rate contracts
+# ----------------------------------------------------------------------
+
+def test_mmpp_derived_off_rate_matches_mean_exactly():
+    process = make_process("mmpp", 0.002, burst_ratio=2.0,
+                           mean_on_us=20_000.0, mean_off_us=60_000.0)
+    assert process.mean_rate_per_us == pytest.approx(0.002, rel=1e-12)
+    assert process.rate_on_per_us == pytest.approx(0.004)
+
+
+def test_pareto_scale_gives_matched_mean_gap():
+    process = ParetoArrivals(0.001, alpha=1.5)
+    # Pareto mean = scale * alpha / (alpha - 1) = 1 / rate
+    assert process.scale_us * 1.5 / 0.5 == pytest.approx(1000.0)
+    gaps = draw(process, 200_000, seed=3)
+    assert sum(gaps) / len(gaps) == pytest.approx(1000.0, rel=0.2)
+
+
+def test_poisson_empirical_rate():
+    gaps = draw(PoissonArrivals(0.01), 50_000, seed=1)
+    assert sum(gaps) / len(gaps) == pytest.approx(100.0, rel=0.05)
+
+
+def test_null_processes_identified():
+    assert PoissonArrivals(0.0).is_null
+    assert ParetoArrivals(0.0).is_null
+    assert MMPPArrivals(0.0, 0.0, 10.0, 10.0).is_null
+    assert not PoissonArrivals(0.001).is_null
+    # an off-state burst process still produces arrivals in bursts
+    assert not MMPPArrivals(0.01, 0.0, 10.0, 10.0).is_null
+
+
+def test_gaps_are_finite_and_nonnegative():
+    for process in (PoissonArrivals(0.01),
+                    make_process("mmpp", 0.01),
+                    ParetoArrivals(0.01, alpha=1.2)):
+        for gap in draw(process, 5_000, seed=9):
+            assert math.isfinite(gap) and gap >= 0.0
+
+
+# ----------------------------------------------------------------------
+# determinism: same seed, same stream; picklable specs
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("process", [
+    PoissonArrivals(0.005),
+    make_process("mmpp", 0.005, burst_ratio=4.0),
+    ParetoArrivals(0.005, alpha=1.5),
+], ids=["poisson", "mmpp", "pareto"])
+def test_streams_are_seed_deterministic(process):
+    assert draw(process, 1_000, seed=42) == draw(process, 1_000,
+                                                 seed=42)
+    assert draw(process, 1_000, seed=42) != draw(process, 1_000,
+                                                 seed=43)
+
+
+def test_specs_pickle_roundtrip():
+    import pickle
+    for process in (PoissonArrivals(0.005),
+                    make_process("mmpp", 0.005),
+                    ParetoArrivals(0.005, alpha=1.7)):
+        clone = pickle.loads(pickle.dumps(process))
+        assert clone == process
+        assert draw(clone, 100, seed=5) == draw(process, 100, seed=5)

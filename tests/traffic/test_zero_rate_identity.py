@@ -1,0 +1,82 @@
+"""The zero-rate invariant: null open traffic is bit-identical to the
+closed loop.
+
+Mirror of ``tests/faults/test_zero_fault_identity.py``: merely building
+the benchmark through :func:`repro.traffic.engine.build_open_system`
+with a rate-zero arrival process must change *nothing* — same samples,
+same packet log, same busy accounting, same kernel counters as the
+seed ``build_conversation_system`` path, because the null source
+attaches no tasks, schedules no events, and draws no randomness.
+"""
+
+import pytest
+
+from repro.kernel.workload import build_conversation_system
+from repro.models.params import Architecture, Mode
+from repro.traffic.arrivals import (MMPPArrivals, ParetoArrivals,
+                                    PoissonArrivals)
+from repro.traffic.engine import build_open_system
+
+HORIZON = 400_000.0
+
+
+def snapshot(system, meter):
+    """Everything observable about a finished run."""
+    return {
+        "signature": meter.signature(),
+        "packets": [(p.source, p.destination, p.kind, p.sent_at,
+                     p.status) for p in system.wire.packets],
+        "busy": {name: {proc.name: (proc.stats.busy_time,
+                                    dict(proc.stats.busy_by_label))
+                        for proc in node.processors.everything}
+                 for name, node in system.nodes.items()},
+        "kernel": {name: (node.kernel.stats.sends,
+                          node.kernel.stats.replies,
+                          node.kernel.stats.remote_requests_in)
+                   for name, node in system.nodes.items()},
+        "tasks": sorted(system.all_task_names()),
+        "events": system.sim.events_processed,
+    }
+
+
+def run_closed(architecture, mode):
+    system, meter = build_conversation_system(
+        architecture, mode, 2, 500.0, seed=0)
+    system.run_for(HORIZON)
+    return snapshot(system, meter)
+
+
+def run_open_null(architecture, mode, process):
+    bench = build_open_system(
+        architecture, mode, process, servers=2, mean_compute=500.0,
+        seed=0, closed_conversations=2)
+    bench.system.run_for(HORIZON)
+    assert bench.meter.signature() == bench.meter.__class__(
+    ).signature(), "null source must record nothing"
+    return snapshot(bench.system, bench.closed_meter)
+
+
+@pytest.mark.parametrize("mode", [Mode.LOCAL, Mode.NONLOCAL])
+@pytest.mark.parametrize("architecture",
+                         [Architecture.I, Architecture.II,
+                          Architecture.III])
+def test_zero_rate_open_system_is_bit_identical(architecture, mode):
+    baseline = run_closed(architecture, mode)
+    for process in (PoissonArrivals(0.0),
+                    MMPPArrivals(0.0, 0.0, 10.0, 10.0),
+                    ParetoArrivals(0.0, alpha=1.5)):
+        assert run_open_null(architecture, mode, process) == baseline
+
+
+def test_null_source_consumes_no_randomness():
+    """Two null-source builds and one closed build share every RNG
+    draw: the traffic rng is never touched for a null process."""
+    bench = build_open_system(
+        Architecture.II, Mode.LOCAL, PoissonArrivals(0.0), servers=2,
+        seed=0, closed_conversations=2)
+    # the engine's private rng still holds its initial state
+    untouched = bench.source.rng.getstate()
+    import random
+    import zlib
+    assert untouched == random.Random(
+        zlib.crc32(b"traffic") ^ 0).getstate()

@@ -3,6 +3,7 @@
 from repro.validate.metamorphic import (check_conversation_monotonicity,
                                         check_delay_scaling,
                                         check_mc_determinism,
+                                        check_open_arrival_convergence,
                                         check_zero_fault_identity,
                                         run_metamorphic_checks)
 
@@ -11,7 +12,7 @@ def test_all_properties_hold():
     results = run_metamorphic_checks(seed=7)
     assert [r.name for r in results] == [
         "delay-scaling", "zero-fault-identity", "mc-determinism",
-        "conversation-monotonicity"]
+        "conversation-monotonicity", "open-arrival-convergence"]
     failing = [r for r in results if not r.ok]
     assert not failing, [(r.name, r.detail) for r in failing]
 
@@ -34,6 +35,13 @@ def test_monotonicity_detail_names_the_series():
     result = check_conversation_monotonicity()
     assert result.ok
     assert "n=1,2,3" in result.detail
+
+
+def test_open_arrival_convergence_names_tolerances():
+    result = check_open_arrival_convergence(seed=0)
+    assert result.ok, result.detail
+    # the declared tolerances are part of the check's public story
+    assert "0.15" in result.detail and "0.25" in result.detail
 
 
 def test_result_serializes():
