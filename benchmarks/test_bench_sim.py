@@ -1,0 +1,110 @@
+"""Microbenchmark for the fast-lane event calendar itself.
+
+``traffic-million-offered`` measures the whole open-arrival stack;
+this bench isolates the :class:`~repro.kernel.sim.Simulator` so a
+scheduler regression (a stray allocation per event, an accidental
+O(log n) on the zero-delay path) is visible without model noise.  It
+exercises all three lanes in their hot shapes:
+
+* **heap** — self-rescheduling timer chains (the processor-completion
+  pattern), irregular interleaved delays;
+* **now lane** — ``after(0.0)`` wakeup cascades (the event-manager /
+  zero-latency-wire pattern);
+* **runs** — presorted bulk batches via ``post_run`` (the vectorized
+  arrival pattern).
+
+The floor is deliberately ~1/5 of the rate measured on the reference
+machine: it catches a hot-path regression, not machine variance.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.sim import Simulator
+from repro.obs.clock import perf_now
+
+#: Minimum calendar events per wall-clock second (all lanes combined).
+#: The reference box sustains ~1.6M; a slow CI runner still clears 2x.
+MIN_OPS_PER_S = 300_000.0
+
+#: Events per lane per benchmark run.
+LANE_EVENTS = 200_000
+
+
+def _drive_heap_lane(sim: Simulator, chains: int = 16) -> int:
+    """Interleaved self-rescheduling timers: heap push/pop per event."""
+    budget = [LANE_EVENTS]
+
+    def tick(delay):
+        budget[0] -= 1
+        if budget[0] > 0:
+            # an irrational-ish stride keeps the heap order churning
+            sim.after(delay, tick, (delay * 1.618034) % 10.0 + 0.001)
+
+    before = sim.events_processed
+    for chain in range(chains):
+        sim.after(0.618 * (chain + 1), tick, 1.0 + chain * 0.1)
+    sim.run()
+    # the in-flight chain tails run a few events past the budget
+    return sim.events_processed - before
+
+
+def _drive_now_lane(sim: Simulator) -> int:
+    """after(0.0) cascades: deque append/popleft per event."""
+    budget = [LANE_EVENTS]
+
+    def wake():
+        budget[0] -= 1
+        if budget[0] > 0:
+            sim.after(0.0, wake)
+
+    before = sim.events_processed
+    sim.after(0.0, wake)
+    sim.run(max_events=LANE_EVENTS + 1)
+    return sim.events_processed - before
+
+
+def _drive_run_lane(sim: Simulator, chunk: int = 4096) -> int:
+    """Presorted bulk batches: post_run merge-pop per event."""
+    posted = 0
+    base = sim.now
+
+    def noop():
+        pass
+
+    while posted < LANE_EVENTS:
+        count = min(chunk, LANE_EVENTS - posted)
+        times = [base + (posted + i) * 0.25 for i in range(count)]
+        sim.post_run(times, noop)
+        posted += count
+    sim.run()
+    return posted
+
+
+def test_bench_sim_calendar_ops(perf_record):
+    sim = Simulator()
+    lanes = {}
+    total_events = 0
+    started = perf_now()
+    for name, drive in (("heap", _drive_heap_lane),
+                        ("now_lane", _drive_now_lane),
+                        ("run", _drive_run_lane)):
+        lane_started = perf_now()
+        events = drive(sim)
+        lanes[f"{name}_ops_per_s"] = events / (perf_now() - lane_started)
+        total_events += events
+    wall_s = perf_now() - started
+    ops_per_s = total_events / wall_s
+
+    perf_record(
+        bench="sim-calendar-ops",
+        events_processed=sim.events_processed,
+        wall_s=wall_s,
+        ops_per_s=ops_per_s,
+        min_ops_per_s=MIN_OPS_PER_S,
+        **lanes,
+    )
+    assert sim.events_processed == total_events
+    assert sim.pending_events == 0
+    assert ops_per_s >= MIN_OPS_PER_S, \
+        f"calendar regressed to {ops_per_s:.0f} events/s " \
+        f"(floor {MIN_OPS_PER_S:.0f})"

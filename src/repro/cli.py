@@ -529,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--warmup", type=float, default=100_000.0,
                            metavar="US",
                            help="warmup before the measured window")
+    p_traffic.add_argument(
+        "--save", metavar="DIR",
+        help="directory for --profile output (default: working "
+             "directory)")
     p_traffic.set_defaults(fn=_cmd_traffic)
 
     p_stats = sub.add_parser(

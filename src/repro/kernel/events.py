@@ -70,6 +70,16 @@ class _DeviceRegistration:
     handler: Callable[["InterruptContext"], None]
     service_name: str
     interrupts: int = 0
+    # busy-ledger labels, built once so per-interrupt submissions do
+    # not rebuild (and re-hash) f-strings
+    handler_label: str = ""
+    activate_label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.handler_label:
+            self.handler_label = f"interrupt handler ({self.device})"
+        if not self.activate_label:
+            self.activate_label = f"activate ({self.device})"
 
 
 class InterruptContext:
@@ -120,20 +130,34 @@ class EventManager:
         for event in events:
             if event.fired:
                 wait.satisfied = True
-                self.node.sim.after(0.0, lambda e=event: on_event(e))
+                self.node.sim.after(0.0, on_event, event)
                 return
         self._waits.append(wait)
 
     def fire(self, event: Event, value: object = None) -> None:
-        """Fire an event, waking every group that contains it."""
+        """Fire an event, waking every group that contains it.
+
+        Single linear sweep: satisfied waits are compacted out as the
+        scan passes them, so firing into *n* waiting groups is O(n)
+        total — not the O(n²) copy-and-remove this once did.  Wakeups
+        are deferred through ``after(0.0, ...)``, so no user code runs
+        while the wait list is being rebuilt.
+        """
         event.fire(value)
-        for wait in list(self._waits):
-            if wait.satisfied or event not in wait.events:
+        waits = self._waits
+        if not waits:
+            return
+        after = self.node.sim.after
+        kept = []
+        for wait in waits:
+            if wait.satisfied:
                 continue
-            wait.satisfied = True
-            self._waits.remove(wait)
-            self.node.sim.after(0.0, lambda w=wait, e=event:
-                                w.on_event(e))
+            if event in wait.events:
+                wait.satisfied = True
+                after(0.0, wait.on_event, event)
+            else:
+                kept.append(wait)
+        self._waits = kept
 
     def send_completion_event(self, message: Message) -> Event:
         """An event firing when *message*'s reply arrives.
@@ -190,7 +214,7 @@ class EventManager:
         self.node.processors.host.submit(
             HANDLER_COST_US,
             lambda: registration.handler(context),
-            label=f"interrupt handler ({device})", urgent=True)
+            label=registration.handler_label, urgent=True)
 
     def _activate(self, registration: _DeviceRegistration,
                   payload: object) -> None:
@@ -201,7 +225,7 @@ class EventManager:
                 registration.service_name,
                 sender=f"{registration.device}-handler",
                 payload=payload),
-            label=f"activate ({registration.device})", urgent=True)
+            label=registration.activate_label, urgent=True)
 
     def interrupt_count(self, device: str) -> int:
         registration = self._devices.get(device)

@@ -22,6 +22,8 @@ implementation" side of the Figure 6.15 validation.
 
 from __future__ import annotations
 
+import sys
+
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -38,7 +40,7 @@ if TYPE_CHECKING:   # pragma: no cover - import cycle guard
     from repro.kernel.node import Node
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingReply:
     """Client-side record of an outstanding remote invocation."""
 
@@ -49,7 +51,7 @@ class _PendingReply:
     sent_at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelStats:
     """Node-wide IPC counters."""
 
@@ -75,6 +77,9 @@ class IPCKernel:
         #: msg_ids failed by the transport; replies arriving for them
         #: afterwards are discarded instead of raising
         self._failed_conversations: set[int] = set()
+        #: interned per-task busy-ledger labels, built once per task so
+        #: compute() does not rebuild (and re-hash) an f-string per call
+        self._compute_labels: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # service management
@@ -445,8 +450,11 @@ class IPCKernel:
         if duration < 0:
             raise KernelError("negative compute time")
         task.stats.compute_time += duration
-        self.node.processors.host.submit(duration, on_done,
-                                         label=f"compute {task.name}")
+        label = self._compute_labels.get(task.name)
+        if label is None:
+            label = sys.intern(f"compute {task.name}")
+            self._compute_labels[task.name] = label
+        self.node.processors.host.submit(duration, on_done, label=label)
 
     def memory_move(self, task: Task, memory_ref: MemoryReference,
                     size: int, write: bool,

@@ -28,7 +28,7 @@ class AccessRight(enum.Flag):
     COPY = enum.auto()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryReference:
     """A pointer into the granting task's address space.
 
@@ -62,7 +62,7 @@ class MessageKind(enum.Enum):
     REPLY = "reply"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A fixed-size 925 message addressed to a service."""
 

@@ -18,13 +18,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import obs
 from repro.errors import KernelError
 from repro.kernel.sim import Simulator
+from repro.obs import current as _obs_current
 from repro.obs.metrics import BusyLedger, busy_fraction
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkItem:
     """One unit of processor work."""
 
@@ -119,8 +119,8 @@ class Processor:
             item = queue.popleft()
             self._active += 1
             self.stats.queue_wait_time += self.sim.now - item.enqueued_at
-            self.sim.after(item.duration,
-                           lambda item=item: self._complete(item))
+            # arg-passing schedule: no per-item closure on the hot path
+            self.sim.after(item.duration, self._complete, item)
 
     def _complete(self, item: WorkItem) -> None:
         self._active -= 1
@@ -130,7 +130,7 @@ class Processor:
             self.stats.ledger.charge(item.label, item.duration)
         if item.urgent:
             self.stats.urgent_items += 1
-        recorder = obs.current()
+        recorder = _obs_current()
         if recorder is not None:
             # the same completion feeds both accountings, so summing
             # trace durations per (processor, label) reconciles with

@@ -1,70 +1,276 @@
-"""Discrete-event simulation core for the kernel simulator."""
+"""Discrete-event simulation core for the kernel simulator.
+
+The :class:`Simulator` is a fast-lane event calendar built for the
+open-arrival traffic runs (millions of events per run, see
+``benchmarks/test_bench_traffic.py``).  Three lanes feed one global
+``(time, seq)`` order:
+
+* **heap** — an indexed binary heap of slotted event *records*
+  (5-slot lists ``[time, seq, func, arg, state]``).  Records carry an
+  optional call argument so hot callers never build a per-event
+  closure, and retired records go back on a bounded free list.
+* **now lane** — a FIFO deque for ``after(0.0, ...)``.  Zero-delay
+  wakeups (event-manager notifications, task restarts, zero-latency
+  wires) are the most common schedule in a kernel run; their times are
+  nondecreasing by construction (time only moves forward), so a deque
+  preserves their order without paying heap traffic.
+* **sorted runs** — presorted bulk batches from :meth:`post_run`
+  (vectorized arrival chunks).  A run holds one shared callback and a
+  contiguous block of sequence numbers, and is merged against the
+  other lanes at pop time.
+
+Every lane is compared on the exact ``(time, seq)`` key, so the
+execution order is bit-identical to pushing each event through a
+single heap — the lanes are a mechanical optimisation, not a
+semantics change.
+
+Cancellation is lazy: :meth:`at_cancellable` returns the record itself
+as a token, :meth:`cancel` marks it dead, and the drain loop discards
+dead records when they surface.  Cancellable records are *pinned*
+(never recycled), so a stale token can never alias a reused record.
+"""
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable
+import math
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable, Sequence
 
 from repro.errors import KernelError
 
+#: Sentinel meaning "invoke the action with no argument".
+_NO_ARG = object()
+
+# Event-record states (slot 4 of a record).
+_DEAD = 0      # executed or cancelled; skipped if still queued
+_POOLED = 1    # live; record returns to the free list after execution
+_PINNED = 2    # live with an exposed cancellation token; never reused
+
+#: Free-list bound: absorbs the in-flight records of a busy run
+#: without the pool itself ever becoming a memory liability.
+_FREE_LIST_MAX = 4096
+
+_INF = math.inf
+
+#: Type of a cancellation token (the event record itself).
+EventHandle = list
+
 
 class Simulator:
-    """A minimal event-calendar simulator (times in microseconds)."""
+    """A fast event-calendar simulator (times in microseconds)."""
+
+    __slots__ = ("now", "events_processed", "_heap", "_lane", "_runs",
+                 "_free", "_sequence", "_cancelled")
 
     def __init__(self):
         self.now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = 0
         self.events_processed = 0
+        self._heap: list[list] = []
+        self._lane: deque[list] = deque()
+        self._runs: list[list] = []
+        self._free: list[list] = []
+        self._sequence = 0
+        self._cancelled = 0
 
-    def at(self, time: float, action: Callable[[], None]) -> None:
-        """Schedule *action* at absolute simulation time *time*."""
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _new_record(self, time: float, action, arg) -> list:
+        self._sequence = seq = self._sequence + 1
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = time
+            record[1] = seq
+            record[2] = action
+            record[3] = arg
+            record[4] = _POOLED
+            return record
+        return [time, seq, action, arg, _POOLED]
+
+    def at(self, time: float, action: Callable, arg=_NO_ARG) -> None:
+        """Schedule *action* at absolute simulation time *time*.
+
+        *arg*, if given, is passed to *action* when it fires — cheaper
+        than capturing it in a closure on hot paths.
+        """
         if time < self.now:
             raise KernelError(
                 f"cannot schedule in the past ({time} < {self.now})")
-        self._sequence += 1
-        heapq.heappush(self._queue, (time, self._sequence, action))
+        heappush(self._heap, self._new_record(time, action, arg))
 
-    def after(self, delay: float, action: Callable[[], None]) -> None:
-        """Schedule *action* after *delay* microseconds."""
+    def after(self, delay: float, action: Callable, arg=_NO_ARG) -> None:
+        """Schedule *action* after *delay* microseconds.
+
+        ``delay == 0.0`` takes the now lane: FIFO among zero-delay
+        events, globally ordered by the same ``(time, seq)`` key.
+        """
+        if delay == 0.0:
+            self._lane.append(self._new_record(self.now, action, arg))
+            return
         if delay < 0:
             raise KernelError(f"negative delay {delay}")
-        self.at(self.now + delay, action)
+        time = self.now + delay
+        heappush(self._heap, self._new_record(time, action, arg))
+
+    def at_cancellable(self, time: float, action: Callable,
+                       arg=_NO_ARG) -> EventHandle:
+        """Schedule *action* and return a token for :meth:`cancel`.
+
+        The token stays valid forever: a pinned record is never
+        recycled, so cancelling after the event ran (or was already
+        cancelled) is a safe no-op returning ``False``.
+        """
+        if time < self.now:
+            raise KernelError(
+                f"cannot schedule in the past ({time} < {self.now})")
+        self._sequence = seq = self._sequence + 1
+        record = [time, seq, action, arg, _PINNED]
+        heappush(self._heap, record)
+        return record
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event scheduled via :meth:`at_cancellable`.
+
+        Returns ``True`` if the event was still pending; ``False`` if
+        it already ran or was already cancelled.  Cancellation is lazy:
+        the record is marked dead and discarded when it surfaces.
+        """
+        if handle[4] != _PINNED:
+            return False
+        handle[4] = _DEAD
+        handle[2] = handle[3] = None
+        self._cancelled += 1
+        return True
+
+    def post_run(self, times: Sequence[float], action: Callable) -> int:
+        """Bulk-insert a presorted batch of events sharing *action*.
+
+        *times* must be nondecreasing and start at or after ``now``.
+        The batch gets a contiguous block of sequence numbers, so it
+        interleaves with individually scheduled events exactly as if
+        each time had been passed to :meth:`at` in order — at a
+        fraction of the cost (no per-event heap traffic; the run is
+        merged against the heap head at pop time).  Returns the number
+        of events posted.
+        """
+        times = list(times)
+        count = len(times)
+        if not count:
+            return 0
+        if times[0] < self.now:
+            raise KernelError(
+                f"cannot schedule in the past ({times[0]} < {self.now})")
+        if times != sorted(times):    # timsort: O(n) on sorted input
+            raise KernelError("post_run times must be nondecreasing")
+        seq0 = self._sequence + 1
+        self._sequence += count
+        # run record: [times, next_index, seq_of_index_0, func, count]
+        self._runs.append([times, 0, seq0, action, count])
+        return count
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def _drain(self, horizon: float, max_events: int) -> None:
+        """Execute events with ``time <= horizon`` in global order."""
+        heap = self._heap
+        lane = self._lane
+        runs = self._runs
+        free = self._free
+        processed = 0
+        try:
+            while True:
+                # -- pick the earliest lane by (time, seq) ------------
+                if heap:
+                    head = heap[0]
+                    if not head[4]:         # lazily drop cancelled
+                        heappop(heap)
+                        self._cancelled -= 1
+                        continue
+                    best_time = head[0]
+                    best_seq = head[1]
+                    source = 1
+                else:
+                    head = None
+                    best_time = _INF
+                    best_seq = 0
+                    source = 0
+                if lane:
+                    record = lane[0]
+                    time = record[0]
+                    if time < best_time or (time == best_time
+                                            and record[1] < best_seq):
+                        best_time = time
+                        best_seq = record[1]
+                        source = 2
+                run = None
+                if runs:
+                    for candidate in runs:
+                        index = candidate[1]
+                        time = candidate[0][index]
+                        seq = candidate[2] + index
+                        if time < best_time or (time == best_time
+                                                and seq < best_seq):
+                            best_time = time
+                            best_seq = seq
+                            source = 3
+                            run = candidate
+                if not source or best_time > horizon:
+                    break
+                if processed >= max_events:
+                    if horizon == _INF:
+                        raise KernelError(
+                            f"more than {max_events} events; "
+                            "runaway simulation?")
+                    raise KernelError(
+                        f"more than {max_events} events before "
+                        f"t={horizon}; runaway simulation?")
+                processed += 1
+                self.now = best_time
+                if source == 3:
+                    index = run[1] + 1
+                    if index == run[4]:
+                        runs.remove(run)
+                    else:
+                        run[1] = index
+                    run[3]()
+                    continue
+                if source == 1:
+                    heappop(heap)
+                else:
+                    record = lane.popleft()
+                    head = record
+                func = head[2]
+                arg = head[3]
+                if head[4] == _POOLED:
+                    head[2] = head[3] = None
+                    head[4] = _DEAD
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(head)
+                else:
+                    head[4] = _DEAD
+                if arg is _NO_ARG:
+                    func()
+                else:
+                    func(arg)
+        finally:
+            self.events_processed += processed
 
     def run_until(self, time: float, max_events: int = 50_000_000) -> None:
         """Process events in time order up to and including *time*."""
-        # hot loop: queue/heappop bound to locals (open-arrival runs
-        # push this past 10^6 events; see benchmarks/test_bench_traffic)
-        processed = 0
-        queue = self._queue
-        pop = heapq.heappop
-        while queue and queue[0][0] <= time:
-            event_time, _seq, action = pop(queue)
-            self.now = event_time
-            action()
-            processed += 1
-            if processed > max_events:
-                raise KernelError(
-                    f"more than {max_events} events before t={time}; "
-                    "runaway simulation?")
-        self.events_processed += processed
-        self.now = max(self.now, time)
+        self._drain(time, max_events)
+        if time > self.now:
+            self.now = time
 
     def run(self, max_events: int = 50_000_000) -> None:
         """Process every scheduled event (the calendar must drain)."""
-        processed = 0
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            event_time, _seq, action = pop(queue)
-            self.now = event_time
-            action()
-            processed += 1
-            if processed > max_events:
-                raise KernelError(
-                    f"more than {max_events} events; runaway simulation?")
-        self.events_processed += processed
+        self._drain(_INF, max_events)
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        pending = (len(self._heap) + len(self._lane) - self._cancelled)
+        for run in self._runs:
+            pending += run[4] - run[1]
+        return pending

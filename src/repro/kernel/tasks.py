@@ -28,7 +28,7 @@ _VALID_TRANSITIONS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskStats:
     """Per-task counters maintained by the kernel."""
 
@@ -42,7 +42,7 @@ class TaskStats:
     stopped_time: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """A unit of execution bound to one node (static assignment,
     section 4.2.3)."""

@@ -67,7 +67,12 @@ class ExecutionTrace:
 
 
 class TraceRecorder:
-    """Installs work-item observers on a node's processors."""
+    """Installs work-item observers on a node's processors.
+
+    Attach before submitting work: the processor binds its completion
+    callback when an item *starts*, so items already in service when
+    the recorder attaches complete unobserved.
+    """
 
     def __init__(self, node: Node):
         self.node = node

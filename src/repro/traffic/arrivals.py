@@ -51,6 +51,20 @@ class ArrivalProcess:
     def stream(self, rng: random.Random) -> Iterator[float]:
         raise NotImplementedError
 
+    def sample_gaps(self, rng: random.Random,
+                    n: int) -> list[float] | None:
+        """Draw *n* interarrival gaps as one batch, or ``None``.
+
+        A batch-capable (stateless) process returns a list of *n* gaps
+        drawn from *rng* **bit-identically** to *n* ``next()`` calls on
+        a fresh :meth:`stream` over the same *rng* — same draws, same
+        order, same float arithmetic (the engine's chunked hot path
+        depends on this; ``tests/traffic/test_arrivals.py`` pins it).
+        Stateful processes (MMPP's modulating chain) return ``None``
+        and the engine falls back to slicing one persistent stream.
+        """
+        return None
+
     @property
     def mean_rate_per_us(self) -> float:
         """Long-run mean arrivals per microsecond."""
@@ -78,6 +92,13 @@ class PoissonArrivals(ArrivalProcess):
         rate = self.rate_per_us
         while True:
             yield rng.expovariate(rate) if rate > 0.0 else math.inf
+
+    def sample_gaps(self, rng: random.Random, n: int) -> list[float]:
+        rate = self.rate_per_us
+        if rate <= 0.0:
+            return [math.inf] * n
+        expovariate = rng.expovariate
+        return [expovariate(rate) for _ in range(n)]
 
     @property
     def mean_rate_per_us(self) -> float:
@@ -183,6 +204,12 @@ class ParetoArrivals(ArrivalProcess):
         scale, inv_alpha = self.scale_us, 1.0 / self.alpha
         while True:
             yield scale * (1.0 - rng.random()) ** -inv_alpha
+
+    def sample_gaps(self, rng: random.Random, n: int) -> list[float]:
+        scale, inv_alpha = self.scale_us, 1.0 / self.alpha
+        random_ = rng.random
+        return [scale * (1.0 - random_()) ** -inv_alpha
+                for _ in range(n)]
 
     @property
     def mean_rate_per_us(self) -> float:

@@ -46,11 +46,15 @@ built from the same seed (``tests/traffic/test_zero_rate_identity``).
 
 from __future__ import annotations
 
+import math
 import random
 import zlib
 from dataclasses import dataclass, field
 from collections import deque
+from itertools import islice
 from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
 
 from repro import config, obs
 from repro.errors import TrafficError
@@ -77,6 +81,18 @@ POLICY_NAMES = ("drop", "reject", "backpressure")
 #: fault planner), keeping arrival draws out of the server streams.
 TRAFFIC_SEED_SALT = zlib.crc32(b"traffic")
 
+#: Arrivals pregenerated per batch.  Gaps are drawn in one go, summed
+#: into absolute timestamps with ``np.cumsum`` (sequential, so the
+#: result is bit-identical to the one-at-a-time ``now + gap`` walk the
+#: engine used to do) and bulk-posted as a presorted run — one
+#: ``Simulator.post_run`` per chunk instead of one ``at()`` per
+#: message.
+ARRIVAL_CHUNK = 4096
+
+#: Bound on the recycled-message pool (admitted messages only; the
+#: overload drop path allocates nothing at all).
+_MESSAGE_POOL_MAX = 1024
+
 
 def check_policy(policy: str) -> str:
     if policy not in POLICY_NAMES:
@@ -86,13 +102,18 @@ def check_policy(policy: str) -> str:
     return policy
 
 
-@dataclass
 class _OpenMessage:
-    """One offered message while it is alive inside the engine."""
+    """One offered message while it is alive inside the engine.
 
-    client_id: int
-    arrived_at: float
-    dispatched_at: float = 0.0
+    Slotted and pooled: the engine recycles completed records, so the
+    steady-state run allocates no per-message objects."""
+
+    __slots__ = ("client_id", "arrived_at", "dispatched_at")
+
+    def __init__(self, client_id: int, arrived_at: float):
+        self.client_id = client_id
+        self.arrived_at = arrived_at
+        self.dispatched_at = 0.0
 
 
 class OpenTrafficSource:
@@ -136,10 +157,20 @@ class OpenTrafficSource:
         self._free: list[Task] = []
         self._ingress: deque[_OpenMessage] = deque()
         self._overflow: deque[_OpenMessage] = deque()
+        self._message_pool: list[_OpenMessage] = []
         self._next_client = 0
         self._examining = 0
         self.tail_drops = 0
         self.in_flight = 0
+        # chunked-arrival state (see _post_chunk)
+        self._batched = False
+        self._last_time = 0.0
+        self._chunk_remaining = 0
+        self._exhausted = False
+        # admission costs, precomputed at attach
+        self._drop_cost = 0.0
+        self._reject_cost = 0.0
+        self._defer_cost = 0.0
 
     # ------------------------------------------------------------------
     # wiring
@@ -157,51 +188,97 @@ class OpenTrafficSource:
         self._meter = meter
         self._free = [client_node.create_task(f"open{i}")
                       for i in range(self.pool_size)]
-        self._stream = self.process.stream(self.rng)
-        self._schedule_next()
+        costs = client_node.default_costs
+        self._drop_cost = costs.match
+        self._reject_cost = costs.match + costs.process_reply
+        self._defer_cost = costs.match
+        # a zero-length probe draws nothing: it only asks the process
+        # whether it can batch (stateless) or needs a persistent
+        # stream (MMPP's modulating chain)
+        self._batched = self.process.sample_gaps(self.rng, 0) is not None
+        if not self._batched:
+            self._stream = self.process.stream(self.rng)
+        self._last_time = client_node.sim.now
+        self._post_chunk()
 
-    def _schedule_next(self) -> None:
-        sim = self._node.sim
-        at = sim.now + next(self._stream)
-        if at > self.horizon_us:
+    def _post_chunk(self) -> None:
+        """Pregenerate up to ``ARRIVAL_CHUNK`` arrivals and bulk-post
+        them as one presorted run.
+
+        The gap draws come from the identical per-draw arithmetic the
+        streaming path used (``sample_gaps`` is pinned bit-identical
+        to ``stream``), and ``np.cumsum`` accumulates them exactly
+        like the old ``now + gap`` walk, so the arrival timestamps are
+        reproduced bit-for-bit.  Drawing a few gaps past the horizon
+        is harmless: the traffic RNG feeds nothing else.
+        """
+        if self._batched:
+            gaps = self.process.sample_gaps(self.rng, ARRIVAL_CHUNK)
+        else:
+            gaps = list(islice(self._stream, ARRIVAL_CHUNK))
+        times = np.empty(len(gaps) + 1)
+        times[0] = self._last_time
+        times[1:] = gaps
+        np.cumsum(times, out=times)
+        arrivals = times[1:]
+        cut = int(np.searchsorted(arrivals, self.horizon_us,
+                                  side="right"))
+        if cut < len(arrivals):
+            self._exhausted = True
+        if cut == 0:
             return
-        sim.at(at, self._arrive)
+        self._last_time = float(arrivals[cut - 1])
+        self._chunk_remaining = cut
+        self._node.sim.post_run(arrivals[:cut].tolist(), self._arrive)
+
+    def _new_message(self, client_id: int,
+                     arrived_at: float) -> _OpenMessage:
+        pool = self._message_pool
+        if pool:
+            message = pool.pop()
+            message.client_id = client_id
+            message.arrived_at = arrived_at
+            message.dispatched_at = 0.0
+            return message
+        return _OpenMessage(client_id, arrived_at)
 
     # ------------------------------------------------------------------
     # arrival + admission
     # ------------------------------------------------------------------
     def _arrive(self) -> None:
         now = self._node.sim.now
-        message = _OpenMessage(client_id=self._next_client,
-                               arrived_at=now)
-        self._next_client = (self._next_client + 1) % self.population
-        self._meter.record_offered(now)
+        client = self._next_client
+        self._next_client = (client + 1) % self.population
+        meter = self._meter
+        meter.record_offered(now)
         if self._free:
-            self._meter.record_dispatched(now)
-            self._dispatch(message)
+            meter.record_dispatched(now)
+            self._dispatch(self._new_message(client, now))
         elif len(self._ingress) < self.queue_limit:
-            self._meter.record_queued(now)
-            self._ingress.append(message)
+            meter.record_queued(now)
+            self._ingress.append(self._new_message(client, now))
         else:
-            self._refuse(message)
-        self._schedule_next()
-
-    def _refuse(self, message: _OpenMessage) -> None:
-        """Apply the admission policy to a message that found the
-        ingress queue full, charging the MP for looking at it."""
-        costs = self._node.default_costs
-        arrived = message.arrived_at
-        if self.policy == "drop":
-            self._charge_examination(costs.match, "admission drop (MP)")
-            self._meter.record_dropped(arrived)
-        elif self.policy == "reject":
-            self._charge_examination(costs.match + costs.process_reply,
-                                     "admission reject (MP)")
-            self._meter.record_rejected(arrived)
-        else:   # backpressure
-            self._charge_examination(costs.match, "admission defer (MP)")
-            self._meter.record_deferred(arrived)
-            self._overflow.append(message)
+            # refusal: charge the MP for examining the message it is
+            # about to turn away (costs precomputed at attach); the
+            # drop path allocates no message object at all
+            policy = self.policy
+            if policy == "drop":
+                self._charge_examination(self._drop_cost,
+                                         "admission drop (MP)")
+                meter.record_dropped(now)
+            elif policy == "reject":
+                self._charge_examination(self._reject_cost,
+                                         "admission reject (MP)")
+                meter.record_rejected(now)
+            else:   # backpressure
+                self._charge_examination(self._defer_cost,
+                                         "admission defer (MP)")
+                meter.record_deferred(now)
+                self._overflow.append(self._new_message(client, now))
+        remaining = self._chunk_remaining - 1
+        self._chunk_remaining = remaining
+        if not remaining and not self._exhausted:
+            self._post_chunk()
 
     def _charge_examination(self, duration: float, label: str) -> None:
         """Charge the MP for examining a refused message — unless its
@@ -241,6 +318,8 @@ class OpenTrafficSource:
         else:
             self._meter.record_completion(
                 message.arrived_at, message.dispatched_at, now)
+        if len(self._message_pool) < _MESSAGE_POOL_MAX:
+            self._message_pool.append(message)
         self._free.append(worker)
         if self._ingress:
             self._dispatch(self._ingress.popleft())

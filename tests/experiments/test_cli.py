@@ -127,6 +127,23 @@ def test_profile_defaults_to_cwd(tmp_path, capsys, monkeypatch):
     assert (tmp_path / "table-5.1.profile.txt").exists()
 
 
+def test_profile_works_on_traffic_point_runs(tmp_path, capsys):
+    """`repro --profile traffic` profiles the open-arrival point and
+    honours the traffic subcommand's --save directory."""
+    assert main(["--profile", "--duration", "50000",
+                 "traffic", "--arch", "II", "--load", "0.5",
+                 "--warmup", "0", "--save", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    prof = tmp_path / "traffic-point.prof"
+    summary = tmp_path / "traffic-point.profile.txt"
+    assert prof.exists() and summary.exists()
+    import pstats
+    pstats.Stats(str(prof))
+    # the profile covers the DES hot loop, not just CLI plumbing
+    assert "_drain" in summary.read_text()
+
+
 def test_validate_quick_end_to_end(tmp_path, capsys):
     """The acceptance gate: `repro validate --quick` agrees on every
     configuration, writes a parity report, and that report validates."""

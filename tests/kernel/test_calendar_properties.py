@@ -1,0 +1,199 @@
+"""Property suite: the fast-lane calendar vs a reference heapq model.
+
+The :class:`~repro.kernel.sim.Simulator` splits its calendar across
+three lanes (indexed heap, zero-delay deque, presorted bulk runs) as a
+mechanical optimisation.  These properties pin the contract that makes
+that split invisible: whatever mix of ``at`` / ``after`` /
+``after(0.0)`` / ``at_cancellable`` / ``post_run`` / ``cancel`` /
+``run_until`` a caller throws at it, execution order, ``now``
+advancement, ``pending_events`` and ``events_processed`` match a
+single naive heap ordered by ``(time, seq)``.
+
+Times are drawn from a tiny grid so same-instant ties (the interesting
+case — FIFO stability across lanes) occur constantly.
+"""
+
+from heapq import heappop, heappush
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernel.sim import Simulator
+
+# a coarse grid makes ties and zero gaps frequent
+DELTAS = st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0, 5.0])
+
+
+class ReferenceCalendar:
+    """The obviously-correct model: one heap, (time, seq) order."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.log = []
+        self.processed = 0
+        self._heap = []
+        self._seq = 0
+        self._cancelled = set()
+
+    def schedule(self, time, ident):
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, ident))
+
+    def cancel(self, ident):
+        self._cancelled.add(ident)
+
+    def run_until(self, horizon):
+        while self._heap and self._heap[0][0] <= horizon:
+            time, _seq, ident = heappop(self._heap)
+            if ident in self._cancelled:
+                continue
+            self.now = time
+            self.log.append(ident)
+            self.processed += 1
+        self.now = max(self.now, horizon)
+
+    @property
+    def pending(self):
+        return sum(1 for _t, _s, ident in self._heap
+                   if ident not in self._cancelled)
+
+
+def op_lists():
+    """Randomised schedules: each op applies to both calendars."""
+    op = st.one_of(
+        st.tuples(st.just("at"), DELTAS),
+        st.tuples(st.just("after"), DELTAS),
+        st.just(("after0",)),
+        st.tuples(st.just("cancellable"), DELTAS),
+        st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        st.tuples(st.just("run"),
+                  st.lists(DELTAS, min_size=0, max_size=6)),
+        st.tuples(st.just("advance"), DELTAS),
+    )
+    return st.lists(op, min_size=1, max_size=40)
+
+
+def apply_ops(ops):
+    """Drive a Simulator and the reference model identically.
+
+    ``post_run`` shares one callback across its batch, so batch events
+    log a negative marker (one per run) while individually scheduled
+    events log their positive ident."""
+    sim = Simulator()
+    model = ReferenceCalendar()
+    log = []
+    handles = []
+    ident = 0
+
+    for operation in ops:
+        kind = operation[0]
+        if kind == "at":
+            ident += 1
+            time = sim.now + operation[1]
+            sim.at(time, log.append, ident)
+            model.schedule(time, ident)
+        elif kind == "after":
+            ident += 1
+            sim.after(operation[1], log.append, ident)
+            model.schedule(sim.now + operation[1], ident)
+        elif kind == "after0":
+            ident += 1
+            sim.after(0.0, log.append, ident)
+            model.schedule(sim.now, ident)
+        elif kind == "cancellable":
+            ident += 1
+            time = sim.now + operation[1]
+            handles.append((sim.at_cancellable(time, log.append, ident),
+                            ident))
+            model.schedule(time, ident)
+        elif kind == "cancel":
+            if handles:
+                handle, handle_ident = \
+                    handles[operation[1] % len(handles)]
+                if sim.cancel(handle):
+                    model.cancel(handle_ident)
+        elif kind == "run":
+            ident += 1
+            marker = -ident     # negative: a batch event of run #ident
+            times, acc = [], sim.now
+            for delta in operation[1]:
+                acc += delta
+                times.append(acc)
+            sim.post_run(times, lambda m=marker: log.append(m))
+            for time in times:
+                model.schedule(time, marker)
+        elif kind == "advance":
+            horizon = sim.now + operation[1]
+            sim.run_until(horizon)
+            model.run_until(horizon)
+            assert sim.now == model.now
+            assert sim.pending_events == model.pending
+            assert log == model.log
+    sim.run()
+    model.run_until(float("inf"))
+    assert log == model.log
+    assert sim.pending_events == 0 == model.pending
+    assert sim.events_processed == model.processed
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=op_lists())
+def test_calendar_matches_reference_model(ops):
+    apply_ops(ops)
+
+
+@settings(max_examples=100, deadline=None)
+@given(zero_delays=st.lists(st.booleans(), min_size=1, max_size=20))
+def test_same_instant_fifo_across_lanes(zero_delays):
+    """Events landing at one instant run in schedule order no matter
+    which lane each took (heap via at(now), deque via after(0.0))."""
+    sim = Simulator()
+    order = []
+
+    def kickoff():
+        for index, use_lane in enumerate(zero_delays):
+            if use_lane:
+                sim.after(0.0, order.append, index)
+            else:
+                sim.at(sim.now, order.append, index)
+
+    sim.at(1.0, kickoff)
+    sim.run()
+    assert order == list(range(len(zero_delays)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(deltas=st.lists(DELTAS, min_size=1, max_size=15),
+       horizon=DELTAS)
+def test_pending_events_accounting(deltas, horizon):
+    sim = Simulator()
+    times = []
+    acc = 0.0
+    for delta in deltas:
+        acc += delta
+        times.append(acc)
+    for time in times:
+        sim.at(time, lambda: None)
+    assert sim.pending_events == len(times)
+    sim.run_until(horizon)
+    expected_left = sum(1 for t in times if t > horizon)
+    assert sim.pending_events == expected_left
+    assert sim.events_processed == len(times) - expected_left
+
+
+@given(offset=DELTAS)
+@settings(max_examples=30, deadline=None)
+def test_past_scheduling_rejected_from_any_now(offset):
+    sim = Simulator()
+    sim.at(5.0 + offset, lambda: None)
+    sim.run()
+    assert sim.now == 5.0 + offset
+    for schedule in (lambda: sim.at(sim.now - 0.5, lambda: None),
+                     lambda: sim.at_cancellable(sim.now - 0.5,
+                                                lambda: None),
+                     lambda: sim.post_run([sim.now - 0.5],
+                                          lambda: None)):
+        with pytest.raises(KernelError):
+            schedule()

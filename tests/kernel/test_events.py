@@ -55,6 +55,44 @@ class TestEventGroups:
         with pytest.raises(KernelError):
             node.events.fire(a)
 
+    def test_many_waiters_all_wake_in_wait_order(self):
+        """Firing into a large wait list wakes every matching group in
+        registration order with one linear sweep (regression for the
+        old copy-and-remove sweep, which was O(n^2) and would time
+        this test out long before n grows interesting)."""
+        system, node = make_node()
+        shared = Event(kind="shared")
+        woken = []
+        n = 2_000
+        for i in range(n):
+            task = node.create_task(f"w{i}")
+            other = Event(kind=f"other{i}")
+            node.events.wait_any(
+                task, [shared, other],
+                lambda _e, i=i: woken.append(i))
+        node.events.fire(shared)
+        system.sim.run()
+        assert woken == list(range(n))
+        assert node.events._waits == []
+
+    def test_fire_keeps_unrelated_waiters_registered(self):
+        system, node = make_node()
+        hit, miss = Event(kind="hit"), Event(kind="miss")
+        got = []
+        waiting = node.create_task("waiting")
+        bystander = node.create_task("bystander")
+        node.events.wait_any(waiting, [hit],
+                             lambda e: got.append(("hit", e)))
+        node.events.wait_any(bystander, [miss],
+                             lambda e: got.append(("miss", e)))
+        node.events.fire(hit)
+        system.sim.run()
+        assert got == [("hit", hit)]
+        assert len(node.events._waits) == 1
+        node.events.fire(miss)
+        system.sim.run()
+        assert got == [("hit", hit), ("miss", miss)]
+
     def test_empty_group_rejected(self):
         _system, node = make_node()
         task = node.create_task("t")

@@ -69,6 +69,154 @@ class TestSimulator:
         with pytest.raises(KernelError):
             sim.run_until(1.0, max_events=100)
 
+    def test_max_events_allows_exactly_max_events(self):
+        """The guard trips on the (max+1)-th event, so exactly
+        max_events run — not max_events + 1."""
+        sim = Simulator()
+        hits = []
+        for i in range(4):
+            sim.at(float(i), lambda i=i: hits.append(i))
+        with pytest.raises(KernelError):
+            sim.run(max_events=3)
+        assert hits == [0, 1, 2]
+        assert sim.events_processed == 3
+
+    def test_exact_event_budget_does_not_trip(self):
+        sim = Simulator()
+        hits = []
+        for i in range(3):
+            sim.at(float(i), lambda i=i: hits.append(i))
+        sim.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_events_processed_survives_raising_action(self):
+        """A KernelError out of an action must not lose the count of
+        events that already ran."""
+        sim = Simulator()
+
+        def boom():
+            raise KernelError("boom")
+
+        sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        sim.at(3.0, boom)
+        with pytest.raises(KernelError, match="boom"):
+            sim.run()
+        assert sim.events_processed == 3
+
+    def test_action_argument_passed_without_closure(self):
+        sim = Simulator()
+        got = []
+        sim.at(1.0, got.append, "x")
+        sim.after(1.0, got.append, "y")
+        sim.after(0.0, got.append, "z")
+        sim.run()
+        assert got == ["z", "x", "y"]
+
+    def test_now_lane_interleaves_with_heap_in_seq_order(self):
+        """after(0.0) events and at(now) events at the same instant
+        run in schedule order, whichever lane they took."""
+        sim = Simulator()
+        order = []
+
+        def kickoff():
+            sim.at(sim.now, lambda: order.append("heap1"))
+            sim.after(0.0, lambda: order.append("lane1"))
+            sim.at(sim.now, lambda: order.append("heap2"))
+            sim.after(0.0, lambda: order.append("lane2"))
+
+        sim.at(5.0, kickoff)
+        sim.run()
+        assert order == ["heap1", "lane1", "heap2", "lane2"]
+
+    def test_now_lane_runs_before_later_heap_events(self):
+        sim = Simulator()
+        order = []
+        sim.at(1.0, lambda: sim.after(0.0, lambda: order.append("wake")))
+        sim.at(2.0, lambda: order.append("later"))
+        sim.run()
+        assert order == ["wake", "later"]
+
+    def test_cancel_pending_event(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.at_cancellable(5.0, lambda: hits.append("cancelled"))
+        sim.at(6.0, lambda: hits.append("kept"))
+        assert sim.pending_events == 2
+        assert sim.cancel(handle) is True
+        assert sim.pending_events == 1
+        sim.run()
+        assert hits == ["kept"]
+        assert sim.events_processed == 1
+
+    def test_cancel_is_idempotent_and_safe_after_run(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.at_cancellable(1.0, lambda: hits.append(1))
+        assert sim.cancel(handle) is True
+        assert sim.cancel(handle) is False
+        sim.run()
+        ran = sim.at_cancellable(2.0, lambda: hits.append(2))
+        sim.run()
+        assert sim.cancel(ran) is False      # already executed
+        assert hits == [2]
+
+    def test_cancellable_event_runs_when_not_cancelled(self):
+        sim = Simulator()
+        hits = []
+        sim.at_cancellable(3.0, hits.append, "ran")
+        sim.run()
+        assert hits == ["ran"]
+
+    def test_post_run_bulk_insert_merges_with_heap(self):
+        sim = Simulator()
+        order = []
+        count = sim.post_run([1.0, 3.0, 5.0],
+                             lambda: order.append(("run", sim.now)))
+        assert count == 3
+        sim.at(2.0, lambda: order.append(("at", sim.now)))
+        sim.after(4.0, lambda: order.append(("after", sim.now)))
+        assert sim.pending_events == 5
+        sim.run()
+        assert order == [("run", 1.0), ("at", 2.0), ("run", 3.0),
+                         ("after", 4.0), ("run", 5.0)]
+        assert sim.pending_events == 0
+
+    def test_post_run_ties_follow_posting_order(self):
+        """A run posted before an at() at the same instant keeps its
+        earlier sequence numbers, and vice versa."""
+        sim = Simulator()
+        order = []
+        sim.post_run([1.0, 2.0], lambda: order.append("first"))
+        sim.at(1.0, lambda: order.append("second"))
+        sim.post_run([2.0], lambda: order.append("third"))
+        sim.run()
+        assert order == ["first", "second", "first", "third"]
+
+    def test_post_run_rejects_unsorted_and_past_times(self):
+        sim = Simulator()
+        with pytest.raises(KernelError):
+            sim.post_run([2.0, 1.0], lambda: None)
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(KernelError):
+            sim.post_run([1.0, 2.0], lambda: None)
+
+    def test_post_run_empty_batch_is_noop(self):
+        sim = Simulator()
+        assert sim.post_run([], lambda: None) == 0
+        assert sim.pending_events == 0
+
+    def test_run_until_counts_run_events_toward_horizon(self):
+        sim = Simulator()
+        hits = []
+        sim.post_run([1.0, 2.0, 3.0], lambda: hits.append(sim.now))
+        sim.run_until(2.0)
+        assert hits == [1.0, 2.0]
+        assert sim.pending_events == 1
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
 
 class TestProcessor:
     def test_fcfs_order(self):

@@ -117,3 +117,46 @@ def test_specs_pickle_roundtrip():
         clone = pickle.loads(pickle.dumps(process))
         assert clone == process
         assert draw(clone, 100, seed=5) == draw(process, 100, seed=5)
+
+
+# ----------------------------------------------------------------------
+# batch draws (the engine's chunked hot path)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("process", [PoissonArrivals(0.002),
+                                     ParetoArrivals(0.002, alpha=1.5)])
+def test_sample_gaps_bit_identical_to_stream(process):
+    """A batch of n draws is the same floats, in the same order, from
+    the same RNG state as n next() calls on a fresh stream — the
+    contract the engine's vectorized chunking stands on."""
+    batched = process.sample_gaps(random.Random(7), 4096)
+    assert batched == draw(process, 4096, seed=7)
+
+
+@pytest.mark.parametrize("process", [PoissonArrivals(0.002),
+                                     ParetoArrivals(0.002, alpha=1.5)])
+def test_sample_gaps_leaves_rng_in_stream_state(process):
+    """After n draws both paths leave the RNG in the identical state,
+    so batch size never leaks into later draws."""
+    rng_batch, rng_stream = random.Random(7), random.Random(7)
+    process.sample_gaps(rng_batch, 100)
+    stream = process.stream(rng_stream)
+    for _ in range(100):
+        next(stream)
+    assert rng_batch.getstate() == rng_stream.getstate()
+
+
+def test_sample_gaps_empty_probe_draws_nothing():
+    """The engine's zero-length capability probe must not consume
+    randomness."""
+    rng = random.Random(3)
+    before = rng.getstate()
+    assert PoissonArrivals(0.002).sample_gaps(rng, 0) == []
+    assert rng.getstate() == before
+
+
+def test_mmpp_is_not_batchable():
+    """The modulating chain is stateful across draws, so MMPP opts out
+    and the engine slices its persistent stream instead."""
+    assert make_process("mmpp", 0.002).sample_gaps(
+        random.Random(1), 8) is None
