@@ -27,7 +27,7 @@ from repro.models import Architecture, build_local_net
 from repro.models.solve import _solve_cached
 from repro.obs.clock import perf_now
 from repro.perf import AnalysisCache, set_cache_enabled
-from repro.perf.pool import last_map_info
+from repro.perf.backends import last_map_info
 
 #: Required wall-clock improvement of the winning fast path.
 MIN_SPEEDUP = 1.5

@@ -11,12 +11,22 @@ registered experiment:
     result.obs_summary["counters"]
 
 Keyword arguments mirror the CLI flags exactly (``seed`` ↔ ``--seed``,
-``jobs`` ↔ ``--jobs``, ``cache=False`` ↔ ``--no-cache``) and are
-applied through scoped :func:`repro.config.overrides`, so the run sees
-the same precedence as a CLI invocation and nothing leaks afterwards.
-``fault_plan`` installs a default :class:`~repro.faults.plan.FaultPlan`
-every kernel-simulator system in the run is built under — the chaos
-CLI path is just a plan plus an experiment id.
+``jobs`` ↔ ``--jobs``, ``cache=False`` ↔ ``--no-cache``, ``backend`` ↔
+``--backend``) and are applied through scoped
+:func:`repro.config.overrides`, so the run sees the same precedence as
+a CLI invocation and nothing leaks afterwards.  ``fault_plan``
+installs a default :class:`~repro.faults.plan.FaultPlan` every
+kernel-simulator system in the run is built under — the chaos CLI path
+is just a plan plus an experiment id.
+
+Since the experiment service landed, ``run_experiment`` is literally
+``submit_experiment(...).result()`` through the service's **inline
+lane**: the run executes synchronously in the calling thread (same
+stack traces, same profiling, same obs bit-identity as ever) while
+:func:`submit_experiment` exposes the asynchronous side — a
+:class:`~repro.service.jobs.JobHandle` with ``poll`` / ``result`` /
+``stream_events``, request coalescing, and the content-addressed
+result store (:mod:`repro.service`).
 
 ``trace=PATH`` records the run with :mod:`repro.obs` and writes both
 exports: a Chrome-trace JSON at *PATH* and the versioned JSONL stream
@@ -31,6 +41,7 @@ emits a :class:`DeprecationWarning` and delegates here.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -67,7 +78,9 @@ class ExperimentResult:
         return self.artifact.render()
 
 
-_extras_stack: list[dict] = []
+# Per-thread so service worker threads and the caller's inline runs
+# never cross-attach extras.
+_extras_local = threading.local()
 
 
 def attach_extra(name: str, value: Any) -> None:
@@ -81,8 +94,9 @@ def attach_extra(name: str, value: Any) -> None:
     widening the ``runner() -> Artifact`` contract every experiment
     shares.  Outside a :func:`run_experiment` call this is a no-op.
     """
-    if _extras_stack:
-        _extras_stack[-1][name] = value
+    stack = getattr(_extras_local, "stack", None)
+    if stack:
+        stack[-1][name] = value
 
 
 def _artifact_values(artifact) -> Any:
@@ -134,26 +148,15 @@ def run_traced(label: str, fn: Callable[[], Any], *,
     return value, summary, (str(chrome_path), str(jsonl_path))
 
 
-def run_experiment(experiment_id: str, *, seed: int | None = None,
-                   jobs: int | None = None, cache: bool | None = None,
+def _run_overrides(*, seed: int | None = None, jobs: int | None = None,
+                   cache: bool | None = None, backend: str | None = None,
                    fault_plan=None, duration: float | None = None,
                    arrival_rate: float | None = None,
                    deadline: float | None = None,
-                   queue_limit: int | None = None,
-                   trace: str | Path | None = None) -> ExperimentResult:
-    """Run one registered experiment with scoped configuration.
-
-    ``seed``/``jobs``/``cache`` default to ``None`` = "whatever the
-    surrounding CLI/env configuration says"; a non-``None`` value takes
-    CLI precedence for this run only.  ``fault_plan`` makes every
-    kernel-simulator system in the run honour the plan (chaos through
-    the front door).  ``duration``/``arrival_rate``/``deadline``/
-    ``queue_limit`` are the open-arrival traffic knobs (↔
-    ``--duration`` etc.), honoured by the ``traffic-*`` experiments.
-    ``trace`` writes the Chrome-trace + JSONL pair.
-    """
-    from repro.experiments.registry import get_experiment
-    experiment = get_experiment(experiment_id)
+                   queue_limit: int | None = None) -> dict:
+    """Normalise front-door keywords into :func:`config.overrides`
+    keywords, dropping every ``None`` ("whatever the surrounding
+    configuration says")."""
     kwargs: dict = {}
     if seed is not None:
         kwargs["seed"] = seed
@@ -161,6 +164,8 @@ def run_experiment(experiment_id: str, *, seed: int | None = None,
         kwargs["jobs"] = jobs
     if cache is not None:
         kwargs["cache_enabled"] = cache
+    if backend is not None:
+        kwargs["backend"] = backend
     if fault_plan is not None:
         kwargs["fault_plan"] = fault_plan
     if duration is not None:
@@ -171,17 +176,35 @@ def run_experiment(experiment_id: str, *, seed: int | None = None,
         kwargs["deadline"] = deadline
     if queue_limit is not None:
         kwargs["queue_limit"] = queue_limit
-    with config.overrides(**kwargs):
+    return kwargs
+
+
+def _execute_run(experiment_id: str, run_kwargs: dict,
+                 trace: str | Path | None = None) -> ExperimentResult:
+    """Execute one experiment under scoped configuration — the core
+    both lanes of the service share.
+
+    *run_kwargs* are :func:`config.overrides` keywords (the shape
+    :func:`_run_overrides` produces).  This is the only place an
+    experiment actually runs; everything above it — queueing,
+    coalescing, the result store — is routing.
+    """
+    from repro.experiments.registry import get_experiment
+    experiment = get_experiment(experiment_id)
+    with config.overrides(**run_kwargs):
         snapshot = config.resolved_config().as_dict()
         started = perf_now()
         extras: dict = {}
-        _extras_stack.append(extras)
+        stack = getattr(_extras_local, "stack", None)
+        if stack is None:
+            stack = _extras_local.stack = []
+        stack.append(extras)
         try:
             artifact, summary, trace_paths = run_traced(
                 f"experiment:{experiment_id}", experiment.run,
                 trace=trace)
         finally:
-            _extras_stack.pop()
+            stack.pop()
         elapsed = perf_now() - started
     return ExperimentResult(
         experiment_id=experiment_id, kind=experiment.kind,
@@ -189,3 +212,68 @@ def run_experiment(experiment_id: str, *, seed: int | None = None,
         values=_artifact_values(artifact), config=snapshot,
         elapsed_s=elapsed, obs_summary=summary,
         trace_paths=trace_paths, extras=extras)
+
+
+def run_experiment(experiment_id: str, *, seed: int | None = None,
+                   jobs: int | None = None, cache: bool | None = None,
+                   backend: str | None = None, fault_plan=None,
+                   duration: float | None = None,
+                   arrival_rate: float | None = None,
+                   deadline: float | None = None,
+                   queue_limit: int | None = None,
+                   trace: str | Path | None = None) -> ExperimentResult:
+    """Run one registered experiment with scoped configuration.
+
+    ``seed``/``jobs``/``cache``/``backend`` default to ``None`` =
+    "whatever the surrounding CLI/env configuration says"; a
+    non-``None`` value takes CLI precedence for this run only.
+    ``fault_plan`` makes every kernel-simulator system in the run
+    honour the plan (chaos through the front door).  ``duration``/
+    ``arrival_rate``/``deadline``/``queue_limit`` are the open-arrival
+    traffic knobs (↔ ``--duration`` etc.), honoured by the
+    ``traffic-*`` experiments.  ``trace`` writes the Chrome-trace +
+    JSONL pair.
+
+    Equivalent to ``submit_experiment(...).result()`` through the
+    service's inline lane: synchronous, in this thread, bypassing the
+    queue, coalescing, and the result store.
+    """
+    from repro.service import default_service
+    handle = default_service().submit(
+        experiment_id, lane="inline", trace=trace,
+        **_run_overrides(seed=seed, jobs=jobs, cache=cache,
+                         backend=backend, fault_plan=fault_plan,
+                         duration=duration, arrival_rate=arrival_rate,
+                         deadline=deadline, queue_limit=queue_limit))
+    return handle.result()
+
+
+def submit_experiment(experiment_id: str, *, tenant: str = "default",
+                      service=None, seed: int | None = None,
+                      jobs: int | None = None, cache: bool | None = None,
+                      backend: str | None = None, fault_plan=None,
+                      duration: float | None = None,
+                      arrival_rate: float | None = None,
+                      deadline: float | None = None,
+                      queue_limit: int | None = None,
+                      trace: str | Path | None = None):
+    """Submit one experiment to the service; returns a
+    :class:`~repro.service.jobs.JobHandle` immediately.
+
+    The asynchronous sibling of :func:`run_experiment` (same keywords,
+    same semantics once the job runs): the submission goes through the
+    default :class:`~repro.service.ExperimentService` — admission
+    control, request coalescing, the content-addressed result store —
+    and the handle exposes ``poll()`` / ``result(timeout)`` /
+    ``stream_events()``.  Pass ``service=`` to target a specific
+    service instance, ``tenant=`` to attribute the work under
+    per-tenant admission quotas.
+    """
+    from repro.service import default_service
+    svc = service if service is not None else default_service()
+    return svc.submit(
+        experiment_id, tenant=tenant, trace=trace,
+        **_run_overrides(seed=seed, jobs=jobs, cache=cache,
+                         backend=backend, fault_plan=fault_plan,
+                         duration=duration, arrival_rate=arrival_rate,
+                         deadline=deadline, queue_limit=queue_limit))

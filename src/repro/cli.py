@@ -15,11 +15,18 @@ Usage::
     python -m repro solve --arch II --mode local -n 4 -x 2850
     python -m repro validate --quick
     python -m repro validate --rebaseline
+    python -m repro --backend sharded --jobs 4 run figure-6.18
+    python -m repro serve figure-6.7 table-5.1 --repeat 3 --stats
 
 ``--jobs N`` fans the grid points of sweep experiments out over N
-worker processes (``REPRO_JOBS`` sets the same default); ``--no-cache``
-disables the content-addressed analysis cache (``REPRO_CACHE_DIR``
-enables its on-disk tier).  Neither flag changes any computed value.
+worker processes (``REPRO_JOBS`` sets the same default); ``--backend``
+picks the executor family those workers run under (``serial`` /
+``local`` / ``sharded``, see :mod:`repro.perf.backends`);
+``--no-cache`` disables the content-addressed analysis cache
+(``REPRO_CACHE_DIR`` enables its on-disk tier).  None of these flags
+changes any computed value.  ``repro serve`` drives the async
+experiment service (:mod:`repro.service`): submissions queue, twins
+coalesce, and repeats answer from the content-addressed result store.
 ``--seed N`` sets the default seed of every stochastic component
 (``REPRO_SEED`` sets the same default); runs are deterministic either
 way, the seed just selects which deterministic run.  Flag/env/default
@@ -271,6 +278,52 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the experiment service: submit ids (with repeats) through
+    the async queue, report per-job outcomes, optionally dump stats."""
+    from repro.service import ExperimentService, ResultStore
+    store = ResultStore(directory=args.store) \
+        if args.store is not None else None
+    service = ExperimentService(workers=args.workers,
+                                queue_depth=args.queue_depth,
+                                policy=args.policy, store=store)
+    try:
+        handles = []
+        rejected = 0
+        for round_index in range(args.repeat):
+            for experiment_id in args.ids:
+                try:
+                    handles.append(api.submit_experiment(
+                        experiment_id, service=service))
+                except ReproError as error:
+                    rejected += 1
+                    print(f"rejected   {experiment_id:<22} {error}",
+                          file=sys.stderr)
+        failures = 0
+        for handle in handles:
+            try:
+                result = handle.result(timeout=args.timeout)
+            except ReproError as error:
+                failures += 1
+                print(f"{handle.job_id:<10} "
+                      f"{handle.experiment_id:<22} FAILED  {error}",
+                      file=sys.stderr)
+                continue
+            how = "store-hit" if handle.store_hit else \
+                "coalesced" if handle.coalesced else "executed"
+            print(f"{handle.job_id:<10} {handle.experiment_id:<22} "
+                  f"{handle.poll().value:<8} {how:<10} "
+                  f"{result.elapsed_s:.2f}s")
+        service.drain(timeout=args.timeout)
+        if args.stats:
+            print("\nservice stats:")
+            for key, value in service.stats().items():
+                print(f"  {key:<16} {value}")
+        return 1 if failures or rejected else 0
+    finally:
+        service.shutdown(wait=True)
+
+
 def _cmd_scoreboard(_args: argparse.Namespace) -> int:
     from repro.experiments.scoreboard import run_scoreboard
     table = run_scoreboard()
@@ -376,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the content-addressed GTPN analysis cache")
+    parser.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="sweep executor backend: serial, local, or sharded "
+             "(default: REPRO_BACKEND or local); results are "
+             "identical on any backend")
     parser.add_argument(
         "--seed", type=int, default=None, metavar="N",
         help="default seed for every stochastic component (default: "
@@ -535,6 +593,39 @@ def build_parser() -> argparse.ArgumentParser:
              "directory)")
     p_traffic.set_defaults(fn=_cmd_traffic)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run experiments through the async experiment service "
+             "(job queue, coalescing, result store; repro.service)")
+    p_serve.add_argument("ids", nargs="+",
+                         help="experiment ids to submit")
+    p_serve.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="submit the id list N times (duplicates exercise "
+             "coalescing and the result store; default 1)")
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="service worker threads (default 2; executions are "
+             "serialised, workers overlap queueing and bookkeeping)")
+    p_serve.add_argument(
+        "--policy", choices=["drop", "reject", "backpressure"],
+        default="backpressure",
+        help="admission policy at a full queue (default backpressure)")
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="bounded job-queue depth (default 64)")
+    p_serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="result-store disk tier (default: REPRO_RESULT_DIR or "
+             "memory-only)")
+    p_serve.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="per-job result timeout in seconds (default 600)")
+    p_serve.add_argument(
+        "--stats", action="store_true",
+        help="print the service stats snapshot after the queue drains")
+    p_serve.set_defaults(fn=_cmd_serve)
+
     p_stats = sub.add_parser(
         "stats",
         help="summarise a recorded JSONL trace (top spans, counters, "
@@ -557,6 +648,11 @@ def main(argv: list[str] | None = None) -> int:
         config.set_jobs(args.jobs)
     if args.no_cache:
         config.set_cache_enabled(False)
+    if args.backend is not None:
+        try:
+            config.set_backend(args.backend)
+        except ReproError as error:
+            parser.error(str(error))
     if args.seed is not None:
         config.set_seed(args.seed)
     if args.reduction is not None:

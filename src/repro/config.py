@@ -11,6 +11,8 @@ seed             ``--seed N``        ``REPRO_SEED``     per-component
 analysis cache   ``--no-cache``      ``REPRO_NO_CACHE`` enabled
 cache directory  (none)              ``REPRO_CACHE_DIR``  memory-only
 state reduction  ``--reduction M``   ``REPRO_REDUCTION``  ``none``
+executor backend ``--backend B``     ``REPRO_BACKEND``  ``local``
+result store     (none)              ``REPRO_RESULT_DIR``  memory-only
 traffic window   ``--duration US``   ``REPRO_DURATION`` per-experiment
 arrival rate     ``--arrival-rate R``  ``REPRO_ARRIVAL_RATE``  per-exp.
 deadline         ``--deadline US``   ``REPRO_DEADLINE`` none
@@ -23,7 +25,7 @@ per-message deadline, and the bounded MP ingress queue length) default
 to *unset*: each open-arrival entry point keeps its own documented
 default, and a set knob overrides all of them at once.
 
-The historical entry points (:func:`repro.perf.pool.set_default_jobs`,
+The historical entry points (:func:`repro.perf.backends.set_default_jobs`,
 :func:`repro.seeding.set_default_seed`,
 :func:`repro.perf.cache.set_cache_enabled`) delegate to the setters
 below, so precedence lives in exactly one place; error behaviour is
@@ -240,6 +242,59 @@ def _resolve_reduction() -> tuple[str, str]:
 
 
 # ----------------------------------------------------------------------
+# executor backend (see repro.perf.backends)
+# ----------------------------------------------------------------------
+
+#: Recognized sweep-executor backends.  ``serial`` runs every sweep
+#: in-process, ``local`` is the persistent primed process pool, and
+#: ``sharded`` adds per-worker chunk shards with work stealing.  The
+#: choice never changes computed values — only wall-clock time and
+#: scheduling (the bit-identity contract of ``repro.perf.backends``).
+VALID_BACKENDS = ("serial", "local", "sharded")
+
+_cli_backend: str | None = None
+
+
+def normalize_backend(value, source: str = "backend") -> str:
+    """Canonical backend name, or :class:`ConfigError` for junk."""
+    name = str(value).strip().lower()
+    if name not in VALID_BACKENDS:
+        raise ConfigError(
+            f"{source} must be one of {', '.join(VALID_BACKENDS)}, "
+            f"got {value!r}")
+    return name
+
+
+def set_backend(name: str | None) -> None:
+    """Install the CLI executor backend (``None`` reverts to
+    env/default)."""
+    global _cli_backend
+    _cli_backend = None if name is None \
+        else normalize_backend(name, "backend")
+
+
+def backend() -> str:
+    """Resolved backend: CLI > ``REPRO_BACKEND`` > ``"local"``."""
+    return _resolve_backend()[0]
+
+
+def _resolve_backend() -> tuple[str, str]:
+    if _cli_backend is not None:
+        return _cli_backend, "cli"
+    env = os.environ.get("REPRO_BACKEND", "")
+    if env.strip():
+        return normalize_backend(env, "REPRO_BACKEND"), "env"
+    return "local", "default"
+
+
+def result_dir() -> str | None:
+    """The experiment-service result-store directory
+    (``REPRO_RESULT_DIR``), if any — the on-disk tier that lets
+    service results survive restarts and be shared across processes."""
+    return os.environ.get("REPRO_RESULT_DIR") or None
+
+
+# ----------------------------------------------------------------------
 # open-arrival traffic knobs (see repro.traffic)
 # ----------------------------------------------------------------------
 
@@ -339,12 +394,13 @@ def default_fault_plan():
 def reset() -> None:
     """Drop every CLI-level override (tests and fresh CLI entry)."""
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
-    global _cli_reduction
+    global _cli_reduction, _cli_backend
     _cli_jobs = None
     _cli_seed = None
     _cli_cache_enabled = None
     _default_fault_plan = None
     _cli_reduction = None
+    _cli_backend = None
     for name in _cli_traffic:
         _cli_traffic[name] = None
 
@@ -355,8 +411,8 @@ def reset() -> None:
 
 @contextmanager
 def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
-              fault_plan=_UNSET, reduction=_UNSET, duration=_UNSET,
-              arrival_rate=_UNSET, deadline=_UNSET,
+              fault_plan=_UNSET, reduction=_UNSET, backend=_UNSET,
+              duration=_UNSET, arrival_rate=_UNSET, deadline=_UNSET,
               queue_limit=_UNSET):
     """Apply CLI-level settings for one block, restoring on exit.
 
@@ -367,9 +423,10 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
     installed by the CLI.
     """
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
-    global _cli_reduction
+    global _cli_reduction, _cli_backend
     saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
-             _default_fault_plan, _cli_reduction, dict(_cli_traffic))
+             _default_fault_plan, _cli_reduction, _cli_backend,
+             dict(_cli_traffic))
     try:
         if jobs is not _UNSET:
             set_jobs(jobs)
@@ -381,6 +438,8 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
             set_default_fault_plan(fault_plan)
         if reduction is not _UNSET:
             set_reduction(reduction)
+        if backend is not _UNSET:
+            set_backend(backend)
         if duration is not _UNSET:
             set_duration(duration)
         if arrival_rate is not _UNSET:
@@ -392,7 +451,8 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
         yield
     finally:
         (_cli_jobs, _cli_seed, _cli_cache_enabled,
-         _default_fault_plan, _cli_reduction, traffic_saved) = saved
+         _default_fault_plan, _cli_reduction, _cli_backend,
+         traffic_saved) = saved
         _cli_traffic.update(traffic_saved)
 
 
@@ -417,6 +477,9 @@ class ResolvedConfig:
     fault_plan: str | None      # repr of the active default plan
     reduction: str = "none"
     reduction_source: str = "default"
+    backend: str = "local"
+    backend_source: str = "default"
+    result_dir: str | None = None
     duration_us: float | None = None
     duration_source: str = "default"
     arrival_rate_per_ms: float | None = None
@@ -436,6 +499,7 @@ def resolved_config() -> ResolvedConfig:
     seed_value, seed_source = _resolve_seed()
     cache_on, cache_source = _resolve_cache()
     reduction_mode, reduction_source = _resolve_reduction()
+    backend_name, backend_source = _resolve_backend()
     duration_us, duration_source = _resolve_traffic_knob("duration")
     rate_per_ms, rate_source = _resolve_traffic_knob("arrival_rate")
     deadline_us, deadline_source = _resolve_traffic_knob("deadline")
@@ -448,6 +512,8 @@ def resolved_config() -> ResolvedConfig:
         cache_dir=cache_dir(),
         fault_plan=repr(plan) if plan is not None else None,
         reduction=reduction_mode, reduction_source=reduction_source,
+        backend=backend_name, backend_source=backend_source,
+        result_dir=result_dir(),
         duration_us=duration_us, duration_source=duration_source,
         arrival_rate_per_ms=rate_per_ms,
         arrival_rate_source=rate_source,

@@ -73,3 +73,24 @@ class ConfigError(ReproError, ValueError):
     Also a :class:`ValueError` so argument-validation call sites keep
     their historical contract.
     """
+
+
+class ServiceError(ReproError):
+    """Experiment-service failure (job queue, result store, handles)."""
+
+
+class AdmissionError(ServiceError):
+    """A submission was refused or shed by the service admission tier.
+
+    ``policy`` says which policy fired — ``"reject"`` raises at
+    :meth:`~repro.service.ExperimentService.submit` time, ``"drop"``
+    surfaces later from :meth:`~repro.service.jobs.JobHandle.result`
+    on the silently-shed handle.  ``tenant`` is the submitting tenant,
+    so multi-tenant callers can attribute the shed work.
+    """
+
+    def __init__(self, message: str, *, policy: str = "reject",
+                 tenant: str = "default"):
+        self.policy = policy
+        self.tenant = tenant
+        super().__init__(message)

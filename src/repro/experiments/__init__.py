@@ -7,7 +7,11 @@ renderable :class:`Table`/:class:`Figure`.
 
 from repro.experiments.registry import (REGISTRY, Experiment,
                                         all_experiment_ids,
-                                        get_experiment, run_experiment)
+                                        get_experiment,
+                                        register_experiment,
+                                        run_experiment,
+                                        temporary_experiment,
+                                        unregister_experiment)
 from repro.experiments.reporting import Figure, Series, Table
 
 __all__ = [
@@ -18,5 +22,8 @@ __all__ = [
     "Table",
     "all_experiment_ids",
     "get_experiment",
+    "register_experiment",
     "run_experiment",
+    "temporary_experiment",
+    "unregister_experiment",
 ]

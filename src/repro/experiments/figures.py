@@ -6,7 +6,7 @@ parameters to trim them for quick runs — the benchmark harness records
 the full defaults.
 
 Every grid is a sweep of independent exact solves, so each generator
-fans its points out through :func:`repro.perf.pool.map_sweep`
+fans its points out through :func:`repro.perf.backends.map_sweep`
 (``jobs=None`` follows the CLI ``--jobs`` / ``REPRO_JOBS`` default,
 serial unless configured; the pool plans each sweep and falls back to
 serial when fan-out cannot pay off).  Points return in input order and
@@ -24,7 +24,7 @@ from repro.kernel import (build_conversation_system,
 from repro.models import (Architecture, Mode, solve, solve_grid,
                           solve_nonlocal, solve_offered_load_grid,
                           server_time_for_offered_load)
-from repro.perf.pool import map_sweep
+from repro.perf.backends import map_sweep
 
 #: The offered loads swept in the "realistic workload" figures.
 DEFAULT_LOADS = (0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Union
@@ -158,6 +159,38 @@ def _experiments() -> list[Experiment]:
 
 REGISTRY: dict[str, Experiment] = {
     e.experiment_id: e for e in _experiments()}
+
+
+def register_experiment(experiment: Experiment) -> None:
+    """Install (or replace) an experiment under its id.
+
+    The extension seam for runners the core does not ship — service
+    and coalescing tests register tiny synthetic experiments rather
+    than paying for real chapter-6 grids.  Most callers want the
+    scoped :func:`temporary_experiment` instead.
+    """
+    REGISTRY[experiment.experiment_id] = experiment
+
+
+def unregister_experiment(experiment_id: str) -> None:
+    """Remove an experiment registered with
+    :func:`register_experiment` (missing ids are ignored)."""
+    REGISTRY.pop(experiment_id, None)
+
+
+@contextmanager
+def temporary_experiment(experiment: Experiment):
+    """Register *experiment* for the duration of a ``with`` block,
+    restoring whatever (if anything) previously held its id."""
+    previous = REGISTRY.get(experiment.experiment_id)
+    register_experiment(experiment)
+    try:
+        yield experiment
+    finally:
+        if previous is not None:
+            REGISTRY[experiment.experiment_id] = previous
+        else:
+            REGISTRY.pop(experiment.experiment_id, None)
 
 
 def get_experiment(experiment_id: str) -> Experiment:

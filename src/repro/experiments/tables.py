@@ -210,7 +210,7 @@ def offered_loads_table(mode: Mode, *, jobs: int | None = None) -> Table:
     table fan out through the parallel sweep executor (``jobs=None``
     follows the CLI ``--jobs`` / ``REPRO_JOBS`` default; four points
     is below the pool's fan-out threshold, so it runs serially and
-    says so in :func:`repro.perf.pool.last_map_info`).  Each solve
+    says so in :func:`repro.perf.backends.last_map_info`).  Each solve
     shares cached reachability skeletons with the figure sweeps
     through the structure-keyed analysis cache.
     """

@@ -6,7 +6,7 @@ rate degrade as the packet loss rate rises, per architecture.  Every
 run is deterministic given its seed, so a degradation curve is a
 reproducible artifact like any thesis figure.
 
-The sweep fans out over :func:`repro.perf.pool.map_sweep`, the same
+The sweep fans out over :func:`repro.perf.backends.map_sweep`, the same
 persistent process pool the figure pipelines use (``--jobs`` /
 ``REPRO_JOBS``); results are identical at any job count.  Chaos points
 are kernel-simulator runs, not GTPN solves, so the structure-sharing
@@ -27,7 +27,7 @@ from repro.faults.schedule import NodeOutage, PacketFaultSpec
 from repro.kernel.metrics import emit_busy_events
 from repro.kernel.workload import build_conversation_system
 from repro.models.params import Architecture, Mode
-from repro.perf.pool import last_map_info, map_sweep
+from repro.perf.backends import last_map_info, map_sweep
 from repro.seeding import resolve_seed
 
 #: Loss rates swept by the registered degradation experiment.

@@ -30,7 +30,7 @@ Entry points:
 
 * :func:`sweep_analyze` — analyze a whole parameter grid, building the
   skeleton once per structure and re-timing per point; fans out over
-  :func:`repro.perf.pool.map_sweep` when worker processes pay off.
+  :func:`repro.perf.backends.map_sweep` when worker processes pay off.
 * :class:`SweepSolver` — the underlying per-structure solver, with
   per-stage timing stats (build / re-time / solve) for the benchmarks.
 * :func:`acquire_graph` — used by :func:`repro.gtpn.analyze` so even
@@ -722,7 +722,7 @@ def sweep_analyze(build, grid: Iterable | None = None, *,
     if not points:
         return []
 
-    from repro.perf.pool import map_sweep, plan_jobs
+    from repro.perf.backends import map_sweep, plan_jobs
     n_jobs, _reason = plan_jobs(len(points), jobs=jobs,
                                 oversubscribe=oversubscribe)
     if n_jobs > 1:

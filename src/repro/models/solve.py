@@ -17,7 +17,7 @@ from repro.models.iterate import NonlocalSolution, solve_nonlocal
 from repro.models.local import build_local_net
 from repro.models.params import (OFFERED_LOAD_SERVER_TIMES_MS,
                                  Architecture, Mode)
-from repro.perf.pool import map_sweep
+from repro.perf.backends import map_sweep
 
 
 @dataclass(frozen=True)
@@ -150,7 +150,7 @@ def solve_grid(points: list[tuple[Architecture, Mode, int, float]], *,
     """Solve many independent operating points, possibly in parallel.
 
     The workhorse of every figure sweep: each point is one exact GTPN
-    solve, fanned out through :func:`repro.perf.pool.map_sweep` with
+    solve, fanned out through :func:`repro.perf.backends.map_sweep` with
     results in input order — values are identical at any job count.
 
     Points of the same architecture share their reachability structure:

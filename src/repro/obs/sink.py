@@ -10,7 +10,7 @@ Records keep their origin pid and per-process-relative timestamps, so
 merged traces show each worker on its own timeline.
 
 The spill directory travels to workers through the pool initializer
-(:mod:`repro.perf.pool` keys its persistent pool on it, so toggling
+(:mod:`repro.perf.backends.local` keys its persistent pool on it, so toggling
 tracing rebuilds the pool); a worker with no spill directory keeps
 tracing disabled and pays nothing.
 """

@@ -1,0 +1,143 @@
+"""Sharded executor: per-worker chunk queues with parent-driven
+work stealing.
+
+:class:`LocalPoolBackend` feeds one shared ``pool.map`` whose chunks
+are claimed first-come-first-served — fine for uniform grids, but a
+sweep whose points vary wildly in cost (big-n architecture points next
+to n=1 points, chaos runs with different horizons) leaves workers idle
+behind one slow chunk queue.  The sharded backend schedules the way a
+work-stealing runtime does, with the parent as the scheduler:
+
+1. The work list is cut into contiguous chunks (input order is
+   preserved inside each chunk, and results are reassembled by index,
+   so values are bit-identical to every other path).
+2. Chunks are dealt into ``n_jobs`` per-shard deques — shard *i* owns
+   a contiguous block, which keeps cache locality for structure-
+   sharing sweeps (neighbouring grid points share a skeleton).
+3. Each shard keeps exactly one chunk in flight.  When a shard's own
+   deque runs dry it **steals from the tail of the longest remaining
+   deque** — the classic steal-from-the-back rule, so the thief takes
+   the work its victim would reach last.
+
+Steals cost nothing when the grid is uniform (every shard drains its
+own deque) and bound the straggler tail when it is not: the sweep ends
+at most one chunk after the last-finishing point, instead of one
+*queue* after.  The number of steals is observable: ``pool.steal``
+counts on the installed recorder and :attr:`ShardedBackend.last_steals`
+for benchmarks.
+
+The worker processes themselves are the same primed, persistent,
+atexit-reaped pool as the local backend (:class:`PersistentPool`); a
+worker death mid-task reaps the pool and raises
+:class:`~repro.perf.backends.base.PoolBrokenError` so the orchestrator
+degrades the sweep to serial with a recorded reason.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.obs import sink
+from repro.perf.backends.base import ExecutorBackend, PoolBrokenError
+from repro.perf.backends.local import PersistentPool, _BrokenPool
+
+
+def _run_chunk(payload: tuple) -> list:
+    """Execute one chunk in a worker; list of results in chunk order."""
+    fn, items, star, base_index, traced = payload
+    if not traced:
+        if star:
+            return [fn(*item) for item in items]
+        return [fn(item) for item in items]
+    results = []
+    for offset, item in enumerate(items):
+        with obs.span("pool.task", index=base_index + offset):
+            results.append(fn(*item) if star else fn(item))
+    sink.flush_current()
+    return results
+
+
+class ShardedBackend(ExecutorBackend):
+    """Process shards with parent-driven work stealing."""
+
+    name = "sharded"
+
+    def __init__(self):
+        self._manager = PersistentPool()
+        #: Steals performed by the most recent sweep (benchmarks).
+        self.last_steals = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shard_chunks(n_items: int, n_jobs: int,
+                      chunksize: int) -> list[deque]:
+        """Deal chunk (start, stop) ranges into contiguous shards."""
+        chunks = [(start, min(start + chunksize, n_items))
+                  for start in range(0, n_items, chunksize)]
+        per_shard = -(-len(chunks) // n_jobs)         # ceil division
+        return [deque(chunks[i * per_shard:(i + 1) * per_shard])
+                for i in range(n_jobs)]
+
+    def _next_chunk(self, shards: list[deque],
+                    shard: int) -> tuple[int, int] | None:
+        """The shard's next chunk, stealing from the longest deque's
+        tail when its own is empty."""
+        if shards[shard]:
+            return shards[shard].popleft()
+        victim = max(range(len(shards)), key=lambda j: len(shards[j]))
+        if shards[victim]:
+            self.last_steals += 1
+            return shards[victim].pop()
+        return None
+
+    def submit_map(self, fn: Callable, work: Sequence, *, n_jobs: int,
+                   star: bool, chunksize: int) -> list:
+        pool = self._manager.get(n_jobs)
+        recorder = obs.current()
+        traced = recorder is not None
+        shards = self._shard_chunks(len(work), n_jobs, chunksize)
+        self.last_steals = 0
+        results: list = [None] * len(work)
+        inflight: dict = {}                  # future -> (shard, start)
+
+        def feed(shard: int) -> None:
+            chunk = self._next_chunk(shards, shard)
+            if chunk is None:
+                return
+            start, stop = chunk
+            future = pool.submit(
+                _run_chunk, (fn, work[start:stop], star, start, traced))
+            inflight[future] = (shard, start)
+
+        try:
+            for shard in range(n_jobs):
+                feed(shard)
+            while inflight:
+                done, _pending = wait(inflight,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard, start = inflight.pop(future)
+                    chunk_results = future.result()
+                    results[start:start + len(chunk_results)] = \
+                        chunk_results
+                    feed(shard)
+        except _BrokenPool as error:
+            self._manager.reap()
+            raise PoolBrokenError(str(error)) from error
+        if self.last_steals:
+            obs.add("pool.steal", self.last_steals)
+        self._manager.merge_trace(recorder)
+        return results
+
+    def shutdown(self) -> None:
+        self._manager.shutdown()
+
+    def describe(self) -> str:
+        state = "live" if self._manager.executor is not None else "idle"
+        return (f"sharded process pool with work stealing ({state}, "
+                f"{self.last_steals} steals last sweep)")

@@ -1,333 +1,55 @@
-"""Parallel sweep executor for grid-shaped analyses.
+"""Deprecated import path for the sweep executor.
 
-:func:`map_sweep` maps a picklable function over a list of independent
-work items, optionally across a persistent
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Results always come
-back in input order, so a sweep produces bit-identical artifacts
-whether it ran serially or fanned out — parallelism only changes
-wall-clock time, never values.
-
-The job count resolves through :mod:`repro.config` (CLI ``--jobs`` >
-``REPRO_JOBS`` > 1); non-positive or non-integer values are rejected
-with :class:`~repro.errors.ConfigError` wherever they come from.
-
-Worker pools only pay off when there is enough work to amortise their
-start-up (fork, imports, cache priming) and per-task IPC.  The
-executor therefore *plans* each sweep (:func:`plan_jobs`): it falls
-back to serial on a single-CPU machine or when the grid offers fewer
-than :data:`MIN_ITEMS_PER_JOB` points per worker, shrinking the worker
-count instead when a smaller pool still clears the threshold.  What it
-decided — mode, reason, worker count, chunk size — is readable
-afterwards via :func:`last_map_info`, which the benchmarks record.
-
-The pool itself is persistent: created once per (worker count, cache
-configuration, trace spill directory) and reused across sweeps, so
-later grids skip process start-up entirely.  Its initializer primes
-each worker with the analysis/sweep imports and the parent's cache
-configuration; when caching is enabled and memory-only, the parent
-first attaches a session-scoped disk tier and flushes what it has
-already solved, so cold workers load shared reachability skeletons
-instead of rebuilding them per point.  Any failure to spawn or feed
-the pool — no fork support, unpicklable work, a broken pool — falls
-back to the serial path rather than erroring, so callers never need to
-special-case degraded environments.
-
-When a recorder is installed (:mod:`repro.obs`), every sweep runs
-under a ``pool.map`` span and each work item under a ``pool.task``
-span — in workers those spans spill to per-pid JSONL files that the
-parent merges back after the sweep (:mod:`repro.obs.sink`), so one
-trace shows per-worker task timing across the whole process tree.
+.. deprecated::
+    The executor grew into a pluggable backend family —
+    :mod:`repro.perf.backends` (``serial`` / ``local`` / ``sharded``
+    behind the frozen
+    :class:`~repro.perf.backends.base.ExecutorBackend` protocol,
+    selected via ``--backend`` / ``REPRO_BACKEND``).  Import
+    ``map_sweep`` / ``plan_jobs`` / ``last_map_info`` /
+    ``shutdown_pool`` from there (or ``repro.perf``); this module
+    re-exports them unchanged, warns once on import, and will be
+    removed after a deprecation cycle.
 """
 
 from __future__ import annotations
 
-import atexit
-import math
-import os
-import pickle
-import shutil
-import tempfile
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+import warnings
 
-from repro import config, obs
-from repro.obs import sink
+from repro.perf.backends import (CHUNK_WAVES,                 # noqa: F401
+                                 MIN_ITEMS_PER_JOB, MapInfo,
+                                 PoolBrokenError, default_jobs,
+                                 get_backend, last_map_info, map_sweep,
+                                 plan_jobs, set_default_jobs,
+                                 shutdown_pool)
 
-T = TypeVar("T")
-R = TypeVar("R")
+warnings.warn(
+    "repro.perf.pool is deprecated; import map_sweep/plan_jobs/"
+    "last_map_info from repro.perf.backends (or repro.perf) instead",
+    DeprecationWarning, stacklevel=2)
 
-#: Below this many grid points per worker, pool start-up + IPC beat the
-#: win from parallelism (BENCH_perf.json showed 0.98x on an 18-point
-#: grid with a fresh pool); the planner shrinks the pool or goes serial.
-MIN_ITEMS_PER_JOB = 4
-
-#: Auto chunking aims for this many chunks per worker: big enough to
-#: amortise per-task pickling, small enough to keep workers balanced.
-CHUNK_WAVES = 4
-
-try:
-    from concurrent.futures.process import BrokenProcessPool as _BrokenPool
-except ImportError:                                    # pragma: no cover
-    class _BrokenPool(RuntimeError):
-        pass
+__all__ = [
+    "CHUNK_WAVES",
+    "MIN_ITEMS_PER_JOB",
+    "MapInfo",
+    "PoolBrokenError",
+    "default_jobs",
+    "get_backend",
+    "last_map_info",
+    "map_sweep",
+    "plan_jobs",
+    "set_default_jobs",
+    "shutdown_pool",
+]
 
 
-_validate_jobs = config.validate_jobs
-
-
-def set_default_jobs(jobs: int | None) -> None:
-    """Set the process-wide default worker count (None = env/serial)."""
-    config.set_jobs(jobs)
-
-
-def default_jobs() -> int:
-    """Resolve the default worker count (explicit > REPRO_JOBS > 1).
-
-    A malformed ``REPRO_JOBS`` raises :class:`ConfigError` instead of
-    being silently coerced: a user who exported it wanted parallelism,
-    and quietly running serial hides the typo.
-    """
-    return config.jobs()
-
-
-# ----------------------------------------------------------------------
-# sweep planning and introspection
-# ----------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class MapInfo:
-    """How the most recent :func:`map_sweep` actually executed."""
-
-    mode: str                   # "serial" | "parallel"
-    reason: str | None          # why serial (None when parallel)
-    jobs_requested: int
-    jobs_used: int
-    items: int
-    chunk_size: int | None      # None on the serial path
-
-    def as_dict(self) -> dict:
-        return {"mode": self.mode, "reason": self.reason,
-                "jobs_requested": self.jobs_requested,
-                "jobs_used": self.jobs_used, "items": self.items,
-                "chunk_size": self.chunk_size}
-
-    def describe(self) -> str:
-        """Human-readable one-liner for report notes and benchmarks."""
-        if self.mode == "serial":
-            return f"sweep ran serially ({self.reason})"
-        return (f"sweep ran on {self.jobs_used} workers, chunk size "
-                f"{self.chunk_size}")
-
-
-_last_map_info: MapInfo | None = None
-
-
-def last_map_info() -> MapInfo | None:
-    """The :class:`MapInfo` of the most recent sweep, if any."""
-    return _last_map_info
-
-
-def plan_jobs(n_items: int, jobs: int | None = None, *,
-              oversubscribe: bool = False) -> tuple[int, str | None]:
-    """Decide how a sweep of *n_items* should execute.
-
-    Returns ``(worker_count, reason)``: 1 worker means serial, and
-    *reason* says why.  ``oversubscribe=True`` skips the single-CPU
-    check (tests exercise the pool protocol on one-core machines).
-    """
-    n_jobs = default_jobs() if jobs is None else _validate_jobs(
-        jobs, "jobs")
-    if n_jobs <= 1:
-        return 1, "serial requested (jobs=1)"
-    if n_items <= 1:
-        return 1, f"{n_items} grid point(s): nothing to fan out"
-    if not oversubscribe and (os.cpu_count() or 1) == 1:
-        return 1, "single CPU: worker processes cannot run concurrently"
-    fitting = n_items // MIN_ITEMS_PER_JOB
-    if fitting <= 1:
-        return 1, (f"{n_items} points across {n_jobs} workers is below "
-                   f"the {MIN_ITEMS_PER_JOB}-points-per-worker "
-                   "threshold")
-    return min(n_jobs, fitting, n_items), None
-
-
-# ----------------------------------------------------------------------
-# the persistent pool
-# ----------------------------------------------------------------------
-
-_pool = None
-_pool_key: tuple | None = None
-_shared_cache_dir: str | None = None
-_parent_spill_dir: str | None = None
-
-
-def _prime_shared_cache() -> tuple[bool, str | None]:
-    """Cache configuration the workers should mirror.
-
-    When caching is enabled but memory-only, attach a session-scoped
-    disk tier to the global cache and flush what the parent already
-    solved — freshly started workers then prime their own caches from
-    disk (shared skeletons, shared payloads) instead of rebuilding
-    per point.
-    """
-    global _shared_cache_dir
-    from repro.perf import cache as _cache
-    if not _cache.cache_enabled():
-        return False, None
-    store = _cache.get_cache()
-    if store.directory is None:
-        if _shared_cache_dir is None:
-            _shared_cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
-            atexit.register(shutil.rmtree, _shared_cache_dir,
-                            ignore_errors=True)
-        store.attach_directory(_shared_cache_dir)
-    return True, str(store.directory)
-
-
-def _trace_spill_dir() -> str | None:
-    """The spill directory workers should report traces into, if any."""
-    global _parent_spill_dir
-    if obs.current() is None:
-        return None
-    if _parent_spill_dir is None:
-        _parent_spill_dir = tempfile.mkdtemp(prefix="repro-obs-")
-        atexit.register(shutil.rmtree, _parent_spill_dir,
-                        ignore_errors=True)
-    return _parent_spill_dir
-
-
-def _worker_init(cache_on: bool, cache_dir: str | None,
-                 spill_dir: str | None) -> None:
-    """Runs once per worker process: mirror the parent's cache and
-    trace setup and pay the heavy imports before the first task."""
-    from repro.perf import cache as _cache
-    if not cache_on:
-        _cache.set_cache_enabled(False)
-    else:
-        _cache.configure_cache(directory=cache_dir)
-    sink.set_spill_dir(spill_dir)
-    try:
-        import repro.gtpn.sweep        # noqa: F401
-    except ImportError:                                # pragma: no cover
-        pass
-
-
-def shutdown_pool() -> None:
-    """Tear down the persistent worker pool (atexit, tests)."""
-    global _pool, _pool_key
-    if _pool is not None:
-        _pool.shutdown(wait=False, cancel_futures=True)
-        _pool = None
-        _pool_key = None
-
-
-atexit.register(shutdown_pool)
-
-
-def _get_pool(n_jobs: int):
-    global _pool, _pool_key
-    cache_on, cache_dir = _prime_shared_cache()
-    spill_dir = _trace_spill_dir()
-    key = (n_jobs, cache_on, cache_dir, spill_dir)
-    if _pool is not None and _pool_key != key:
-        shutdown_pool()
-    if _pool is None:
-        from concurrent.futures import ProcessPoolExecutor
-        _pool = ProcessPoolExecutor(max_workers=n_jobs,
-                                    initializer=_worker_init,
-                                    initargs=(cache_on, cache_dir,
-                                              spill_dir))
-        _pool_key = key
-    return _pool
-
-
-def _call_star(payload: tuple[Callable, tuple]) -> object:
-    fn, item = payload
-    return fn(*item)
-
-
-def _traced_call(payload: tuple[Callable, object, bool, int]) -> object:
-    """One pooled work item under a ``pool.task`` span, spilled after."""
-    fn, item, star, index = payload
-    with obs.span("pool.task", index=index):
-        result = fn(*item) if star else fn(item)
-    sink.flush_current()
-    return result
-
-
-def map_sweep(fn: Callable[..., R], items: Iterable[T], *,
-              jobs: int | None = None, star: bool = False,
-              chunksize: int | None = None,
-              oversubscribe: bool = False) -> list[R]:
-    """Map *fn* over *items*, in order, possibly across processes.
-
-    ``star=True`` unpacks each item as positional arguments
-    (``fn(*item)``); otherwise each item is passed whole (``fn(item)``).
-    ``jobs=None`` uses :func:`default_jobs`.  The sweep is planned via
-    :func:`plan_jobs` (serial fallback on small grids or one CPU) and
-    chunked to ``ceil(items / (workers * CHUNK_WAVES))`` unless
-    *chunksize* is given; :func:`last_map_info` reports what happened.
-    An unusable pool (unpicklable work, no fork support) falls back to
-    the serial path; exceptions raised by *fn* itself propagate.
-    """
-    global _last_map_info
-    work: Sequence[T] = list(items)
-    jobs_requested = default_jobs() if jobs is None else _validate_jobs(
-        jobs, "jobs")
-    n_jobs, reason = plan_jobs(len(work), jobs_requested,
-                               oversubscribe=oversubscribe)
-    with obs.span("pool.map", items=len(work),
-                  jobs_requested=jobs_requested) as map_span:
-        if n_jobs > 1:
-            chunk = chunksize if chunksize else max(
-                1, math.ceil(len(work) / (n_jobs * CHUNK_WAVES)))
-            try:
-                results = _map_parallel(fn, work, n_jobs, star, chunk)
-            except (OSError, pickle.PicklingError, ImportError,
-                    _BrokenPool, TypeError, AttributeError):
-                # pool unavailable or work not shippable: solve
-                # in-process.  Genuine errors raised by fn itself
-                # re-raise from the serial pass.
-                reason = "worker pool unavailable (unpicklable work " \
-                         "or no process support)"
-            else:
-                _last_map_info = MapInfo("parallel", None,
-                                         jobs_requested, n_jobs,
-                                         len(work), chunk)
-                map_span.set(**_last_map_info.as_dict())
-                return results
-        _last_map_info = MapInfo("serial", reason, jobs_requested, 1,
-                                 len(work), None)
-        map_span.set(**_last_map_info.as_dict())
-        if obs.current() is None:
-            if star:
-                return [fn(*item) for item in work]
-            return [fn(item) for item in work]
-        results = []
-        for index, item in enumerate(work):
-            with obs.span("pool.task", index=index):
-                results.append(fn(*item) if star else fn(item))
-        return results
-
-
-def _map_parallel(fn, work, n_jobs, star, chunksize):
-    pool = _get_pool(n_jobs)
-    recorder = obs.current()
-    try:
-        if recorder is not None:
-            payloads = [(fn, item, star, index)
-                        for index, item in enumerate(work)]
-            futures = pool.map(_traced_call, payloads,
-                               chunksize=chunksize)
-        elif star:
-            payloads = [(fn, item) for item in work]
-            futures = pool.map(_call_star, payloads, chunksize=chunksize)
-        else:
-            futures = pool.map(fn, work, chunksize=chunksize)
-        results = list(futures)
-    except _BrokenPool:
-        shutdown_pool()         # a dead pool never comes back; rebuild
-        raise
-    if recorder is not None and _parent_spill_dir is not None:
-        sink.merge_spills(recorder, _parent_spill_dir)
-    return results
+def __getattr__(name: str):
+    # historical private introspection points, kept for old callers:
+    # the persistent pool and spill directory now live on the local
+    # backend's manager
+    from repro.perf.backends import get_backend, local
+    if name == "_pool":
+        return get_backend("local")._manager.executor
+    if name == "_parent_spill_dir":
+        return local._parent_spill_dir
+    raise AttributeError(name)

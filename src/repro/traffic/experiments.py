@@ -6,7 +6,7 @@ closed-loop capacity (from :func:`repro.models.solve.solve`), so the
 x-axis is directly comparable across architectures and the knee —
 where p99/p999 latency departs from the flat region and drops begin —
 appears at the same relative position the analytical model predicts
-saturation.  Points fan out over :func:`repro.perf.pool.map_sweep`
+saturation.  Points fan out over :func:`repro.perf.backends.map_sweep`
 like every other sweep (``--jobs``), with identical results at any
 job count.
 
@@ -29,7 +29,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.schedule import NodeOutage, PacketFaultSpec
 from repro.models.params import Architecture, Mode
 from repro.models.solve import solve
-from repro.perf.pool import last_map_info, map_sweep
+from repro.perf.backends import last_map_info, map_sweep
 from repro.seeding import resolve_seed
 from repro.traffic.arrivals import MMPPArrivals, PoissonArrivals
 from repro.traffic.engine import run_open_experiment

@@ -135,7 +135,7 @@ def rebaseline(path: str | Path, *, jobs: int | None = None) -> dict:
     re-baselining after an intended model change is cheap.
     """
     from repro.models.solve import reference_point
-    from repro.perf.pool import map_sweep
+    from repro.perf.backends import map_sweep
     from repro.validate.estimators import exact_estimate
     from repro.validate.grid import GRIDS
 

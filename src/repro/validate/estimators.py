@@ -15,7 +15,7 @@ simulate_with_confidence` batch means over *the same net*, giving a
 
 :func:`estimate_point` bundles all three; it is picklable work, so the
 report layer fans configurations out through
-:func:`repro.perf.pool.map_sweep` like any figure grid.
+:func:`repro.perf.backends.map_sweep` like any figure grid.
 """
 
 from __future__ import annotations

@@ -2,7 +2,7 @@
 
 :func:`run_validation` is the engine behind ``repro validate`` and the
 ``validate-quick`` / ``validate-full`` experiments: it fans the grid
-out over :func:`repro.perf.pool.map_sweep` (every point runs all three
+out over :func:`repro.perf.backends.map_sweep` (every point runs all three
 estimators), evaluates the pairwise agreement checks and metamorphic
 properties, compares the exact values against the persisted baseline,
 folds the scoreboard's point claims in, and returns one
@@ -21,7 +21,7 @@ from repro import config, obs
 from repro.errors import ReproError
 from repro.experiments.reporting import Table
 from repro.obs.clock import perf_now
-from repro.perf.pool import last_map_info, map_sweep
+from repro.perf.backends import last_map_info, map_sweep
 from repro.seeding import resolve_seed
 from repro.validate import baseline as baseline_mod
 from repro.validate.estimators import PointEstimates, estimate_point

@@ -93,6 +93,68 @@ class TestRunExperiment:
             api.run_experiment("figure-9.99")
 
 
+class TestSubmitExperiment:
+    """API parity: ``submit_experiment(...).result()`` must produce
+    byte-identical ``ExperimentResult`` fields to ``run_experiment``
+    (everything except wall-clock timing)."""
+
+    @staticmethod
+    def _assert_field_parity(async_result, inline_result):
+        assert async_result.experiment_id == inline_result.experiment_id
+        assert async_result.kind == inline_result.kind
+        assert async_result.title == inline_result.title
+        assert async_result.values == inline_result.values
+        assert async_result.config == inline_result.config
+        assert async_result.extras == inline_result.extras
+        assert async_result.trace_paths == inline_result.trace_paths
+        assert async_result.obs_summary == inline_result.obs_summary
+
+    def test_parity_on_figure(self):
+        from repro.service import ExperimentService
+        service = ExperimentService()
+        try:
+            handle = api.submit_experiment("figure-6.7", seed=7,
+                                           service=service)
+            async_result = handle.result(timeout=120)
+        finally:
+            service.shutdown()
+        inline_result = api.run_experiment("figure-6.7", seed=7)
+        self._assert_field_parity(async_result, inline_result)
+
+    def test_parity_on_seeded_chaos_run(self):
+        from repro.service import ExperimentService
+        service = ExperimentService()
+        try:
+            handle = api.submit_experiment("chaos-outage", seed=11,
+                                           service=service)
+            async_result = handle.result(timeout=300)
+        finally:
+            service.shutdown()
+        inline_result = api.run_experiment("chaos-outage", seed=11)
+        self._assert_field_parity(async_result, inline_result)
+
+    def test_run_experiment_is_inline_submit(self):
+        from repro.service import default_service
+        before = default_service().stats()["inline"]
+        api.run_experiment("table-5.1")
+        stats = default_service().stats()
+        assert stats["inline"] == before + 1
+        # the inline lane bypasses queue and store
+        assert stats["queue_depth"] == 0
+
+    def test_submit_rejects_unknown_experiment_at_execution(self):
+        from repro.errors import ReproError
+        from repro.service import ExperimentService
+        service = ExperimentService()
+        try:
+            handle = api.submit_experiment("figure-9.99",
+                                           service=service)
+            with pytest.raises(ReproError, match="unknown experiment"):
+                handle.result(timeout=120)
+        finally:
+            service.shutdown()
+
+
 class TestLegacyShim:
     @pytest.mark.parametrize("experiment_id", PARITY_IDS)
     def test_legacy_run_experiment_deprecated_but_identical(

@@ -5,8 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro import obs
-from repro.perf import pool
-from repro.perf.pool import last_map_info, map_sweep, shutdown_pool
+from repro.perf.backends import (last_map_info, local, map_sweep,
+                                 shutdown_pool)
 
 
 def _square(x: int) -> int:
@@ -57,9 +57,9 @@ def test_parallel_sweep_merges_worker_spans():
     assert map_span.pid == recorder.pid
     assert map_span.attrs["mode"] == "parallel"
     # spill files were consumed by the merge
-    assert pool._parent_spill_dir is not None
+    assert local._parent_spill_dir is not None
     from pathlib import Path
-    assert list(Path(pool._parent_spill_dir).glob("obs-*.jsonl")) == []
+    assert list(Path(local._parent_spill_dir).glob("obs-*.jsonl")) == []
 
 
 def test_parallel_results_identical_with_and_without_tracing():

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.perf.pool import (MIN_ITEMS_PER_JOB, default_jobs, last_map_info,
-                             map_sweep, plan_jobs, set_default_jobs)
+from repro.perf.backends import (MIN_ITEMS_PER_JOB, default_jobs,
+                                 last_map_info, map_sweep, plan_jobs,
+                                 set_default_jobs)
 
 
 def _square(x):
@@ -45,7 +46,7 @@ def test_empty_items():
 
 
 def test_map_info_describe():
-    from repro.perf.pool import MapInfo
+    from repro.perf.backends import MapInfo
     serial = MapInfo("serial", "serial requested (jobs=1)", 1, 1, 4,
                      None)
     assert serial.describe() == \
@@ -144,10 +145,10 @@ def test_map_info_reports_execution():
 
 
 def test_pool_persists_across_sweeps():
-    import repro.perf.pool as pool_mod
+    from repro.perf.backends import get_backend
     items = list(range(4 * MIN_ITEMS_PER_JOB))
     map_sweep(_square, items, jobs=2, oversubscribe=True)
-    first = pool_mod._pool
+    first = get_backend("local")._manager.executor
     assert first is not None
     map_sweep(_square, items, jobs=2, oversubscribe=True)
-    assert pool_mod._pool is first      # reused, not recreated
+    assert get_backend("local")._manager.executor is first

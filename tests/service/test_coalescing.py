@@ -1,0 +1,129 @@
+"""Request coalescing: one execution, N subscribers, split-key misses."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+from repro.experiments import temporary_experiment
+from repro.service import ExperimentService, JobStatus
+
+from tests.service.conftest import ToyTracker, make_toy
+
+TIMEOUT = 30.0
+
+
+def _gated_service(tracker: ToyTracker, **kwargs) -> ExperimentService:
+    tracker.gate = threading.Event()
+    return ExperimentService(**kwargs)
+
+
+def test_identical_submissions_execute_once():
+    tracker = ToyTracker()
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = _gated_service(tracker, workers=2)
+        try:
+            with obs.recording() as recorder:
+                first = service.submit("toy-exp", seed=7)
+                assert tracker.started.acquire(timeout=TIMEOUT)
+                twins = [service.submit("toy-exp", seed=7)
+                         for _ in range(5)]
+                tracker.gate.set()
+                result = first.result(timeout=TIMEOUT)
+                twin_results = [t.result(timeout=TIMEOUT)
+                                for t in twins]
+            service.drain(timeout=TIMEOUT)
+        finally:
+            tracker.gate.set()
+            service.shutdown()
+    # one execution: the runner ran once, its single map_sweep item
+    # produced exactly one pool.task span under the recorder
+    assert tracker.runs == [7]
+    task_spans = [s for s in recorder.spans if s.name == "pool.task"]
+    assert len(task_spans) == 1
+    # every subscriber sees the *same* result object
+    assert all(t.coalesced for t in twins)
+    assert all(r is result for r in twin_results)
+    stats = service.stats()
+    assert stats["executed"] == 1 and stats["coalesced"] == 5
+
+
+def test_different_seed_breaks_the_coalesce_key():
+    tracker = ToyTracker()
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = _gated_service(tracker, workers=1)
+        try:
+            a = service.submit("toy-exp", seed=1)
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            b = service.submit("toy-exp", seed=2)
+            assert not b.coalesced
+            tracker.gate.set()
+            ra = a.result(timeout=TIMEOUT)
+            rb = b.result(timeout=TIMEOUT)
+        finally:
+            tracker.gate.set()
+            service.shutdown()
+    assert sorted(tracker.runs) == [1, 2]      # both really ran
+    assert ra.values != rb.values
+    assert service.stats()["coalesced"] == 0
+
+
+def test_execution_knobs_still_coalesce():
+    # jobs/backend change scheduling, not values: twins coalesce
+    tracker = ToyTracker()
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = _gated_service(tracker, workers=2)
+        try:
+            first = service.submit("toy-exp", seed=3, jobs=1)
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            twin = service.submit("toy-exp", seed=3, jobs=4,
+                                  backend="serial")
+            assert twin.coalesced
+            tracker.gate.set()
+            assert twin.result(timeout=TIMEOUT) is \
+                first.result(timeout=TIMEOUT)
+        finally:
+            tracker.gate.set()
+            service.shutdown()
+    assert tracker.runs == [3]
+
+
+def test_traced_submissions_never_coalesce(tmp_path):
+    # a traced job writes side files and runs under its own recorder;
+    # sharing it with an untraced twin would corrupt both contracts
+    tracker = ToyTracker()
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = _gated_service(tracker, workers=1)
+        try:
+            plain = service.submit("toy-exp", seed=4)
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            traced = service.submit("toy-exp", seed=4,
+                                    trace=str(tmp_path / "t.json"))
+            assert not traced.coalesced and not traced.store_hit
+            tracker.gate.set()
+            plain.result(timeout=TIMEOUT)
+            result = traced.result(timeout=TIMEOUT)
+        finally:
+            tracker.gate.set()
+            service.shutdown()
+    assert len(tracker.runs) == 2              # both executed
+    assert result.trace_paths                  # and the trace exists
+
+
+def test_coalesced_handle_sees_the_shared_lifecycle():
+    tracker = ToyTracker()
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = _gated_service(tracker, workers=1)
+        try:
+            first = service.submit("toy-exp", seed=6)
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            twin = service.submit("toy-exp", seed=6)
+            tracker.gate.set()
+            twin.result(timeout=TIMEOUT)
+        finally:
+            tracker.gate.set()
+            service.shutdown()
+    kinds = [event.kind for event in twin.stream_events()]
+    assert "coalesced" in kinds and kinds[-1] == "done"
+    assert twin.poll() is JobStatus.DONE
+    assert first.key == twin.key

@@ -1,0 +1,96 @@
+"""Job identity (structure × timing keys) and handle semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.errors import ServiceError
+from repro.service import JobStatus, build_job_key
+from repro.service.jobs import JobHandle, _Execution
+
+
+def test_key_equal_for_identical_submissions():
+    a = build_job_key("figure-6.7", {"seed": 7})
+    b = build_job_key("figure-6.7", {"seed": 7})
+    assert a == b and a.digest == b.digest
+
+
+def test_seed_lands_in_timing_half():
+    base = build_job_key("figure-6.7", {"seed": 7})
+    other = build_job_key("figure-6.7", {"seed": 8})
+    assert base != other
+    assert base.structure_digest == other.structure_digest
+    assert base.timing_digest != other.timing_digest
+
+
+def test_experiment_id_lands_in_structure_half():
+    base = build_job_key("figure-6.7", {"seed": 7})
+    other = build_job_key("table-5.1", {"seed": 7})
+    assert base.structure_digest != other.structure_digest
+    assert base.timing_digest == other.timing_digest
+
+
+def test_execution_knobs_do_not_fragment_the_key():
+    # jobs / cache / backend change scheduling, never values (the
+    # backends bit-identity contract) — they must share one address
+    base = build_job_key("figure-6.7", {"seed": 7})
+    for extra in ({"jobs": 4}, {"cache_enabled": False},
+                  {"backend": "sharded"}):
+        assert build_job_key("figure-6.7",
+                             {"seed": 7, **extra}) == base
+
+
+def test_unset_knobs_resolve_through_config():
+    # explicit seed=7 and ambient CLI seed 7 are the same run
+    explicit = build_job_key("figure-6.7", {"seed": 7})
+    config.set_seed(7)
+    try:
+        ambient = build_job_key("figure-6.7", {})
+    finally:
+        config.set_seed(None)
+    assert explicit == ambient
+
+
+def test_numeric_normalisation():
+    assert build_job_key("t", {"duration": 500000}) == \
+        build_job_key("t", {"duration": 500000.0})
+
+
+def test_traffic_knobs_land_in_timing_half():
+    base = build_job_key("traffic-knee-quick", {})
+    other = build_job_key("traffic-knee-quick", {"arrival_rate": 9.0})
+    assert base.structure_digest == other.structure_digest
+    assert base.timing_digest != other.timing_digest
+
+
+def test_str_shows_split_halves():
+    key = build_job_key("figure-6.7", {"seed": 7})
+    assert str(key) == f"{key.structure_digest}x{key.timing_digest}"
+    assert len(key.digest) == 16
+
+
+def test_status_terminality():
+    assert not JobStatus.QUEUED.terminal
+    assert not JobStatus.RUNNING.terminal
+    assert JobStatus.DONE.terminal
+    assert JobStatus.FAILED.terminal
+    assert JobStatus.DROPPED.terminal
+
+
+def test_handle_result_timeout_raises():
+    execution = _Execution("toy", None, {})
+    handle = JobHandle("job-0", execution, "default")
+    with pytest.raises(ServiceError, match="still queued"):
+        handle.result(timeout=0.05)
+
+
+def test_handle_replays_events_after_completion():
+    execution = _Execution("toy", None, {})
+    handle = JobHandle("job-0", execution, "default")
+    execution.mark("submitted", job_id="job-0")
+    execution.mark("started", status=JobStatus.RUNNING)
+    execution.mark("done", status=JobStatus.DONE, result="r")
+    kinds = [event.kind for event in handle.stream_events()]
+    assert kinds == ["submitted", "started", "done"]
+    assert handle.result() == "r"

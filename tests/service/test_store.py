@@ -1,0 +1,81 @@
+"""The content-addressed result store: LRU, disk tier, restarts."""
+
+from __future__ import annotations
+
+from repro.service import ResultStore, build_job_key
+
+
+def _key(seed: int, experiment_id: str = "toy"):
+    return build_job_key(experiment_id, {"seed": seed})
+
+
+def test_roundtrip_and_counters():
+    store = ResultStore()
+    key = _key(1)
+    assert store.get(key) is None
+    store.put(key, {"value": 41})
+    assert store.get(key) == {"value": 41}
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_memory_lru_bound():
+    store = ResultStore(memory_limit=2)
+    for seed in range(4):
+        store.put(_key(seed), seed)
+    assert len(store) == 2
+    # the two most recent survive; the eldest were evicted
+    assert store.get(_key(3)) == 3
+    assert store.get(_key(0)) is None
+
+
+def test_disk_tier_survives_restart(tmp_path):
+    first = ResultStore(directory=tmp_path)
+    first.put(_key(7), {"seed": 7})
+    assert first.disk_entries() == 1
+    # a fresh store over the same directory answers from disk
+    reborn = ResultStore(directory=tmp_path)
+    assert len(reborn) == 0
+    assert reborn.get(_key(7)) == {"seed": 7}
+    assert reborn.hits == 1
+
+
+def test_eviction_falls_back_to_disk(tmp_path):
+    store = ResultStore(directory=tmp_path, memory_limit=1)
+    store.put(_key(1), "one")
+    store.put(_key(2), "two")          # evicts key 1 from memory
+    assert store.get(_key(1)) == "one"  # reloaded from the disk tier
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    store = ResultStore(directory=tmp_path)
+    key = _key(5)
+    store.put(key, "fine")
+    path = store._entry_path(key.digest)
+    path.write_bytes(b"not a pickle")
+    fresh = ResultStore(directory=tmp_path)
+    assert fresh.get(key) is None       # torn entry deleted, miss
+    assert not path.exists()
+
+
+def test_unpicklable_result_stays_memory_only(tmp_path):
+    store = ResultStore(directory=tmp_path)
+    key = _key(9)
+    store.put(key, lambda: None)        # lambdas do not pickle
+    assert store.disk_entries() == 0
+    assert callable(store.get(key))     # memory tier still serves it
+
+
+def test_clear_drops_both_tiers(tmp_path):
+    store = ResultStore(directory=tmp_path)
+    store.put(_key(1), 1)
+    store.clear()
+    assert len(store) == 0 and store.disk_entries() == 0
+    assert store.get(_key(1)) is None
+
+
+def test_stats_shape(tmp_path):
+    store = ResultStore(directory=tmp_path)
+    store.put(_key(1), 1)
+    stats = store.stats()
+    assert stats["entries"] == 1 and stats["disk_entries"] == 1
+    assert stats["directory"] == str(tmp_path)
