@@ -44,12 +44,24 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 
 from repro.errors import ConfigError
 
 _UNSET = object()
+
+#: Guards the scoped-override stack *and* every mutation of the
+#: CLI-level globals made by :func:`overrides`, so a concurrent
+#: :func:`ambient_config` reader always sees either the pristine state
+#: or a consistent savepoint — never a half-installed override set.
+_scoped_lock = threading.Lock()
+
+#: Savepoints of every active :func:`overrides` block, outermost
+#: first.  The bottom entry is the configuration *outside* all scoped
+#: overrides — what :func:`ambient_config` resolves against.
+_scoped_stack: list[tuple] = []
 
 _cli_jobs: int | None = None
 _cli_seed: int | None = None
@@ -138,9 +150,11 @@ def seed() -> int | None:
     return _resolve_seed()[0]
 
 
-def _resolve_seed() -> tuple[int | None, str]:
-    if _cli_seed is not None:
-        return _cli_seed, "cli"
+def _resolve_seed(cli=_UNSET) -> tuple[int | None, str]:
+    if cli is _UNSET:
+        cli = _cli_seed
+    if cli is not None:
+        return cli, "cli"
     env = os.environ.get("REPRO_SEED", "")
     if env:
         try:
@@ -232,9 +246,11 @@ def reduction() -> str:
     return _resolve_reduction()[0]
 
 
-def _resolve_reduction() -> tuple[str, str]:
-    if _cli_reduction is not None:
-        return _cli_reduction, "cli"
+def _resolve_reduction(cli=_UNSET) -> tuple[str, str]:
+    if cli is _UNSET:
+        cli = _cli_reduction
+    if cli is not None:
+        return cli, "cli"
     env = os.environ.get("REPRO_REDUCTION", "")
     if env.strip():
         return normalize_reduction(env, "REPRO_REDUCTION"), "env"
@@ -321,10 +337,12 @@ def _set_traffic_knob(name: str, value) -> None:
         else validate(value, flag.lstrip("-"))
 
 
-def _resolve_traffic_knob(name: str):
+def _resolve_traffic_knob(name: str, cli=_UNSET):
     _flag, env_var, validate = _TRAFFIC_KNOBS[name]
-    if _cli_traffic[name] is not None:
-        return _cli_traffic[name], "cli"
+    if cli is _UNSET:
+        cli = _cli_traffic[name]
+    if cli is not None:
+        return cli, "cli"
     env = os.environ.get(env_var, "")
     if env.strip():
         return validate(env, env_var), "env"
@@ -424,36 +442,80 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
     """
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
     global _cli_reduction, _cli_backend
-    saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
-             _default_fault_plan, _cli_reduction, _cli_backend,
-             dict(_cli_traffic))
+    with _scoped_lock:
+        saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
+                 _default_fault_plan, _cli_reduction, _cli_backend,
+                 dict(_cli_traffic))
+        _scoped_stack.append(saved)
     try:
-        if jobs is not _UNSET:
-            set_jobs(jobs)
-        if seed is not _UNSET:
-            set_seed(seed)
-        if cache_enabled is not _UNSET and cache_enabled is not None:
-            set_cache_enabled(cache_enabled)
-        if fault_plan is not _UNSET:
-            set_default_fault_plan(fault_plan)
-        if reduction is not _UNSET:
-            set_reduction(reduction)
-        if backend is not _UNSET:
-            set_backend(backend)
-        if duration is not _UNSET:
-            set_duration(duration)
-        if arrival_rate is not _UNSET:
-            set_arrival_rate(arrival_rate)
-        if deadline is not _UNSET:
-            set_deadline(deadline)
-        if queue_limit is not _UNSET:
-            set_queue_limit(queue_limit)
+        with _scoped_lock:
+            if jobs is not _UNSET:
+                set_jobs(jobs)
+            if seed is not _UNSET:
+                set_seed(seed)
+            if cache_enabled is not _UNSET and cache_enabled is not None:
+                set_cache_enabled(cache_enabled)
+            if fault_plan is not _UNSET:
+                set_default_fault_plan(fault_plan)
+            if reduction is not _UNSET:
+                set_reduction(reduction)
+            if backend is not _UNSET:
+                set_backend(backend)
+            if duration is not _UNSET:
+                set_duration(duration)
+            if arrival_rate is not _UNSET:
+                set_arrival_rate(arrival_rate)
+            if deadline is not _UNSET:
+                set_deadline(deadline)
+            if queue_limit is not _UNSET:
+                set_queue_limit(queue_limit)
         yield
     finally:
-        (_cli_jobs, _cli_seed, _cli_cache_enabled,
-         _default_fault_plan, _cli_reduction, _cli_backend,
-         traffic_saved) = saved
-        _cli_traffic.update(traffic_saved)
+        with _scoped_lock:
+            (_cli_jobs, _cli_seed, _cli_cache_enabled,
+             _default_fault_plan, _cli_reduction, _cli_backend,
+             traffic_saved) = saved
+            _cli_traffic.update(traffic_saved)
+            _scoped_stack.pop()
+
+
+def ambient_config() -> dict:
+    """The knobs a submission made *now* should key on, immune to
+    scoped overrides installed by a concurrently running execution.
+
+    :func:`overrides` is how ``repro.api._execute_run`` applies one
+    run's keywords process-globally for the run's duration; a reader
+    resolving knobs through the plain accessors meanwhile would absorb
+    that run's values.  This resolves against the bottom of the
+    scoped-override stack — the CLI/env state outside every active
+    ``overrides`` block — under the same lock the installs take, so
+    the snapshot is always consistent.  Used by
+    :func:`repro.service.jobs.build_job_key` so concurrent submissions
+    never inherit a running job's parameters into their identity.
+    """
+    with _scoped_lock:
+        if _scoped_stack:
+            (_jobs_cli, seed_cli, _cache_cli, plan, reduction_cli,
+             _backend_cli, traffic_cli) = _scoped_stack[0]
+        else:
+            seed_cli, plan = _cli_seed, _default_fault_plan
+            reduction_cli = _cli_reduction
+            traffic_cli = dict(_cli_traffic)
+    return {
+        "seed": _resolve_seed(seed_cli)[0],
+        "reduction": _resolve_reduction(reduction_cli)[0],
+        "fault_plan": plan,
+        "duration":
+            _resolve_traffic_knob("duration", traffic_cli["duration"])[0],
+        "arrival_rate":
+            _resolve_traffic_knob("arrival_rate",
+                                  traffic_cli["arrival_rate"])[0],
+        "deadline":
+            _resolve_traffic_knob("deadline", traffic_cli["deadline"])[0],
+        "queue_limit":
+            _resolve_traffic_knob("queue_limit",
+                                  traffic_cli["queue_limit"])[0],
+    }
 
 
 # ----------------------------------------------------------------------

@@ -108,25 +108,31 @@ def build_job_key(experiment_id: str, run_kwargs: dict) -> JobKey:
     the caller left unset resolve through the surrounding CLI/env
     configuration **now**, so a submission made under ``REPRO_SEED=7``
     and one passing ``seed=7`` explicitly coalesce — they are the same
-    run.  Resolution is **read-only** (no scoped override install), so
-    submissions key concurrently with running jobs.
+    run.  Resolution reads :func:`repro.config.ambient_config` — one
+    consistent snapshot that excludes scoped overrides installed by
+    whatever job happens to be running — so a submission keyed while
+    another job executes can never absorb that job's parameters into
+    its identity (which would alias two different computations onto
+    one store/coalesce address).
     """
-    def pick(name, resolver, kind):
+    ambient = config.ambient_config()
+
+    def pick(name, kind):
         if name in run_kwargs:
             return _coerce(run_kwargs[name], kind)
-        return _coerce(resolver(), kind)
+        return _coerce(ambient[name], kind)
 
     plan = run_kwargs.get("fault_plan", _MISSING)
     if plan is _MISSING:
-        plan = config.default_fault_plan()
+        plan = ambient["fault_plan"]
     structure = (experiment_id,
-                 pick("reduction", config.reduction, str),
+                 pick("reduction", str),
                  repr(plan) if plan is not None else None,
-                 pick("queue_limit", config.queue_limit, int))
-    timing = (pick("seed", config.seed, int),
-              pick("duration", config.duration, float),
-              pick("arrival_rate", config.arrival_rate, float),
-              pick("deadline", config.deadline, float))
+                 pick("queue_limit", int))
+    timing = (pick("seed", int),
+              pick("duration", float),
+              pick("arrival_rate", float),
+              pick("deadline", float))
     return JobKey(structure=structure, timing=timing)
 
 

@@ -32,8 +32,9 @@ bookkeeping, not compute.  The **inline lane**
 executes synchronously in the calling thread under the same lock,
 bypassing the queue, coalescing, and the store — bit-identical,
 profiler-friendly, and re-entrant (a submission made *from* a worker
-thread, e.g. an experiment that calls ``run_experiment``, degrades to
-the inline lane automatically instead of deadlocking the queue).
+thread — any service's worker in the process, since they all share
+``_EXEC_LOCK`` — degrades to the inline lane automatically instead of
+deadlocking the queue).
 
 Observability is built in: each job runs under a ``service.job`` span,
 queue depth is a gauge, coalescing/store hits are counters, and job
@@ -63,6 +64,16 @@ from repro.service.store import ResultStore
 #: job runs.  Re-entrant so an experiment that calls back into the
 #: front door (inline lane) nests instead of deadlocking.
 _EXEC_LOCK = threading.RLock()
+
+#: Thread idents of every live service worker in the *process*, across
+#: all :class:`ExperimentService` instances.  Any of them may hold
+#: ``_EXEC_LOCK`` mid-run, so a submission from any worker thread —
+#: including a worker of a *different* service — must degrade to the
+#: inline lane: queueing it and blocking in ``result()`` would leave
+#: the target service's worker waiting on a lock the submitter holds.
+#: Workers remove themselves on exit so a recycled thread ident never
+#: misroutes a fresh submitter.
+_WORKER_THREADS: set[int] = set()
 
 VALID_POLICIES = ("drop", "reject", "backpressure")
 
@@ -97,7 +108,6 @@ class ExperimentService:
         self._not_empty = threading.Condition(self._lock)
         self._state_change = threading.Condition(self._lock)
         self._threads: list[threading.Thread] = []
-        self._worker_ids: set[int] = set()
         self._busy = 0
         self._shutdown = False
         self._counters: Counter = Counter()
@@ -119,62 +129,63 @@ class ExperimentService:
         :func:`repro.api.submit_experiment` produces.  ``lane`` is
         ``"async"`` (queue) or ``"inline"`` (execute now, in this
         thread, bypassing queue/coalescing/store).
+
+        A submission that raises at this call — admission ``reject``,
+        or the service shutting down while it queued/waited — counts
+        as ``rejected`` in :meth:`stats`, keeping the ledger invariant
+        ``submitted == executed + failed + coalesced + store_hits +
+        dropped + rejected + inline``.
         """
+        if lane not in ("async", "inline"):
+            raise ServiceError(
+                f"unknown lane {lane!r}; valid: 'async', 'inline'")
         job_id = f"job-{next(self._job_seq)}"
         self._counters["submitted"] += 1
         self._tenant_submitted[tenant] += 1
         if lane == "inline" or \
-                threading.get_ident() in self._worker_ids:
+                threading.get_ident() in _WORKER_THREADS:
             return self._submit_inline(job_id, experiment_id,
                                        run_kwargs, trace, tenant)
-        if lane != "async":
-            raise ServiceError(
-                f"unknown lane {lane!r}; valid: 'async', 'inline'")
         key = build_job_key(experiment_id, run_kwargs)
         # traced jobs produce side files and a per-run recorder; they
         # are never coalesced with (or answered for) untraced twins
         shareable = trace is None
         if shareable:
-            cached = self.store.get(key)
-            if cached is not None:
-                self._counters["store_hits"] += 1
-                execution = _Execution(experiment_id, key, run_kwargs)
-                execution.mark("store-hit", status=JobStatus.DONE,
-                               result=cached, key=str(key))
-                obs.add("service.store_hit")
-                return JobHandle(job_id, execution, tenant,
-                                 store_hit=True)
+            hit = self._store_hit(job_id, experiment_id, key,
+                                  run_kwargs, tenant)
+            if hit is not None:
+                return hit
         with self._lock:
-            if self._shutdown:
-                raise ServiceError(
-                    "service is shut down; no new submissions")
-            if shareable and self.coalesce:
-                existing = self._pending.get(key.digest)
-                if existing is not None:
-                    existing.subscribers += 1
-                    self._counters["coalesced"] += 1
-                    existing.mark("coalesced", job_id=job_id,
-                                  subscribers=existing.subscribers)
-                    obs.add("service.coalesce_hit")
-                    return JobHandle(job_id, existing, tenant,
-                                     coalesced=True)
-                # the twin may have finished between the store probe
-                # above and taking this lock: re-check the store so a
-                # unique point never executes twice
-                cached = self.store.get(key)
-                if cached is not None:
-                    self._counters["store_hits"] += 1
-                    execution = _Execution(experiment_id, key,
-                                           run_kwargs)
-                    execution.mark("store-hit", status=JobStatus.DONE,
-                                   result=cached, key=str(key))
-                    obs.add("service.store_hit")
-                    return JobHandle(job_id, execution, tenant,
-                                     store_hit=True)
-            verdict = self._admit(tenant)
-            if verdict is not None:
-                execution = _Execution(experiment_id, key, run_kwargs,
-                                       trace=trace)
+            backpressured = False
+            while True:
+                if self._shutdown:
+                    self._counters["rejected"] += 1
+                    obs.add("service.rejected")
+                    raise ServiceError(
+                        "service shut down while submission was "
+                        "backpressured" if backpressured else
+                        "service is shut down; no new submissions")
+                if shareable and self.coalesce:
+                    existing = self._pending.get(key.digest)
+                    if existing is not None:
+                        existing.subscribers += 1
+                        self._counters["coalesced"] += 1
+                        existing.mark("coalesced", job_id=job_id,
+                                      subscribers=existing.subscribers)
+                        obs.add("service.coalesce_hit")
+                        return JobHandle(job_id, existing, tenant,
+                                         coalesced=True)
+                    # the twin may have finished between the store
+                    # probe above (or the last backpressure wait) and
+                    # now: re-check the store so a unique point never
+                    # executes twice
+                    hit = self._store_hit(job_id, experiment_id, key,
+                                          run_kwargs, tenant)
+                    if hit is not None:
+                        return hit
+                verdict = self._blocked(tenant)
+                if verdict is None:
+                    break
                 if self.policy == "reject":
                     self._counters["rejected"] += 1
                     obs.add("service.rejected")
@@ -182,11 +193,23 @@ class ExperimentService:
                         f"submission {job_id} ({experiment_id}) "
                         f"rejected: {verdict}", policy="reject",
                         tenant=tenant)
-                self._counters["dropped"] += 1
-                obs.add("service.dropped")
-                execution.mark("dropped", status=JobStatus.DROPPED,
-                               reason=verdict)
-                return JobHandle(job_id, execution, tenant)
+                if self.policy == "drop":
+                    self._counters["dropped"] += 1
+                    obs.add("service.dropped")
+                    execution = _Execution(experiment_id, key,
+                                           run_kwargs, trace=trace)
+                    execution.mark("dropped", status=JobStatus.DROPPED,
+                                   reason=verdict)
+                    return JobHandle(job_id, execution, tenant)
+                # backpressure: wait for room, then loop back through
+                # the dedup block — a twin submitted (or finished) while
+                # we slept must coalesce/store-hit, not enqueue a
+                # duplicate execution of the same key
+                if not backpressured:
+                    backpressured = True
+                    self._counters["backpressured"] += 1
+                    obs.add("service.backpressured")
+                self._state_change.wait()
             execution = _Execution(experiment_id, key, run_kwargs,
                                    trace=trace)
             if shareable and self.coalesce:
@@ -199,6 +222,19 @@ class ExperimentService:
         execution.mark("submitted", job_id=job_id, key=str(key),
                        tenant=tenant)
         return JobHandle(job_id, execution, tenant)
+
+    def _store_hit(self, job_id: str, experiment_id: str, key,
+                   run_kwargs: dict, tenant: str) -> JobHandle | None:
+        """A completed handle from the result store, or ``None``."""
+        cached = self.store.get(key)
+        if cached is None:
+            return None
+        self._counters["store_hits"] += 1
+        execution = _Execution(experiment_id, key, run_kwargs)
+        execution.mark("store-hit", status=JobStatus.DONE,
+                       result=cached, key=str(key))
+        obs.add("service.store_hit")
+        return JobHandle(job_id, execution, tenant, store_hit=True)
 
     def _submit_inline(self, job_id: str, experiment_id: str,
                        run_kwargs: dict, trace, tenant: str) -> JobHandle:
@@ -220,35 +256,21 @@ class ExperimentService:
                 execution.result = result
         return JobHandle(job_id, execution, tenant)
 
-    def _admit(self, tenant: str) -> str | None:
-        """Admission check under ``self._lock``.
+    def _blocked(self, tenant: str) -> str | None:
+        """Admission check under ``self._lock``, without waiting.
 
         Returns ``None`` to admit, or the reason the queue cannot take
-        the job.  Under the ``backpressure`` policy this *blocks* until
-        there is room (so it only ever returns ``None`` or, after a
-        shutdown while waiting, raises).
+        the job right now; the submit loop decides whether to raise
+        (``reject``), shed (``drop``), or wait and retry the whole
+        dedup+admission sequence (``backpressure``).
         """
-        def blocked() -> str | None:
-            if len(self._queue) >= self.queue_depth:
-                return (f"queue full ({len(self._queue)}/"
-                        f"{self.queue_depth})")
-            if self.tenant_quota is not None and \
-                    self._tenant_queued[tenant] >= self.tenant_quota:
-                return (f"tenant {tenant!r} at quota "
-                        f"({self.tenant_quota} queued)")
-            return None
-
-        verdict = blocked()
-        if verdict is None or self.policy != "backpressure":
-            return verdict
-        self._counters["backpressured"] += 1
-        obs.add("service.backpressured")
-        while blocked() is not None:
-            self._state_change.wait()
-            if self._shutdown:
-                raise ServiceError(
-                    "service shut down while submission was "
-                    "backpressured")
+        if len(self._queue) >= self.queue_depth:
+            return (f"queue full ({len(self._queue)}/"
+                    f"{self.queue_depth})")
+        if self.tenant_quota is not None and \
+                self._tenant_queued[tenant] >= self.tenant_quota:
+            return (f"tenant {tenant!r} at quota "
+                    f"({self.tenant_quota} queued)")
         return None
 
     # ------------------------------------------------------------------
@@ -265,26 +287,37 @@ class ExperimentService:
             thread.start()
 
     def _worker_loop(self) -> None:
-        self._worker_ids.add(threading.get_ident())
-        while True:
-            with self._lock:
-                while not self._queue and not self._shutdown:
-                    self._not_empty.wait()
-                if self._shutdown and not self._queue:
-                    return
-                execution, tenant = self._queue.popleft()
-                self._tenant_queued[tenant] -= 1
-                self._busy += 1
-                self._state_change.notify_all()
-                obs.gauge("service.queue_depth", len(self._queue))
-            try:
-                self._run_one(execution)
-            finally:
+        ident = threading.get_ident()
+        _WORKER_THREADS.add(ident)
+        try:
+            while True:
                 with self._lock:
-                    self._busy -= 1
-                    if execution.key is not None:
-                        self._pending.pop(execution.key.digest, None)
+                    while not self._queue and not self._shutdown:
+                        self._not_empty.wait()
+                    if self._shutdown and not self._queue:
+                        return
+                    execution, tenant = self._queue.popleft()
+                    self._tenant_queued[tenant] -= 1
+                    self._busy += 1
                     self._state_change.notify_all()
+                    obs.gauge("service.queue_depth", len(self._queue))
+                try:
+                    self._run_one(execution)
+                finally:
+                    with self._lock:
+                        self._busy -= 1
+                        if execution.key is not None:
+                            digest = execution.key.digest
+                            # only evict our own registration: traced
+                            # executions have a key but never register,
+                            # and popping blindly would strip an
+                            # untraced twin's in-flight entry, breaking
+                            # its coalescing
+                            if self._pending.get(digest) is execution:
+                                del self._pending[digest]
+                        self._state_change.notify_all()
+        finally:
+            _WORKER_THREADS.discard(ident)
 
     def _run_one(self, execution: _Execution) -> None:
         execution.mark("started", status=JobStatus.RUNNING)

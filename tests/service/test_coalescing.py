@@ -110,6 +110,39 @@ def test_traced_submissions_never_coalesce(tmp_path):
     assert result.trace_paths                  # and the trace exists
 
 
+def test_traced_completion_keeps_untraced_twins_pending_entry(tmp_path):
+    # a finishing traced job has a key but never owns an in-flight
+    # registration; it must not evict an untraced twin's entry, or the
+    # twin's later duplicates re-execute instead of coalescing
+    tracker = ToyTracker()
+    gate_traced = threading.Event()
+    gate_plain = threading.Event()
+    tracker.gate = gate_traced
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = ExperimentService(workers=1)
+        try:
+            traced = service.submit("toy-exp", seed=4,
+                                    trace=str(tmp_path / "t.json"))
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            tracker.gate = gate_plain      # the next run waits on this
+            plain = service.submit("toy-exp", seed=4)
+            assert not plain.coalesced     # traced twin isn't shareable
+            gate_traced.set()              # traced finishes...
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            # ...and the untraced twin is now running, still registered
+            late = service.submit("toy-exp", seed=4)
+            assert late.coalesced          # not a third execution
+            gate_plain.set()
+            assert late.result(timeout=TIMEOUT) is \
+                plain.result(timeout=TIMEOUT)
+            traced.result(timeout=TIMEOUT)
+        finally:
+            gate_traced.set()
+            gate_plain.set()
+            service.shutdown()
+    assert tracker.runs == [4, 4]          # traced + untraced, no more
+
+
 def test_coalesced_handle_sees_the_shared_lifecycle():
     tracker = ToyTracker()
     with temporary_experiment(make_toy(tracker=tracker)):

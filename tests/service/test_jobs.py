@@ -52,6 +52,35 @@ def test_unset_knobs_resolve_through_config():
     assert explicit == ambient
 
 
+def test_key_resolution_ignores_running_jobs_overrides():
+    # keys built while another job has config.overrides installed
+    # (what a running execution does, process-globally) must resolve
+    # from the ambient CLI/env state, never the running job's values —
+    # otherwise a concurrent submission aliases onto the wrong address
+    base = build_job_key("figure-6.7", {})
+    with config.overrides(seed=99, duration=123.0, reduction="lump"):
+        concurrent = build_job_key("figure-6.7", {})
+        explicit = build_job_key("figure-6.7", {"seed": 99})
+    assert concurrent == base
+    assert explicit != base
+    assert explicit == build_job_key("figure-6.7", {"seed": 99})
+
+
+def test_ambient_cli_state_survives_nested_overrides():
+    # CLI-level state set *outside* any scoped override is ambient and
+    # must keep keying submissions even while overrides are active
+    config.set_seed(7)
+    try:
+        outside = build_job_key("figure-6.7", {})
+        with config.overrides(seed=99):
+            with config.overrides(duration=5.0):
+                inside = build_job_key("figure-6.7", {})
+    finally:
+        config.set_seed(None)
+    assert inside == outside
+    assert inside == build_job_key("figure-6.7", {"seed": 7})
+
+
 def test_numeric_normalisation():
     assert build_job_key("t", {"duration": 500000}) == \
         build_job_key("t", {"duration": 500000.0})

@@ -134,6 +134,50 @@ def test_backpressure_blocks_submitter_until_room():
     assert sorted(tracker.runs) == [1, 2, 3]  # nothing was lost
 
 
+def test_backpressured_identical_twins_coalesce_not_duplicate():
+    # two identical submissions that both block under backpressure must
+    # not both enqueue once room frees: whoever wakes second re-runs
+    # the dedup block and coalesces (or store-hits), so the unique key
+    # still executes exactly once
+    tracker = ToyTracker()
+    tracker.gate = threading.Event()
+    with temporary_experiment(make_toy(tracker=tracker)):
+        service = ExperimentService(workers=1, queue_depth=1,
+                                    policy="backpressure")
+        try:
+            service.submit("toy-exp", seed=1)
+            assert tracker.started.acquire(timeout=TIMEOUT)
+            service.submit("toy-exp", seed=2)     # fills the queue
+            handles = []
+            handles_lock = threading.Lock()
+
+            def pressured_submit():
+                handle = service.submit("toy-exp", seed=3)
+                with handles_lock:
+                    handles.append(handle)
+
+            twins = [threading.Thread(target=pressured_submit)
+                     for _ in range(2)]
+            for twin in twins:
+                twin.start()
+            for twin in twins:
+                twin.join(timeout=0.3)
+            assert all(t.is_alive() for t in twins)  # both held back
+            tracker.gate.set()
+            for twin in twins:
+                twin.join(timeout=TIMEOUT)
+            assert not any(t.is_alive() for t in twins)
+            results = [h.result(timeout=TIMEOUT) for h in handles]
+            service.drain(timeout=TIMEOUT)
+        finally:
+            tracker.gate.set()
+            service.shutdown()
+    assert sorted(tracker.runs) == [1, 2, 3]  # seed 3 ran exactly once
+    stats = service.stats()
+    assert stats["coalesced"] + stats["store_hits"] == 1
+    assert results[0].values == results[1].values
+
+
 def test_tenant_quota_isolates_noisy_tenant():
     tracker = ToyTracker()
     tracker.gate = threading.Event()
@@ -177,6 +221,34 @@ def test_submit_from_worker_thread_degrades_inline():
             service.shutdown()
     assert result.values == [["inner", 5]]
     assert service.stats()["inline"] == 1
+
+
+def test_submit_from_another_services_worker_degrades_inline():
+    # workers of *any* service in the process may hold the shared
+    # execution lock; a nested submission across service instances must
+    # degrade inline too, or the inner worker deadlocks behind the lock
+    # the outer worker already holds
+    inner = make_toy("toy-inner")
+    outer_service = ExperimentService(workers=1)
+    inner_service = ExperimentService(workers=1)
+
+    def outer_runner() -> Table:
+        nested = inner_service.submit("toy-inner", seed=9)
+        inner_result = nested.result(timeout=1.0)  # inline: already done
+        return Table(experiment_id="toy-outer", title="outer",
+                     headers=["k", "v"],
+                     rows=[["inner", inner_result.values[0][1]]])
+
+    outer = Experiment("toy-outer", "outer", "table", outer_runner)
+    with temporary_experiment(inner), temporary_experiment(outer):
+        try:
+            result = outer_service.submit("toy-outer").result(
+                timeout=TIMEOUT)
+        finally:
+            outer_service.shutdown()
+            inner_service.shutdown()
+    assert result.values == [["inner", 9]]
+    assert inner_service.stats()["inline"] == 1
 
 
 def test_shutdown_rejects_new_submissions():
