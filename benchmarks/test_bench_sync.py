@@ -1,0 +1,66 @@
+"""Bench for the synchronization-primitive layer.
+
+Times raw primitive queue operations (the differential-suite workload
+at zero contention) and the sync-comparison experiment, recording a
+per-primitive ops/s figure to ``BENCH_perf.json`` with an absolute
+floor: the accounting layer (bus counting, cost history) must stay
+cheap enough to be exercised millions of times by property suites and
+sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sync import sync_comparison
+from repro.memory import NULL, SharedMemory
+from repro.memory.primitives import PRIMITIVE_NAMES, create_primitive
+from repro.obs.clock import perf_now
+
+#: Queue operations per primitive per timing round.
+_OPS_PER_ROUND = 3_000
+
+#: Floor on raw primitive throughput (enqueue+first pairs/s).  The
+#: pure-Python layer clears this by well over an order of magnitude on
+#: any plausible runner; the floor catches accidental quadratic cost
+#: in the accounting path, not normal jitter.
+MIN_OPS_PER_S = 20_000
+
+
+def _pump(primitive) -> int:
+    """Drive enqueue/first pairs through one primitive; return ops."""
+    done = 0
+    while done < _OPS_PER_ROUND:
+        for block in (4, 6, 8):
+            primitive.enqueue(block, 1)
+        while primitive.first(1) != NULL:
+            pass
+        done += 7                      # 3 enqueues + 4 first probes
+    return done
+
+
+def test_bench_primitive_ops(benchmark, perf_record):
+    rates = {}
+
+    def round_trip():
+        for name in PRIMITIVE_NAMES:
+            memory = SharedMemory(64)
+            memory.write(1, NULL)
+            primitive = create_primitive(name, memory, 2)
+            started = perf_now()
+            ops = _pump(primitive)
+            rates[name] = ops / (perf_now() - started)
+
+    benchmark.pedantic(round_trip, rounds=1, iterations=1)
+    perf_record(bench="sync_primitive_ops",
+                **{f"{name}_ops_per_s": rates[name]
+                   for name in PRIMITIVE_NAMES})
+    for name, rate in rates.items():
+        assert rate > MIN_OPS_PER_S, (name, rate)
+
+
+def test_bench_sync_comparison_quick(run_once, perf_record):
+    started = perf_now()
+    figure = run_once(sync_comparison, conversations=(1, 2), jobs=1)
+    wall = perf_now() - started
+    assert len(figure.series) == len(PRIMITIVE_NAMES) + 2
+    perf_record(bench="sync_comparison_quick", wall_s=wall,
+                points=len(PRIMITIVE_NAMES) * 2 + 4)

@@ -1,0 +1,310 @@
+"""Microcoded derivation of per-primitive synchronization costs.
+
+Chapter 5 prices every smart-bus command by *counting the handshake
+edges of its flow chart* (Table 6.1 derives the 9 us / 1 cycle queue
+operation from the ENQUEUE micro-routine the same way).  This module
+applies the identical discipline to the *software* queue path of
+architecture II, once per synchronization primitive registered in
+:mod:`repro.memory.primitives`:
+
+1. The queue algorithm itself is the existing Appendix A micro-routine
+   (``ENQUEUE`` / ``FIRST`` / ``DEQUEUE`` from
+   :mod:`repro.memory.microprograms`), executed on the
+   :class:`~repro.memory.microcode.MicroEngine` over a canonical
+   zero-contention scenario.  The micro-ISA here stands in for the
+   host's machine code: micro-cycle counts are used only as relative
+   instruction-count weights, never as absolute times.
+2. Each primitive's synchronization *envelope* is its own small
+   micro-routine below (test-and-set acquire/release, the CAS
+   load-compare, the processor-internal HTM begin/commit).  The
+   envelopes are **not** part of the controller's ``CONTROL_STORE`` —
+   they model host-side software, so the 3000-bit control-store budget
+   of section 5.5 is untouched.
+3. Every memory access the engine performs is one transaction on the
+   conventional (non-smart) bus and is priced in handshake edges from
+   :mod:`repro.bus.commands`: reads at the ``SIMPLE_READ`` figure,
+   writes at ``WRITE_TWO_BYTES`` — computed, not asserted.
+
+The resulting :class:`SyncCostRow` table is the single source the
+model layer scales from (:mod:`repro.models.syncmodel`), and ``repro
+validate`` checks that the *measured* zero-contention cost of each
+Python primitive (:func:`measure_primitive_costs`) reproduces the
+derived edge count within :data:`ZERO_CONTENTION_EDGE_TOLERANCE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.bus.commands import BusCommand, handshake_edges
+from repro.memory import microprograms, queues
+from repro.memory.layout import SharedMemory
+from repro.memory.microcode import MicroRoutine, Op, assemble
+from repro.memory.primitives import (PRIMITIVE_NAMES, OpCost,
+                                     create_primitive)
+
+#: Queue operations priced per primitive.
+OPERATIONS = ("enqueue", "first", "dequeue")
+
+#: Declared tolerance (in handshake edges) for the ``repro validate``
+#: parity check between a primitive's measured zero-contention cost
+#: and its microcoded derivation.  Edge counts are integers computed
+#: from integer access counts, so the tolerance is exact.
+ZERO_CONTENTION_EDGE_TOLERANCE = 0
+
+# ----------------------------------------------------------------------
+# synchronization envelopes (host-side software, not CONTROL_STORE)
+# ----------------------------------------------------------------------
+
+#: Test-and-set acquire: spin on the lock word, then claim it.  The
+#: uncontended path costs one read and one write — exactly
+#: :meth:`repro.memory.locking.SpinLock.try_acquire`.
+TAS_ACQUIRE = assemble("tas_acquire", [
+    (Op.IN, "ADDR", "OP1"),          # lock word address
+    "spin:",
+    (Op.MOV, "MAR", "ADDR"),
+    (Op.READ,),                      # MDR = lock word
+    (Op.BNZ, "MDR", "@spin"),        # held: spin (re-test)
+    (Op.MOVI, "MDR", 1),
+    (Op.WRITE,),                     # claim: lock word = LOCKED
+    (Op.RET,),
+])
+
+#: Test-and-set release: verify-held read, then clear — matching
+#: :meth:`repro.memory.locking.SpinLock.release`'s read + write.
+TAS_RELEASE = assemble("tas_release", [
+    (Op.IN, "ADDR", "OP1"),
+    (Op.MOV, "MAR", "ADDR"),
+    (Op.READ,),                      # verify the lock is held
+    (Op.MOVI, "MDR", 0),
+    (Op.WRITE,),                     # lock word = UNLOCKED
+    (Op.RET,),
+])
+
+#: CAS commit: the load-compare half of the successful compare-and-swap
+#: on the list word.  The compare is register-internal and the swapped
+#: value has already been stored by the queue routine's own write of
+#: the list word, so the envelope adds exactly one read.
+CAS_COMMIT = assemble("cas_commit", [
+    (Op.IN, "ADDR", "OP1"),          # list word address
+    (Op.MOV, "MAR", "ADDR"),
+    (Op.READ,),                      # load-compare against the snapshot
+    (Op.RET,),
+])
+
+#: HTM begin/commit: checkpoint and commit latching are
+#: processor-internal — micro-cycles only, no memory access.
+HTM_BEGIN = assemble("htm_begin", [
+    (Op.MOVI, "TMP", 0),             # checkpoint the register state
+    (Op.RET,),
+])
+
+HTM_COMMIT = assemble("htm_commit", [
+    (Op.MOVI, "TMP", 1),             # commit the speculative state
+    (Op.RET,),
+])
+
+#: Per-primitive envelope: routines run before and after the queue
+#: routine, with the operand each takes ("lock" or "list").  LL/SC has
+#: no envelope at all: the routine's first read of the list word is
+#: the LL and its last write the SC.
+ENVELOPES: dict[str, tuple[tuple[MicroRoutine | str, str], ...]] = {
+    "tas": ((TAS_ACQUIRE, "lock"), ("op", ""), (TAS_RELEASE, "lock")),
+    "cas": (("op", ""), (CAS_COMMIT, "list")),
+    "llsc": (("op", ""),),
+    "htm": ((HTM_BEGIN, ""), ("op", ""), (HTM_COMMIT, "")),
+}
+
+_QUEUE_ROUTINES = {
+    "enqueue": microprograms.ENQUEUE,
+    "first": microprograms.FIRST,
+    "dequeue": microprograms.DEQUEUE,
+}
+
+
+@dataclass(frozen=True)
+class SyncCostRow:
+    """Derived cost of one queue operation under one primitive."""
+
+    primitive: str
+    operation: str
+    micro_cycles: int     # executed micro-instructions (envelope + op)
+    reads: int            # memory reads on the conventional bus
+    writes: int           # memory writes on the conventional bus
+
+    @property
+    def memory_cycles(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bus_transactions(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bus_edges(self) -> int:
+        """Handshake edges of the operation's bus traffic.
+
+        Reads are priced at the ``SIMPLE_READ`` flow chart, writes at
+        ``WRITE_TWO_BYTES`` (one 16-bit word) — the Table 6.1
+        discipline applied to the conventional bus.
+        """
+        return (self.reads * handshake_edges(BusCommand.SIMPLE_READ)
+                + self.writes
+                * handshake_edges(BusCommand.WRITE_TWO_BYTES))
+
+
+# ----------------------------------------------------------------------
+# canonical zero-contention scenarios
+# ----------------------------------------------------------------------
+
+#: Well-known locations of the scenario memory image.
+_LIST = 1
+_LOCK = 2
+_BLOCKS = (10, 11, 12)
+
+#: Per-operation scenario: queue prefill before the measured op.  The
+#: operations run their general (non-degenerate) paths: enqueue onto a
+#: non-empty queue, first from a multi-element queue, dequeue of a
+#: middle element.
+_SCENARIOS = {
+    "enqueue": 2,     # measured op: enqueue(_BLOCKS[2])
+    "first": 3,       # measured op: first() -> _BLOCKS[0]
+    "dequeue": 3,     # measured op: dequeue(_BLOCKS[1])
+}
+
+
+def _scenario_memory(operation: str) -> SharedMemory:
+    memory = SharedMemory(32)
+    for element in _BLOCKS[:_SCENARIOS[operation]]:
+        queues.enqueue(memory, element, _LIST)
+    memory.cycles = 0     # setup is not charged to the operation
+    return memory
+
+
+class _AccessCounter:
+    """Read/write-counting view the MicroEngine runs against."""
+
+    def __init__(self, memory: SharedMemory):
+        self.memory = memory
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.memory.cycles
+
+    @cycles.setter
+    def cycles(self, value: int) -> None:
+        self.memory.cycles = value
+
+    @property
+    def size(self) -> int:
+        return self.memory.size
+
+    def read(self, address: int) -> int:
+        self.reads += 1
+        return self.memory.read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self.writes += 1
+        self.memory.write(address, value)
+
+
+def _operands(operation: str) -> dict[str, int]:
+    if operation == "enqueue":
+        return {"OP1": _LIST, "OP2": _BLOCKS[2]}
+    if operation == "first":
+        return {"OP1": _LIST}
+    return {"OP1": _LIST, "OP2": _BLOCKS[1]}
+
+
+def _derive_row(primitive: str, operation: str) -> SyncCostRow:
+    from repro.memory.microcode import MicroEngine
+    counter = _AccessCounter(_scenario_memory(operation))
+    engine = MicroEngine(counter)
+    micro_cycles = 0
+    for routine, operand in ENVELOPES[primitive]:
+        if routine == "op":
+            result = engine.run(_QUEUE_ROUTINES[operation],
+                                _operands(operation))
+        elif operand == "lock":
+            result = engine.run(routine, {"OP1": _LOCK})
+        elif operand == "list":
+            result = engine.run(routine, {"OP1": _LIST})
+        else:
+            result = engine.run(routine, {})
+        micro_cycles += result.micro_cycles
+    return SyncCostRow(primitive=primitive, operation=operation,
+                       micro_cycles=micro_cycles,
+                       reads=counter.reads, writes=counter.writes)
+
+
+@lru_cache(maxsize=1)
+def derive_sync_cost_table() -> dict[str, dict[str, SyncCostRow]]:
+    """The full derived table: primitive -> operation -> cost row.
+
+    Deterministic (pure micro-execution over fixed scenarios) and
+    cached; treat the result as read-only.
+    """
+    return {primitive: {operation: _derive_row(primitive, operation)
+                        for operation in OPERATIONS}
+            for primitive in PRIMITIVE_NAMES}
+
+
+# ----------------------------------------------------------------------
+# measured counterpart and the validate parity check
+# ----------------------------------------------------------------------
+
+def measure_primitive_costs(primitive: str) -> dict[str, OpCost]:
+    """Zero-contention cost of each operation, measured in Python.
+
+    Runs the *actual* registered primitive (not the micro-routines)
+    over the same canonical scenarios and returns its recorded
+    :class:`~repro.memory.primitives.OpCost` per operation.
+    """
+    costs: dict[str, OpCost] = {}
+    for operation in OPERATIONS:
+        memory = _scenario_memory(operation)
+        queue = create_primitive(primitive, memory, _LOCK)
+        memory.cycles = 0     # lock-word initialization is setup
+        if operation == "enqueue":
+            queue.enqueue(_BLOCKS[2], _LIST)
+        elif operation == "first":
+            queue.first(_LIST)
+        else:
+            queue.dequeue(_BLOCKS[1], _LIST)
+        costs[operation] = queue.history[-1]
+    return costs
+
+
+def _measured_edges(cost: OpCost) -> int:
+    return (cost.reads * handshake_edges(BusCommand.SIMPLE_READ)
+            + cost.writes * handshake_edges(BusCommand.WRITE_TWO_BYTES))
+
+
+def zero_contention_parity(primitive: str) -> list[dict]:
+    """Measured-vs-derived comparison rows for one primitive.
+
+    One dict per operation with both edge counts, both cycle counts,
+    and an ``ok`` flag at the declared tolerance — the raw material of
+    the ``repro validate`` sync section.
+    """
+    derived = derive_sync_cost_table()[primitive]
+    measured = measure_primitive_costs(primitive)
+    rows = []
+    for operation in OPERATIONS:
+        row = derived[operation]
+        cost = measured[operation]
+        edges = _measured_edges(cost)
+        rows.append({
+            "operation": operation,
+            "derived_edges": row.bus_edges,
+            "measured_edges": edges,
+            "derived_cycles": row.memory_cycles,
+            "measured_cycles": cost.memory_cycles,
+            "ok": (abs(edges - row.bus_edges)
+                   <= ZERO_CONTENTION_EDGE_TOLERANCE
+                   and cost.memory_cycles == row.memory_cycles),
+        })
+    return rows

@@ -148,6 +148,31 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"  throughput       : {result.throughput_per_ms:.4f} "
           "msgs/ms")
     print(f"  round-trip time  : {result.round_trip_time:.1f} us")
+    if architecture is Architecture.II:
+        print(f"  synchronization  : {result.sync}")
+    return 0
+
+
+def _cmd_sync_comparison(args: argparse.Namespace) -> int:
+    from repro.experiments.sync import sync_comparison
+    mode = Mode.LOCAL if args.mode == "local" else Mode.NONLOCAL
+    conversations = tuple(args.conversations)
+    experiment_id = "sync-comparison" if mode is Mode.LOCAL \
+        else "sync-comparison-nonlocal"
+    figure, _summary, trace_paths = maybe_profile(
+        args, experiment_id,
+        lambda: api.run_traced(
+            f"experiment:{experiment_id}",
+            lambda: sync_comparison(conversations, mode,
+                                    experiment_id=experiment_id),
+            trace=args.trace))
+    print(figure.render())
+    if trace_paths:
+        print("trace: " + ", ".join(trace_paths))
+    if args.save:
+        from repro.experiments.io import save_artifact
+        paths = save_artifact(figure, args.save)
+        print("saved: " + ", ".join(str(p) for p in paths))
     return 0
 
 
@@ -444,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
              "lump, elim, or lump+elim (default: REPRO_REDUCTION or "
              "none; the default exact path is bit-identical)")
     parser.add_argument(
+        "--sync", metavar="P", default=None,
+        help="synchronization primitive costing the architecture II "
+             "software queue path: tas, cas, llsc, or htm (default: "
+             "REPRO_SYNC or tas; architectures I/III/IV are "
+             "unaffected)")
+    parser.add_argument(
         "--duration", metavar="US", default=None,
         help="open-arrival measurement window in simulated us "
              "(default: REPRO_DURATION or each experiment's own)")
@@ -503,6 +534,22 @@ def build_parser() -> argparse.ArgumentParser:
         "scoreboard",
         help="evaluate every paper claim against the library")
     p_score.set_defaults(fn=_cmd_scoreboard)
+
+    p_sync = sub.add_parser(
+        "sync-comparison",
+        help="chapter-6 comparison grid per synchronization "
+             "primitive: arch II under tas/cas/llsc/htm vs the "
+             "arch III/IV smart bus (repro.models.syncmodel)")
+    p_sync.add_argument(
+        "-n", "--conversations", nargs="*", type=int,
+        default=[1, 2, 3, 4],
+        help="conversation counts to sweep (default 1 2 3 4)")
+    p_sync.add_argument("--mode", choices=["local", "nonlocal"],
+                        default="local")
+    p_sync.add_argument("--save", metavar="DIR", default=None,
+                        help="also write the artifact as JSON+CSV "
+                             "under DIR")
+    p_sync.set_defaults(fn=_cmd_sync_comparison)
 
     p_validate = sub.add_parser(
         "validate",
@@ -658,6 +705,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.reduction is not None:
         try:
             config.set_reduction(args.reduction)
+        except ReproError as error:
+            parser.error(str(error))
+    if args.sync is not None:
+        try:
+            config.set_sync(args.sync)
         except ReproError as error:
             parser.error(str(error))
     for value, setter in ((args.duration, config.set_duration),

@@ -12,6 +12,7 @@ analysis cache   ``--no-cache``      ``REPRO_NO_CACHE`` enabled
 cache directory  (none)              ``REPRO_CACHE_DIR``  memory-only
 state reduction  ``--reduction M``   ``REPRO_REDUCTION``  ``none``
 executor backend ``--backend B``     ``REPRO_BACKEND``  ``local``
+sync primitive   ``--sync P``        ``REPRO_SYNC``     ``tas``
 result store     (none)              ``REPRO_RESULT_DIR``  memory-only
 traffic window   ``--duration US``   ``REPRO_DURATION`` per-experiment
 arrival rate     ``--arrival-rate R``  ``REPRO_ARRIVAL_RATE``  per-exp.
@@ -303,6 +304,58 @@ def _resolve_backend() -> tuple[str, str]:
     return "local", "default"
 
 
+# ----------------------------------------------------------------------
+# synchronization primitive (see repro.memory.primitives)
+# ----------------------------------------------------------------------
+
+#: Recognized software synchronization primitives for the
+#: architecture II queue path.  ``tas`` is the thesis's test-and-set
+#: spinlock baseline (Table 6.1's 60 us + 14 cycles); ``cas``,
+#: ``llsc`` and ``htm`` re-cost the same section 5.1 queue algorithms
+#: under compare-and-swap, load-linked/store-conditional and
+#: speculative (HTM-style) synchronization.  Unlike ``--backend``,
+#: this knob **changes computed values**: the architecture II model
+#: parameters are re-derived from the selected primitive's microcoded
+#: cost row, so it is part of a job's identity
+#: (:func:`ambient_config`).
+VALID_SYNCS = ("tas", "cas", "llsc", "htm")
+
+_cli_sync: str | None = None
+
+
+def normalize_sync(value, source: str = "sync") -> str:
+    """Canonical sync-primitive name, or :class:`ConfigError`."""
+    name = str(value).strip().lower().replace("-", "").replace("/", "")
+    if name == "llsc" or name in VALID_SYNCS:
+        return "llsc" if name == "llsc" else name
+    raise ConfigError(
+        f"{source} must be one of {', '.join(VALID_SYNCS)}, "
+        f"got {value!r}")
+
+
+def set_sync(name: str | None) -> None:
+    """Install the CLI sync primitive (``None`` reverts to
+    env/default)."""
+    global _cli_sync
+    _cli_sync = None if name is None else normalize_sync(name, "sync")
+
+
+def sync() -> str:
+    """Resolved sync primitive: CLI > ``REPRO_SYNC`` > ``"tas"``."""
+    return _resolve_sync()[0]
+
+
+def _resolve_sync(cli=_UNSET) -> tuple[str, str]:
+    if cli is _UNSET:
+        cli = _cli_sync
+    if cli is not None:
+        return cli, "cli"
+    env = os.environ.get("REPRO_SYNC", "")
+    if env.strip():
+        return normalize_sync(env, "REPRO_SYNC"), "env"
+    return "tas", "default"
+
+
 def result_dir() -> str | None:
     """The experiment-service result-store directory
     (``REPRO_RESULT_DIR``), if any — the on-disk tier that lets
@@ -412,13 +465,14 @@ def default_fault_plan():
 def reset() -> None:
     """Drop every CLI-level override (tests and fresh CLI entry)."""
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
-    global _cli_reduction, _cli_backend
+    global _cli_reduction, _cli_backend, _cli_sync
     _cli_jobs = None
     _cli_seed = None
     _cli_cache_enabled = None
     _default_fault_plan = None
     _cli_reduction = None
     _cli_backend = None
+    _cli_sync = None
     for name in _cli_traffic:
         _cli_traffic[name] = None
 
@@ -430,8 +484,8 @@ def reset() -> None:
 @contextmanager
 def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
               fault_plan=_UNSET, reduction=_UNSET, backend=_UNSET,
-              duration=_UNSET, arrival_rate=_UNSET, deadline=_UNSET,
-              queue_limit=_UNSET):
+              sync=_UNSET, duration=_UNSET, arrival_rate=_UNSET,
+              deadline=_UNSET, queue_limit=_UNSET):
     """Apply CLI-level settings for one block, restoring on exit.
 
     ``repro.api.run_experiment`` uses this so its keyword arguments
@@ -441,11 +495,11 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
     installed by the CLI.
     """
     global _cli_jobs, _cli_seed, _cli_cache_enabled, _default_fault_plan
-    global _cli_reduction, _cli_backend
+    global _cli_reduction, _cli_backend, _cli_sync
     with _scoped_lock:
         saved = (_cli_jobs, _cli_seed, _cli_cache_enabled,
                  _default_fault_plan, _cli_reduction, _cli_backend,
-                 dict(_cli_traffic))
+                 _cli_sync, dict(_cli_traffic))
         _scoped_stack.append(saved)
     try:
         with _scoped_lock:
@@ -461,6 +515,8 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
                 set_reduction(reduction)
             if backend is not _UNSET:
                 set_backend(backend)
+            if sync is not _UNSET:
+                set_sync(sync)
             if duration is not _UNSET:
                 set_duration(duration)
             if arrival_rate is not _UNSET:
@@ -474,7 +530,7 @@ def overrides(*, jobs=_UNSET, seed=_UNSET, cache_enabled=_UNSET,
         with _scoped_lock:
             (_cli_jobs, _cli_seed, _cli_cache_enabled,
              _default_fault_plan, _cli_reduction, _cli_backend,
-             traffic_saved) = saved
+             _cli_sync, traffic_saved) = saved
             _cli_traffic.update(traffic_saved)
             _scoped_stack.pop()
 
@@ -496,14 +552,16 @@ def ambient_config() -> dict:
     with _scoped_lock:
         if _scoped_stack:
             (_jobs_cli, seed_cli, _cache_cli, plan, reduction_cli,
-             _backend_cli, traffic_cli) = _scoped_stack[0]
+             _backend_cli, sync_cli, traffic_cli) = _scoped_stack[0]
         else:
             seed_cli, plan = _cli_seed, _default_fault_plan
             reduction_cli = _cli_reduction
+            sync_cli = _cli_sync
             traffic_cli = dict(_cli_traffic)
     return {
         "seed": _resolve_seed(seed_cli)[0],
         "reduction": _resolve_reduction(reduction_cli)[0],
+        "sync": _resolve_sync(sync_cli)[0],
         "fault_plan": plan,
         "duration":
             _resolve_traffic_knob("duration", traffic_cli["duration"])[0],
@@ -541,6 +599,8 @@ class ResolvedConfig:
     reduction_source: str = "default"
     backend: str = "local"
     backend_source: str = "default"
+    sync: str = "tas"
+    sync_source: str = "default"
     result_dir: str | None = None
     duration_us: float | None = None
     duration_source: str = "default"
@@ -562,6 +622,7 @@ def resolved_config() -> ResolvedConfig:
     cache_on, cache_source = _resolve_cache()
     reduction_mode, reduction_source = _resolve_reduction()
     backend_name, backend_source = _resolve_backend()
+    sync_name, sync_source = _resolve_sync()
     duration_us, duration_source = _resolve_traffic_knob("duration")
     rate_per_ms, rate_source = _resolve_traffic_knob("arrival_rate")
     deadline_us, deadline_source = _resolve_traffic_knob("deadline")
@@ -575,6 +636,7 @@ def resolved_config() -> ResolvedConfig:
         fault_plan=repr(plan) if plan is not None else None,
         reduction=reduction_mode, reduction_source=reduction_source,
         backend=backend_name, backend_source=backend_source,
+        sync=sync_name, sync_source=sync_source,
         result_dir=result_dir(),
         duration_us=duration_us, duration_source=duration_source,
         arrival_rate_per_ms=rate_per_ms,

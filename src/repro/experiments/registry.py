@@ -52,6 +52,14 @@ def _traffic_artifact(runner_name: str) -> Artifact:
     return getattr(traffic_experiments, runner_name)()
 
 
+def _sync_artifact(runner_name: str) -> Artifact:
+    # lazy import: the sync-comparison runner pulls in the microcoded
+    # edge-count derivation (repro.bus.syncedges), which the rest of
+    # the registry never needs
+    from repro.experiments import sync as sync_experiments
+    return getattr(sync_experiments, runner_name)()
+
+
 def _experiments() -> list[Experiment]:
     entries: list[Experiment] = []
 
@@ -145,6 +153,16 @@ def _experiments() -> list[Experiment]:
     table("traffic-chaos",
           "Chaos under load: burst spike + loss + outage",
           partial(_traffic_artifact, "chaos_under_load_table"))
+
+    # repro.models.syncmodel: architecture II re-costed per
+    # synchronization primitive (TAS / CAS / LL-SC / HTM)
+    figure("sync-comparison",
+           "Synchronization primitives vs the smart bus (local)",
+           partial(_sync_artifact, "sync_comparison"))
+    figure("sync-comparison-nonlocal",
+           "Synchronization primitives vs the smart bus (non-local)",
+           partial(_sync_artifact, "sync_comparison_nonlocal"),
+           heavy=True)
 
     # repro.validate: three-way differential testing of the estimators
     table("validate-quick",

@@ -1,0 +1,102 @@
+"""The sync-comparison experiment: chapter-6 grids per primitive.
+
+Reruns the maximum-communication-load comparison (the Figure
+6.17/6.20 family) with the architecture II software queue path costed
+under each registered synchronization primitive — TAS (the thesis
+baseline), lock-free CAS, LL/SC, and speculative HTM — against the
+unchanged architecture III and IV smart-bus curves.  The per-primitive
+activity times come from the microcoded edge-count derivation
+(:mod:`repro.bus.syncedges` via :mod:`repro.models.syncmodel`), and
+the whole grid fans out through :func:`repro.models.solve_grid`, so
+every point rides the PR-3 structure-sharing sweep: all architecture
+II points share one reachability skeleton and differ only in timing.
+
+The question the artifact answers: *how much of the smart bus's win
+over conventional locking is the lock, and how much is the hardware
+queue?*  Faster primitives close part of the gap to architecture III
+— but only part, because the 16 queue operations per round trip keep
+paying software instruction time even when synchronization is free.
+"""
+
+from __future__ import annotations
+
+from repro.config import VALID_SYNCS
+from repro.experiments.reporting import Figure, Series
+from repro.models import Architecture, Mode, solve_grid
+
+DEFAULT_CONVERSATIONS = (1, 2, 3, 4)
+
+#: Smart-bus reference architectures drawn alongside the primitives.
+REFERENCE_ARCHITECTURES = (Architecture.III, Architecture.IV)
+
+
+def sync_comparison(conversations=DEFAULT_CONVERSATIONS,
+                    mode: Mode = Mode.LOCAL,
+                    syncs=VALID_SYNCS, *,
+                    experiment_id: str = "sync-comparison",
+                    jobs: int | None = None) -> Figure:
+    """Throughput vs conversations, per primitive and reference arch.
+
+    One series per synchronization primitive (architecture II) plus
+    one per smart-bus reference architecture; a single
+    :func:`~repro.models.solve_grid` call covers the whole grid, with
+    the primitive shipped inside each point (worker processes do not
+    inherit the ambient configuration).
+    """
+    conversations = tuple(conversations)
+    syncs = tuple(syncs)
+    points = [(Architecture.II, mode, n, 0.0, sync)
+              for sync in syncs for n in conversations]
+    points += [(arch, mode, n, 0.0, "tas")
+               for arch in REFERENCE_ARCHITECTURES
+               for n in conversations]
+    results = solve_grid(points, jobs=jobs)
+
+    series = []
+    it = iter(results)
+    for sync in syncs:
+        xs = [float(n) for n in conversations]
+        ys = [next(it).throughput_per_ms for _n in conversations]
+        series.append(Series(f"arch II ({sync})", xs, ys))
+    for arch in REFERENCE_ARCHITECTURES:
+        xs = [float(n) for n in conversations]
+        ys = [next(it).throughput_per_ms for _n in conversations]
+        series.append(Series(f"arch {arch.name}", xs, ys))
+
+    return Figure(
+        experiment_id=experiment_id,
+        title="Synchronization primitives vs the smart bus "
+              f"({mode.value} conversations)",
+        x_label="conversations",
+        y_label="throughput (msgs/ms)",
+        series=series,
+        notes=_cost_notes(syncs))
+
+
+def _cost_notes(syncs) -> list[str]:
+    """Derived Table 6.1-style cost rows, one note per primitive."""
+    from repro.bus.syncedges import derive_sync_cost_table
+    from repro.models.syncmodel import queue_op_cost
+    table = derive_sync_cost_table()
+    notes = ["architecture II re-costed per primitive from the "
+             "microcoded bus-edge derivation (repro.bus.syncedges); "
+             "arch III/IV run queue ops on the smart bus and are "
+             "unaffected"]
+    for sync in syncs:
+        cost = queue_op_cost(sync)
+        edges = "/".join(str(table[sync][op].bus_edges)
+                         for op in ("enqueue", "first", "dequeue"))
+        notes.append(
+            f"{sync}: queue op {cost.queue_op_us:.1f} us "
+            f"({cost.processing_us:.1f} us processing + "
+            f"{cost.memory_cycles:.1f} memory cycles), derived "
+            f"edges enqueue/first/dequeue = {edges}")
+    return notes
+
+
+def sync_comparison_nonlocal(conversations=DEFAULT_CONVERSATIONS, *,
+                             jobs: int | None = None) -> Figure:
+    """The non-local variant (split client/server fixed point)."""
+    return sync_comparison(
+        conversations, Mode.NONLOCAL,
+        experiment_id="sync-comparison-nonlocal", jobs=jobs)

@@ -19,6 +19,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from scipy.sparse.csgraph import connected_components
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.gtpn.reachability import ReachabilityGraph
 
@@ -63,11 +64,16 @@ def stationary_distribution(graph: ReachabilityGraph,
             pi = solve(matrix)
             if pi is not None:
                 return pi
-        except Exception:
+        except (np.linalg.LinAlgError, ValueError):
+            # numerical failure of the direct solve: fall back to
+            # power iteration on the auto path.  Anything else is a
+            # defect and propagates — a bare except here once hid
+            # real bugs behind silent (and slow) fallbacks.
             if method == "linear":
                 raise
         if method == "linear":
             raise AnalysisError("direct stationary solve failed")
+        obs.add("markov.solve_fallback")
     return _solve_power(matrix, graph, tol, max_iterations)
 
 
@@ -164,7 +170,10 @@ def _solve_linear_deflated(matrix: sp.csr_matrix) -> np.ndarray | None:
                              atol=0.0, restart=50, maxiter=40)
         if info != 0:
             x = None
-    except Exception:
+    except (RuntimeError, np.linalg.LinAlgError, ValueError,
+            MemoryError):
+        # spilu raises RuntimeError on an exactly singular factor;
+        # the sparse LU below is the designed fallback for those.
         x = None
     if x is None:
         x = spla.spsolve(block, rhs)

@@ -85,11 +85,17 @@ class SpinLock:
 
 @dataclass
 class LockedOpCost:
-    """Accounting for one locked software queue operation."""
+    """Accounting for one locked software queue operation.
+
+    ``failed`` marks an operation whose queue algorithm raised; its
+    memory cycles were still consumed (the lock round trip and any
+    accesses before the fault) and must not vanish from the books.
+    """
 
     operation: str
     memory_cycles: int
     spins: int
+    failed: bool = False
 
 
 class LockedQueueOps:
@@ -115,15 +121,18 @@ class LockedQueueOps:
     def _locked(self, name: str, fn, *args):
         before = self.memory.cycles
         spins = self.lock.acquire()
+        failed = True
         try:
             result = fn(*args)
+            failed = False
+            return result
         finally:
             self.lock.release()
-        self.history.append(LockedOpCost(
-            operation=name,
-            memory_cycles=self.memory.cycles - before,
-            spins=spins))
-        return result
+            self.history.append(LockedOpCost(
+                operation=name,
+                memory_cycles=self.memory.cycles - before,
+                spins=spins,
+                failed=failed))
 
     def mean_cycles(self, operation: str | None = None) -> float:
         """Mean memory cycles per (matching) operation."""

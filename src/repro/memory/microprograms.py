@@ -72,10 +72,11 @@ ENQUEUE = assemble("enqueue_control_block", [
 
 FIRST = assemble("first_control_block", [
     (Op.IN, "LIST", "OP1"),
+    (Op.MOVI, "FIRST", 0),           # presume empty (FIRST = NULL)
     (Op.MOV, "MAR", "LIST"),
     (Op.READ,),                      # MDR = tail
     (Op.MOV, "TAIL", "MDR"),
-    (Op.BZ, "TAIL", "@empty"),
+    (Op.BZ, "TAIL", "@out"),
     (Op.MOV, "MAR", "TAIL"),
     (Op.READ,),                      # MDR = first
     (Op.MOV, "FIRST", "MDR"),
@@ -84,14 +85,15 @@ FIRST = assemble("first_control_block", [
     (Op.READ,),                      # MDR = first->next
     (Op.MOV, "MAR", "TAIL"),
     (Op.WRITE,),                     # tail->next = first->next
-    (Op.JMP, "@out"),
+    (Op.MOVI, "MDR", 0),
+    (Op.JMP, "@clear"),
     "single:",
     (Op.MOVI, "MDR", 0),
     (Op.MOV, "MAR", "LIST"),
     (Op.WRITE,),                     # list = NULL
-    (Op.JMP, "@out"),
-    "empty:",
-    (Op.MOVI, "FIRST", 0),
+    "clear:",
+    (Op.MOV, "MAR", "FIRST"),
+    (Op.WRITE,),                     # first->next = NULL (recycled)
     "out:",
     (Op.OUT, "FIRST"),
     (Op.RET,),
@@ -100,40 +102,37 @@ FIRST = assemble("first_control_block", [
 DEQUEUE = assemble("dequeue_control_block", [
     (Op.IN, "LIST", "OP1"),
     (Op.IN, "ELEM", "OP2"),
+    (Op.MOVI, "TMP", 0),             # presume miss
     (Op.MOV, "MAR", "LIST"),
     (Op.READ,),
     (Op.MOV, "TAIL", "MDR"),
-    (Op.BZ, "TAIL", "@miss"),        # empty list: no-operation
+    (Op.BZ, "TAIL", "@out"),         # empty list: no-operation
     (Op.MOV, "PREV", "TAIL"),
     "loop:",
     (Op.MOV, "MAR", "PREV"),
     (Op.READ,),
     (Op.MOV, "CURR", "MDR"),         # curr = prev->next
     (Op.BEQ, "CURR", "ELEM", "@found"),
-    (Op.BEQ, "CURR", "TAIL", "@miss"),
+    (Op.BEQ, "CURR", "TAIL", "@out"),
     (Op.MOV, "PREV", "CURR"),
     (Op.JMP, "@loop"),
     "found:",
+    (Op.MOVI, "TMP", 1),
     (Op.BNE, "CURR", "PREV", "@unlink"),
     (Op.MOVI, "MDR", 0),             # singleton: list = NULL
     (Op.MOV, "MAR", "LIST"),
     (Op.WRITE,),
-    (Op.JMP, "@hit"),
+    (Op.JMP, "@out"),
     "unlink:",
     (Op.MOV, "MAR", "ELEM"),
     (Op.READ,),                      # MDR = elem->next
     (Op.MOV, "MAR", "PREV"),
     (Op.WRITE,),                     # prev->next = elem->next
-    (Op.BNE, "TAIL", "ELEM", "@hit"),
+    (Op.BNE, "TAIL", "ELEM", "@out"),
     (Op.MOV, "MDR", "PREV"),
     (Op.MOV, "MAR", "LIST"),
     (Op.WRITE,),                     # dequeued the tail: list = prev
-    "hit:",
-    (Op.MOVI, "TMP", 1),
-    (Op.OUT, "TMP"),
-    (Op.RET,),
-    "miss:",
-    (Op.MOVI, "TMP", 0),
+    "out:",
     (Op.OUT, "TMP"),
     (Op.RET,),
 ])

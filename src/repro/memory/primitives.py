@@ -1,0 +1,428 @@
+"""Pluggable synchronization primitives for the software queue path.
+
+Architecture II runs the section 5.1 queue algorithms in *software*
+under "conventional locking techniques for exclusive access" (section
+4.2.3); Table 6.1 prices one such operation at 60 us of processing
+plus 14 memory cycles.  The thesis's lock is a test-and-set semaphore
+(:class:`~repro.memory.locking.SpinLock`), but nothing in the queue
+algorithms depends on *how* exclusion is achieved — which makes the
+primitive a natural seam.  This module freezes that seam as the
+:class:`QueuePrimitive` protocol and registers four backends:
+
+``tas``
+    Test-and-set spin lock (the thesis baseline):
+    :class:`~repro.memory.locking.LockedQueueOps` behind the protocol.
+    Every operation pays the lock round trip — acquire (read + write)
+    and release (read-check + write) — on top of the bare algorithm.
+
+``cas``
+    Lock-free compare-and-swap loop: the operation runs speculatively
+    against a store buffer, then commits with a single CAS on the list
+    word.  Zero contention costs one extra read (the CAS load-compare);
+    a failed CAS re-pays the attempt's loads plus the failed probe.
+
+``llsc``
+    Load-linked / store-conditional: the algorithm's own first read of
+    the list word is the LL and its last committed write the SC, so
+    the uncontended cost *is* the bare algorithm.  A lost reservation
+    is detected locally by the coherence hardware, so a failed SC
+    charges only the attempt's loads.
+
+``htm``
+    Speculative hardware transaction: begin/commit are
+    processor-internal, stores drain from the transaction's buffer on
+    commit, and an abort discards them (charging only the loads that
+    reached the bus).  After ``max_retries`` aborts the transaction
+    falls back to the ``tas`` lock path, as real HTM runtimes do.
+
+Every backend runs the *same* section 5.1 algorithms from
+:mod:`repro.memory.queues` over the same :class:`SharedMemory`, so
+queue contents are bit-identical across primitives (a hypothesis
+differential suite pins this); they differ only in the recorded
+:class:`OpCost` — memory cycles, bus transactions, and retries.  The
+corresponding *microcoded* cost derivation (envelope micro-routines
+run on the :class:`~repro.memory.microcode.MicroEngine`, priced into
+bus handshake edges) lives in :mod:`repro.bus.syncedges`; ``repro
+validate`` checks that each primitive's measured zero-contention row
+reproduces its derived edge count.
+
+Contention is injected, not emergent: the model is single-threaded, so
+``fail_rate`` gives the seeded probability that an attempt observes
+interference (a held lock, a failed CAS, a lost reservation, an
+abort).  Fixed seed, fixed costs — retry accounting is deterministic.
+
+This module is deliberately *not* imported from
+``repro.memory.__init__``: :mod:`repro.bus` imports ``repro.memory``,
+and the microcoded derivation imports :mod:`repro.bus`, so the package
+initializer must stay free of this layer to keep imports acyclic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import MemoryError_, ReproError
+from repro.memory import queues
+from repro.memory.layout import SharedMemory
+from repro.memory.locking import LOCKED, UNLOCKED, LockedQueueOps
+
+#: Registered primitive names, in cost order (most to least expensive).
+PRIMITIVE_NAMES = ("tas", "cas", "llsc", "htm")
+
+#: Retry ceiling before an optimistic primitive gives up (CAS/LL-SC
+#: raise; HTM falls back to the lock path).  Far above any plausible
+#: injected fail rate's run length at the default.
+DEFAULT_MAX_RETRIES = 64
+
+#: Aborts before an HTM transaction falls back to the TAS lock.
+DEFAULT_HTM_RETRIES = 4
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Accounting for one queue operation under one primitive.
+
+    ``memory_cycles`` counts every access that reached the shared
+    memory; ``reads``/``writes`` split ``bus_transactions`` by
+    direction (each access is one bus transaction on the conventional
+    bus, which is what prices the operation in handshake edges —
+    :mod:`repro.bus.syncedges`).  ``retries`` counts failed attempts:
+    spins for ``tas``, failed CAS/SC for ``cas``/``llsc``, aborts for
+    ``htm``.  ``failed`` marks an operation whose algorithm raised;
+    its cycles were still consumed and stay on the books.
+    """
+
+    operation: str
+    memory_cycles: int
+    bus_transactions: int
+    reads: int
+    writes: int
+    retries: int = 0
+    failed: bool = False
+
+
+@runtime_checkable
+class QueuePrimitive(Protocol):
+    """The frozen seam every synchronization backend implements."""
+
+    name: str
+    history: list[OpCost]
+
+    def enqueue(self, element: int, list_addr: int) -> None: ...
+
+    def first(self, list_addr: int) -> int: ...
+
+    def dequeue(self, element: int, list_addr: int) -> bool: ...
+
+
+class _BusCounter:
+    """Access-counting proxy over a :class:`SharedMemory`.
+
+    Every read and write is one transaction on the conventional bus;
+    the per-direction counts are what :mod:`repro.bus.syncedges`
+    multiplies into handshake edges.
+    """
+
+    def __init__(self, memory: SharedMemory):
+        self.memory = memory
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.memory.cycles
+
+    @property
+    def size(self) -> int:
+        return self.memory.size
+
+    def read(self, address: int) -> int:
+        self.reads += 1
+        return self.memory.read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self.writes += 1
+        self.memory.write(address, value)
+
+
+class _StoreBuffer:
+    """Speculative store buffer over the counted bus.
+
+    Loads pass through to the shared memory (they are real bus
+    transactions whether or not the attempt commits), with
+    store-to-load forwarding from the local buffer at zero cost.
+    Stores are buffered in program order until :meth:`commit` drains
+    them to memory; an abandoned buffer is simply dropped.
+    """
+
+    def __init__(self, bus: _BusCounter):
+        self._bus = bus
+        self._local: dict[int, int] = {}
+        self._order: list[tuple[int, int]] = []
+
+    @property
+    def size(self) -> int:
+        return self._bus.size
+
+    def read(self, address: int) -> int:
+        if address in self._local:
+            return self._local[address]
+        return self._bus.read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self._local[address] = value
+        self._order.append((address, value))
+
+    def commit(self) -> None:
+        for address, value in self._order:
+            self._bus.write(address, value)
+
+
+class _PrimitiveBase:
+    """Shared bookkeeping: counted bus, seeded rng, cost history."""
+
+    name = "?"
+
+    def __init__(self, memory: SharedMemory, lock_address: int, *,
+                 fail_rate: float = 0.0, seed: int = 0,
+                 max_retries: int = DEFAULT_MAX_RETRIES):
+        if not 0.0 <= fail_rate < 1.0:
+            raise ReproError(
+                f"fail_rate must be in [0, 1), got {fail_rate}")
+        self._bus = _BusCounter(memory)
+        self.lock_address = lock_address
+        self.fail_rate = float(fail_rate)
+        self.max_retries = int(max_retries)
+        self._rng = random.Random(seed)
+        self._retries = 0
+        self.history: list[OpCost] = []
+
+    # -- the protocol surface ------------------------------------------
+    def enqueue(self, element: int, list_addr: int) -> None:
+        self._run("enqueue", list_addr, queues.enqueue, element,
+                  list_addr)
+
+    def first(self, list_addr: int) -> int:
+        return self._run("first", list_addr, queues.first, list_addr)
+
+    def dequeue(self, element: int, list_addr: int) -> bool:
+        return self._run("dequeue", list_addr, queues.dequeue, element,
+                         list_addr)
+
+    # -- accounting ----------------------------------------------------
+    def _run(self, operation: str, list_addr: int, fn, *args):
+        reads0, writes0 = self._bus.reads, self._bus.writes
+        cycles0 = self._bus.cycles
+        self._retries = 0
+        failed = True
+        try:
+            result = self._execute(list_addr, fn, args)
+            failed = False
+            return result
+        finally:
+            reads = self._bus.reads - reads0
+            writes = self._bus.writes - writes0
+            self.history.append(OpCost(
+                operation=operation,
+                memory_cycles=self._bus.cycles - cycles0,
+                bus_transactions=reads + writes,
+                reads=reads, writes=writes,
+                retries=self._retries, failed=failed))
+
+    def _execute(self, list_addr: int, fn, args):
+        raise NotImplementedError
+
+    def _contended(self, retries: int) -> bool:
+        """One seeded interference draw, capped at ``max_retries``."""
+        return retries < self.max_retries and \
+            self._rng.random() < self.fail_rate
+
+    def mean_cycles(self, operation: str | None = None) -> float:
+        relevant = [c for c in self.history
+                    if operation is None or c.operation == operation]
+        if not relevant:
+            raise MemoryError_("no operations recorded")
+        return sum(c.memory_cycles for c in relevant) / len(relevant)
+
+    def total_retries(self) -> int:
+        return sum(c.retries for c in self.history)
+
+
+class TasQueue(_PrimitiveBase):
+    """Test-and-set spin lock — the thesis baseline behind the seam.
+
+    Delegates to :class:`~repro.memory.locking.LockedQueueOps` so the
+    lock discipline (and its cycle accounting) is exactly the
+    architecture II path.  Injected contention charges one read per
+    spin: a failed test-and-set observes the held word and writes
+    nothing.
+    """
+
+    name = "tas"
+
+    def __init__(self, memory: SharedMemory, lock_address: int, *,
+                 fail_rate: float = 0.0, seed: int = 0,
+                 max_retries: int = DEFAULT_MAX_RETRIES):
+        super().__init__(memory, lock_address, fail_rate=fail_rate,
+                         seed=seed, max_retries=max_retries)
+        self._ops = LockedQueueOps(self._bus, lock_address)
+
+    def _execute(self, list_addr: int, fn, args):
+        while self._contended(self._retries):
+            self._bus.read(self.lock_address)
+            self._retries += 1
+        result = fn(self._bus, *args)
+        self._retries += self._ops.history[-1].spins
+        return result
+
+    def enqueue(self, element: int, list_addr: int) -> None:
+        self._run("enqueue", list_addr, self._locked_enqueue, element,
+                  list_addr)
+
+    def first(self, list_addr: int) -> int:
+        return self._run("first", list_addr, self._locked_first,
+                         list_addr)
+
+    def dequeue(self, element: int, list_addr: int) -> bool:
+        return self._run("dequeue", list_addr, self._locked_dequeue,
+                         element, list_addr)
+
+    # LockedQueueOps already holds the counted bus, so these adapters
+    # only bridge the argument orders.
+    def _locked_enqueue(self, bus, element, list_addr):
+        return self._ops.enqueue(element, list_addr)
+
+    def _locked_first(self, bus, list_addr):
+        return self._ops.first(list_addr)
+
+    def _locked_dequeue(self, bus, element, list_addr):
+        return self._ops.dequeue(element, list_addr)
+
+
+class _OptimisticBase(_PrimitiveBase):
+    """Common retry loop of the lock-free backends.
+
+    Each attempt runs the algorithm against a fresh store buffer; the
+    seeded interference draw decides whether the commit point fails
+    (re-running the attempt) or succeeds (draining the buffer).
+    Subclasses price the abort and the commit.
+    """
+
+    def _execute(self, list_addr: int, fn, args):
+        while True:
+            buffer = _StoreBuffer(self._bus)
+            result = fn(buffer, *args)
+            if self._contended(self._retries):
+                self._retries += 1
+                self._abort(list_addr)
+                continue
+            if self._retries >= self.max_retries:
+                return self._give_up(list_addr, fn, args)
+            self._commit(list_addr, buffer)
+            return result
+
+    def _abort(self, list_addr: int) -> None:
+        raise NotImplementedError
+
+    def _commit(self, list_addr: int, buffer: _StoreBuffer) -> None:
+        raise NotImplementedError
+
+    def _give_up(self, list_addr: int, fn, args):
+        raise MemoryError_(
+            f"{self.name} queue @{list_addr}: exceeded "
+            f"{self.max_retries} retries under injected contention")
+
+
+class CasQueue(_OptimisticBase):
+    """Lock-free compare-and-swap commit on the list word."""
+
+    name = "cas"
+
+    def _abort(self, list_addr: int) -> None:
+        # the failed CAS still performed its load-compare on the bus
+        self._bus.read(list_addr)
+
+    def _commit(self, list_addr: int, buffer: _StoreBuffer) -> None:
+        # successful CAS: one load-compare, then the buffered stores
+        # (the swap itself is the buffered write of the list word)
+        self._bus.read(list_addr)
+        buffer.commit()
+
+
+class LlScQueue(_OptimisticBase):
+    """Load-linked / store-conditional on the list word.
+
+    The attempt's own first read of the list word is the LL and its
+    last committed write the SC, so success adds nothing to the bare
+    algorithm; a lost reservation is detected locally (no bus
+    transaction) before the SC completes.
+    """
+
+    name = "llsc"
+
+    def _abort(self, list_addr: int) -> None:
+        pass
+
+    def _commit(self, list_addr: int, buffer: _StoreBuffer) -> None:
+        buffer.commit()
+
+
+class HtmQueue(_OptimisticBase):
+    """Speculative hardware transaction with a lock fallback.
+
+    Begin/commit are processor-internal (they cost micro-cycles in the
+    derived table, not memory cycles); an abort discards the store
+    buffer, charging only the loads that already reached the bus.
+    After ``max_retries`` aborts the operation re-runs under the TAS
+    lock — the standard HTM fallback path — paying the lock round trip
+    on top of the bare algorithm.
+    """
+
+    name = "htm"
+
+    def __init__(self, memory: SharedMemory, lock_address: int, *,
+                 fail_rate: float = 0.0, seed: int = 0,
+                 max_retries: int = DEFAULT_HTM_RETRIES):
+        super().__init__(memory, lock_address, fail_rate=fail_rate,
+                         seed=seed, max_retries=max_retries)
+        self.fallbacks = 0
+
+    def _abort(self, list_addr: int) -> None:
+        pass
+
+    def _commit(self, list_addr: int, buffer: _StoreBuffer) -> None:
+        buffer.commit()
+
+    def _give_up(self, list_addr: int, fn, args):
+        self.fallbacks += 1
+        # acquire the fallback lock: test-and-set (read + write)
+        self._bus.read(self.lock_address)
+        self._bus.write(self.lock_address, LOCKED)
+        try:
+            buffer = _StoreBuffer(self._bus)
+            result = fn(buffer, *args)
+            buffer.commit()
+        finally:
+            # release: read-check + write, as SpinLock.release does
+            self._bus.read(self.lock_address)
+            self._bus.write(self.lock_address, UNLOCKED)
+        return result
+
+
+#: The registry the ``--sync`` / ``REPRO_SYNC`` axis selects from.
+PRIMITIVES: dict[str, type] = {
+    "tas": TasQueue,
+    "cas": CasQueue,
+    "llsc": LlScQueue,
+    "htm": HtmQueue,
+}
+
+
+def create_primitive(name: str, memory: SharedMemory,
+                     lock_address: int, **options) -> QueuePrimitive:
+    """Instantiate a registered primitive by (normalized) name."""
+    from repro import config
+    cls = PRIMITIVES[config.normalize_sync(name, source="primitive")]
+    return cls(memory, lock_address, **options)

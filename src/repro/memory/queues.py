@@ -45,6 +45,11 @@ def first(memory: SharedMemory, list_addr: int) -> int:
     Pseudo-code of section 5.1 primitive (2): "list" is set to NULL
     when the last element is removed, otherwise it keeps pointing at
     the unchanged tail.
+
+    The removed element's NEXT link is cleared: a dequeued block is
+    recycled onto other lists (free list -> message queue -> free
+    list), and a stale link aimed into the old list would survive any
+    window between removal and re-enqueue.
     """
     tail = memory.read(list_addr)
     if tail == NULL:
@@ -55,6 +60,7 @@ def first(memory: SharedMemory, list_addr: int) -> int:
     else:
         second = memory.read(head + NEXT_OFFSET)
         memory.write(tail + NEXT_OFFSET, second)
+    memory.write(head + NEXT_OFFSET, NULL)
     return head
 
 

@@ -99,7 +99,9 @@ def solve_nonlocal(architecture: Architecture, conversations: int,
                    tolerance: float = DEFAULT_TOLERANCE,
                    max_iterations: int = DEFAULT_MAX_ITERATIONS,
                    damping: float = 0.5,
-                   hosts: int = 1) -> NonlocalSolution:
+                   hosts: int = 1,
+                   client_params=None,
+                   server_params=None) -> NonlocalSolution:
     """Fixed-point solution of the non-local conversation model.
 
     ``damping`` blends successive S_d estimates (new = d*new +
@@ -107,9 +109,15 @@ def solve_nonlocal(architecture: Architecture, conversations: int,
     for heavily loaded models without changing the fixed point.
     ``hosts`` sets the host count per node (the published curves use
     one; the thesis's own validation model used two).
+    ``client_params`` / ``server_params`` override the activity means
+    of the two split nets together (the
+    :mod:`repro.models.syncmodel` seam); defaults are the committed
+    tables for *architecture*.
     """
-    client_params = NONLOCAL_CLIENT_PARAMS[architecture]
-    server_params = NONLOCAL_SERVER_PARAMS[architecture]
+    if client_params is None:
+        client_params = NONLOCAL_CLIENT_PARAMS[architecture]
+    if server_params is None:
+        server_params = NONLOCAL_SERVER_PARAMS[architecture]
     s_c = server_params.receive_path
     dma_constant = server_params.dma_in + server_params.dma_out
 
@@ -125,7 +133,7 @@ def solve_nonlocal(architecture: Architecture, conversations: int,
     for iteration in range(1, max_iterations + 1):
         client_net = build_nonlocal_client_net(
             architecture, conversations, max(server_delay, _MIN_DELAY),
-            hosts=hosts)
+            hosts=hosts, params=client_params)
         client_result = client_solver.analyze(client_net)
         throughput = client_result.throughput("lambda")
         if throughput <= 0:
@@ -136,7 +144,7 @@ def solve_nonlocal(architecture: Architecture, conversations: int,
 
         server_net = build_nonlocal_server_net(
             architecture, conversations, client_delay, compute_time,
-            hosts=hosts)
+            hosts=hosts, params=server_params)
         server_result = server_solver.analyze(server_net)
         arrival_rate = server_result.resource_usage("lambda_in")
         if arrival_rate <= 0:

@@ -25,7 +25,8 @@ from repro.models.params import (LOCAL_PARAMS, Architecture,
 
 
 def build_local_net(architecture: Architecture, conversations: int,
-                    compute_time: float = 0.0, hosts: int = 1) -> Net:
+                    compute_time: float = 0.0, hosts: int = 1,
+                    params: LocalModelParams | None = None) -> Net:
     """The local-conversation net for one architecture.
 
     ``compute_time`` is X in the thesis's frequency expressions
@@ -33,6 +34,9 @@ def build_local_net(architecture: Architecture, conversations: int,
     extends the node to a shared-memory multiprocessor with several
     hosts served by the single message coprocessor (chapter 7,
     Figure 7.1); the thesis's published results use one host.
+    ``params`` overrides the Table 6.5/6.10/6.15/6.20 activity means
+    (the seam :mod:`repro.models.syncmodel` re-costs architecture II
+    through); the default is the committed table for *architecture*.
     """
     if conversations < 1:
         raise ModelError("need at least one conversation")
@@ -40,7 +44,8 @@ def build_local_net(architecture: Architecture, conversations: int,
         raise ModelError("compute time must be non-negative")
     if hosts < 1:
         raise ModelError("need at least one host")
-    params = LOCAL_PARAMS[architecture]
+    if params is None:
+        params = LOCAL_PARAMS[architecture]
     if architecture is Architecture.I:
         return _uniprocessor_net(params, conversations, compute_time,
                                  hosts)

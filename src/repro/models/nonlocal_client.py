@@ -25,12 +25,16 @@ from repro.models.params import (NONLOCAL_CLIENT_PARAMS, Architecture,
 def build_nonlocal_client_net(architecture: Architecture,
                               conversations: int,
                               server_delay: float,
-                              hosts: int = 1) -> Net:
+                              hosts: int = 1,
+                              params: NonlocalClientParams | None = None,
+                              ) -> Net:
     """The client-node net with surrogate server delay S_d (us).
 
     ``hosts`` > 1 models a multiprocessor node (the thesis's
     experimental 925 nodes had two hosts; its Figure 6.15 validation
-    model "had two tokens" in the Host places).
+    model "had two tokens" in the Host places).  ``params`` overrides
+    the Table 6.7/6.12/6.17/6.22 activity means (the
+    :mod:`repro.models.syncmodel` seam).
     """
     if conversations < 1:
         raise ModelError("need at least one conversation")
@@ -38,7 +42,8 @@ def build_nonlocal_client_net(architecture: Architecture,
         raise ModelError("server delay must be at least one microsecond")
     if hosts < 1:
         raise ModelError("need at least one host")
-    params = NONLOCAL_CLIENT_PARAMS[architecture]
+    if params is None:
+        params = NONLOCAL_CLIENT_PARAMS[architecture]
     net = Net(f"arch{architecture.name}-nonlocal-client-"
               f"n{conversations}-h{hosts}")
 

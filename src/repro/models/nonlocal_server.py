@@ -33,11 +33,15 @@ def build_nonlocal_server_net(architecture: Architecture,
                               conversations: int,
                               client_delay: float,
                               compute_time: float = 0.0,
-                              hosts: int = 1) -> Net:
+                              hosts: int = 1,
+                              params: NonlocalServerParams | None = None,
+                              ) -> Net:
     """The server-node net with surrogate client delay C_d (us).
 
     ``hosts`` > 1 models a multiprocessor node (see
     :func:`repro.models.nonlocal_client.build_nonlocal_client_net`).
+    ``params`` overrides the Table 6.8/6.13/6.18/6.23 activity means
+    (the :mod:`repro.models.syncmodel` seam).
     """
     if conversations < 1:
         raise ModelError("need at least one conversation")
@@ -47,7 +51,8 @@ def build_nonlocal_server_net(architecture: Architecture,
         raise ModelError("compute time must be non-negative")
     if hosts < 1:
         raise ModelError("need at least one host")
-    params = NONLOCAL_SERVER_PARAMS[architecture]
+    if params is None:
+        params = NONLOCAL_SERVER_PARAMS[architecture]
     net = Net(f"arch{architecture.name}-nonlocal-server-"
               f"n{conversations}-h{hosts}")
 

@@ -29,6 +29,9 @@ class ThroughputResult:
     conversations: int
     compute_time: float       # X, microseconds
     throughput: float         # round trips per microsecond (Lambda)
+    #: synchronization primitive the software queue path was costed
+    #: with (architecture II only; others always report "tas")
+    sync: str = "tas"
 
     @property
     def throughput_per_ms(self) -> float:
@@ -41,28 +44,59 @@ class ThroughputResult:
 
 
 def solve(architecture: Architecture, mode: Mode, conversations: int,
-          compute_time: float = 0.0) -> ThroughputResult:
-    """Solve one architecture model at one workload point."""
+          compute_time: float = 0.0,
+          sync: str | None = None) -> ThroughputResult:
+    """Solve one architecture model at one workload point.
+
+    ``sync`` selects the synchronization primitive costing the
+    architecture II software queue path (``tas``/``cas``/``llsc``/
+    ``htm``, see :mod:`repro.models.syncmodel`); ``None`` resolves the
+    ambient ``--sync`` / ``REPRO_SYNC`` configuration.  Architectures
+    I/III/IV have no software queue path, so the knob normalizes to
+    the ``tas`` baseline there and the results are unchanged.
+    """
     if conversations < 1:
         raise ModelError("need at least one conversation")
     if compute_time < 0:
         raise ModelError("compute time must be non-negative")
+    sync = _resolve_sync(architecture, sync)
     throughput = _solve_cached(architecture, mode, conversations,
-                               float(compute_time))
+                               float(compute_time), sync)
     return ThroughputResult(architecture=architecture, mode=mode,
                             conversations=conversations,
                             compute_time=compute_time,
-                            throughput=throughput)
+                            throughput=throughput, sync=sync)
+
+
+def _resolve_sync(architecture: Architecture,
+                  sync: str | None) -> str:
+    """Normalize the primitive; only architecture II is sensitive."""
+    from repro import config
+    name = config.sync() if sync is None else \
+        config.normalize_sync(sync, source="sync")
+    return name if architecture is Architecture.II else "tas"
 
 
 @lru_cache(maxsize=4096)
 def _solve_cached(architecture: Architecture, mode: Mode,
-                  conversations: int, compute_time: float) -> float:
+                  conversations: int, compute_time: float,
+                  sync: str = "tas") -> float:
     if mode is Mode.LOCAL:
-        net = build_local_net(architecture, conversations, compute_time)
+        params = None
+        if sync != "tas":
+            from repro.models import syncmodel
+            params = syncmodel.local_params(sync)
+        net = build_local_net(architecture, conversations, compute_time,
+                              params=params)
         return analyze(net).throughput()
+    client_params = server_params = None
+    if sync != "tas":
+        from repro.models import syncmodel
+        client_params = syncmodel.nonlocal_client_params(sync)
+        server_params = syncmodel.nonlocal_server_params(sync)
     solution: NonlocalSolution = solve_nonlocal(
-        architecture, conversations, compute_time)
+        architecture, conversations, compute_time,
+        client_params=client_params, server_params=server_params)
     return solution.throughput
 
 
@@ -124,7 +158,8 @@ def reference_point(architecture: Architecture, mode: Mode,
         solution_throughput=solution.throughput)
 
 
-def communication_time(architecture: Architecture, mode: Mode) -> float:
+def communication_time(architecture: Architecture, mode: Mode,
+                       sync: str | None = None) -> float:
     """C: round-trip communication time of one unloaded conversation.
 
     Defined as the reciprocal of the single-conversation throughput at
@@ -133,7 +168,8 @@ def communication_time(architecture: Architecture, mode: Mode) -> float:
     while the coprocessor architectures pipeline and come in below the
     sum (section 6.9.2).
     """
-    return 1.0 / solve(architecture, mode, 1, 0.0).throughput
+    return 1.0 / solve(architecture, mode, 1, 0.0,
+                       sync=sync).throughput
 
 
 def offered_load(architecture: Architecture, mode: Mode,
@@ -159,8 +195,17 @@ def solve_grid(points: list[tuple[Architecture, Mode, int, float]], *,
     state space, so a grid costs one build per structure plus one
     linear solve per point.  The persistent worker pool primes workers
     from the shared cache, so the fan-out shares skeletons too.
+
+    Points may carry a fifth element naming the synchronization
+    primitive; 4-tuples get the ambient ``--sync`` configuration
+    resolved *here*, in the parent — worker processes do not inherit
+    CLI configuration, so the primitive always ships inside the point.
     """
-    return map_sweep(solve, points, jobs=jobs, star=True)
+    from repro import config
+    default_sync = config.sync()
+    expanded = [point if len(point) >= 5 else (*point, default_sync)
+                for point in points]
+    return map_sweep(solve, expanded, jobs=jobs, star=True)
 
 
 def solve_offered_load_grid(
@@ -171,9 +216,16 @@ def solve_offered_load_grid(
     The realistic-workload figures (6.18/6.19/6.22/6.23) are grids of
     (architecture, mode, conversations, load, reference) tuples; this
     fans them out with the same structure-sharing and serial-fallback
-    behaviour as :func:`solve_grid`.
+    behaviour as :func:`solve_grid` — including parent-side resolution
+    of the ambient synchronization primitive for 5-tuples (a sixth
+    element overrides it per point).
     """
-    return map_sweep(solve_at_offered_load, points, jobs=jobs, star=True)
+    from repro import config
+    default_sync = config.sync()
+    expanded = [point if len(point) >= 6 else (*point, default_sync)
+                for point in points]
+    return map_sweep(solve_at_offered_load, expanded, jobs=jobs,
+                     star=True)
 
 
 def offered_load_table(mode: Mode, *,
@@ -197,26 +249,38 @@ def offered_load_table(mode: Mode, *,
 
 
 def server_time_for_offered_load(architecture: Architecture, mode: Mode,
-                                 load: float) -> float:
-    """Invert the offered-load definition: S = C (1 - o) / o."""
+                                 load: float,
+                                 sync: str | None = "tas") -> float:
+    """Invert the offered-load definition: S = C (1 - o) / o.
+
+    ``sync`` defaults to the pinned ``tas`` baseline (not the ambient
+    configuration): this normalization anchors the x axis of the
+    realistic-workload figures, and it must agree between the parent
+    process and CLI-configuration-free sweep workers.
+    """
     if not 0 < load <= 1:
         raise ModelError("offered load must be in (0, 1]")
-    c = communication_time(architecture, mode)
+    c = communication_time(architecture, mode, sync=sync)
     return c * (1.0 - load) / load
 
 
 def solve_at_offered_load(architecture: Architecture, mode: Mode,
                           conversations: int, load: float,
                           reference: Architecture = Architecture.I,
+                          sync: str | None = None,
                           ) -> ThroughputResult:
     """Solve one grid point of the realistic-workload figures.
 
     Self-contained (it derives the server time from the reference
     architecture's offered-load normalization itself), so a sweep over
-    such points ships cleanly to worker processes.
+    such points ships cleanly to worker processes.  ``sync`` prices
+    the solved architecture's software queue path; the *reference*
+    normalization deliberately stays at the committed baseline so
+    equal server times keep lining up across primitives.
     """
     server_time = server_time_for_offered_load(reference, mode, load)
-    return solve(architecture, mode, conversations, server_time)
+    return solve(architecture, mode, conversations, server_time,
+                 sync=sync)
 
 
 def throughput_vs_offered_load(architecture: Architecture, mode: Mode,

@@ -29,6 +29,7 @@ import threading
 from collections import OrderedDict
 from pathlib import Path
 
+from repro import obs
 from repro.service.jobs import JobKey
 
 
@@ -45,6 +46,7 @@ class ResultStore:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.spill_failures = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -93,8 +95,11 @@ class ResultStore:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except Exception:
-            # torn or stale entry: delete and treat as a miss
+        except (pickle.UnpicklingError, EOFError, OSError):
+            # torn or stale entry: delete and treat as a miss.
+            # Anything else (a programming error in a stored object's
+            # __setstate__, a missing class) propagates — the cache
+            # must not paper over defects.
             path.unlink(missing_ok=True)
             return None
 
@@ -109,8 +114,14 @@ class ResultStore:
                 pickle.dump(result, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except Exception:
-            # unpicklable extras or a full disk: memory-only entry
+        except (pickle.PicklingError, TypeError, AttributeError,
+                OSError):
+            # unpicklable extras or a full disk: the entry stays
+            # memory-only, but the degradation is counted so a store
+            # silently running without its disk tier shows up in
+            # ``stats()`` / ``repro serve --stats``.
+            self.spill_failures += 1
+            obs.add("store.spill_failure")
             try:
                 os.unlink(tmp_name)
             except OSError:
@@ -141,5 +152,6 @@ class ResultStore:
             return {"entries": len(self._memory),
                     "disk_entries": self.disk_entries(),
                     "hits": self.hits, "misses": self.misses,
+                    "spill_failures": self.spill_failures,
                     "directory": str(self.directory)
                     if self.directory is not None else None}

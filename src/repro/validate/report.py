@@ -140,6 +140,9 @@ class ValidationReport:
     scoreboard: dict
     execution: dict
     config_snapshot: dict = field(default_factory=dict)
+    #: per-primitive measured-vs-derived zero-contention parity
+    #: (:func:`_sync_section`); empty means the section did not run
+    sync: dict = field(default_factory=dict)
 
     @property
     def check_count(self) -> int:
@@ -156,6 +159,11 @@ class ValidationReport:
             failed.append("baseline-drift")
         if not self.scoreboard.get("ok", True):
             failed.append("scoreboard")
+        for primitive, entry in self.sync.get("primitives",
+                                              {}).items():
+            failed += [f"sync-{primitive}-{row['operation']}"
+                       for row in entry["operations"]
+                       if not row["ok"]]
         return failed
 
     @property
@@ -173,6 +181,7 @@ class ValidationReport:
             "metamorphic": [m.as_dict() for m in self.metamorphic],
             "baseline": self.baseline,
             "scoreboard": self.scoreboard,
+            "sync": self.sync,
             "execution": self.execution,
             "summary": {
                 "points": len(self.points),
@@ -219,6 +228,7 @@ class ValidationReport:
             _baseline_note(self.baseline),
             f"scoreboard: {score.get('passed')}/{score.get('total')} "
             "paper claims pass",
+            _sync_note(self.sync),
             self.execution.get("pool_note", ""),
         ]
         return Table(
@@ -246,6 +256,43 @@ def _baseline_note(section: dict) -> str:
     suffix = f" ({', '.join(extras)})" if extras else ""
     return (f"baseline: {state}{suffix} — {section.get('checked', 0)} "
             f"configs vs {section.get('path')}")
+
+
+def _sync_note(section: dict) -> str:
+    if not section:
+        return ""
+    state = "OK" if section.get("ok") else "MISMATCH"
+    checked = sum(len(entry["operations"])
+                  for entry in section.get("primitives", {}).values())
+    return (f"sync primitives: {state} — {checked} zero-contention "
+            f"cost rows vs microcoded edge counts (tolerance "
+            f"{section.get('tolerance_edges')} edges)")
+
+
+def _sync_section() -> dict:
+    """Measured-vs-derived parity of every registered primitive.
+
+    For each primitive the zero-contention cost row measured from the
+    Python implementation must reproduce the bus-edge count derived by
+    micro-executing the same operation plus its synchronization
+    envelope (:mod:`repro.bus.syncedges`), within the declared
+    tolerance.
+    """
+    from repro.bus.syncedges import (ZERO_CONTENTION_EDGE_TOLERANCE,
+                                     zero_contention_parity)
+    from repro.memory.primitives import PRIMITIVE_NAMES
+    primitives = {}
+    for name in PRIMITIVE_NAMES:
+        rows = zero_contention_parity(name)
+        primitives[name] = {
+            "operations": rows,
+            "ok": all(row["ok"] for row in rows),
+        }
+    return {
+        "ok": all(entry["ok"] for entry in primitives.values()),
+        "tolerance_edges": ZERO_CONTENTION_EDGE_TOLERANCE,
+        "primitives": primitives,
+    }
 
 
 def _scoreboard_section() -> dict:
@@ -321,6 +368,8 @@ def run_validation(grid_name: str = "full", *,
             metamorphic = run_metamorphic_checks(base_seed)
         with obs.span("validate.scoreboard"):
             scoreboard = _scoreboard_section()
+        with obs.span("validate.sync"):
+            sync = _sync_section()
         path = (baseline_mod.default_path()
                 if baseline_path is None else baseline_path) \
             if check_baseline else None
@@ -333,7 +382,7 @@ def run_validation(grid_name: str = "full", *,
     report = ValidationReport(
         grid_name=grid_name, seed=base_seed, points=points,
         metamorphic=metamorphic, baseline=baseline,
-        scoreboard=scoreboard,
+        scoreboard=scoreboard, sync=sync,
         execution={"pool_note": pool_note,
                    "elapsed_s": round(elapsed, 3)},
         config_snapshot=config.resolved_config().as_dict())
@@ -398,7 +447,8 @@ def validate_report(path: str | Path) -> dict:
     declared_ok = summary.get("ok")
     actual_ok = (not recounted and not recounted_meta
                  and payload["baseline"].get("ok", True)
-                 and payload["scoreboard"].get("ok", True))
+                 and payload["scoreboard"].get("ok", True)
+                 and payload.get("sync", {}).get("ok", True))
     if bool(declared_ok) != actual_ok:
         raise ReproError(
             f"report {path}: summary.ok={declared_ok!r} but the "

@@ -1,0 +1,90 @@
+"""Tests for the microcoded synchronization-cost derivation.
+
+The table must be *computed* from micro-execution and handshake-edge
+pricing, and the computation must agree exactly with the Python
+primitives it models — that parity is what ``repro validate`` gates
+on, so it is pinned here at the declared (zero-edge) tolerance.
+"""
+
+import pytest
+
+from repro.bus.commands import BusCommand, handshake_edges
+from repro.bus.syncedges import (ENVELOPES, OPERATIONS,
+                                 ZERO_CONTENTION_EDGE_TOLERANCE,
+                                 derive_sync_cost_table,
+                                 measure_primitive_costs,
+                                 zero_contention_parity)
+from repro.memory.microprograms import (CONTROL_STORE,
+                                        control_store_bits,
+                                        control_store_words)
+from repro.memory.primitives import PRIMITIVE_NAMES
+
+#: Bare algorithm bus accesses over the canonical scenarios (enqueue
+#: onto two elements, first from three, dequeue of the middle of
+#: three), as (reads, writes).
+BARE = {"enqueue": (2, 3), "first": (3, 2), "dequeue": (4, 1)}
+
+#: Envelope accesses each primitive adds on top of the bare algorithm.
+ENVELOPE = {"tas": (2, 2), "cas": (1, 0), "llsc": (0, 0),
+            "htm": (0, 0)}
+
+
+def test_table_covers_every_primitive_and_operation():
+    table = derive_sync_cost_table()
+    assert set(table) == set(PRIMITIVE_NAMES)
+    for rows in table.values():
+        assert set(rows) == set(OPERATIONS)
+
+
+@pytest.mark.parametrize("primitive", PRIMITIVE_NAMES)
+@pytest.mark.parametrize("operation", OPERATIONS)
+def test_derived_edges_are_bare_plus_envelope(primitive, operation):
+    row = derive_sync_cost_table()[primitive][operation]
+    reads = BARE[operation][0] + ENVELOPE[primitive][0]
+    writes = BARE[operation][1] + ENVELOPE[primitive][1]
+    assert (row.reads, row.writes) == (reads, writes)
+    expected = (reads * handshake_edges(BusCommand.SIMPLE_READ)
+                + writes * handshake_edges(BusCommand.WRITE_TWO_BYTES))
+    assert row.bus_edges == expected
+    assert row.memory_cycles == reads + writes
+
+
+def test_cost_ordering_matches_envelope_weight():
+    """TAS > CAS > LL/SC edges; HTM ties LL/SC on the bus but pays
+    begin/commit micro-cycles."""
+    table = derive_sync_cost_table()
+    for operation in OPERATIONS:
+        tas, cas, llsc, htm = (table[p][operation].bus_edges
+                               for p in PRIMITIVE_NAMES)
+        assert tas > cas > llsc
+        assert htm == llsc
+        assert table["htm"][operation].micro_cycles > \
+            table["llsc"][operation].micro_cycles
+
+
+@pytest.mark.parametrize("primitive", PRIMITIVE_NAMES)
+def test_measured_matches_derived_at_declared_tolerance(primitive):
+    assert ZERO_CONTENTION_EDGE_TOLERANCE == 0
+    for row in zero_contention_parity(primitive):
+        assert row["ok"], row
+        assert row["derived_edges"] == row["measured_edges"]
+        assert row["derived_cycles"] == row["measured_cycles"]
+
+
+@pytest.mark.parametrize("primitive", PRIMITIVE_NAMES)
+def test_measured_costs_are_clean_zero_contention_rows(primitive):
+    for cost in measure_primitive_costs(primitive).values():
+        assert cost.retries == 0
+        assert not cost.failed
+
+
+def test_envelopes_stay_out_of_the_control_store():
+    """The envelopes model host-side software; the smart-bus budget of
+    section 5.5 (123 words, 2952 < 3000 bits) must be untouched."""
+    envelope_routines = {
+        routine.name for envelope in ENVELOPES.values()
+        for routine, _operand in envelope if routine != "op"}
+    assert envelope_routines.isdisjoint(
+        {routine.name for routine in CONTROL_STORE})
+    assert control_store_words() == 123
+    assert control_store_bits() == 2952

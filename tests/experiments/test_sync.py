@@ -1,0 +1,48 @@
+"""Tests for the sync-comparison experiment."""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.sync import sync_comparison
+from repro.models import Architecture, Mode, solve
+
+
+def test_registered_with_heavy_nonlocal_variant():
+    light = get_experiment("sync-comparison")
+    heavy = get_experiment("sync-comparison-nonlocal")
+    assert light.kind == "figure" and not light.heavy
+    assert heavy.kind == "figure" and heavy.heavy
+
+
+@pytest.fixture(scope="module")
+def quick_figure():
+    return sync_comparison(conversations=(1, 2),
+                           syncs=("tas", "llsc"), jobs=1)
+
+
+def test_one_series_per_primitive_plus_references(quick_figure):
+    assert [s.label for s in quick_figure.series] == \
+        ["arch II (tas)", "arch II (llsc)", "arch III", "arch IV"]
+    for series in quick_figure.series:
+        assert series.x == [1.0, 2.0]
+        assert len(series.y) == 2
+
+
+def test_tas_series_is_the_unmodified_baseline(quick_figure):
+    baseline = [solve(Architecture.II, Mode.LOCAL, n).throughput_per_ms
+                for n in (1, 2)]
+    assert quick_figure.series[0].y == baseline
+
+
+def test_cheaper_primitive_lifts_but_does_not_beat_smart_bus(
+        quick_figure):
+    tas, llsc, arch3, _arch4 = quick_figure.series
+    for baseline, fast, smart in zip(tas.y, llsc.y, arch3.y):
+        assert baseline < fast < smart
+
+
+def test_notes_carry_the_derived_cost_rows(quick_figure):
+    text = "\n".join(quick_figure.notes)
+    assert "tas: queue op 74.0 us" in text
+    assert "llsc: queue op" in text
+    assert "derived edges enqueue/first/dequeue = 28/32/36" in text

@@ -1,0 +1,59 @@
+"""Regression tests for the narrowed stationary-solve fallback.
+
+The direct solve's ``except`` clause once caught *everything*, hiding
+programming errors behind a silent (and slow) power-iteration
+fallback.  It now catches only numerical failures — and counts them —
+while anything else propagates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.gtpn import (Net, activity_pair, build_reachability_graph,
+                        stationary_distribution)
+from repro.gtpn import markov
+
+
+def cycle_graph():
+    net = Net("cycle")
+    ready = net.place("Ready", tokens=1)
+    done = net.place("Done")
+    activity_pair(net, "serve", 10.0, inputs=[ready], outputs=[done],
+                  resource="lambda")
+    net.transition("recycle", delay=1, inputs=[done], outputs=[ready])
+    return build_reachability_graph(net)
+
+
+def test_numerical_failure_falls_back_and_counts(monkeypatch):
+    def numerically_doomed(matrix):
+        raise np.linalg.LinAlgError("singular")
+
+    monkeypatch.setattr(markov, "_solve_linear", numerically_doomed)
+    graph = cycle_graph()
+    reference = stationary_distribution(graph, method="power")
+    with obs.recording() as recorder:
+        pi = stationary_distribution(graph, method="auto")
+    assert pi == pytest.approx(reference, abs=1e-8)
+    assert recorder.counters.get("markov.solve_fallback") == 1.0
+
+
+def test_linear_method_re_raises_numerical_failure(monkeypatch):
+    def numerically_doomed(matrix):
+        raise np.linalg.LinAlgError("singular")
+
+    monkeypatch.setattr(markov, "_solve_linear", numerically_doomed)
+    with pytest.raises(np.linalg.LinAlgError):
+        stationary_distribution(cycle_graph(), method="linear")
+
+
+def test_non_numerical_error_propagates(monkeypatch):
+    """A defect in the solver must surface, not fall back silently."""
+    def buggy(matrix):
+        raise TypeError("a programming error, not a numerical one")
+
+    monkeypatch.setattr(markov, "_solve_linear", buggy)
+    with obs.recording() as recorder:
+        with pytest.raises(TypeError):
+            stationary_distribution(cycle_graph(), method="auto")
+    assert "markov.solve_fallback" not in recorder.counters

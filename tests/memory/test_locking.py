@@ -106,3 +106,21 @@ class TestLockedQueueOps:
         ops = LockedQueueOps(memory, 2)
         with pytest.raises(MemoryError_):
             ops.mean_cycles()
+
+
+def test_raising_operation_recorded_and_lock_released():
+    """A queue algorithm fault must keep its cost on the books
+    (flagged failed) and must not leave the lock held."""
+    memory, lst, _blocks = make_memory()
+    ops = LockedQueueOps(memory, 2)
+    with pytest.raises(MemoryError_):
+        ops.enqueue(10_000, lst)         # out-of-range block address
+    assert len(ops.history) == 1
+    cost = ops.history[0]
+    assert cost.failed
+    assert cost.operation == "enqueue"
+    assert cost.memory_cycles > 0        # lock round trip + the fault
+    # the lock was released on the way out: the next op succeeds
+    ops.enqueue(8, lst)
+    assert not ops.history[-1].failed
+    assert members(memory, lst) == [8]

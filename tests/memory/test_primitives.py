@@ -1,0 +1,222 @@
+"""Tests for the pluggable synchronization primitives.
+
+The load-bearing property is *differential*: all four backends run
+the same section 5.1 queue algorithms, so from any interleaved
+operation sequence they must produce bit-identical queue contents —
+and all of them must agree with a plain ``collections.deque`` FIFO
+model.  The backends are allowed to differ only in their recorded
+costs, which the unit tests below pin at zero contention.
+"""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_, ReproError
+from repro.memory import NULL, SharedMemory, members
+from repro.memory.primitives import (DEFAULT_HTM_RETRIES,
+                                     PRIMITIVE_NAMES, PRIMITIVES,
+                                     CasQueue, HtmQueue, QueuePrimitive,
+                                     create_primitive)
+
+LIST = 1
+LOCK = 2
+BLOCKS = tuple(4 + 2 * i for i in range(8))
+
+
+def make_primitive(name, **options):
+    memory = SharedMemory(64)
+    memory.write(LIST, NULL)
+    memory.cycles = 0
+    return create_primitive(name, memory, LOCK, **options), memory
+
+
+class TestRegistry:
+    def test_every_name_registered_and_protocol_conformant(self):
+        assert set(PRIMITIVE_NAMES) == set(PRIMITIVES)
+        for name in PRIMITIVE_NAMES:
+            prim, _memory = make_primitive(name)
+            assert isinstance(prim, QueuePrimitive)
+            assert prim.name == name
+
+    def test_unknown_name_rejected(self):
+        memory = SharedMemory(64)
+        with pytest.raises(ReproError):
+            create_primitive("mutex", memory, LOCK)
+
+    def test_fail_rate_must_leave_room_for_success(self):
+        with pytest.raises(ReproError):
+            make_primitive("cas", fail_rate=1.0)
+
+
+@pytest.mark.parametrize("name", PRIMITIVE_NAMES)
+class TestQueueSemantics:
+    def test_fifo_round_trip(self, name):
+        prim, memory = make_primitive(name)
+        for block in BLOCKS[:3]:
+            prim.enqueue(block, LIST)
+        assert members(memory, LIST) == list(BLOCKS[:3])
+        assert prim.first(LIST) == BLOCKS[0]
+        assert prim.dequeue(BLOCKS[2], LIST) is True
+        assert prim.dequeue(BLOCKS[2], LIST) is False
+        assert prim.first(LIST) == BLOCKS[1]
+        assert prim.first(LIST) == NULL
+
+    def test_every_operation_recorded(self, name):
+        prim, _memory = make_primitive(name)
+        prim.enqueue(BLOCKS[0], LIST)
+        prim.first(LIST)
+        prim.dequeue(BLOCKS[0], LIST)
+        assert [c.operation for c in prim.history] == \
+            ["enqueue", "first", "dequeue"]
+        assert all(not c.failed and c.retries == 0
+                   for c in prim.history)
+
+
+#: Zero-contention (reads, writes) of an enqueue onto a two-element
+#: list: the bare algorithm costs 2 reads + 3 writes; each primitive
+#: adds its envelope.  These are the rows repro.bus.syncedges derives
+#: independently from the microcode.
+ENQUEUE_COSTS = {
+    "tas": (4, 5),      # + lock acquire (R+W) and release (R+W)
+    "cas": (3, 3),      # + the CAS load-compare
+    "llsc": (2, 3),     # LL/SC ride the algorithm's own accesses
+    "htm": (2, 3),      # begin/commit are processor-internal
+}
+
+
+@pytest.mark.parametrize("name", PRIMITIVE_NAMES)
+def test_zero_contention_enqueue_cost(name):
+    prim, _memory = make_primitive(name)
+    prim.enqueue(BLOCKS[0], LIST)
+    prim.enqueue(BLOCKS[1], LIST)
+    prim.enqueue(BLOCKS[2], LIST)        # onto a two-element list
+    cost = prim.history[-1]
+    assert (cost.reads, cost.writes) == ENQUEUE_COSTS[name]
+    assert cost.bus_transactions == cost.reads + cost.writes
+    assert cost.memory_cycles == cost.bus_transactions
+    assert cost.retries == 0 and not cost.failed
+
+
+@pytest.mark.parametrize("name", PRIMITIVE_NAMES)
+def test_failed_operation_stays_on_the_books(name):
+    """An algorithm fault must not vanish from the cost history."""
+    prim, _memory = make_primitive(name)
+    prim.enqueue(BLOCKS[0], LIST)
+    with pytest.raises(MemoryError_):
+        prim.enqueue(10_000, LIST)       # out-of-range block address
+    cost = prim.history[-1]
+    assert cost.failed
+    assert cost.memory_cycles > 0        # the cycles were consumed
+
+
+def test_cas_gives_up_after_retry_budget_and_keeps_retries():
+    prim, _memory = make_primitive("cas", fail_rate=0.999, seed=0,
+                                   max_retries=3)
+    with pytest.raises(MemoryError_):
+        prim.enqueue(BLOCKS[0], LIST)
+    cost = prim.history[-1]
+    assert cost.failed
+    assert cost.retries == 3             # charged before the give-up
+    assert cost.reads >= 3               # each failed CAS probed the bus
+
+
+def test_llsc_failed_reservation_charges_only_loads():
+    prim, memory = make_primitive("llsc", fail_rate=0.5, seed=1)
+    baseline, _memory = make_primitive("llsc")
+    for block in BLOCKS[:4]:
+        prim.enqueue(block, LIST)
+        baseline.enqueue(block, LIST)
+    assert prim.total_retries() > 0
+    assert members(memory, LIST) == list(BLOCKS[:4])
+    # retries re-pay the attempt's reads, never any writes
+    for cost, base in zip(prim.history, baseline.history):
+        assert cost.writes == base.writes
+        assert cost.reads >= base.reads
+
+
+def test_htm_falls_back_to_lock_after_aborts():
+    prim, memory = make_primitive("htm", fail_rate=0.999, seed=0)
+    assert isinstance(prim, HtmQueue)
+    prim.enqueue(BLOCKS[0], LIST)        # aborts, then the lock path
+    assert prim.fallbacks == 1
+    cost = prim.history[-1]
+    assert not cost.failed
+    assert cost.retries == DEFAULT_HTM_RETRIES
+    assert members(memory, LIST) == [BLOCKS[0]]
+    # the fallback paid the TAS lock round trip (2 extra writes) on
+    # top of the bare empty-list enqueue (2 writes)
+    assert cost.writes == 4
+
+
+# -- differential property suite --------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"),
+                  st.integers(0, len(BLOCKS) - 1)),
+        st.tuples(st.just("first"), st.just(0)),
+        st.tuples(st.just("dequeue"),
+                  st.integers(0, len(BLOCKS) - 1))),
+    max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS, fail_rate=st.sampled_from([0.0, 0.3]),
+       seed=st.integers(0, 2 ** 16))
+def test_backends_agree_with_deque_model(ops, fail_rate, seed):
+    """Any interleaving leaves all four backends bit-identical to a
+    deque FIFO model — contents, order, and per-op return values."""
+    prims = {name: make_primitive(name, fail_rate=fail_rate, seed=seed)
+             for name in PRIMITIVE_NAMES}
+    model: collections.deque = collections.deque()
+    for kind, index in ops:
+        block = BLOCKS[index]
+        if kind == "enqueue":
+            if block in model:
+                continue                 # a block lives on one list
+            model.append(block)
+            for prim, _memory in prims.values():
+                prim.enqueue(block, LIST)
+        elif kind == "first":
+            expected = model.popleft() if model else NULL
+            for name, (prim, _memory) in prims.items():
+                assert prim.first(LIST) == expected, name
+        else:
+            expected = block in model
+            if expected:
+                model.remove(block)
+            for name, (prim, _memory) in prims.items():
+                assert prim.dequeue(block, LIST) is expected, name
+    for name, (_prim, memory) in prims.items():
+        assert members(memory, LIST) == list(model), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_htm_retry_accounting_deterministic_under_fixed_seed(seed):
+    runs = []
+    for _repeat in range(2):
+        prim, _memory = make_primitive("htm", fail_rate=0.5, seed=seed)
+        for block in BLOCKS[:4]:
+            prim.enqueue(block, LIST)
+        prim.first(LIST)
+        prim.dequeue(BLOCKS[2], LIST)
+        runs.append((tuple(prim.history), prim.fallbacks))
+    assert runs[0] == runs[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 16), name=st.sampled_from(("cas",
+                                                           "llsc")))
+def test_optimistic_retry_accounting_deterministic(seed, name):
+    histories = []
+    for _repeat in range(2):
+        prim, _memory = make_primitive(name, fail_rate=0.4, seed=seed)
+        for block in BLOCKS[:5]:
+            prim.enqueue(block, LIST)
+        prim.dequeue(BLOCKS[1], LIST)
+        histories.append(tuple(prim.history))
+    assert histories[0] == histories[1]

@@ -180,3 +180,37 @@ def test_property_length_consistent(script):
         got = first(memory, lst)
         inside.discard(blocks.index(got))
         assert length(memory, lst) == len(inside)
+
+
+def test_first_clears_removed_elements_next_link():
+    """A dequeued block is recycled onto other lists; a stale NEXT
+    aimed into the old list must not survive the removal."""
+    memory, lst, blocks = make_memory()
+    for block in blocks[:3]:
+        enqueue(memory, block, lst)
+    head = first(memory, lst)
+    assert memory.read(head + NEXT_OFFSET) == NULL
+    # singleton removal too
+    memory2, lst2, blocks2 = make_memory()
+    enqueue(memory2, blocks2[0], lst2)
+    assert first(memory2, lst2) == blocks2[0]
+    assert memory2.read(blocks2[0] + NEXT_OFFSET) == NULL
+
+
+def test_block_recycles_across_queues_without_stale_link():
+    """The kernel lifecycle: free list -> message queue -> free list,
+    with the block's link never pointing into a list it left."""
+    memory = SharedMemory(32)
+    free_list, msg_list = 1, 2
+    blocks = [4, 6, 8]
+    for block in blocks:
+        enqueue(memory, block, free_list)
+    block = first(memory, free_list)
+    assert memory.read(block + NEXT_OFFSET) == NULL   # the window
+    enqueue(memory, block, msg_list)
+    assert members(memory, msg_list) == [block]
+    assert members(memory, free_list) == blocks[1:]
+    recycled = first(memory, msg_list)
+    assert recycled == block
+    enqueue(memory, recycled, free_list)
+    assert members(memory, free_list) == blocks[1:] + [block]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.service import ResultStore, build_job_key
 
 
@@ -79,3 +81,36 @@ def test_stats_shape(tmp_path):
     stats = store.stats()
     assert stats["entries"] == 1 and stats["disk_entries"] == 1
     assert stats["directory"] == str(tmp_path)
+
+
+def test_spill_failure_is_counted_and_surfaced(tmp_path):
+    from repro import obs
+    store = ResultStore(directory=tmp_path)
+    with obs.recording() as recorder:
+        store.put(_key(1), lambda: None)   # unpicklable: memory-only
+        store.put(_key(2), "fine")         # picklable: spills to disk
+    assert store.spill_failures == 1
+    assert store.stats()["spill_failures"] == 1
+    assert recorder.counters.get("store.spill_failure") == 1.0
+
+
+class _ExplodesOnLoad:
+    """Pickles fine; its __setstate__ raises on unpickling — a
+    programming defect, not a torn disk entry."""
+
+    def __init__(self):
+        self.payload = "armed"      # non-empty state forces __setstate__
+
+    def __setstate__(self, state):
+        raise RuntimeError("defective __setstate__")
+
+
+def test_defective_disk_entry_propagates(tmp_path):
+    store = ResultStore(directory=tmp_path)
+    key = _key(3)
+    store.put(key, _ExplodesOnLoad())
+    assert store.disk_entries() == 1
+    fresh = ResultStore(directory=tmp_path)
+    with pytest.raises(RuntimeError):
+        fresh.get(key)                     # not silently a miss
+    assert fresh.disk_entries() == 1       # and not deleted

@@ -176,3 +176,41 @@ def test_validate_report_rejects_garbage(tmp_path):
         validate_report(path)
     with pytest.raises(ReproError, match="cannot read"):
         validate_report(tmp_path / "absent.json")
+
+
+def test_sync_section_parity_holds():
+    from repro.validate.report import _sync_section
+    section = _sync_section()
+    assert section["ok"] is True
+    assert section["tolerance_edges"] == 0
+    assert set(section["primitives"]) == {"tas", "cas", "llsc", "htm"}
+    for entry in section["primitives"].values():
+        assert entry["ok"]
+        assert [row["operation"] for row in entry["operations"]] == \
+            ["enqueue", "first", "dequeue"]
+
+
+def test_sync_mismatch_fails_the_report():
+    from repro.validate.report import _sync_section
+    report = passing_report()
+    report.sync = _sync_section()
+    assert report.ok
+    row = report.sync["primitives"]["cas"]["operations"][0]
+    row["ok"] = False
+    report.sync["primitives"]["cas"]["ok"] = False
+    report.sync["ok"] = False
+    assert "sync-cas-enqueue" in report.failures
+    assert not report.ok
+
+
+def test_validate_report_detects_doctored_sync_verdict(tmp_path):
+    from repro.validate.report import _sync_section
+    report = passing_report()
+    report.sync = _sync_section()
+    path = tmp_path / "report.json"
+    payload = json.loads(write_report(report, path).read_text())
+    assert payload["sync"]["ok"] is True
+    payload["sync"]["ok"] = False
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ReproError, match="summary.ok"):
+        validate_report(path)
